@@ -1,0 +1,260 @@
+#include "common/bench_datasets.hpp"
+
+#include <cstdlib>
+
+#include "algos/connected_components.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/pagerank_delta.hpp"
+#include "algos/sssp.hpp"
+#include "baselines/hus_graph_engine.hpp"
+#include "baselines/lumos_engine.hpp"
+#include "graph/edge_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_algorithms.hpp"
+#include "partition/grid_builder.hpp"
+#include "util/logging.hpp"
+
+namespace graphsd::bench {
+namespace {
+
+EdgeList MakeTwitterSim() {
+  // Social network: strong power-law skew plus a sparse chain periphery
+  // (real social graphs converge over many low-activity iterations).
+  RmatOptions o;
+  o.scale = 13;
+  o.edge_factor = 28;
+  o.max_weight = 10.0;
+  o.seed = 2010;
+  EdgeList g = GenerateRmat(o);
+  AppendWhiskers(g, g.num_vertices() / 8, 24, o.seed, o.max_weight,
+                 /*head_range_fraction=*/0.0625);
+  return g;
+}
+
+EdgeList MakeSkSim() {
+  // Host-crawled social/web hybrid: even heavier skew.
+  RmatOptions o;
+  o.scale = 13;
+  o.edge_factor = 32;
+  o.a = 0.62;
+  o.b = 0.17;
+  o.c = 0.17;
+  o.max_weight = 10.0;
+  o.seed = 2005;
+  EdgeList g = GenerateRmat(o);
+  AppendWhiskers(g, g.num_vertices() / 8, 32, o.seed, o.max_weight,
+                 /*head_range_fraction=*/0.0625);
+  return g;
+}
+
+EdgeList MakeUkSim() {
+  // Web graph: crawl-order ID locality (large S_seq for the scheduler) and
+  // the high diameter of real crawls — the long sparse-frontier tail is
+  // where state-awareness pays (Figures 5, 7, 10).
+  WebGraphOptions o;
+  o.num_vertices = 1 << 15;
+  o.avg_degree = 28;
+  o.locality = 0.9;
+  o.locality_window = 48;
+  o.whisker_fraction = 0.12;  // crawl whiskers: long sparse-frontier tail
+  o.whisker_length = 32;
+  o.max_weight = 100.0;
+  o.seed = 2007;
+  return GenerateWebGraph(o);
+}
+
+EdgeList MakeUkUnionSim() {
+  WebGraphOptions o;
+  o.num_vertices = 3 << 14;  // 49152
+  o.avg_degree = 28;
+  o.locality = 0.9;
+  o.locality_window = 48;
+  o.whisker_fraction = 0.12;
+  o.whisker_length = 40;  // longer whiskers: an even longer sparse tail
+  o.max_weight = 100.0;
+  o.seed = 2011;
+  return GenerateWebGraph(o);
+}
+
+EdgeList MakeKronSim() {
+  // Graph500 Kronecker parameters.
+  RmatOptions o;
+  o.scale = 14;
+  o.edge_factor = 24;
+  o.a = 0.57;
+  o.b = 0.19;
+  o.c = 0.19;
+  o.max_weight = 10.0;
+  o.seed = 500;
+  EdgeList g = GenerateRmat(o);
+  AppendWhiskers(g, g.num_vertices() / 8, 24, o.seed, o.max_weight,
+                 /*head_range_fraction=*/0.0625);
+  return g;
+}
+
+core::ExecutionReport Fail(const Status& status) {
+  GRAPHSD_LOG_ERROR("bench run failed: %s", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& Specs() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"twitter_sim", "Twitter2010", MakeTwitterSim},
+      {"sk_sim", "SK2005", MakeSkSim},
+      {"uk_sim", "UK2007", MakeUkSim},
+      {"ukunion_sim", "UKUnion", MakeUkUnionSim},
+      {"kron_sim", "Kron30", MakeKronSim},
+  };
+  return kSpecs;
+}
+
+std::string BenchDataRoot() {
+  if (const char* env = std::getenv("GRAPHSD_BENCH_DIR"); env != nullptr) {
+    return env;
+  }
+  return "/tmp/graphsd_bench_data";
+}
+
+PreparedDataset Prepare(io::Device& device, const DatasetSpec& spec,
+                        std::uint32_t p) {
+  PreparedDataset out;
+  const std::string root = BenchDataRoot();
+  out.dir = root + "/" + spec.name;
+  out.sym_dir = root + "/" + spec.name + "_sym";
+  out.raw_path = root + "/" + spec.name + ".bin";
+
+  if (io::PathExists(partition::ManifestPath(out.dir)) &&
+      io::PathExists(partition::ManifestPath(out.sym_dir)) &&
+      io::PathExists(out.raw_path)) {
+    // Cached: read counts from the manifest.
+    auto dataset = partition::GridDataset::Open(device, out.dir);
+    if (dataset.ok()) {
+      out.num_vertices = dataset->num_vertices();
+      out.num_edges = dataset->num_edges();
+      return out;
+    }
+  }
+
+  if (auto status = io::MakeDirectories(root); !status.ok()) Fail(status);
+  const EdgeList graph = spec.make();
+  out.num_vertices = graph.num_vertices();
+  out.num_edges = graph.num_edges();
+
+  if (auto status = WriteBinaryEdgeList(graph, device, out.raw_path);
+      !status.ok()) {
+    Fail(status);
+  }
+  partition::GridBuildOptions build;
+  build.num_intervals = p;
+  build.name = spec.name;
+  if (auto result = partition::BuildGrid(graph, device, out.dir, build);
+      !result.ok()) {
+    Fail(result.status());
+  }
+  build.name = spec.name + "_sym";
+  const EdgeList sym = Symmetrize(graph);
+  if (auto result = partition::BuildGrid(sym, device, out.sym_dir, build);
+      !result.ok()) {
+    Fail(result.status());
+  }
+  return out;
+}
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kGraphSD: return "GraphSD";
+    case System::kHusGraph: return "HUS-Graph";
+    case System::kLumos: return "Lumos";
+  }
+  return "?";
+}
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kPr: return "PR";
+    case Algo::kPrDelta: return "PR-D";
+    case Algo::kCc: return "CC";
+    case Algo::kSssp: return "SSSP";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<core::Program> MakeProgram(Algo algo) {
+  switch (algo) {
+    case Algo::kPr:
+      return std::make_unique<algos::PageRank>(5);  // §5.1: five iterations
+    case Algo::kPrDelta:
+      return std::make_unique<algos::PageRankDelta>(1.0, 0.85, 20,
+                                                   /*relative_epsilon=*/true);
+    case Algo::kCc:
+      return std::make_unique<algos::ConnectedComponents>();
+    case Algo::kSssp:
+      return std::make_unique<algos::Sssp>(0);
+  }
+  return nullptr;
+}
+
+core::ExecutionReport RunOn(io::Device& device, const std::string& dir,
+                            System system, Algo algo) {
+  auto dataset = partition::GridDataset::Open(device, dir);
+  if (!dataset.ok()) return Fail(dataset.status());
+  device.ResetAccounting();
+  auto program = MakeProgram(algo);
+
+  Result<core::ExecutionReport> report = InternalError("unreachable");
+  switch (system) {
+    case System::kGraphSD: {
+      core::GraphSDEngine engine(*dataset, {});
+      report = engine.Run(*program);
+      break;
+    }
+    case System::kHusGraph: {
+      baselines::HusGraphEngine engine(*dataset);
+      report = engine.Run(*program);
+      break;
+    }
+    case System::kLumos: {
+      baselines::LumosEngine engine(*dataset);
+      report = engine.Run(*program);
+      break;
+    }
+  }
+  if (!report.ok()) return Fail(report.status());
+  return std::move(report).value();
+}
+
+}  // namespace
+
+core::ExecutionReport RunSystem(io::Device& device,
+                                const PreparedDataset& dataset, System system,
+                                Algo algo) {
+  const std::string& dir = (algo == Algo::kCc) ? dataset.sym_dir : dataset.dir;
+  return RunOn(device, dir, system, algo);
+}
+
+core::ExecutionReport RunGraphSD(io::Device& device,
+                                 const PreparedDataset& dataset, Algo algo,
+                                 const core::EngineOptions& options) {
+  const std::string& dir = (algo == Algo::kCc) ? dataset.sym_dir : dataset.dir;
+  auto ds = partition::GridDataset::Open(device, dir);
+  if (!ds.ok()) return Fail(ds.status());
+  device.ResetAccounting();
+  auto program = MakeProgram(algo);
+  core::GraphSDEngine engine(*ds, options);
+  auto report = engine.Run(*program);
+  if (!report.ok()) return Fail(report.status());
+  return std::move(report).value();
+}
+
+std::unique_ptr<io::Device> MakeBenchDevice() {
+  // Positioning costs scaled to the proxy-dataset size (see
+  // IoCostModel::ScaledHdd) so the scheduler crossover matches the paper's
+  // testbed economics.
+  return io::MakeSimulatedDevice(io::IoCostModel::ScaledHdd());
+}
+
+}  // namespace graphsd::bench

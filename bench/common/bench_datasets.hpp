@@ -1,0 +1,75 @@
+// Proxy dataset registry for the paper-reproduction benchmarks.
+//
+// Each entry stands in for one dataset of the paper's Table 3, scaled so
+// every bench finishes in seconds on a small machine while preserving the
+// structural property that matters (power-law skew for the social/synthetic
+// graphs, ID locality for the web crawls). Datasets are generated
+// deterministically, preprocessed once, and cached under a shared directory
+// so the nine figure benches do not redo the work.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/report.hpp"
+#include "graph/edge_list.hpp"
+#include "io/device.hpp"
+#include "partition/grid_dataset.hpp"
+
+namespace graphsd::bench {
+
+struct DatasetSpec {
+  std::string name;        // short id ("twitter_sim")
+  std::string paper_name;  // what it stands in for ("Twitter2010")
+  EdgeList (*make)();      // deterministic generator
+};
+
+/// The five Table-3 proxies, in the paper's order.
+const std::vector<DatasetSpec>& Specs();
+
+/// Root directory for cached bench datasets (override with
+/// GRAPHSD_BENCH_DIR; default /tmp/graphsd_bench_data).
+std::string BenchDataRoot();
+
+/// A prepared dataset: the directed grid, its symmetrized sibling (for CC),
+/// and the raw binary edge file (for preprocessing benches).
+struct PreparedDataset {
+  std::string dir;
+  std::string sym_dir;
+  std::string raw_path;
+  VertexId num_vertices = 0;
+  std::uint64_t num_edges = 0;
+};
+
+/// Generates + preprocesses (or reuses a cached copy of) `spec`.
+PreparedDataset Prepare(io::Device& device, const DatasetSpec& spec,
+                        std::uint32_t p = 8);
+
+/// The systems compared in §5.
+enum class System { kGraphSD, kHusGraph, kLumos };
+const char* SystemName(System system);
+
+/// The paper's four algorithms.
+enum class Algo { kPr, kPrDelta, kCc, kSssp };
+const char* AlgoName(Algo algo);
+
+/// Runs `algo` under `system` on the prepared dataset (CC automatically
+/// uses the symmetrized grid). PR runs 5 iterations and PR-D at most 20,
+/// matching §5.1. Device accounting is reset before the run so the report
+/// reflects this execution only.
+core::ExecutionReport RunSystem(io::Device& device,
+                                const PreparedDataset& dataset, System system,
+                                Algo algo);
+
+/// Same but with explicit GraphSD engine options (for the ablation benches;
+/// `system` must be kGraphSD-compatible since options apply to its driver).
+core::ExecutionReport RunGraphSD(io::Device& device,
+                                 const PreparedDataset& dataset, Algo algo,
+                                 const core::EngineOptions& options);
+
+/// Standard bench device: simulated HDD profile (the paper's testbed).
+std::unique_ptr<io::Device> MakeBenchDevice();
+
+}  // namespace graphsd::bench

@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace graphsd::bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  GRAPHSD_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+    return out;
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out.append(total - 2, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FmtSpeedup(double factor) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", factor);
+  return buf;
+}
+
+void PrintFigureHeader(const std::string& id, const std::string& caption,
+                       const std::string& paper_expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), caption.c_str());
+  std::printf("Paper result: %s\n", paper_expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace graphsd::bench

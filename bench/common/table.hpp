@@ -1,0 +1,37 @@
+// Fixed-width table rendering for the figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graphsd::bench {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a separator under the header.
+  std::string Render() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double value, int digits = 2);
+
+/// Formats "1.93x" speedup strings.
+std::string FmtSpeedup(double factor);
+
+/// Prints a figure banner: id, caption, and what the paper showed.
+void PrintFigureHeader(const std::string& id, const std::string& caption,
+                       const std::string& paper_expectation);
+
+}  // namespace graphsd::bench

@@ -1,0 +1,44 @@
+// Table 1: the optimization feature matrix of out-of-core systems.
+// A static knowledge table from §2, printed for completeness; the three
+// rows this repo implements are marked.
+#include <cstdio>
+
+#include "common/table.hpp"
+
+int main() {
+  using graphsd::bench::TablePrinter;
+  graphsd::bench::PrintFigureHeader(
+      "Table 1", "Optimizations of out-of-core graph processing systems",
+      "only GraphSD combines all three optimization classes");
+
+  TablePrinter table({"System", "NoRandomAccess", "AvoidInactive",
+                      "FutureValue", "InThisRepo"});
+  const struct {
+    const char* name;
+    bool seq, active, future, here;
+  } rows[] = {
+      {"GraphChi", false, false, false, false},
+      {"X-Stream", true, false, false, false},
+      {"GridGraph", true, false, false, false},
+      {"PathGraph", true, false, false, false},
+      {"VENUS", true, false, false, false},
+      {"NXgraph", true, false, false, false},
+      {"GraphZ", true, false, false, false},
+      {"DynamicShards", true, true, false, false},
+      {"HUS-Graph", true, true, false, true},
+      {"MultiLogVC", true, true, false, false},
+      {"CLIP", true, false, true, false},
+      {"Wonderland", true, false, true, false},
+      {"Lumos", true, false, true, true},
+      {"GraphSD", true, true, true, true},
+  };
+  auto mark = [](bool b) { return std::string(b ? "yes" : "-"); };
+  for (const auto& row : rows) {
+    table.AddRow({row.name, mark(row.seq), mark(row.active), mark(row.future),
+                  mark(row.here)});
+  }
+  table.Print();
+  std::printf("\nGraphSD is the only row with all three optimizations, the\n"
+              "claim this repository reproduces end-to-end.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 6: runtime breakdown (disk I/O vs vertex updating vs other) on the
+// Twitter2010 proxy, for all three systems and all four algorithms.
+//
+// Expected shape: I/O dominates everywhere (56–91% in the paper); GraphSD's
+// I/O time is well below HUS-Graph's and Lumos's.
+#include <cmath>
+#include <cstdio>
+
+#include "common/bench_datasets.hpp"
+#include "common/table.hpp"
+
+using namespace graphsd::bench;
+
+int main() {
+  PrintFigureHeader(
+      "Figure 6", "Runtime breakdown on Twitter2010",
+      "I/O dominates (56-91%); GraphSD's I/O time is 73% of HUS-Graph's and "
+      "49% of Lumos's");
+
+  auto device = MakeBenchDevice();
+  const PreparedDataset dataset = Prepare(*device, Specs()[0]);  // twitter_sim
+
+  TablePrinter table({"Algo", "System", "Total(s)", "IO(s)", "Update(s)",
+                      "Other(s)", "IO%"});
+  const Algo algos[] = {Algo::kPr, Algo::kPrDelta, Algo::kCc, Algo::kSssp};
+  const System systems[] = {System::kGraphSD, System::kHusGraph,
+                            System::kLumos};
+
+  double gsd_io = 0;
+  double hus_io = 0;
+  double lumos_io = 0;
+  for (const Algo algo : algos) {
+    for (const System system : systems) {
+      const auto report = RunSystem(*device, dataset, system, algo);
+      const double total = report.TotalSeconds();
+      table.AddRow({AlgoName(algo), SystemName(system), Fmt(total),
+                    Fmt(report.io_seconds), Fmt(report.update_seconds, 3),
+                    Fmt(report.OtherSeconds(), 3),
+                    Fmt(100.0 * report.io_seconds / total, 1) + "%"});
+      if (system == System::kGraphSD) gsd_io += report.io_seconds;
+      if (system == System::kHusGraph) hus_io += report.io_seconds;
+      if (system == System::kLumos) lumos_io += report.io_seconds;
+    }
+  }
+  table.Print();
+  std::printf("\nGraphSD disk-I/O time = %.0f%% of HUS-Graph's (paper: 73%%) "
+              "and %.0f%% of Lumos's (paper: 49%%)\n",
+              100.0 * gsd_io / hus_io, 100.0 * gsd_io / lumos_io);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the engineering substrate:
+// bitset frontiers, atomic combines, grid partitioning, sub-block loading,
+// and the scheduler's evaluation pass. Not paper figures — these quantify
+// the building blocks the figures are made of.
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.hpp"
+#include "core/slot.hpp"
+#include "graph/generators.hpp"
+#include "partition/grid_builder.hpp"
+#include "partition/grid_dataset.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace graphsd;
+
+void BM_BitsetTestAndSet(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  ConcurrentBitset bits(n);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.TestAndSet(rng.NextBounded(n)));
+  }
+}
+BENCHMARK(BM_BitsetTestAndSet);
+
+void BM_BitsetIterate(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  ConcurrentBitset bits(n);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) bits.Set(rng.NextBounded(n));
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    bits.ForEachSet([&](std::size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitsetIterate);
+
+void BM_AtomicMinDouble(benchmark::State& state) {
+  core::Slot slot = core::SlotFromDouble(1e18);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::AtomicMinDouble(&slot, rng.NextDouble() * 1e18));
+  }
+}
+BENCHMARK(BM_AtomicMinDouble);
+
+void BM_AtomicAddDouble(benchmark::State& state) {
+  core::Slot slot = core::SlotFromDouble(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AtomicAddDouble(&slot, 1.0));
+  }
+}
+BENCHMARK(BM_AtomicAddDouble);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    RmatOptions o;
+    o.scale = static_cast<std::uint32_t>(state.range(0));
+    o.edge_factor = 8;
+    benchmark::DoNotOptimize(GenerateRmat(o).num_edges());
+  }
+}
+BENCHMARK(BM_RmatGeneration)->Arg(10)->Arg(12);
+
+void BM_GridBuild(benchmark::State& state) {
+  RmatOptions o;
+  o.scale = 12;
+  o.edge_factor = 8;
+  const EdgeList g = GenerateRmat(o);
+  auto device = io::MakePosixDevice();
+  for (auto _ : state) {
+    partition::GridBuildOptions build;
+    build.num_intervals = static_cast<std::uint32_t>(state.range(0));
+    auto result =
+        partition::BuildGrid(g, *device, "/tmp/graphsd_micro_grid", build);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  (void)io::RemoveTree("/tmp/graphsd_micro_grid");
+}
+BENCHMARK(BM_GridBuild)->Arg(4)->Arg(16);
+
+void BM_SubBlockLoad(benchmark::State& state) {
+  RmatOptions o;
+  o.scale = 12;
+  o.edge_factor = 8;
+  const EdgeList g = GenerateRmat(o);
+  auto device = io::MakePosixDevice();
+  partition::GridBuildOptions build;
+  build.num_intervals = 4;
+  (void)partition::BuildGrid(g, *device, "/tmp/graphsd_micro_load", build);
+  auto dataset = partition::GridDataset::Open(*device, "/tmp/graphsd_micro_load");
+  for (auto _ : state) {
+    auto block = dataset->LoadSubBlock(0, 0, false);
+    benchmark::DoNotOptimize(block->edges.size());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(dataset->SubBlockBytes(0, 0, false)));
+  (void)io::RemoveTree("/tmp/graphsd_micro_load");
+}
+BENCHMARK(BM_SubBlockLoad);
+
+void BM_SchedulerEvaluate(benchmark::State& state) {
+  RmatOptions o;
+  o.scale = 14;
+  o.edge_factor = 8;
+  const EdgeList g = GenerateRmat(o);
+  auto device = io::MakePosixDevice();
+  partition::GridBuildOptions build;
+  build.num_intervals = 8;
+  (void)partition::BuildGrid(g, *device, "/tmp/graphsd_micro_sched", build);
+  auto dataset =
+      partition::GridDataset::Open(*device, "/tmp/graphsd_micro_sched");
+  core::StateAwareScheduler scheduler(*dataset, io::IoCostModel::Hdd());
+  core::Frontier active(dataset->num_vertices());
+  Xoshiro256 rng(1);
+  for (std::uint64_t i = 0; i < dataset->num_vertices() / 10; ++i) {
+    active.Activate(
+        static_cast<VertexId>(rng.NextBounded(dataset->num_vertices())));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.Evaluate(active, 8, false).on_demand);
+  }
+  (void)io::RemoveTree("/tmp/graphsd_micro_sched");
+}
+BENCHMARK(BM_SchedulerEvaluate);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> data(1 << 16, 1);
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.ParallelFor(0, data.size(), 4096, [&](std::size_t b, std::size_t e) {
+      std::uint64_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += data[i];
+      sum.fetch_add(local);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,261 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "core/fciu_executor.hpp"
+#include "core/scheduler.hpp"
+#include "core/sciu_executor.hpp"
+#include "core/sub_block_buffer.hpp"
+#include "util/clock.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace graphsd::core {
+namespace {
+
+/// Per-round accounting: snapshots the device counters at construction and
+/// folds the deltas into the stat and report at Commit().
+class RoundAccounting {
+ public:
+  RoundAccounting(io::Device& device, RoundStat& stat, ExecutionReport& report)
+      : device_(device),
+        stat_(stat),
+        report_(report),
+        io_before_(device.stats().Snapshot()),
+        clock_before_(device.clock().Seconds()) {}
+
+  void Commit(bool record) {
+    const auto io_delta = device_.stats().Snapshot() - io_before_;
+    stat_.io_seconds = device_.clock().Seconds() - clock_before_;
+    stat_.compute_seconds = wall_.Seconds();
+    stat_.read_bytes = io_delta.TotalReadBytes();
+    stat_.write_bytes = io_delta.TotalWriteBytes();
+
+    report_.io += io_delta;
+    report_.io_seconds += stat_.io_seconds;
+    report_.compute_seconds += stat_.compute_seconds;
+    report_.scheduler_seconds += stat_.scheduler_seconds;
+    ++report_.rounds;
+    if (record) report_.per_round.push_back(stat_);
+  }
+
+ private:
+  io::Device& device_;
+  RoundStat& stat_;
+  ExecutionReport& report_;
+  io::IoStatsSnapshot io_before_;
+  double clock_before_;
+  WallTimer wall_;
+};
+
+}  // namespace
+
+GraphSDEngine::GraphSDEngine(const partition::GridDataset& dataset,
+                             EngineOptions options)
+    : dataset_(&dataset), options_(std::move(options)) {
+  // SCIU needs the source index; degrade gracefully on index-less layouts.
+  if (!dataset.manifest().has_index) options_.enable_selective = false;
+}
+
+std::string GraphSDEngine::ValuesPath(const Program& program) const {
+  const std::string base =
+      options_.scratch_dir.empty() ? dataset_->dir() : options_.scratch_dir;
+  return base + "/values_" + program.name() + ".bin";
+}
+
+Result<ExecutionReport> GraphSDEngine::Run(Program& program) {
+  program.Bind(dataset_->out_degrees());
+  state_ = std::make_unique<VertexState>(
+      dataset_->num_vertices(), program.num_value_arrays(),
+      program.kind() == ProgramKind::kGather);
+  if (program.kind() == ProgramKind::kPush) {
+    return RunPush(static_cast<PushProgram&>(program));
+  }
+  return RunGather(static_cast<GatherProgram&>(program));
+}
+
+Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
+  const auto& manifest = dataset_->manifest();
+  io::Device& device = dataset_->device();
+  const VertexId n = manifest.num_vertices;
+  const std::uint64_t default_budget =
+      std::max<std::uint64_t>(1, manifest.TotalEdgeBytes() / 20);
+
+  ThreadPool pool(options_.num_threads);
+  SubBlockBuffer buffer(options_.enable_buffering
+                            ? (options_.buffer_capacity_bytes != 0
+                                   ? options_.buffer_capacity_bytes
+                                   : default_budget)
+                            : 0);
+  ExecContext ctx;
+  ctx.dataset = dataset_;
+  ctx.pool = &pool;
+  ctx.buffer = &buffer;
+  ctx.memory_budget_bytes = options_.memory_budget_bytes != 0
+                                ? options_.memory_budget_bytes
+                                : default_budget;
+  SciuExecutor sciu(ctx);
+  FciuExecutor fciu(ctx);
+  StateAwareScheduler scheduler(*dataset_, device.options().cost_model);
+
+  ExecutionReport report;
+  report.engine = options_.engine_name;
+  report.algorithm = program.name();
+  report.dataset = manifest.name;
+
+  VertexState& state = *state_;
+  Frontier active(n);
+  Frontier out(n);
+  Frontier out_ni(n);
+  Frontier preact(n);
+  program.Init(state, active);
+
+  const std::string values_path = ValuesPath(program);
+  GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+
+  const std::uint32_t max_iterations =
+      std::min(program.max_iterations(), options_.max_iterations);
+  std::uint32_t iterations = 0;
+
+  while (iterations < max_iterations) {
+    if (active.Empty()) {
+      if (preact.Empty()) break;
+      // Iteration t has no regularly-active vertices; the pre-activated set
+      // becomes the next frontier at zero I/O cost.
+      active.Swap(preact);
+      preact.Clear();
+      RoundStat stat;
+      stat.first_iteration = iterations;
+      stat.model = RoundModel::kSkipped;
+      ++iterations;
+      ++report.rounds;
+      if (options_.record_per_round) report.per_round.push_back(stat);
+      continue;
+    }
+
+    RoundStat stat;
+    stat.first_iteration = iterations;
+    bool on_demand = false;
+    if (options_.force_on_demand || options_.enable_selective) {
+      const SchedulerDecision decision = scheduler.Evaluate(
+          active, state.BytesPerVertex(),
+          program.needs_weights() && manifest.weighted,
+          /*fciu_round=*/options_.enable_cross_iteration &&
+              iterations + 2 <= max_iterations);
+      stat.scheduler_seconds = decision.eval_seconds;
+      stat.cost_on_demand = decision.cost_on_demand;
+      stat.cost_full = decision.cost_full;
+      stat.active_vertices = decision.active_vertices;
+      stat.active_edges = decision.active_edges;
+      on_demand = options_.force_on_demand || decision.on_demand;
+    } else {
+      stat.active_vertices = active.Count();
+    }
+
+    RoundAccounting accounting(device, stat, report);
+    GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+    out.CopyFrom(preact);
+    preact.Clear();
+    out_ni.Clear();
+
+    if (on_demand) {
+      GRAPHSD_RETURN_IF_ERROR(sciu.RunIteration(
+          program, state, active, out, out_ni,
+          options_.enable_cross_iteration, stat, &report.update_seconds));
+      iterations += 1;
+      active.Swap(out);
+      preact.Swap(out_ni);
+    } else {
+      const bool two = options_.enable_cross_iteration &&
+                       iterations + 2 <= max_iterations;
+      GRAPHSD_RETURN_IF_ERROR(fciu.RunPushRound(program, state, active, out,
+                                                out_ni, two, stat,
+                                                &report.update_seconds));
+      if (two) {
+        iterations += 2;
+        active.Swap(out_ni);  // `out` was fully consumed inside the round
+        if (options_.model_lumos_propagation) {
+          GRAPHSD_RETURN_IF_ERROR(
+              state.Persist(device, values_path + ".prop"));
+          GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path + ".prop"));
+        }
+      } else {
+        iterations += 1;
+        active.Swap(out);
+      }
+    }
+
+    GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+    accounting.Commit(options_.record_per_round);
+  }
+
+  report.iterations = iterations;
+  report.buffer_hits = buffer.hits();
+  report.buffer_misses = buffer.misses();
+  report.buffer_bytes_saved = buffer.bytes_saved();
+  return report;
+}
+
+Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
+  const auto& manifest = dataset_->manifest();
+  io::Device& device = dataset_->device();
+  const std::uint64_t default_budget =
+      std::max<std::uint64_t>(1, manifest.TotalEdgeBytes() / 20);
+
+  ThreadPool pool(options_.num_threads);
+  SubBlockBuffer buffer(options_.enable_buffering
+                            ? (options_.buffer_capacity_bytes != 0
+                                   ? options_.buffer_capacity_bytes
+                                   : default_budget)
+                            : 0);
+  ExecContext ctx;
+  ctx.dataset = dataset_;
+  ctx.pool = &pool;
+  ctx.buffer = &buffer;
+  FciuExecutor fciu(ctx);
+
+  ExecutionReport report;
+  report.engine = options_.engine_name;
+  report.algorithm = program.name();
+  report.dataset = manifest.name;
+
+  VertexState& state = *state_;
+  Frontier unused(manifest.num_vertices);
+  program.Init(state, unused);
+
+  const std::string values_path = ValuesPath(program);
+  GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+
+  const std::uint32_t max_iterations =
+      std::min(program.max_iterations(), options_.max_iterations);
+  std::uint32_t iterations = 0;
+
+  while (iterations < max_iterations) {
+    RoundStat stat;
+    stat.first_iteration = iterations;
+    stat.active_vertices = manifest.num_vertices;
+    stat.active_edges = manifest.num_edges;
+
+    RoundAccounting accounting(device, stat, report);
+    GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+    const bool two = options_.enable_cross_iteration &&
+                     iterations + 2 <= max_iterations;
+    GRAPHSD_RETURN_IF_ERROR(fciu.RunGatherRound(program, state, two, stat,
+                                                &report.update_seconds));
+    iterations += two ? 2 : 1;
+    if (two && options_.model_lumos_propagation) {
+      GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path + ".prop"));
+      GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path + ".prop"));
+    }
+    GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+    accounting.Commit(options_.record_per_round);
+  }
+
+  report.iterations = iterations;
+  report.buffer_hits = buffer.hits();
+  report.buffer_misses = buffer.misses();
+  report.buffer_bytes_saved = buffer.bytes_saved();
+  return report;
+}
+
+}  // namespace graphsd::core

@@ -1,0 +1,82 @@
+// GraphSD engine: the Algorithm-1 driver.
+//
+// Per iteration it consults the state-aware scheduler (§4.1) and dispatches
+// to SCIU (on-demand I/O) or FCIU (full I/O); FCIU rounds execute two BSP
+// iterations per load and use the priority sub-block buffer (§4.3).
+//
+// The option switches correspond exactly to the paper's ablations (§5.4):
+//   enable_cross_iteration=false  -> GraphSD-b1
+//   enable_selective=false        -> GraphSD-b2 / GraphSD-b3
+//   force_on_demand=true          -> GraphSD-b4
+//   enable_buffering=false        -> Figure 12's "w/o buffering"
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/program.hpp"
+#include "core/report.hpp"
+#include "partition/grid_dataset.hpp"
+
+namespace graphsd::core {
+
+struct EngineOptions {
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Cross-iteration value computation (SCIU step 3 / FCIU second half).
+  bool enable_cross_iteration = true;
+  /// State-aware scheduling: allow the on-demand I/O model at all.
+  bool enable_selective = true;
+  /// Force the on-demand model every iteration (ablation b4).
+  bool force_on_demand = false;
+  /// The §4.3 priority buffer for secondary sub-blocks.
+  bool enable_buffering = true;
+  /// Buffer capacity; 0 = 5 % of the dataset's edge payload (the paper's
+  /// memory-budget setting).
+  std::uint64_t buffer_capacity_bytes = 0;
+  /// SCIU edge-retention budget for its cross-iteration step; 0 = same 5 %.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Hard iteration cap on top of the program's own budget.
+  std::uint32_t max_iterations = UINT32_MAX;
+  /// Record the per-round series (Figure 10).
+  bool record_per_round = true;
+  /// Model Lumos's propagation materialization: Lumos's out-of-order
+  /// execution writes the proactively-computed next-iteration values to
+  /// disk per round and reads them back in the next round (GraphSD keeps
+  /// them in the in-memory value arrays instead). The Lumos baseline
+  /// enables this; it costs one |V|·N write + read per cross-iteration
+  /// round.
+  bool model_lumos_propagation = false;
+  /// Directory for the vertex-value file; empty = the dataset directory.
+  std::string scratch_dir;
+  /// Name stamped into reports.
+  std::string engine_name = "GraphSD";
+};
+
+class GraphSDEngine {
+ public:
+  /// The dataset must outlive the engine.
+  explicit GraphSDEngine(const partition::GridDataset& dataset,
+                         EngineOptions options = {});
+
+  /// Executes `program` to completion (frontier drained or iteration budget
+  /// exhausted) and returns the measurement report.
+  Result<ExecutionReport> Run(Program& program);
+
+  /// Final vertex state of the last Run (null before any Run).
+  const VertexState* state() const noexcept { return state_.get(); }
+
+  const EngineOptions& options() const noexcept { return options_; }
+
+ private:
+  Result<ExecutionReport> RunPush(PushProgram& program);
+  Result<ExecutionReport> RunGather(GatherProgram& program);
+  std::string ValuesPath(const Program& program) const;
+
+  const partition::GridDataset* dataset_;
+  EngineOptions options_;
+  std::unique_ptr<VertexState> state_;
+};
+
+}  // namespace graphsd::core

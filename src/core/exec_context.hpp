@@ -1,0 +1,25 @@
+// Shared execution context handed to the update-model executors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/sub_block_buffer.hpp"
+#include "partition/grid_dataset.hpp"
+#include "util/thread_pool.hpp"
+
+namespace graphsd::core {
+
+struct ExecContext {
+  const partition::GridDataset* dataset = nullptr;
+  ThreadPool* pool = nullptr;
+  /// May be a disabled (capacity 0) buffer; never null.
+  SubBlockBuffer* buffer = nullptr;
+  /// Memory budget for SCIU's in-memory retention of loaded active edges
+  /// (the precondition for its cross-iteration step).
+  std::uint64_t memory_budget_bytes = 0;
+  /// Edges per parallel task.
+  std::size_t parallel_grain = 16384;
+};
+
+}  // namespace graphsd::core

@@ -1,0 +1,298 @@
+#include "core/fciu_executor.hpp"
+
+#include "util/clock.hpp"
+
+namespace graphsd::core {
+namespace {
+
+/// Applies `fn(edge, weight)` to every edge of `block` across the pool.
+template <typename Fn>
+void ParallelApply(ThreadPool& pool, std::size_t grain,
+                   const partition::SubBlock& block, bool need_weights,
+                   Fn&& fn) {
+  pool.ParallelFor(0, block.edges.size(), grain,
+                   [&](std::size_t b, std::size_t e) {
+                     for (std::size_t k = b; k < e; ++k) {
+                       const Weight w =
+                           need_weights ? block.weights[k] : Weight{1};
+                       fn(block.edges[k], w);
+                     }
+                   });
+}
+
+}  // namespace
+
+Result<const partition::SubBlock*> FciuExecutor::Fetch(
+    std::uint32_t i, std::uint32_t j, bool need_weights,
+    partition::SubBlock& local) {
+  if (const partition::SubBlock* cached = ctx_.buffer->Get(i, j);
+      cached != nullptr) {
+    return cached;
+  }
+  GRAPHSD_ASSIGN_OR_RETURN(local,
+                           ctx_.dataset->LoadSubBlock(i, j, need_weights));
+  return static_cast<const partition::SubBlock*>(&local);
+}
+
+Status FciuExecutor::RunPushRound(const PushProgram& program,
+                                  VertexState& state, const Frontier& active,
+                                  Frontier& out, Frontier& out_ni,
+                                  bool two_iterations, RoundStat& stat,
+                                  double* update_seconds) {
+  const auto& dataset = *ctx_.dataset;
+  const auto& manifest = dataset.manifest();
+  const bool need_weights = program.needs_weights() && manifest.weighted;
+  const std::uint32_t p = manifest.p;
+
+  // Iteration-t contributions of the active frontier.
+  {
+    ScopedWallAccumulator acc(update_seconds);
+    active.ForEachActive([&](std::size_t v) {
+      program.MakeContribution(state, static_cast<VertexId>(v),
+                               ContribSlot::kPrimary);
+    });
+  }
+
+  // --- first half: iteration t over all sub-blocks, column-major ----------
+  for (std::uint32_t j = 0; j < p; ++j) {
+    partition::SubBlock diagonal;  // (j, j) held until the column seals
+    bool have_diagonal = false;
+
+    for (std::uint32_t i = 0; i < p; ++i) {
+      if (manifest.EdgesIn(i, j) == 0) continue;
+      partition::SubBlock local;
+      GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+                               Fetch(i, j, need_weights, local));
+      const bool from_buffer = (block != &local);
+
+      // UserFunction pass (iteration t), guarded by the active frontier.
+      std::atomic<std::uint64_t> provisional_priority{0};
+      {
+        ScopedWallAccumulator acc(update_seconds);
+        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
+                      [&](const Edge& edge, Weight w) {
+                        if (!active.IsActive(edge.src)) return;
+                        provisional_priority.fetch_add(
+                            1, std::memory_order_relaxed);
+                        if (program.Apply(state, edge.src, edge.dst, w,
+                                          ContribSlot::kPrimary)) {
+                          out.Activate(edge.dst);
+                        }
+                      });
+      }
+
+      if (two_iterations && i < j) {
+        // CrossIterUpdate: interval i sealed when column i completed, so
+        // these edges produce iteration t+1 values from the same copy.
+        ScopedWallAccumulator acc(update_seconds);
+        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
+                      [&](const Edge& edge, Weight w) {
+                        if (!out.IsActive(edge.src)) return;
+                        if (program.Apply(state, edge.src, edge.dst, w,
+                                          ContribSlot::kSecondary)) {
+                          out_ni.Activate(edge.dst);
+                        }
+                      });
+      }
+
+      if (i == j && two_iterations) {
+        if (from_buffer) {
+          diagonal = *block;  // copy; buffer retains its entry
+        } else {
+          diagonal = std::move(local);
+        }
+        have_diagonal = true;
+      } else if (i > j && !from_buffer) {
+        // Secondary sub-block: offer it to the priority buffer for the
+        // second half of the round (and future rounds).
+        ctx_.buffer->Put(i, j, std::move(local),
+                         provisional_priority.load(std::memory_order_relaxed));
+      }
+    }
+
+    // Column j complete: interval j sealed for iteration t.
+    if (two_iterations) {
+      {
+        ScopedWallAccumulator acc(update_seconds);
+        out.ForEachActiveInRange(
+            manifest.boundaries[j], manifest.boundaries[j + 1],
+            [&](std::size_t v) {
+              program.MakeContribution(state, static_cast<VertexId>(v),
+                                       ContribSlot::kSecondary);
+            });
+      }
+      if (have_diagonal) {
+        ScopedWallAccumulator acc(update_seconds);
+        ParallelApply(*ctx_.pool, ctx_.parallel_grain, diagonal, need_weights,
+                      [&](const Edge& edge, Weight w) {
+                        if (!out.IsActive(edge.src)) return;
+                        if (program.Apply(state, edge.src, edge.dst, w,
+                                          ContribSlot::kSecondary)) {
+                          out_ni.Activate(edge.dst);
+                        }
+                      });
+      }
+    }
+  }
+
+  if (!two_iterations) {
+    stat.model = RoundModel::kPlainFull;
+    stat.iterations_covered = 1;
+    return Status::Ok();
+  }
+
+  // Re-score buffer priorities now that `out` (the t+1 frontier) is final:
+  // a cached secondary block is worth keeping in proportion to the edges it
+  // will serve in the second half.
+  ctx_.buffer->ForEachEntry([&](std::uint32_t i, std::uint32_t j,
+                                const partition::SubBlock& block) {
+    std::uint64_t priority = 0;
+    for (const Edge& edge : block.edges) {
+      if (out.IsActive(edge.src)) ++priority;
+    }
+    ctx_.buffer->UpdatePriority(i, j, priority);
+  });
+
+  // --- second half: iteration t+1 over the secondary sub-blocks (i > j) ---
+  if (!out.Empty()) {
+    for (std::uint32_t i = 1; i < p; ++i) {
+      if (out.CountInRange(manifest.boundaries[i], manifest.boundaries[i + 1]) ==
+          0) {
+        continue;  // no sealed sources in this row — nothing to push
+      }
+      for (std::uint32_t j = 0; j < i; ++j) {
+        if (manifest.EdgesIn(i, j) == 0) continue;
+        partition::SubBlock local;
+        GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+                                 Fetch(i, j, need_weights, local));
+        ScopedWallAccumulator acc(update_seconds);
+        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
+                      [&](const Edge& edge, Weight w) {
+                        if (!out.IsActive(edge.src)) return;
+                        if (program.Apply(state, edge.src, edge.dst, w,
+                                          ContribSlot::kSecondary)) {
+                          out_ni.Activate(edge.dst);
+                        }
+                      });
+      }
+    }
+  }
+
+  stat.model = RoundModel::kFciu;
+  stat.iterations_covered = 2;
+  return Status::Ok();
+}
+
+Status FciuExecutor::RunGatherRound(const GatherProgram& program,
+                                    VertexState& state, bool two_iterations,
+                                    RoundStat& stat, double* update_seconds) {
+  const auto& dataset = *ctx_.dataset;
+  const auto& manifest = dataset.manifest();
+  const bool need_weights = program.needs_weights() && manifest.weighted;
+  const std::uint32_t p = manifest.p;
+  const VertexId n = manifest.num_vertices;
+
+  {
+    ScopedWallAccumulator acc(update_seconds);
+    for (VertexId v = 0; v < n; ++v) {
+      program.MakeContribution(state, v, ContribSlot::kPrimary);
+    }
+    program.ResetAccum(state, AccumSlot::kA);
+    if (two_iterations) program.ResetAccum(state, AccumSlot::kB);
+  }
+
+  for (std::uint32_t j = 0; j < p; ++j) {
+    partition::SubBlock diagonal;
+    bool have_diagonal = false;
+
+    for (std::uint32_t i = 0; i < p; ++i) {
+      if (manifest.EdgesIn(i, j) == 0) continue;
+      partition::SubBlock local;
+      GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+                               Fetch(i, j, need_weights, local));
+      const bool from_buffer = (block != &local);
+
+      {
+        ScopedWallAccumulator acc(update_seconds);
+        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
+                      [&](const Edge& edge, Weight w) {
+                        program.Accumulate(state, edge.src, edge.dst, w,
+                                           ContribSlot::kPrimary,
+                                           AccumSlot::kA);
+                      });
+        if (two_iterations && i < j) {
+          ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
+                        [&](const Edge& edge, Weight w) {
+                          program.Accumulate(state, edge.src, edge.dst, w,
+                                             ContribSlot::kSecondary,
+                                             AccumSlot::kB);
+                        });
+        }
+      }
+
+      if (i == j && two_iterations) {
+        if (from_buffer) {
+          diagonal = *block;
+        } else {
+          diagonal = std::move(local);
+        }
+        have_diagonal = true;
+      } else if (i > j && !from_buffer) {
+        // All edges are live in gather mode: priority = edge count.
+        const std::uint64_t priority = local.edges.size();
+        ctx_.buffer->Put(i, j, std::move(local), priority);
+      }
+    }
+
+    {
+      ScopedWallAccumulator acc(update_seconds);
+      program.Finalize(state, manifest.boundaries[j], manifest.boundaries[j + 1],
+                       AccumSlot::kA);
+      if (two_iterations) {
+        for (VertexId v = manifest.boundaries[j]; v < manifest.boundaries[j + 1];
+             ++v) {
+          program.MakeContribution(state, v, ContribSlot::kSecondary);
+        }
+        if (have_diagonal) {
+          ParallelApply(*ctx_.pool, ctx_.parallel_grain, diagonal, need_weights,
+                        [&](const Edge& edge, Weight w) {
+                          program.Accumulate(state, edge.src, edge.dst, w,
+                                             ContribSlot::kSecondary,
+                                             AccumSlot::kB);
+                        });
+        }
+      }
+    }
+  }
+
+  if (!two_iterations) {
+    stat.model = RoundModel::kPlainFull;
+    stat.iterations_covered = 1;
+    return Status::Ok();
+  }
+
+  for (std::uint32_t i = 1; i < p; ++i) {
+    for (std::uint32_t j = 0; j < i; ++j) {
+      if (manifest.EdgesIn(i, j) == 0) continue;
+      partition::SubBlock local;
+      GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+                               Fetch(i, j, need_weights, local));
+      ScopedWallAccumulator acc(update_seconds);
+      ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
+                    [&](const Edge& edge, Weight w) {
+                      program.Accumulate(state, edge.src, edge.dst, w,
+                                         ContribSlot::kSecondary, AccumSlot::kB);
+                    });
+    }
+  }
+  {
+    ScopedWallAccumulator acc(update_seconds);
+    program.Finalize(state, 0, n, AccumSlot::kB);
+  }
+
+  stat.model = RoundModel::kFciu;
+  stat.iterations_covered = 2;
+  return Status::Ok();
+}
+
+}  // namespace graphsd::core

@@ -1,0 +1,57 @@
+// Full cross-iteration update — FCIU (paper §4.2, Algorithm 3).
+//
+// One loading round under the full I/O model executes up to TWO BSP
+// iterations. Sub-blocks are swept column-major (for j, for i): after
+// column j completes, every vertex of interval j holds its final
+// iteration-t value ("sealed"). Sub-block (i, j) with i < j therefore has
+// fully-updated sources the moment it is streamed, so its edges also
+// produce iteration t+1 values (CrossIterUpdate) using the same in-memory
+// copy — no reload. The diagonal (j, j) is held in memory until its column
+// seals, then cross-iterated. Only the secondary sub-blocks (i > j) must be
+// touched again in the second half of the round; those are the blocks the
+// priority buffer (§4.3) caches.
+//
+// The push variant guards every apply by frontier membership (GraphSD's
+// state-awareness); the gather variant accumulates every edge (PageRank).
+#pragma once
+
+#include "core/exec_context.hpp"
+#include "core/frontier.hpp"
+#include "core/program.hpp"
+#include "core/report.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::core {
+
+class FciuExecutor {
+ public:
+  explicit FciuExecutor(const ExecContext& ctx) : ctx_(ctx) {}
+
+  /// Push round. Entering: `active` is the iteration-t frontier, `out` is
+  /// pre-seeded with cross-activated vertices from the previous round.
+  /// With `two_iterations`: executes t and t+1; `out` is fully consumed and
+  /// the next frontier is `out_ni`. Without: executes only t (plain full
+  /// iteration, the GraphSD-b1 / baseline behaviour); next frontier is
+  /// `out`.
+  Status RunPushRound(const PushProgram& program, VertexState& state,
+                      const Frontier& active, Frontier& out, Frontier& out_ni,
+                      bool two_iterations, RoundStat& stat,
+                      double* update_seconds);
+
+  /// Gather round (all vertices implicitly active). With `two_iterations`
+  /// advances the values by two BSP iterations in one loading round.
+  Status RunGatherRound(const GatherProgram& program, VertexState& state,
+                        bool two_iterations, RoundStat& stat,
+                        double* update_seconds);
+
+ private:
+  /// Loads (i,j) through the buffer; `loaded` receives the freshly-read
+  /// block when it was a miss (and may then be donated to the buffer).
+  Result<const partition::SubBlock*> Fetch(std::uint32_t i, std::uint32_t j,
+                                           bool need_weights,
+                                           partition::SubBlock& local);
+
+  ExecContext ctx_;
+};
+
+}  // namespace graphsd::core

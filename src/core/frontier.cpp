@@ -1,0 +1,3 @@
+#include "core/frontier.hpp"
+
+// Frontier is header-only; this translation unit anchors the target.

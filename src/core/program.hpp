@@ -1,0 +1,109 @@
+// GraphSD programming model (paper §4.2).
+//
+// A user algorithm implements one of two program kinds:
+//
+//   * PushProgram — frontier-driven algorithms with a commutative, monotone
+//     combine (CC, SSSP, BFS) or a commutative sum over consumable
+//     contributions (PageRank-Delta). `MakeContribution(v)` snapshots (and
+//     possibly consumes) v's outgoing contribution for one BSP iteration;
+//     `Apply(e)` is the paper's UserFunction when reading the kPrimary
+//     snapshot and its CrossIterUpdate when reading the kSecondary (sealed
+//     post-iteration) snapshot.
+//
+//   * GatherProgram — dense algorithms that re-accumulate every vertex each
+//     iteration (PageRank). Contributions accumulate into an AccumSlot;
+//     kA collects iteration t and kB iteration t+1 within one FCIU round.
+//
+// All combine operations must be commutative and associative: that is the
+// property that makes both intra-interval parallelism and cross-iteration
+// value computation exact under BSP semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "core/vertex_state.hpp"
+#include "graph/types.hpp"
+
+namespace graphsd::core {
+
+enum class ProgramKind { kPush, kGather };
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Algorithm name for reports ("pagerank", "sssp", ...).
+  virtual std::string name() const = 0;
+
+  virtual ProgramKind kind() const = 0;
+
+  /// Whether edge weights must be streamed (SSSP). Unweighted algorithms
+  /// skip the weight files entirely — the M vs M+W distinction of Table 2.
+  virtual bool needs_weights() const { return false; }
+
+  /// How many per-vertex arrays the program keeps (PR-Delta: rank+residual).
+  virtual std::uint32_t num_value_arrays() const = 0;
+
+  /// Supplies dataset context before Init. Default keeps the degree vector
+  /// (PageRank-family needs out-degrees to split contributions).
+  virtual void Bind(const std::vector<std::uint32_t>& out_degrees) {
+    out_degrees_ = &out_degrees;
+  }
+
+  /// Initializes vertex values and the initial frontier.
+  /// Gather programs may ignore `initial` (they run all-active).
+  virtual void Init(VertexState& state, Frontier& initial) = 0;
+
+  /// Iteration budget (PageRank: the configured round count; frontier
+  /// algorithms: unbounded, they stop when the frontier drains).
+  virtual std::uint32_t max_iterations() const { return UINT32_MAX; }
+
+  /// The result value of vertex `v` as a double (tests, examples, reports).
+  virtual double ValueOf(const VertexState& state, VertexId v) const = 0;
+
+ protected:
+  const std::vector<std::uint32_t>* out_degrees_ = nullptr;
+};
+
+class PushProgram : public Program {
+ public:
+  ProgramKind kind() const final { return ProgramKind::kPush; }
+
+  /// Snapshots v's outgoing contribution into state.contrib(slot)[v].
+  /// May consume internal state (PR-Delta zeroes the residual). The engine
+  /// calls this exactly once per (vertex, iteration in which it is active).
+  virtual void MakeContribution(VertexState& state, VertexId v,
+                                ContribSlot slot) const = 0;
+
+  /// Applies one edge using the source contribution in `slot`. Must be
+  /// thread safe (atomic combine on dst). Returns true iff dst must be
+  /// (re)activated for the following iteration.
+  virtual bool Apply(VertexState& state, VertexId src, VertexId dst, Weight w,
+                     ContribSlot slot) const = 0;
+};
+
+class GatherProgram : public Program {
+ public:
+  ProgramKind kind() const final { return ProgramKind::kGather; }
+
+  /// Snapshots v's contribution (from its current value) into
+  /// state.contrib(slot)[v].
+  virtual void MakeContribution(VertexState& state, VertexId v,
+                                ContribSlot slot) const = 0;
+
+  /// Resets accumulator `a` to the iteration base value for all vertices.
+  virtual void ResetAccum(VertexState& state, AccumSlot a) const = 0;
+
+  /// accum(a)[dst] += contribution(c)[src]; must be thread safe.
+  virtual void Accumulate(VertexState& state, VertexId src, VertexId dst,
+                          Weight w, ContribSlot c, AccumSlot a) const = 0;
+
+  /// Commits accum(a) into the value array for vertices [begin, end).
+  virtual void Finalize(VertexState& state, VertexId begin, VertexId end,
+                        AccumSlot a) const = 0;
+};
+
+}  // namespace graphsd::core

@@ -1,0 +1,34 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+#include "util/stats.hpp"
+
+namespace graphsd::core {
+
+std::string ExecutionReport::Summary() const {
+  char line[512];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "%s/%s on %s: %u iterations in %u rounds, total %s "
+                "(io %s, compute %s, scheduler %s)\n",
+                engine.c_str(), algorithm.c_str(), dataset.c_str(), iterations,
+                rounds, graphsd::FormatSeconds(TotalSeconds()).c_str(),
+                graphsd::FormatSeconds(io_seconds).c_str(),
+                graphsd::FormatSeconds(compute_seconds).c_str(),
+                graphsd::FormatSeconds(scheduler_seconds).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "  traffic: %s\n", io.ToString().c_str());
+  out += line;
+  if (buffer_hits + buffer_misses > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  buffer: %llu hits / %llu misses, %s saved\n",
+                  static_cast<unsigned long long>(buffer_hits),
+                  static_cast<unsigned long long>(buffer_misses),
+                  graphsd::FormatBytes(buffer_bytes_saved).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace graphsd::core

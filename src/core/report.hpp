@@ -1,0 +1,71 @@
+// Execution reports: the measurement record every engine returns.
+// Figures 5–7 and 9–12 of the paper are produced from these fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/io_stats.hpp"
+
+namespace graphsd::core {
+
+/// Which update model executed a round.
+enum class RoundModel : char {
+  kSciu = 'S',       // selective cross-iteration update (1 iteration)
+  kFciu = 'F',       // full cross-iteration update (2 iterations)
+  kPlainFull = 'P',  // full I/O, no cross-iteration (1 iteration)
+  kSkipped = '-',    // empty-frontier iteration consumed without I/O
+};
+
+/// Per-round measurements (Figure 10's per-iteration series).
+struct RoundStat {
+  std::uint32_t first_iteration = 0;  // BSP iteration index the round starts
+  std::uint32_t iterations_covered = 1;
+  RoundModel model = RoundModel::kPlainFull;
+  std::uint64_t active_vertices = 0;
+  std::uint64_t active_edges = 0;      // scheduler estimate
+  double io_seconds = 0;               // modeled
+  double compute_seconds = 0;          // measured wall
+  double scheduler_seconds = 0;        // benefit-evaluation overhead
+  double cost_on_demand = 0;           // scheduler estimate C_r
+  double cost_full = 0;                // scheduler estimate C_s
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+};
+
+struct ExecutionReport {
+  std::string engine;
+  std::string algorithm;
+  std::string dataset;
+
+  std::uint32_t iterations = 0;  // logical BSP iterations executed
+  std::uint32_t rounds = 0;      // loading rounds
+
+  double compute_seconds = 0;    // measured wall (total)
+  double update_seconds = 0;     // measured wall inside edge/vertex updates
+  double io_seconds = 0;         // modeled I/O time
+  double scheduler_seconds = 0;  // total benefit-evaluation overhead (Fig 11)
+
+  io::IoStatsSnapshot io;        // traffic (Fig 7)
+
+  std::uint64_t buffer_hits = 0;    // sub-blocks served from the buffer
+  std::uint64_t buffer_misses = 0;  // sub-blocks (re)loaded from disk
+  std::uint64_t buffer_bytes_saved = 0;
+
+  std::vector<RoundStat> per_round;
+
+  /// The headline number: modeled I/O + measured compute.
+  double TotalSeconds() const noexcept { return compute_seconds + io_seconds; }
+
+  /// "Other" time of the Figure 6 breakdown.
+  double OtherSeconds() const noexcept {
+    const double other = compute_seconds - update_seconds;
+    return other > 0 ? other : 0;
+  }
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+};
+
+}  // namespace graphsd::core

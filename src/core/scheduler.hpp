@@ -1,0 +1,63 @@
+// State-aware I/O scheduling strategy (paper §4.1).
+//
+// Per iteration, estimates the cost of the two I/O access models and picks
+// the cheaper:
+//
+//   C_s = (|V|·N + |E|·(M[+W])) / B_sr + |V|·N / B_sw          (full)
+//   C_r = S_ran/B_rr + S_seq/B_sr + 2|V|·N/B_sr + |V|·N/B_sw   (on-demand)
+//
+// S_seq / S_ran are computed with one O(|A|) pass over the active set and
+// the degree array, exactly as the paper describes: maximal runs of active
+// vertices (gaps of zero-out-degree vertices do not break a run, since they
+// occupy no edge bytes) read sequentially; each run boundary costs a seek in
+// each of the P column sub-blocks it touches. The "2|V|·N" term is the
+// vertex values plus the per-sub-block source index the on-demand model
+// must consult; we charge the index at its true size.
+#pragma once
+
+#include <cstdint>
+
+#include "core/frontier.hpp"
+#include "io/cost_model.hpp"
+#include "partition/grid_dataset.hpp"
+
+namespace graphsd::core {
+
+struct SchedulerDecision {
+  bool on_demand = false;
+  double cost_on_demand = 0;  // C_r, seconds
+  double cost_full = 0;       // C_s, seconds
+  std::uint64_t active_vertices = 0;
+  std::uint64_t active_edges = 0;
+  std::uint64_t seq_bytes = 0;   // S_seq
+  std::uint64_t rand_bytes = 0;  // S_ran
+  std::uint64_t random_requests = 0;
+  double eval_seconds = 0;  // wall time of the evaluation itself (Fig 11)
+};
+
+class StateAwareScheduler {
+ public:
+  StateAwareScheduler(const partition::GridDataset& dataset,
+                      io::IoCostModel model)
+      : dataset_(&dataset), model_(model) {}
+
+  /// Evaluates both models for the given active set.
+  /// `vertex_record_bytes` is N (the program's per-vertex on-disk record);
+  /// `with_weights` selects M+W vs M for the edge term. When `fciu_round`
+  /// is set, the full-model cost C_s is the per-iteration cost of an FCIU
+  /// round — one full sweep plus the secondary sub-blocks, amortized over
+  /// the two BSP iterations the round executes — instead of the plain
+  /// single-iteration formula.
+  SchedulerDecision Evaluate(const Frontier& active,
+                             std::uint64_t vertex_record_bytes,
+                             bool with_weights,
+                             bool fciu_round = false) const;
+
+  const io::IoCostModel& model() const noexcept { return model_; }
+
+ private:
+  const partition::GridDataset* dataset_;
+  io::IoCostModel model_;
+};
+
+}  // namespace graphsd::core

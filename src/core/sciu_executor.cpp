@@ -1,0 +1,188 @@
+#include "core/sciu_executor.hpp"
+
+#include "util/clock.hpp"
+
+namespace graphsd::core {
+
+Status SciuExecutor::RunIteration(const PushProgram& program,
+                                  VertexState& state, const Frontier& active,
+                                  Frontier& out, Frontier& out_ni,
+                                  bool cross_iteration, RoundStat& stat,
+                                  double* update_seconds) {
+  const auto& dataset = *ctx_.dataset;
+  const auto& manifest = dataset.manifest();
+  const auto& degrees = dataset.out_degrees();
+  const bool need_weights = program.needs_weights() && manifest.weighted;
+  const std::uint64_t bytes_per_edge =
+      kEdgeBytes + (need_weights ? kWeightBytes : 0);
+
+  // --- contributions of the active set (iteration-t snapshot) -------------
+  std::uint64_t active_edge_bytes = 0;
+  {
+    ScopedWallAccumulator acc(update_seconds);
+    active.ForEachActive([&](std::size_t v) {
+      program.MakeContribution(state, static_cast<VertexId>(v),
+                               ContribSlot::kPrimary);
+      active_edge_bytes += degrees[v] * bytes_per_edge;
+    });
+  }
+
+  // Retain loaded edges only if they all fit the budget (all-or-nothing;
+  // the cross-iteration step needs every edge of a qualifying vertex).
+  const bool retain = cross_iteration &&
+                      (ctx_.memory_budget_bytes == 0 ||
+                       active_edge_bytes <= ctx_.memory_budget_bytes);
+  std::vector<Edge> arena_edges;
+  std::vector<Weight> arena_weights;
+  if (retain) {
+    arena_edges.reserve(active_edge_bytes / kEdgeBytes);
+  }
+
+  // --- selective sweep: rows with active vertices, all columns ------------
+  // Index entries are read per active run (never whole index files): nearby
+  // active vertices share one ranged offset read, so the index traffic
+  // scales with |A|, matching the paper's 2|V|·N bound for a full frontier.
+  constexpr VertexId kIndexCoalesceGap = 64;
+
+  std::vector<Edge> run_edges;
+  std::vector<Weight> run_weights;
+  std::vector<VertexId> locals;       // active local ids, ascending
+  std::vector<std::uint32_t> offsets; // scratch for ranged index reads
+
+  for (std::uint32_t i = 0; i < manifest.p; ++i) {
+    const VertexId interval_begin = manifest.boundaries[i];
+    const VertexId interval_end = manifest.boundaries[i + 1];
+    locals.clear();
+    active.ForEachActiveInRange(interval_begin, interval_end,
+                                [&](std::size_t idx) {
+                                  locals.push_back(static_cast<VertexId>(idx) -
+                                                   interval_begin);
+                                });
+    if (locals.empty()) continue;
+
+    // Group nearby actives: one index read per group per sub-block.
+    struct Group {
+      std::size_t begin_pos;
+      std::size_t end_pos;  // exclusive, into `locals`
+    };
+    std::vector<Group> groups;
+    groups.push_back({0, 1});
+    for (std::size_t pos = 1; pos < locals.size(); ++pos) {
+      if (locals[pos] - locals[pos - 1] <= kIndexCoalesceGap) {
+        groups.back().end_pos = pos + 1;
+      } else {
+        groups.push_back({pos, pos + 1});
+      }
+    }
+
+    for (std::uint32_t j = 0; j < manifest.p; ++j) {
+      if (manifest.EdgesIn(i, j) == 0) continue;
+
+      GRAPHSD_ASSIGN_OR_RETURN(partition::IndexReader index_reader,
+                               dataset.OpenIndexReader(i, j));
+      GRAPHSD_ASSIGN_OR_RETURN(
+          partition::SubBlockReader reader,
+          dataset.OpenSubBlockReader(i, j, need_weights));
+
+      std::uint64_t pending_begin = 0;
+      std::uint64_t pending_end = 0;
+
+      auto flush = [&]() -> Status {
+        if (pending_end == pending_begin) return Status::Ok();
+        run_edges.clear();
+        run_weights.clear();
+        GRAPHSD_RETURN_IF_ERROR(reader.ReadRange(
+            pending_begin, pending_end - pending_begin, run_edges,
+            need_weights ? &run_weights : nullptr));
+        {
+          ScopedWallAccumulator acc(update_seconds);
+          ctx_.pool->ParallelFor(
+              0, run_edges.size(), ctx_.parallel_grain,
+              [&](std::size_t b, std::size_t e) {
+                for (std::size_t k = b; k < e; ++k) {
+                  const Edge& edge = run_edges[k];
+                  const Weight w = need_weights ? run_weights[k] : Weight{1};
+                  if (program.Apply(state, edge.src, edge.dst, w,
+                                    ContribSlot::kPrimary)) {
+                    out.Activate(edge.dst);
+                  }
+                }
+              });
+        }
+        if (retain) {
+          arena_edges.insert(arena_edges.end(), run_edges.begin(),
+                             run_edges.end());
+          if (need_weights) {
+            arena_weights.insert(arena_weights.end(), run_weights.begin(),
+                                 run_weights.end());
+          }
+        }
+        pending_begin = pending_end = 0;
+        return Status::Ok();
+      };
+
+      for (const Group& group : groups) {
+        const VertexId first_local = locals[group.begin_pos];
+        const VertexId last_local = locals[group.end_pos - 1];
+        GRAPHSD_RETURN_IF_ERROR(index_reader.ReadOffsets(
+            first_local, last_local - first_local + 2, offsets));
+        for (std::size_t pos = group.begin_pos; pos < group.end_pos; ++pos) {
+          const VertexId local = locals[pos];
+          const std::uint64_t range_begin = offsets[local - first_local];
+          const std::uint64_t range_end = offsets[local - first_local + 1];
+          if (range_begin == range_end) continue;
+          if (pending_end == range_begin && pending_end > pending_begin) {
+            pending_end = range_end;  // coalesce with the pending run
+          } else {
+            GRAPHSD_RETURN_IF_ERROR(flush());
+            pending_begin = range_begin;
+            pending_end = range_end;
+          }
+        }
+      }
+      GRAPHSD_RETURN_IF_ERROR(flush());
+    }
+  }
+
+  // --- cross-iteration step (Algorithm 2, lines 15-23) ---------------------
+  if (retain) {
+    Frontier qualifying(active.size());
+    std::uint64_t qualify_count = 0;
+    out.ForEachActive([&](std::size_t v) {
+      if (active.IsActive(static_cast<VertexId>(v))) {
+        qualifying.Activate(static_cast<VertexId>(v));
+        ++qualify_count;
+      }
+    });
+    if (qualify_count > 0) {
+      ScopedWallAccumulator acc(update_seconds);
+      // Seal the re-activated vertices' fresh values, then push them into
+      // iteration t+1 using the resident edges.
+      qualifying.ForEachActive([&](std::size_t v) {
+        program.MakeContribution(state, static_cast<VertexId>(v),
+                                 ContribSlot::kSecondary);
+      });
+      ctx_.pool->ParallelFor(
+          0, arena_edges.size(), ctx_.parallel_grain,
+          [&](std::size_t b, std::size_t e) {
+            for (std::size_t k = b; k < e; ++k) {
+              const Edge& edge = arena_edges[k];
+              if (!qualifying.IsActive(edge.src)) continue;
+              const Weight w = need_weights ? arena_weights[k] : Weight{1};
+              if (program.Apply(state, edge.src, edge.dst, w,
+                                ContribSlot::kSecondary)) {
+                out_ni.Activate(edge.dst);
+              }
+            }
+          });
+      qualifying.ForEachActive(
+          [&](std::size_t v) { out.Deactivate(static_cast<VertexId>(v)); });
+    }
+  }
+
+  stat.model = RoundModel::kSciu;
+  stat.iterations_covered = 1;
+  return Status::Ok();
+}
+
+}  // namespace graphsd::core

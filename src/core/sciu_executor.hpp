@@ -1,0 +1,44 @@
+// Selective cross-iteration update — SCIU (paper §4.2, Algorithm 2).
+//
+// One BSP iteration under the on-demand I/O model:
+//   1. Snapshot contributions of the active vertices (UserFunction inputs).
+//   2. Sweep sub-blocks row by row; within each sub-block, use the source
+//      index to read only the active vertices' edge ranges. Ranges of
+//      consecutive active vertices coalesce into single requests (this is
+//      where S_seq comes from). Apply each edge; activations go to `out`.
+//   3. Cross-iteration step: vertices re-activated during this iteration
+//      whose edges are resident (they were active, so their edges were just
+//      loaded and retained) push their *new* values into iteration t+1
+//      immediately (CrossIterUpdate), are removed from `out`, and the
+//      vertices they activate go to `out_ni` (scheduled two iterations out).
+//
+// Retention is all-or-nothing per iteration: if the active edges exceed the
+// memory budget, the edges are processed streaming and the cross-iteration
+// step is skipped for that iteration.
+#pragma once
+
+#include "core/exec_context.hpp"
+#include "core/frontier.hpp"
+#include "core/program.hpp"
+#include "core/report.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::core {
+
+class SciuExecutor {
+ public:
+  explicit SciuExecutor(const ExecContext& ctx) : ctx_(ctx) {}
+
+  /// Runs one iteration. `cross_iteration=false` degrades to pure selective
+  /// processing (the GraphSD-b1 / HUS-Graph behaviour).
+  /// `update_seconds` accumulates wall time spent applying updates.
+  Status RunIteration(const PushProgram& program, VertexState& state,
+                      const Frontier& active, Frontier& out, Frontier& out_ni,
+                      bool cross_iteration, RoundStat& stat,
+                      double* update_seconds);
+
+ private:
+  ExecContext ctx_;
+};
+
+}  // namespace graphsd::core

@@ -1,0 +1,68 @@
+#include "core/sub_block_buffer.hpp"
+
+namespace graphsd::core {
+
+const partition::SubBlock* SubBlockBuffer::Get(std::uint32_t i,
+                                               std::uint32_t j) {
+  if (!enabled()) return nullptr;
+  const auto it = entries_.find(Key(i, j));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  bytes_saved_ += it->second.block.SizeBytes();
+  return &it->second.block;
+}
+
+bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
+                         partition::SubBlock block, std::uint64_t priority) {
+  if (!enabled()) return false;
+  const std::uint64_t bytes = block.SizeBytes();
+  if (bytes > capacity_) return false;
+  const std::uint64_t key = Key(i, j);
+  // Replacing an existing entry: release its bytes first.
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    used_ -= it->second.block.SizeBytes();
+    entries_.erase(it);
+  }
+  // Evict strictly-lower-priority entries until the block fits.
+  while (used_ + bytes > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.priority < victim->second.priority) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end() || victim->second.priority >= priority) {
+      return false;  // nothing cheaper to evict — reject the insert
+    }
+    used_ -= victim->second.block.SizeBytes();
+    entries_.erase(victim);
+  }
+  used_ += bytes;
+  entries_.emplace(key, Entry{std::move(block), priority});
+  return true;
+}
+
+void SubBlockBuffer::UpdatePriority(std::uint32_t i, std::uint32_t j,
+                                    std::uint64_t priority) {
+  if (const auto it = entries_.find(Key(i, j)); it != entries_.end()) {
+    it->second.priority = priority;
+  }
+}
+
+void SubBlockBuffer::Erase(std::uint32_t i, std::uint32_t j) {
+  if (const auto it = entries_.find(Key(i, j)); it != entries_.end()) {
+    used_ -= it->second.block.SizeBytes();
+    entries_.erase(it);
+  }
+}
+
+void SubBlockBuffer::Clear() {
+  entries_.clear();
+  used_ = 0;
+}
+
+}  // namespace graphsd::core

@@ -1,0 +1,78 @@
+// Priority buffer for secondary sub-blocks (paper §4.3).
+//
+// FCIU loads secondary sub-blocks (i > j) twice per round. This buffer
+// caches them under a byte budget; the priority of a cached sub-block is
+// the number of active edges it holds, and the lowest-priority entry is
+// evicted when space is needed. Priorities are updated after the block is
+// processed in the first half of the round, as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "partition/grid_dataset.hpp"
+
+namespace graphsd::core {
+
+class SubBlockBuffer {
+ public:
+  /// `capacity_bytes == 0` disables the buffer entirely.
+  explicit SubBlockBuffer(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  bool enabled() const noexcept { return capacity_ > 0; }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  std::uint64_t size_bytes() const noexcept { return used_; }
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+
+  /// Cached block (i, j), or nullptr. Bumps the hit/miss counters.
+  const partition::SubBlock* Get(std::uint32_t i, std::uint32_t j);
+
+  /// Inserts block (i,j) with `priority` (active-edge count). Evicts
+  /// lower-priority entries while space is needed; the block is rejected if
+  /// it cannot fit even after evicting everything with lower priority.
+  /// Returns true if cached.
+  bool Put(std::uint32_t i, std::uint32_t j, partition::SubBlock block,
+           std::uint64_t priority);
+
+  /// Re-scores an existing entry (no-op when absent).
+  void UpdatePriority(std::uint32_t i, std::uint32_t j, std::uint64_t priority);
+
+  /// Removes one entry (no-op when absent).
+  void Erase(std::uint32_t i, std::uint32_t j);
+
+  /// Drops everything (between rounds when priorities are stale).
+  void Clear();
+
+  /// Visits every cached entry as fn(i, j, block). Used to re-score
+  /// priorities after the first half of an FCIU round.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      fn(static_cast<std::uint32_t>(key >> 32),
+         static_cast<std::uint32_t>(key & 0xffffffffu), entry.block);
+    }
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t bytes_saved() const noexcept { return bytes_saved_; }
+
+ private:
+  struct Entry {
+    partition::SubBlock block;
+    std::uint64_t priority = 0;
+  };
+  static std::uint64_t Key(std::uint32_t i, std::uint32_t j) noexcept {
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  }
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t bytes_saved_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace graphsd::core

@@ -1,0 +1,49 @@
+#include "core/vertex_state.hpp"
+
+namespace graphsd::core {
+
+VertexState::VertexState(VertexId num_vertices,
+                         std::uint32_t num_program_arrays, bool gather)
+    : num_vertices_(num_vertices) {
+  GRAPHSD_CHECK(num_program_arrays >= 1);
+  program_arrays_.resize(num_program_arrays);
+  for (auto& a : program_arrays_) a.assign(num_vertices, 0);
+  for (int s = 0; s < 2; ++s) {
+    contrib_storage_[s].assign(num_vertices, 0);
+    contrib_[s] = contrib_storage_[s];
+  }
+  if (gather) {
+    for (int s = 0; s < 2; ++s) {
+      accum_storage_[s].assign(num_vertices, 0);
+      accum_[s] = accum_storage_[s];
+    }
+  }
+}
+
+Status VertexState::Persist(io::Device& device, const std::string& path) const {
+  GRAPHSD_ASSIGN_OR_RETURN(io::DeviceFile file,
+                           device.Open(path, io::OpenMode::kWrite));
+  std::uint64_t offset = 0;
+  for (const auto& a : program_arrays_) {
+    GRAPHSD_RETURN_IF_ERROR(file.WriteAt(
+        offset, {reinterpret_cast<const std::uint8_t*>(a.data()),
+                 a.size() * sizeof(Slot)}));
+    offset += a.size() * sizeof(Slot);
+  }
+  return Status::Ok();
+}
+
+Status VertexState::Load(io::Device& device, const std::string& path) {
+  GRAPHSD_ASSIGN_OR_RETURN(io::DeviceFile file,
+                           device.Open(path, io::OpenMode::kRead));
+  std::uint64_t offset = 0;
+  for (auto& a : program_arrays_) {
+    GRAPHSD_RETURN_IF_ERROR(
+        file.ReadAt(offset, {reinterpret_cast<std::uint8_t*>(a.data()),
+                             a.size() * sizeof(Slot)}));
+    offset += a.size() * sizeof(Slot);
+  }
+  return Status::Ok();
+}
+
+}  // namespace graphsd::core

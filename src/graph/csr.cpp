@@ -1,0 +1,39 @@
+#include "graph/csr.hpp"
+
+namespace graphsd {
+
+CsrGraph CsrGraph::Build(const EdgeList& list) {
+  return BuildOriented(list, /*reverse=*/false);
+}
+
+CsrGraph CsrGraph::BuildReverse(const EdgeList& list) {
+  return BuildOriented(list, /*reverse=*/true);
+}
+
+CsrGraph CsrGraph::BuildOriented(const EdgeList& list, bool reverse) {
+  CsrGraph g;
+  g.num_vertices_ = list.num_vertices();
+  g.offsets_.assign(g.num_vertices_ + 1, 0);
+
+  const auto& edges = list.edges();
+  for (const Edge& e : edges) {
+    ++g.offsets_[(reverse ? e.dst : e.src) + 1];
+  }
+  for (VertexId v = 0; v < g.num_vertices_; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+
+  g.targets_.resize(edges.size());
+  if (list.weighted()) g.weights_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::uint64_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    const VertexId key = reverse ? e.dst : e.src;
+    const std::uint64_t slot = cursor[key]++;
+    g.targets_[slot] = reverse ? e.src : e.dst;
+    if (list.weighted()) g.weights_[slot] = list.weights()[i];
+  }
+  return g;
+}
+
+}  // namespace graphsd

@@ -1,0 +1,57 @@
+// In-memory CSR (compressed sparse row) graph, used by the reference
+// algorithms that serve as correctness oracles for the out-of-core engines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace graphsd {
+
+/// Immutable CSR built from an EdgeList. Stores out-edges; `BuildReverse`
+/// gives the transpose (in-edges) when an algorithm gathers.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds the out-edge CSR of `list` (counting sort by source; stable, so
+  /// parallel weights follow their edges).
+  static CsrGraph Build(const EdgeList& list);
+
+  /// Builds the in-edge (transposed) CSR of `list`.
+  static CsrGraph BuildReverse(const EdgeList& list);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  std::uint64_t num_edges() const noexcept { return targets_.size(); }
+  bool weighted() const noexcept { return !weights_.empty(); }
+
+  /// Neighbors of `v` (out-neighbors, or in-neighbors for a reverse CSR).
+  std::span<const VertexId> Neighbors(VertexId v) const noexcept {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Weights parallel to Neighbors(v); empty span when unweighted.
+  std::span<const Weight> NeighborWeights(VertexId v) const noexcept {
+    if (!weighted()) return {};
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Degree of `v` in this orientation.
+  std::uint32_t Degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+ private:
+  static CsrGraph BuildOriented(const EdgeList& list, bool reverse);
+
+  VertexId num_vertices_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size num_vertices_+1
+  std::vector<VertexId> targets_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace graphsd

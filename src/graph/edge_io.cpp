@@ -1,0 +1,163 @@
+#include "graph/edge_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace graphsd {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'S', 'D', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+struct BinaryHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint32_t num_vertices;
+  std::uint32_t weighted;  // 0 or 1
+  std::uint64_t num_edges;
+};
+static_assert(sizeof(BinaryHeader) == 24);
+
+template <typename T>
+std::span<const std::uint8_t> AsBytes(const std::vector<T>& v) {
+  return {reinterpret_cast<const std::uint8_t*>(v.data()),
+          v.size() * sizeof(T)};
+}
+
+template <typename T>
+std::span<std::uint8_t> AsWritableBytes(std::vector<T>& v) {
+  return {reinterpret_cast<std::uint8_t*>(v.data()), v.size() * sizeof(T)};
+}
+
+}  // namespace
+
+Result<EdgeList> ReadTextEdgeList(const std::string& path, bool weighted) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return ErrnoError("fopen " + path, errno);
+
+  EdgeList list;
+  char line[512];
+  std::uint64_t line_number = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_number;
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    double weight = 1.0;
+    const int fields =
+        std::sscanf(line, "%" SCNu64 " %" SCNu64 " %lf", &src, &dst, &weight);
+    if (fields < 2) {
+      std::fclose(f);
+      return CorruptDataError(path + ":" + std::to_string(line_number) +
+                              ": expected 'src dst [weight]'");
+    }
+    if (src > kInvalidVertex - 1 || dst > kInvalidVertex - 1) {
+      std::fclose(f);
+      return OutOfRangeError(path + ":" + std::to_string(line_number) +
+                             ": vertex id exceeds 32-bit range");
+    }
+    if (weighted) {
+      list.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                   static_cast<Weight>(weight));
+    } else {
+      list.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst));
+    }
+  }
+  std::fclose(f);
+  return list;
+}
+
+Status WriteTextEdgeList(const EdgeList& list, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return ErrnoError("fopen " + path, errno);
+  std::fprintf(f, "# graphsd edge list: %u vertices, %" PRIu64 " edges\n",
+               list.num_vertices(), list.num_edges());
+  for (std::uint64_t i = 0; i < list.num_edges(); ++i) {
+    const Edge& e = list.edges()[i];
+    if (list.weighted()) {
+      std::fprintf(f, "%u %u %g\n", e.src, e.dst,
+                   static_cast<double>(list.weights()[i]));
+    } else {
+      std::fprintf(f, "%u %u\n", e.src, e.dst);
+    }
+  }
+  if (std::fclose(f) != 0) return ErrnoError("fclose " + path, errno);
+  return Status::Ok();
+}
+
+Result<BinaryEdgeHeader> ReadBinaryEdgeHeader(io::Device& device,
+                                              const std::string& path) {
+  GRAPHSD_ASSIGN_OR_RETURN(io::DeviceFile file,
+                           device.Open(path, io::OpenMode::kRead));
+  BinaryHeader header{};
+  GRAPHSD_RETURN_IF_ERROR(file.ReadAt(
+      0, {reinterpret_cast<std::uint8_t*>(&header), sizeof(header)}));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return CorruptDataError(path + ": bad magic (not a GSDE file)");
+  }
+  if (header.version != kVersion) {
+    return CorruptDataError(path + ": unsupported version " +
+                            std::to_string(header.version));
+  }
+  BinaryEdgeHeader out;
+  out.num_vertices = header.num_vertices;
+  out.num_edges = header.num_edges;
+  out.weighted = header.weighted != 0;
+  out.edges_offset = sizeof(header);
+  out.weights_offset = sizeof(header) + header.num_edges * sizeof(Edge);
+  return out;
+}
+
+Result<EdgeList> ReadBinaryEdgeList(io::Device& device,
+                                    const std::string& path) {
+  GRAPHSD_ASSIGN_OR_RETURN(io::DeviceFile file,
+                           device.Open(path, io::OpenMode::kRead));
+  BinaryHeader header{};
+  GRAPHSD_RETURN_IF_ERROR(file.ReadAt(
+      0, {reinterpret_cast<std::uint8_t*>(&header), sizeof(header)}));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return CorruptDataError(path + ": bad magic (not a GSDE file)");
+  }
+  if (header.version != kVersion) {
+    return CorruptDataError(path + ": unsupported version " +
+                            std::to_string(header.version));
+  }
+
+  EdgeList list(header.num_vertices);
+  list.edges().resize(header.num_edges);
+  std::uint64_t offset = sizeof(header);
+  GRAPHSD_RETURN_IF_ERROR(file.ReadAt(offset, AsWritableBytes(list.edges())));
+  offset += header.num_edges * sizeof(Edge);
+  if (header.weighted != 0) {
+    list.weights().resize(header.num_edges);
+    GRAPHSD_RETURN_IF_ERROR(
+        file.ReadAt(offset, AsWritableBytes(list.weights())));
+  }
+  GRAPHSD_RETURN_IF_ERROR(list.Validate().WithContext(path));
+  return list;
+}
+
+Status WriteBinaryEdgeList(const EdgeList& list, io::Device& device,
+                           const std::string& path) {
+  GRAPHSD_RETURN_IF_ERROR(list.Validate().WithContext(path));
+  GRAPHSD_ASSIGN_OR_RETURN(io::DeviceFile file,
+                           device.Open(path, io::OpenMode::kWrite));
+  BinaryHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.num_vertices = list.num_vertices();
+  header.weighted = list.weighted() ? 1 : 0;
+  header.num_edges = list.num_edges();
+  GRAPHSD_RETURN_IF_ERROR(file.WriteAt(
+      0, {reinterpret_cast<const std::uint8_t*>(&header), sizeof(header)}));
+  std::uint64_t offset = sizeof(header);
+  GRAPHSD_RETURN_IF_ERROR(file.WriteAt(offset, AsBytes(list.edges())));
+  offset += list.num_edges() * sizeof(Edge);
+  if (list.weighted()) {
+    GRAPHSD_RETURN_IF_ERROR(file.WriteAt(offset, AsBytes(list.weights())));
+  }
+  return Status::Ok();
+}
+
+}  // namespace graphsd

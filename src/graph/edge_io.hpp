@@ -1,0 +1,50 @@
+// Edge-list file formats.
+//
+// Text format: one `src dst [weight]` line per edge; '#' or '%' comment
+// lines are skipped (compatible with SNAP and Matrix Market headers).
+//
+// Binary format ("GSDE"): a fixed little-endian header followed by the raw
+// Edge array, then the optional weight array. This is the input the
+// preprocessing pipelines consume; writing it counts as "loading the raw
+// graph data" in the preprocessing benchmarks.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "io/device.hpp"
+#include "util/status.hpp"
+
+namespace graphsd {
+
+/// Parses a text edge list. `weighted` forces weight parsing; when false,
+/// any third column is ignored.
+Result<EdgeList> ReadTextEdgeList(const std::string& path,
+                                  bool weighted = false);
+
+/// Writes a text edge list (mainly for interop and tests).
+Status WriteTextEdgeList(const EdgeList& list, const std::string& path);
+
+/// Metadata of a GSDE binary edge file, for streaming readers that must
+/// not materialize the edge list (see partition/external_builder.hpp).
+struct BinaryEdgeHeader {
+  VertexId num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  bool weighted = false;
+  std::uint64_t edges_offset = 0;    // byte offset of the Edge array
+  std::uint64_t weights_offset = 0;  // byte offset of the weight array
+};
+
+/// Reads and validates only the header of a GSDE file.
+Result<BinaryEdgeHeader> ReadBinaryEdgeHeader(io::Device& device,
+                                              const std::string& path);
+
+/// Reads a GSDE binary edge file through `device` (accounted I/O).
+Result<EdgeList> ReadBinaryEdgeList(io::Device& device,
+                                    const std::string& path);
+
+/// Writes a GSDE binary edge file through `device` (accounted I/O).
+Status WriteBinaryEdgeList(const EdgeList& list, io::Device& device,
+                           const std::string& path);
+
+}  // namespace graphsd

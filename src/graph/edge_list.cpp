@@ -1,0 +1,83 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphsd {
+
+void EdgeList::AddEdge(VertexId src, VertexId dst) {
+  GRAPHSD_CHECK_MSG(weights_.empty(),
+                    "cannot mix weighted and unweighted edges");
+  edges_.push_back(Edge{src, dst});
+  EnsureVertices(std::max(src, dst) + 1);
+}
+
+void EdgeList::AddEdge(VertexId src, VertexId dst, Weight weight) {
+  GRAPHSD_CHECK_MSG(weights_.size() == edges_.size(),
+                    "cannot mix weighted and unweighted edges");
+  edges_.push_back(Edge{src, dst});
+  weights_.push_back(weight);
+  EnsureVertices(std::max(src, dst) + 1);
+}
+
+std::vector<std::uint32_t> EdgeList::OutDegrees() const {
+  std::vector<std::uint32_t> degrees(num_vertices_, 0);
+  for (const Edge& e : edges_) ++degrees[e.src];
+  return degrees;
+}
+
+std::vector<std::uint32_t> EdgeList::InDegrees() const {
+  std::vector<std::uint32_t> degrees(num_vertices_, 0);
+  for (const Edge& e : edges_) ++degrees[e.dst];
+  return degrees;
+}
+
+Status EdgeList::Validate() const {
+  if (weighted() && weights_.size() != edges_.size()) {
+    return CorruptDataError("weight count does not match edge count");
+  }
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      return CorruptDataError("edge (" + std::to_string(e.src) + "," +
+                              std::to_string(e.dst) + ") out of range " +
+                              std::to_string(num_vertices_));
+    }
+  }
+  return Status::Ok();
+}
+
+void EdgeList::SortBySource() {
+  if (!weighted()) {
+    std::sort(edges_.begin(), edges_.end());
+    return;
+  }
+  // Sort an index permutation, then apply it to both parallel arrays.
+  std::vector<std::uint64_t> order(edges_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](std::uint64_t a, std::uint64_t b) {
+    return edges_[a] < edges_[b];
+  });
+  std::vector<Edge> sorted_edges(edges_.size());
+  std::vector<Weight> sorted_weights(weights_.size());
+  for (std::uint64_t i = 0; i < order.size(); ++i) {
+    sorted_edges[i] = edges_[order[i]];
+    sorted_weights[i] = weights_[order[i]];
+  }
+  edges_ = std::move(sorted_edges);
+  weights_ = std::move(sorted_weights);
+}
+
+void EdgeList::DedupSorted() {
+  if (edges_.empty()) return;
+  std::uint64_t out = 1;
+  for (std::uint64_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i] == edges_[out - 1]) continue;
+    edges_[out] = edges_[i];
+    if (weighted()) weights_[out] = weights_[i];
+    ++out;
+  }
+  edges_.resize(out);
+  if (weighted()) weights_.resize(out);
+}
+
+}  // namespace graphsd

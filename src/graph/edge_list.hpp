@@ -1,0 +1,71 @@
+// In-memory edge list: the interchange format between generators, file
+// readers and the preprocessing pipelines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/status.hpp"
+
+namespace graphsd {
+
+/// A directed multigraph as a flat edge array, optionally weighted.
+///
+/// `num_vertices` is authoritative: vertices with no edges still exist
+/// (vertex IDs are in [0, num_vertices)).
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Creates an empty graph over `num_vertices` vertices.
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Adds an unweighted edge. The graph must not be weighted.
+  void AddEdge(VertexId src, VertexId dst);
+
+  /// Adds a weighted edge. Once any weighted edge is added, all must be.
+  void AddEdge(VertexId src, VertexId dst, Weight weight);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  std::uint64_t num_edges() const noexcept { return edges_.size(); }
+  bool weighted() const noexcept { return !weights_.empty(); }
+
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+  std::vector<Edge>& edges() noexcept { return edges_; }
+  const std::vector<Weight>& weights() const noexcept { return weights_; }
+  std::vector<Weight>& weights() noexcept { return weights_; }
+
+  /// Grows the vertex count to at least `count`.
+  void EnsureVertices(VertexId count) {
+    if (count > num_vertices_) num_vertices_ = count;
+  }
+
+  /// Out-degree of every vertex.
+  std::vector<std::uint32_t> OutDegrees() const;
+
+  /// In-degree of every vertex.
+  std::vector<std::uint32_t> InDegrees() const;
+
+  /// Validates internal invariants (IDs in range, weight count matches).
+  Status Validate() const;
+
+  /// Sorts edges (and parallel weights) by (src, dst).
+  void SortBySource();
+
+  /// Removes duplicate (src,dst) pairs, keeping the first occurrence.
+  /// Requires SortBySource() first for full dedup.
+  void DedupSorted();
+
+  /// Total on-disk bytes of the raw edge data: |E|*M (+|E|*W if weighted).
+  std::uint64_t RawBytes() const noexcept {
+    return num_edges() * (kEdgeBytes + (weighted() ? kWeightBytes : 0));
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<Weight> weights_;  // parallel to edges_ when weighted
+};
+
+}  // namespace graphsd

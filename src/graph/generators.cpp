@@ -1,0 +1,280 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace graphsd {
+namespace {
+
+/// Adds an edge, optionally weighted with a uniform weight in [1, max].
+void EmitEdge(EdgeList& list, Xoshiro256& rng, VertexId src, VertexId dst,
+              double max_weight) {
+  if (max_weight > 0) {
+    list.AddEdge(src, dst, rng.NextFloat(1.0f, static_cast<float>(max_weight)));
+  } else {
+    list.AddEdge(src, dst);
+  }
+}
+
+void MaybeDedup(EdgeList& list, bool dedup) {
+  if (!dedup) return;
+  list.SortBySource();
+  list.DedupSorted();
+}
+
+}  // namespace
+
+EdgeList GenerateRmat(const RmatOptions& options) {
+  GRAPHSD_CHECK(options.scale > 0 && options.scale < 31);
+  const double d = 1.0 - options.a - options.b - options.c;
+  GRAPHSD_CHECK_MSG(d > 0.0, "RMAT probabilities must sum below 1");
+  const VertexId n = VertexId{1} << options.scale;
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(options.edge_factor) * n;
+
+  Xoshiro256 rng(options.seed);
+  EdgeList list(n);
+  list.edges().reserve(m);
+  if (options.max_weight > 0) list.weights().reserve(m);
+
+  for (std::uint64_t i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (std::uint32_t bit = 0; bit < options.scale; ++bit) {
+      const double r = rng.NextDouble();
+      // Quadrant selection with a little noise per level (standard RMAT).
+      if (r < options.a) {
+        // top-left: no bits set
+      } else if (r < options.a + options.b) {
+        dst |= VertexId{1} << bit;
+      } else if (r < options.a + options.b + options.c) {
+        src |= VertexId{1} << bit;
+      } else {
+        src |= VertexId{1} << bit;
+        dst |= VertexId{1} << bit;
+      }
+    }
+    if (options.dedup && src == dst) continue;  // drop self loops
+    EmitEdge(list, rng, src, dst, options.max_weight);
+  }
+  MaybeDedup(list, options.dedup);
+  return list;
+}
+
+EdgeList GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  GRAPHSD_CHECK(options.num_vertices > 1);
+  Xoshiro256 rng(options.seed);
+  EdgeList list(options.num_vertices);
+  list.edges().reserve(options.num_edges);
+  if (options.max_weight > 0) list.weights().reserve(options.num_edges);
+  for (std::uint64_t i = 0; i < options.num_edges; ++i) {
+    const auto src = static_cast<VertexId>(rng.NextBounded(options.num_vertices));
+    auto dst = static_cast<VertexId>(rng.NextBounded(options.num_vertices));
+    if (options.dedup && dst == src) {
+      dst = (dst + 1) % options.num_vertices;
+    }
+    EmitEdge(list, rng, src, dst, options.max_weight);
+  }
+  MaybeDedup(list, options.dedup);
+  return list;
+}
+
+EdgeList GenerateWebGraph(const WebGraphOptions& options) {
+  GRAPHSD_CHECK(options.num_vertices > 1);
+  GRAPHSD_CHECK(options.locality >= 0.0 && options.locality <= 1.0);
+  Xoshiro256 rng(options.seed);
+  const VertexId n = options.num_vertices;
+  EdgeList list(n);
+
+  // Whisker vertices occupy the top IDs; the core keeps [0, core_n).
+  GRAPHSD_CHECK(options.whisker_fraction >= 0.0 &&
+                options.whisker_fraction < 1.0);
+  const auto whisker_vertices = static_cast<VertexId>(
+      static_cast<double>(n) * options.whisker_fraction);
+  const VertexId core_n = n - whisker_vertices;
+  GRAPHSD_CHECK(core_n >= 2);
+
+  const VertexId hub_cluster_size = std::min<VertexId>(
+      std::max<VertexId>(options.locality_window, 2), core_n);
+  const VertexId site_size =
+      std::min<VertexId>(hub_cluster_size * 32, core_n);
+
+  for (VertexId v = 0; v < core_n; ++v) {
+    // Zipf-ish out-degree: most pages link a little, hubs link a lot.
+    const double u = rng.NextDouble();
+    const auto degree = static_cast<std::uint32_t>(
+        std::min<double>(4.0 * options.avg_degree / std::sqrt(u + 1e-4),
+                         8.0 * options.avg_degree));
+    auto scaled =
+        std::max<std::uint32_t>(1, degree * options.avg_degree / 32);
+    // Site hubs are portals: huge in-degree but only a handful of
+    // out-links, so the mass they concentrate is relayed undiluted.
+    if (v % site_size == 0) scaled = std::min<std::uint32_t>(scaled, 3);
+    for (std::uint32_t k = 0; k < scaled; ++k) {
+      VertexId dst;
+      if (rng.NextDouble() < options.locality) {
+        // Host-local link: crawls emit one host's pages contiguously, so
+        // host-internal links land inside the source's ID cluster. Cluster
+        // structure (rather than a sliding window) matters: it lets local
+        // label/distance propagation settle quickly, as on real crawls.
+        const VertexId cluster_size =
+            std::min<VertexId>(std::max<VertexId>(options.locality_window, 2),
+                               core_n);
+        const VertexId cluster_base = (v / cluster_size) * cluster_size;
+        const VertexId cluster_end =
+            std::min<VertexId>(cluster_base + cluster_size, core_n);
+        const double roll = rng.NextDouble();
+        if (v != cluster_base && roll < options.homepage_bias * 0.75) {
+          dst = cluster_base;  // host homepage: in-degree concentrates
+        } else if (roll < options.homepage_bias) {
+          // Site-level hub (a second hierarchy level, 32 hosts per site):
+          // a few very-long-lived mass concentrators, which is what gives
+          // real crawls their smooth activity decay.
+          const VertexId site = cluster_size * 32;
+          dst = (v / site) * site;
+          if (dst == v) dst = cluster_base;
+        } else {
+          dst = cluster_base +
+                static_cast<VertexId>(
+                    rng.NextBounded(cluster_end - cluster_base));
+        }
+        if (dst == v) dst = cluster_base + (dst + 1 - cluster_base) %
+                                               (cluster_end - cluster_base);
+        if (dst == v) dst = (v + 1) % core_n;  // degenerate 1-vertex cluster
+      } else if (options.long_range_window > 0) {
+        // Bounded long-range link: forward jump of up to the long window.
+        const std::uint64_t window =
+            std::min<std::uint64_t>(options.long_range_window, core_n - 1);
+        const std::uint64_t delta = 1 + rng.NextBounded(window);
+        dst = static_cast<VertexId>((v + delta) % core_n);
+      } else {
+        dst = static_cast<VertexId>(rng.NextBounded(core_n));
+        if (dst == v) dst = (dst + 1) % core_n;
+      }
+      EmitEdge(list, rng, v, dst, options.max_weight);
+    }
+  }
+
+  // Whisker chains: each hangs off a site-level hub (hubs are where the
+  // rank/label/distance mass that feeds a whisker lives longest) and
+  // settles one hop per BSP iteration.
+  if (whisker_vertices > 0) {
+    const VertexId length = std::max<VertexId>(options.whisker_length, 1);
+    const VertexId cluster_size = std::min<VertexId>(
+        std::max<VertexId>(options.locality_window, 2), core_n);
+    const VertexId site_size = std::min<VertexId>(cluster_size * 32, core_n);
+    const VertexId num_sites = (core_n + site_size - 1) / site_size;
+    VertexId v = core_n;
+    while (v < n) {
+      const auto head =
+          static_cast<VertexId>(rng.NextBounded(num_sites) * site_size);
+      EmitEdge(list, rng, head, v, options.max_weight);
+      const VertexId chain_end = std::min<VertexId>(v + length, n);
+      for (; v + 1 < chain_end; ++v) {
+        EmitEdge(list, rng, v, v + 1, options.max_weight);
+      }
+      v = chain_end;
+    }
+  }
+  MaybeDedup(list, true);
+  return list;
+}
+
+EdgeList GeneratePath(VertexId num_vertices, double weight) {
+  GRAPHSD_CHECK(num_vertices >= 2);
+  EdgeList list(num_vertices);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) {
+    if (weight > 0) {
+      list.AddEdge(v, v + 1, static_cast<Weight>(weight));
+    } else {
+      list.AddEdge(v, v + 1);
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateRing(VertexId num_vertices, double weight) {
+  EdgeList list = GeneratePath(num_vertices, weight);
+  if (weight > 0) {
+    list.AddEdge(num_vertices - 1, 0, static_cast<Weight>(weight));
+  } else {
+    list.AddEdge(num_vertices - 1, 0);
+  }
+  return list;
+}
+
+EdgeList GenerateStar(VertexId num_vertices, double weight) {
+  GRAPHSD_CHECK(num_vertices >= 2);
+  EdgeList list(num_vertices);
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    if (weight > 0) {
+      list.AddEdge(0, v, static_cast<Weight>(weight));
+    } else {
+      list.AddEdge(0, v);
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateComplete(VertexId num_vertices, double weight) {
+  GRAPHSD_CHECK(num_vertices >= 2 && num_vertices <= 4096);
+  EdgeList list(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      if (u == v) continue;
+      if (weight > 0) {
+        list.AddEdge(u, v, static_cast<Weight>(weight));
+      } else {
+        list.AddEdge(u, v);
+      }
+    }
+  }
+  return list;
+}
+
+void AppendWhiskers(EdgeList& list, VertexId count, VertexId chain_length,
+                    std::uint64_t seed, double max_weight,
+                    double head_range_fraction) {
+  GRAPHSD_CHECK(list.num_vertices() >= 1);
+  GRAPHSD_CHECK_MSG(!list.weighted() || max_weight > 0,
+                    "weighted graph needs weighted whiskers");
+  GRAPHSD_CHECK(head_range_fraction > 0.0 && head_range_fraction <= 1.0);
+  Xoshiro256 rng(seed);
+  const VertexId core_n = list.num_vertices();
+  const VertexId n = core_n + count;
+  const VertexId length = std::max<VertexId>(chain_length, 1);
+  const double w = list.weighted() ? max_weight : 0.0;
+  const VertexId head_range = std::max<VertexId>(
+      1, static_cast<VertexId>(core_n * head_range_fraction));
+  VertexId v = core_n;
+  while (v < n) {
+    const auto head = static_cast<VertexId>(rng.NextBounded(head_range));
+    EmitEdge(list, rng, head, v, w);
+    const VertexId chain_end = std::min<VertexId>(v + length, n);
+    for (; v + 1 < chain_end; ++v) {
+      EmitEdge(list, rng, v, v + 1, w);
+    }
+    v = chain_end;
+  }
+  list.EnsureVertices(n);
+}
+
+EdgeList GenerateGrid2D(VertexId rows, VertexId cols, std::uint64_t seed,
+                        double max_weight) {
+  GRAPHSD_CHECK(rows >= 1 && cols >= 1);
+  Xoshiro256 rng(seed);
+  EdgeList list(rows * cols);
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      const VertexId v = r * cols + c;
+      if (c + 1 < cols) EmitEdge(list, rng, v, v + 1, max_weight);
+      if (r + 1 < rows) EmitEdge(list, rng, v, v + cols, max_weight);
+    }
+  }
+  return list;
+}
+
+}  // namespace graphsd

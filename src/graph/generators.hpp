@@ -1,0 +1,105 @@
+// Deterministic synthetic graph generators.
+//
+// These stand in for the paper's datasets (Table 3): RMAT reproduces the
+// power-law skew of Twitter2010/SK2005/Kron30; the web-locality generator
+// reproduces the strong ID locality of crawled web graphs (UK2007/UKUnion),
+// which is what gives the scheduler a large S_seq; the structured families
+// (path/ring/grid/star/complete) are test fixtures with known answers.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace graphsd {
+
+struct RmatOptions {
+  /// 2^scale vertices.
+  std::uint32_t scale = 14;
+  /// edges = edge_factor * num_vertices.
+  std::uint32_t edge_factor = 16;
+  /// Kronecker initiator probabilities (Graph500 defaults).
+  double a = 0.57, b = 0.19, c = 0.19;
+  std::uint64_t seed = 1;
+  /// Attach uniform weights in [1, max_weight] when > 0.
+  double max_weight = 0.0;
+  /// Drop self loops and duplicate edges.
+  bool dedup = true;
+};
+
+/// Graph500-style RMAT / Kronecker generator.
+EdgeList GenerateRmat(const RmatOptions& options);
+
+struct ErdosRenyiOptions {
+  VertexId num_vertices = 1 << 14;
+  std::uint64_t num_edges = 1 << 18;
+  std::uint64_t seed = 1;
+  double max_weight = 0.0;
+  bool dedup = true;
+};
+
+/// Uniform random directed graph.
+EdgeList GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+struct WebGraphOptions {
+  VertexId num_vertices = 1 << 14;
+  /// Average out-degree.
+  std::uint32_t avg_degree = 16;
+  /// Fraction of edges that stay within `locality_window` of the source ID
+  /// (host-local links in a crawl ordering).
+  double locality = 0.8;
+  VertexId locality_window = 64;
+  /// Range of the non-local links: 0 = uniform over all vertices
+  /// (small-world); > 0 = bounded to ±long_range_window (high-diameter,
+  /// like real crawls where cross-host links stay within a TLD region).
+  VertexId long_range_window = 0;
+  /// Probability that a host-local link targets the cluster's first vertex
+  /// (the "homepage"). Real crawls are strongly homepage-centric; the
+  /// resulting in-degree skew concentrates rank/residual mass in hubs,
+  /// which is what makes activity die off quickly outside them.
+  double homepage_bias = 0.5;
+  /// Fraction of vertices organized as "whiskers": long directed chains
+  /// hanging off the core (real crawls are full of them — calendars,
+  /// pagination). Whiskers settle one hop per BSP iteration, producing the
+  /// long sparse-frontier tails that reward state-aware scheduling.
+  double whisker_fraction = 0.0;
+  /// Length of each whisker chain.
+  VertexId whisker_length = 32;
+  std::uint64_t seed = 1;
+  double max_weight = 0.0;
+};
+
+/// Web-crawl-like generator: power-law out-degrees with strong ID locality.
+EdgeList GenerateWebGraph(const WebGraphOptions& options);
+
+/// Directed path 0 -> 1 -> ... -> n-1. Diameter n-1: the worst case for
+/// iteration counts, the best case for cross-iteration propagation.
+EdgeList GeneratePath(VertexId num_vertices, double weight = 0.0);
+
+/// Directed cycle.
+EdgeList GenerateRing(VertexId num_vertices, double weight = 0.0);
+
+/// Star: hub 0 -> every other vertex.
+EdgeList GenerateStar(VertexId num_vertices, double weight = 0.0);
+
+/// Complete directed graph (no self loops). Quadratic; tests only.
+EdgeList GenerateComplete(VertexId num_vertices, double weight = 0.0);
+
+/// 2-D grid with edges to the right and down neighbor (road-network-like).
+EdgeList GenerateGrid2D(VertexId rows, VertexId cols, std::uint64_t seed = 1,
+                        double max_weight = 0.0);
+
+/// Appends `count` new vertices organized as directed chains of
+/// `chain_length`, each hanging off a random existing vertex. Models the
+/// sparse periphery of real large graphs (pagination whiskers, long reply
+/// chains) whose one-hop-per-iteration convergence produces the long
+/// sparse-frontier tails out-of-core schedulers exploit. Weights (uniform
+/// in [1, max_weight]) are attached iff the input graph is weighted.
+/// `head_range_fraction` restricts attachment points to the first fraction
+/// of vertex IDs — on RMAT-family graphs those are the hubs, which keeps
+/// the whiskers fed with rank/residual mass.
+void AppendWhiskers(EdgeList& list, VertexId count, VertexId chain_length,
+                    std::uint64_t seed = 1, double max_weight = 0.0,
+                    double head_range_fraction = 1.0);
+
+}  // namespace graphsd

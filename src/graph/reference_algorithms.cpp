@@ -1,0 +1,217 @@
+#include "graph/reference_algorithms.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/status.hpp"
+
+namespace graphsd {
+
+EdgeList Symmetrize(const EdgeList& list) {
+  EdgeList out(list.num_vertices());
+  for (std::uint64_t i = 0; i < list.num_edges(); ++i) {
+    const Edge& e = list.edges()[i];
+    if (list.weighted()) {
+      const Weight w = list.weights()[i];
+      out.AddEdge(e.src, e.dst, w);
+      out.AddEdge(e.dst, e.src, w);
+    } else {
+      out.AddEdge(e.src, e.dst);
+      out.AddEdge(e.dst, e.src);
+    }
+  }
+  out.SortBySource();
+  out.DedupSorted();
+  return out;
+}
+
+std::vector<double> ReferencePageRank(const EdgeList& list,
+                                      std::uint32_t iterations,
+                                      double damping) {
+  const VertexId n = list.num_vertices();
+  GRAPHSD_CHECK(n > 0);
+  const CsrGraph graph = CsrGraph::Build(list);
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto degree = graph.Degree(u);
+      if (degree == 0) continue;
+      const double share = damping * rank[u] / degree;
+      for (const VertexId v : graph.Neighbors(u)) next[v] += share;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> ReferencePageRankDelta(const EdgeList& list,
+                                           double epsilon,
+                                           std::uint32_t max_iterations,
+                                           double damping) {
+  const VertexId n = list.num_vertices();
+  GRAPHSD_CHECK(n > 0);
+  const CsrGraph graph = CsrGraph::Build(list);
+  std::vector<double> rank(n, 0.0);
+  std::vector<double> residual(n, (1.0 - damping) / n);
+  std::vector<double> incoming(n, 0.0);
+
+  for (std::uint32_t iter = 0; iter < max_iterations; ++iter) {
+    bool any_active = false;
+    std::fill(incoming.begin(), incoming.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (residual[u] <= epsilon) continue;
+      any_active = true;
+      rank[u] += residual[u];
+      const auto degree = graph.Degree(u);
+      if (degree > 0) {
+        const double share = damping * residual[u] / degree;
+        for (const VertexId v : graph.Neighbors(u)) incoming[v] += share;
+      }
+      residual[u] = 0.0;
+    }
+    if (!any_active) break;
+    for (VertexId v = 0; v < n; ++v) residual[v] += incoming[v];
+  }
+  return rank;
+}
+
+std::vector<VertexId> ReferenceConnectedComponents(const EdgeList& list) {
+  const VertexId n = list.num_vertices();
+  const CsrGraph graph = CsrGraph::Build(list);
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < n; ++u) {
+      for (const VertexId v : graph.Neighbors(u)) {
+        if (label[u] < label[v]) {
+          label[v] = label[u];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<double> ReferenceSssp(const EdgeList& list, VertexId root) {
+  const VertexId n = list.num_vertices();
+  GRAPHSD_CHECK(root < n);
+  GRAPHSD_CHECK_MSG(list.weighted(), "SSSP requires a weighted graph");
+  const CsrGraph graph = CsrGraph::Build(list);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  dist[root] = 0.0;
+
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, root);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    const auto neighbors = graph.Neighbors(u);
+    const auto weights = graph.NeighborWeights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      // Engines relax with `dist[src] + (double)w`; summing the same floats
+      // in path order here makes oracle and engine agree bit-for-bit.
+      const double nd = d + static_cast<double>(weights[i]);
+      if (nd < dist[neighbors[i]]) {
+        dist[neighbors[i]] = nd;
+        heap.emplace(nd, neighbors[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> ReferenceWidestPath(const EdgeList& list, VertexId root) {
+  const VertexId n = list.num_vertices();
+  GRAPHSD_CHECK(root < n);
+  GRAPHSD_CHECK_MSG(list.weighted(), "widest path requires a weighted graph");
+  const CsrGraph graph = CsrGraph::Build(list);
+  std::vector<double> width(n, 0.0);
+  width[root] = std::numeric_limits<double>::infinity();
+
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item> heap;  // max-heap on width
+  heap.emplace(width[root], root);
+  while (!heap.empty()) {
+    const auto [w, u] = heap.top();
+    heap.pop();
+    if (w < width[u]) continue;
+    const auto neighbors = graph.Neighbors(u);
+    const auto weights = graph.NeighborWeights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const double bottleneck =
+          std::min(w, static_cast<double>(weights[i]));
+      if (bottleneck > width[neighbors[i]]) {
+        width[neighbors[i]] = bottleneck;
+        heap.emplace(bottleneck, neighbors[i]);
+      }
+    }
+  }
+  return width;
+}
+
+std::vector<double> ReferencePersonalizedPageRank(const EdgeList& list,
+                                                  VertexId source,
+                                                  double epsilon,
+                                                  double damping) {
+  const VertexId n = list.num_vertices();
+  GRAPHSD_CHECK(source < n);
+  const CsrGraph graph = CsrGraph::Build(list);
+  std::vector<double> rank(n, 0.0);
+  std::vector<double> residual(n, 0.0);
+  residual[source] = 1.0;
+
+  // Round-based pushing mirrors the BSP engine's semantics.
+  std::vector<double> incoming(n, 0.0);
+  for (int round = 0; round < 100000; ++round) {
+    bool any_active = false;
+    std::fill(incoming.begin(), incoming.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (residual[u] <= epsilon && !(round == 0 && u == source)) continue;
+      any_active = true;
+      rank[u] += (1.0 - damping) * residual[u];
+      const auto degree = graph.Degree(u);
+      if (degree > 0) {
+        const double share = damping * residual[u] / degree;
+        for (const VertexId v : graph.Neighbors(u)) incoming[v] += share;
+      }
+      residual[u] = 0.0;
+    }
+    if (!any_active) break;
+    for (VertexId v = 0; v < n; ++v) residual[v] += incoming[v];
+  }
+  // Fold remaining sub-threshold residual the way the engine's ValueOf does.
+  for (VertexId v = 0; v < n; ++v) rank[v] += (1.0 - damping) * residual[v];
+  return rank;
+}
+
+std::vector<std::uint32_t> ReferenceBfs(const EdgeList& list, VertexId root) {
+  const VertexId n = list.num_vertices();
+  GRAPHSD_CHECK(root < n);
+  const CsrGraph graph = CsrGraph::Build(list);
+  std::vector<std::uint32_t> level(n, kUnreachedLevel);
+  level[root] = 0;
+  std::queue<VertexId> queue;
+  queue.push(root);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (const VertexId v : graph.Neighbors(u)) {
+      if (level[v] == kUnreachedLevel) {
+        level[v] = level[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace graphsd

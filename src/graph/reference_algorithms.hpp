@@ -1,0 +1,67 @@
+// Sequential in-memory reference implementations of every algorithm GraphSD
+// runs. These are the correctness oracles: every engine × update-model
+// combination must reproduce these results exactly (within floating-point
+// tolerance for the rank algorithms).
+//
+// Semantics notes (shared contract with src/algos/):
+//   * PageRank: synchronous BSP, damping d, rank_0 = 1/|V|,
+//     rank_{t+1}[v] = (1-d)/|V| + d * sum_{u->v} rank_t[u]/outdeg(u).
+//     Dangling-vertex mass is dropped (the convention of GridGraph-family
+//     systems, which the paper builds on).
+//   * PageRank-Delta: push/residual formulation; vertex is active while its
+//     residual exceeds `epsilon`; rank converges to PageRank's fixpoint.
+//   * CC: min-label propagation; for weakly connected components the input
+//     must be symmetrized first (see Symmetrize()). Converges to the
+//     minimum vertex id of each component.
+//   * SSSP: nonnegative weights; oracle is Dijkstra.
+//   * BFS: hop counts from the root; kUnreachedLevel when unreachable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace graphsd {
+
+/// Adds the reverse of every edge (weights copied). Used to prepare inputs
+/// for weakly-connected-component runs.
+EdgeList Symmetrize(const EdgeList& list);
+
+/// `iterations` rounds of synchronous PageRank.
+std::vector<double> ReferencePageRank(const EdgeList& list,
+                                      std::uint32_t iterations,
+                                      double damping = 0.85);
+
+/// PageRank-Delta: BSP rounds of residual pushing until no residual exceeds
+/// `epsilon` or `max_iterations` is hit. Returns final ranks.
+std::vector<double> ReferencePageRankDelta(const EdgeList& list,
+                                           double epsilon,
+                                           std::uint32_t max_iterations,
+                                           double damping = 0.85);
+
+/// Min-label propagation to convergence. Input should be symmetric for WCC.
+std::vector<VertexId> ReferenceConnectedComponents(const EdgeList& list);
+
+/// Dijkstra distances from `root`. Unreached = +infinity.
+std::vector<double> ReferenceSssp(const EdgeList& list, VertexId root);
+
+/// Widest-path (maximum bottleneck) widths from `root`; root = +infinity,
+/// unreached = 0. Computed with a max-heap Dijkstra variant.
+std::vector<double> ReferenceWidestPath(const EdgeList& list, VertexId root);
+
+/// Personalized PageRank from `source`: sequential residual pushing to the
+/// `epsilon` threshold. Masses sum to <= 1 (dangling and sub-threshold
+/// residual leakage).
+std::vector<double> ReferencePersonalizedPageRank(const EdgeList& list,
+                                                  VertexId source,
+                                                  double epsilon,
+                                                  double damping = 0.85);
+
+/// Level reached in BFS level 0 = root. Unreached vertices get
+/// kUnreachedLevel.
+inline constexpr std::uint32_t kUnreachedLevel = UINT32_MAX;
+std::vector<std::uint32_t> ReferenceBfs(const EdgeList& list, VertexId root);
+
+}  // namespace graphsd

@@ -1,0 +1,39 @@
+// Fundamental graph types shared by every GraphSD layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace graphsd {
+
+/// Vertex identifier. 32 bits covers every dataset in the paper except
+/// Kron30; the on-disk format is explicitly 32-bit (M = 8 bytes per edge,
+/// matching the paper's cost-model constant).
+using VertexId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Edge weight type (W = 4 bytes, as in the paper's cost model).
+using Weight = float;
+
+/// A directed edge (source, destination). POD, 8 bytes, the unit of disk
+/// storage in sub-block files.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+
+  /// Lexicographic (src, dst) order — the sub-block sort order.
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+static_assert(sizeof(Edge) == 8, "Edge must be 8 bytes on disk");
+
+/// Size constants used in the paper's cost formulas (Table 2).
+inline constexpr std::uint64_t kEdgeBytes = sizeof(Edge);     // M
+inline constexpr std::uint64_t kWeightBytes = sizeof(Weight); // W
+
+}  // namespace graphsd

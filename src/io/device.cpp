@@ -1,0 +1,70 @@
+#include "io/device.hpp"
+
+namespace graphsd::io {
+
+Status DeviceFile::ReadAt(std::uint64_t offset, std::span<std::uint8_t> out) {
+  GRAPHSD_CHECK(device_ != nullptr);
+  const AccessPattern pattern = (offset == last_read_end_)
+                                    ? AccessPattern::kSequential
+                                    : AccessPattern::kRandom;
+  GRAPHSD_RETURN_IF_ERROR(file_.ReadAt(offset, out));
+  last_read_end_ = offset + out.size();
+  device_->AccountRead(pattern, out.size());
+  return Status::Ok();
+}
+
+Status DeviceFile::WriteAt(std::uint64_t offset,
+                           std::span<const std::uint8_t> data) {
+  GRAPHSD_CHECK(device_ != nullptr);
+  const AccessPattern pattern = (offset == last_write_end_)
+                                    ? AccessPattern::kSequential
+                                    : AccessPattern::kRandom;
+  GRAPHSD_RETURN_IF_ERROR(file_.WriteAt(offset, data));
+  last_write_end_ = offset + data.size();
+  device_->AccountWrite(pattern, data.size());
+  return Status::Ok();
+}
+
+Result<DeviceFile> Device::Open(const std::string& path, OpenMode mode) {
+  GRAPHSD_ASSIGN_OR_RETURN(File file,
+                           File::Open(path, mode, options_.use_direct_io));
+  DeviceFile df;
+  df.device_ = this;
+  df.file_ = std::move(file);
+  return df;
+}
+
+void Device::AccountRead(AccessPattern pattern, std::uint64_t bytes) noexcept {
+  stats_.RecordRead(pattern, bytes);
+  if (!options_.charge_virtual_time) return;
+  const auto& m = options_.cost_model;
+  clock_.Add(pattern == AccessPattern::kSequential ? m.SeqReadSeconds(bytes)
+                                                   : m.RandReadSeconds(bytes));
+}
+
+void Device::AccountWrite(AccessPattern pattern, std::uint64_t bytes) noexcept {
+  stats_.RecordWrite(pattern, bytes);
+  if (!options_.charge_virtual_time) return;
+  const auto& m = options_.cost_model;
+  clock_.Add(pattern == AccessPattern::kSequential
+                 ? m.SeqWriteSeconds(bytes)
+                 : m.RandWriteSeconds(bytes));
+}
+
+std::unique_ptr<Device> MakePosixDevice(bool direct_io) {
+  DeviceOptions opts;
+  opts.use_direct_io = direct_io;
+  opts.charge_virtual_time = false;
+  opts.cost_model = IoCostModel::Free();
+  return std::make_unique<Device>(opts);
+}
+
+std::unique_ptr<Device> MakeSimulatedDevice(IoCostModel model, bool direct_io) {
+  DeviceOptions opts;
+  opts.use_direct_io = direct_io;
+  opts.charge_virtual_time = true;
+  opts.cost_model = model;
+  return std::make_unique<Device>(opts);
+}
+
+}  // namespace graphsd::io

@@ -1,0 +1,109 @@
+// Storage device abstraction: real file I/O + per-request accounting +
+// modeled (virtual) time.
+//
+// All engine I/O goes through a `Device`. Each request is classified as
+// sequential (it starts exactly where the previous request on the same file
+// ended) or random (anything else — a seek), recorded in `IoStats`, and
+// charged to the device's `VirtualClock` using the `IoCostModel`.
+//
+// With `charge_virtual_time=false` and the Free cost model the Device is a
+// plain POSIX passthrough; with the HDD model it deterministically
+// reproduces the paper's disk economics regardless of the machine we run
+// on. See DESIGN.md §5.1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "io/cost_model.hpp"
+#include "io/file.hpp"
+#include "io/io_stats.hpp"
+#include "util/clock.hpp"
+
+namespace graphsd::io {
+
+struct DeviceOptions {
+  /// Open files with O_DIRECT when supported (paper §5.1 disables the page
+  /// cache; on filesystems without O_DIRECT the virtual clock still makes
+  /// every byte cost its modeled time).
+  bool use_direct_io = false;
+  /// Accumulate modeled time on the virtual clock.
+  bool charge_virtual_time = true;
+  /// The disk profile used to charge requests.
+  IoCostModel cost_model = IoCostModel::Hdd();
+};
+
+class Device;
+
+/// A file opened through a Device. Movable; closes on destruction.
+class DeviceFile {
+ public:
+  DeviceFile() = default;
+
+  /// Reads `out.size()` bytes at `offset`, with accounting.
+  Status ReadAt(std::uint64_t offset, std::span<std::uint8_t> out);
+
+  /// Writes `data.size()` bytes at `offset`, with accounting.
+  Status WriteAt(std::uint64_t offset, std::span<const std::uint8_t> data);
+
+  /// File size in bytes.
+  Result<std::uint64_t> Size() const { return file_.Size(); }
+
+  const std::string& path() const noexcept { return file_.path(); }
+  bool is_open() const noexcept { return file_.is_open(); }
+
+ private:
+  friend class Device;
+  Device* device_ = nullptr;
+  File file_;
+  // End offset of the last request, for sequential/random classification.
+  std::uint64_t last_read_end_ = UINT64_MAX;
+  std::uint64_t last_write_end_ = UINT64_MAX;
+};
+
+/// Factory + accounting hub for DeviceFiles.
+class Device {
+ public:
+  explicit Device(DeviceOptions options = {}) : options_(options) {}
+
+  /// Opens `path` for accounted I/O.
+  Result<DeviceFile> Open(const std::string& path, OpenMode mode);
+
+  /// Traffic counters (bytes/ops by direction and pattern).
+  IoStats& stats() noexcept { return stats_; }
+  const IoStats& stats() const noexcept { return stats_; }
+
+  /// Accumulated modeled I/O seconds.
+  VirtualClock& clock() noexcept { return clock_; }
+  const VirtualClock& clock() const noexcept { return clock_; }
+
+  const DeviceOptions& options() const noexcept { return options_; }
+
+  /// Resets counters and the virtual clock (between benchmark phases).
+  void ResetAccounting() noexcept {
+    stats_.Reset();
+    clock_.Reset();
+  }
+
+ private:
+  friend class DeviceFile;
+  void AccountRead(AccessPattern pattern, std::uint64_t bytes) noexcept;
+  void AccountWrite(AccessPattern pattern, std::uint64_t bytes) noexcept;
+
+  DeviceOptions options_;
+  IoStats stats_;
+  VirtualClock clock_;
+};
+
+/// A device that performs plain POSIX I/O with traffic accounting but no
+/// modeled time (real-time measurements only).
+std::unique_ptr<Device> MakePosixDevice(bool direct_io = false);
+
+/// A device that charges modeled time per the given profile (default: the
+/// paper-like HDD profile). This is what benches use.
+std::unique_ptr<Device> MakeSimulatedDevice(
+    IoCostModel model = IoCostModel::Hdd(), bool direct_io = false);
+
+}  // namespace graphsd::io

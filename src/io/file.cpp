@@ -1,0 +1,179 @@
+#include "io/file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace graphsd::io {
+
+File::~File() { Close(); }
+
+File::File(File&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      direct_(other.direct_) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    direct_ = other.direct_;
+  }
+  return *this;
+}
+
+Result<File> File::Open(const std::string& path, OpenMode mode, bool direct) {
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::kRead: flags = O_RDONLY; break;
+    case OpenMode::kWrite: flags = O_WRONLY | O_CREAT | O_TRUNC; break;
+    case OpenMode::kReadWrite: flags = O_RDWR | O_CREAT; break;
+  }
+#ifdef O_DIRECT
+  if (direct) flags |= O_DIRECT;
+#endif
+  int fd = ::open(path.c_str(), flags, 0644);
+#ifdef O_DIRECT
+  if (fd < 0 && direct && errno == EINVAL) {
+    // Filesystem does not support O_DIRECT (e.g. tmpfs); fall back to
+    // buffered I/O — the virtual-time device still charges every byte.
+    flags &= ~O_DIRECT;
+    direct = false;
+    fd = ::open(path.c_str(), flags, 0644);
+  }
+#endif
+  if (fd < 0) return ErrnoError("open " + path, errno);
+  File file;
+  file.fd_ = fd;
+  file.path_ = path;
+  file.direct_ = direct;
+  return file;
+}
+
+Status File::ReadAt(std::uint64_t offset, std::span<std::uint8_t> out) const {
+  GRAPHSD_CHECK(is_open());
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("pread " + path_, errno);
+    }
+    if (n == 0) {
+      return IoError("short read at offset " + std::to_string(offset) +
+                     " in " + path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status File::WriteAt(std::uint64_t offset,
+                     std::span<const std::uint8_t> data) const {
+  GRAPHSD_CHECK(is_open());
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("pwrite " + path_, errno);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status File::Append(std::span<const std::uint8_t> data) {
+  GRAPHSD_ASSIGN_OR_RETURN(const std::uint64_t size, Size());
+  return WriteAt(size, data);
+}
+
+Result<std::uint64_t> File::Size() const {
+  GRAPHSD_CHECK(is_open());
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return ErrnoError("fstat " + path_, errno);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Status File::Truncate(std::uint64_t size) const {
+  GRAPHSD_CHECK(is_open());
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoError("ftruncate " + path_, errno);
+  }
+  return Status::Ok();
+}
+
+Status File::Sync() const {
+  GRAPHSD_CHECK(is_open());
+  if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync " + path_, errno);
+  return Status::Ok();
+}
+
+void File::Close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status MakeDirectories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return IoError("mkdir -p " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return IoError("rm " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status RemoveTree(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) return IoError("rm -r " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  GRAPHSD_ASSIGN_OR_RETURN(File file, File::Open(path, OpenMode::kRead));
+  GRAPHSD_ASSIGN_OR_RETURN(const std::uint64_t size, file.Size());
+  std::string out(size, '\0');
+  GRAPHSD_RETURN_IF_ERROR(file.ReadAt(
+      0, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(out.data()),
+                                 out.size())));
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    GRAPHSD_ASSIGN_OR_RETURN(File file, File::Open(tmp, OpenMode::kWrite));
+    GRAPHSD_RETURN_IF_ERROR(file.WriteAt(
+        0, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(contents.data()),
+               contents.size())));
+    GRAPHSD_RETURN_IF_ERROR(file.Sync());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return IoError("rename " + tmp + " -> " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace graphsd::io

@@ -1,0 +1,95 @@
+// RAII POSIX file wrapper with positional reads/writes and optional direct
+// I/O, the lowest layer of GraphSD's storage stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace graphsd::io {
+
+/// How a file is opened.
+enum class OpenMode {
+  kRead,       // existing file, read-only
+  kWrite,      // create/truncate, write-only
+  kReadWrite,  // create if missing, read-write
+};
+
+/// Movable, non-copyable owner of a POSIX file descriptor.
+///
+/// All reads and writes are positional (`pread`/`pwrite`) so concurrent
+/// readers never race on a shared offset. Short reads/writes are retried
+/// until the full span is transferred or a real error occurs.
+class File {
+ public:
+  File() noexcept = default;
+  ~File();
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Opens `path`. With `direct` the file is opened O_DIRECT; callers must
+  /// then use aligned buffers/offsets/sizes (see util/aligned_buffer.hpp).
+  static Result<File> Open(const std::string& path, OpenMode mode,
+                           bool direct = false);
+
+  /// True when a descriptor is held.
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Path the file was opened with (for diagnostics).
+  const std::string& path() const noexcept { return path_; }
+
+  /// Whether the file was opened with O_DIRECT.
+  bool is_direct() const noexcept { return direct_; }
+
+  /// Reads exactly `out.size()` bytes at `offset`.
+  Status ReadAt(std::uint64_t offset, std::span<std::uint8_t> out) const;
+
+  /// Writes exactly `data.size()` bytes at `offset`.
+  Status WriteAt(std::uint64_t offset, std::span<const std::uint8_t> data) const;
+
+  /// Appends at the current end (tracked internally by Size()).
+  Status Append(std::span<const std::uint8_t> data);
+
+  /// File size in bytes.
+  Result<std::uint64_t> Size() const;
+
+  /// Truncates/extends to `size` bytes.
+  Status Truncate(std::uint64_t size) const;
+
+  /// Flushes file data (fdatasync).
+  Status Sync() const;
+
+  /// Closes the descriptor early; safe to call twice.
+  void Close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  bool direct_ = false;
+};
+
+/// True iff `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Creates `path` and missing parents (like `mkdir -p`).
+Status MakeDirectories(const std::string& path);
+
+/// Removes a file; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+/// Recursively removes a directory tree; missing trees are not an error.
+Status RemoveTree(const std::string& path);
+
+/// Reads an entire (small) file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `contents` (write temp + rename).
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace graphsd::io

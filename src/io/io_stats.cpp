@@ -1,0 +1,88 @@
+#include "io/io_stats.hpp"
+
+#include "util/stats.hpp"
+
+namespace graphsd::io {
+
+IoStatsSnapshot IoStatsSnapshot::operator-(
+    const IoStatsSnapshot& other) const noexcept {
+  IoStatsSnapshot d;
+  d.seq_read_bytes = seq_read_bytes - other.seq_read_bytes;
+  d.seq_write_bytes = seq_write_bytes - other.seq_write_bytes;
+  d.rand_read_bytes = rand_read_bytes - other.rand_read_bytes;
+  d.rand_write_bytes = rand_write_bytes - other.rand_write_bytes;
+  d.seq_read_ops = seq_read_ops - other.seq_read_ops;
+  d.seq_write_ops = seq_write_ops - other.seq_write_ops;
+  d.rand_read_ops = rand_read_ops - other.rand_read_ops;
+  d.rand_write_ops = rand_write_ops - other.rand_write_ops;
+  return d;
+}
+
+IoStatsSnapshot& IoStatsSnapshot::operator+=(
+    const IoStatsSnapshot& other) noexcept {
+  seq_read_bytes += other.seq_read_bytes;
+  seq_write_bytes += other.seq_write_bytes;
+  rand_read_bytes += other.rand_read_bytes;
+  rand_write_bytes += other.rand_write_bytes;
+  seq_read_ops += other.seq_read_ops;
+  seq_write_ops += other.seq_write_ops;
+  rand_read_ops += other.rand_read_ops;
+  rand_write_ops += other.rand_write_ops;
+  return *this;
+}
+
+std::string IoStatsSnapshot::ToString() const {
+  std::string out;
+  out += "read " + graphsd::FormatBytes(TotalReadBytes());
+  out += " (seq " + graphsd::FormatBytes(seq_read_bytes);
+  out += ", rand " + graphsd::FormatBytes(rand_read_bytes);
+  out += "), write " + graphsd::FormatBytes(TotalWriteBytes());
+  out += ", ops " + std::to_string(TotalOps());
+  return out;
+}
+
+void IoStats::RecordRead(AccessPattern pattern, std::uint64_t bytes) noexcept {
+  if (pattern == AccessPattern::kSequential) {
+    seq_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    seq_read_ops_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rand_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    rand_read_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void IoStats::RecordWrite(AccessPattern pattern, std::uint64_t bytes) noexcept {
+  if (pattern == AccessPattern::kSequential) {
+    seq_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    seq_write_ops_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rand_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    rand_write_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+IoStatsSnapshot IoStats::Snapshot() const noexcept {
+  IoStatsSnapshot s;
+  s.seq_read_bytes = seq_read_bytes_.load(std::memory_order_relaxed);
+  s.seq_write_bytes = seq_write_bytes_.load(std::memory_order_relaxed);
+  s.rand_read_bytes = rand_read_bytes_.load(std::memory_order_relaxed);
+  s.rand_write_bytes = rand_write_bytes_.load(std::memory_order_relaxed);
+  s.seq_read_ops = seq_read_ops_.load(std::memory_order_relaxed);
+  s.seq_write_ops = seq_write_ops_.load(std::memory_order_relaxed);
+  s.rand_read_ops = rand_read_ops_.load(std::memory_order_relaxed);
+  s.rand_write_ops = rand_write_ops_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void IoStats::Reset() noexcept {
+  seq_read_bytes_.store(0, std::memory_order_relaxed);
+  seq_write_bytes_.store(0, std::memory_order_relaxed);
+  rand_read_bytes_.store(0, std::memory_order_relaxed);
+  rand_write_bytes_.store(0, std::memory_order_relaxed);
+  seq_read_ops_.store(0, std::memory_order_relaxed);
+  seq_write_ops_.store(0, std::memory_order_relaxed);
+  rand_read_ops_.store(0, std::memory_order_relaxed);
+  rand_write_ops_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace graphsd::io

@@ -1,0 +1,77 @@
+// I/O accounting: every byte an engine moves is recorded here, split by
+// direction (read/write) and access pattern (sequential/random).
+//
+// The paper's Figure 7 ("I/O traffic comparison") is produced directly from
+// these counters; the cost model (cost_model.hpp) converts them to modeled
+// time for the execution-time figures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace graphsd::io {
+
+/// Classification a device assigns to each request.
+enum class AccessPattern { kSequential, kRandom };
+
+/// Snapshot of I/O counters (plain struct, copyable).
+struct IoStatsSnapshot {
+  std::uint64_t seq_read_bytes = 0;
+  std::uint64_t seq_write_bytes = 0;
+  std::uint64_t rand_read_bytes = 0;
+  std::uint64_t rand_write_bytes = 0;
+  std::uint64_t seq_read_ops = 0;
+  std::uint64_t seq_write_ops = 0;
+  std::uint64_t rand_read_ops = 0;
+  std::uint64_t rand_write_ops = 0;
+
+  std::uint64_t TotalReadBytes() const noexcept {
+    return seq_read_bytes + rand_read_bytes;
+  }
+  std::uint64_t TotalWriteBytes() const noexcept {
+    return seq_write_bytes + rand_write_bytes;
+  }
+  std::uint64_t TotalBytes() const noexcept {
+    return TotalReadBytes() + TotalWriteBytes();
+  }
+  std::uint64_t TotalOps() const noexcept {
+    return seq_read_ops + seq_write_ops + rand_read_ops + rand_write_ops;
+  }
+
+  /// Component-wise difference (this - other); callers must pass an earlier
+  /// snapshot of the same counter set.
+  IoStatsSnapshot operator-(const IoStatsSnapshot& other) const noexcept;
+  IoStatsSnapshot& operator+=(const IoStatsSnapshot& other) noexcept;
+
+  /// One-line summary for logs.
+  std::string ToString() const;
+};
+
+/// Thread-safe I/O counter set.
+class IoStats {
+ public:
+  /// Records one read of `bytes` with the given pattern.
+  void RecordRead(AccessPattern pattern, std::uint64_t bytes) noexcept;
+
+  /// Records one write of `bytes` with the given pattern.
+  void RecordWrite(AccessPattern pattern, std::uint64_t bytes) noexcept;
+
+  /// Copies the current counters.
+  IoStatsSnapshot Snapshot() const noexcept;
+
+  /// Zeroes all counters.
+  void Reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> seq_read_bytes_{0};
+  std::atomic<std::uint64_t> seq_write_bytes_{0};
+  std::atomic<std::uint64_t> rand_read_bytes_{0};
+  std::atomic<std::uint64_t> rand_write_bytes_{0};
+  std::atomic<std::uint64_t> seq_read_ops_{0};
+  std::atomic<std::uint64_t> seq_write_ops_{0};
+  std::atomic<std::uint64_t> rand_read_ops_{0};
+  std::atomic<std::uint64_t> rand_write_ops_{0};
+};
+
+}  // namespace graphsd::io

@@ -1,0 +1,103 @@
+#include "io/profiler.hpp"
+
+#include <algorithm>
+
+#include "io/file.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace graphsd::io {
+
+IoCostModel ProfileResult::ToCostModel(std::uint64_t rand_request_bytes) const {
+  IoCostModel m;
+  m.seq_read_bw = seq_read_bw;
+  m.seq_write_bw = seq_write_bw;
+  m.random_request_bytes = rand_request_bytes;
+  // B_rr(s) = s / (seek + s/B_sr)  =>  seek = s/B_rr - s/B_sr.
+  if (rand_read_bw > 0 && seq_read_bw > 0) {
+    const double s = static_cast<double>(rand_request_bytes);
+    m.seek_seconds = std::max(0.0, s / rand_read_bw - s / seq_read_bw);
+  }
+  return m;
+}
+
+Result<ProfileResult> ProfileDevice(const std::string& directory,
+                                    const ProfilerOptions& options) {
+  GRAPHSD_RETURN_IF_ERROR(MakeDirectories(directory));
+  const std::string path = directory + "/graphsd_profile.tmp";
+  ProfileResult result;
+
+  graphsd::AlignedBuffer buffer(options.seq_request_bytes);
+  graphsd::Xoshiro256 rng(options.seed);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer.data()[i] = static_cast<std::uint8_t>(rng.Next());
+  }
+
+  {
+    GRAPHSD_ASSIGN_OR_RETURN(File file, File::Open(path, OpenMode::kWrite));
+    graphsd::WallTimer timer;
+    std::uint64_t written = 0;
+    while (written < options.file_bytes) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(buffer.size(), options.file_bytes - written);
+      GRAPHSD_RETURN_IF_ERROR(
+          file.WriteAt(written, std::span(buffer.data(), n)));
+      written += n;
+    }
+    GRAPHSD_RETURN_IF_ERROR(file.Sync());
+    result.seq_write_bw = static_cast<double>(written) / timer.Seconds();
+  }
+
+  {
+    GRAPHSD_ASSIGN_OR_RETURN(File file, File::Open(path, OpenMode::kRead));
+    graphsd::WallTimer timer;
+    std::uint64_t read = 0;
+    while (read < options.file_bytes) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(buffer.size(), options.file_bytes - read);
+      GRAPHSD_RETURN_IF_ERROR(file.ReadAt(read, std::span(buffer.data(), n)));
+      read += n;
+    }
+    result.seq_read_bw = static_cast<double>(read) / timer.Seconds();
+  }
+
+  {
+    GRAPHSD_ASSIGN_OR_RETURN(File file,
+                             File::Open(path, OpenMode::kReadWrite));
+    const std::uint64_t slots =
+        options.file_bytes / options.rand_request_bytes;
+    if (slots == 0) {
+      return InvalidArgumentError("profile file smaller than request size");
+    }
+    graphsd::WallTimer timer;
+    for (std::uint64_t i = 0; i < options.rand_requests; ++i) {
+      const std::uint64_t offset =
+          rng.NextBounded(slots) * options.rand_request_bytes;
+      GRAPHSD_RETURN_IF_ERROR(file.ReadAt(
+          offset, std::span(buffer.data(), options.rand_request_bytes)));
+    }
+    const double read_secs = timer.Seconds();
+    result.rand_read_bw =
+        static_cast<double>(options.rand_requests * options.rand_request_bytes) /
+        std::max(read_secs, 1e-9);
+
+    timer.Restart();
+    for (std::uint64_t i = 0; i < options.rand_requests; ++i) {
+      const std::uint64_t offset =
+          rng.NextBounded(slots) * options.rand_request_bytes;
+      GRAPHSD_RETURN_IF_ERROR(file.WriteAt(
+          offset, std::span<const std::uint8_t>(buffer.data(),
+                                                options.rand_request_bytes)));
+    }
+    const double write_secs = timer.Seconds();
+    result.rand_write_bw =
+        static_cast<double>(options.rand_requests * options.rand_request_bytes) /
+        std::max(write_secs, 1e-9);
+  }
+
+  GRAPHSD_RETURN_IF_ERROR(RemoveFile(path));
+  return result;
+}
+
+}  // namespace graphsd::io

@@ -1,0 +1,48 @@
+// fio-like device profiler (paper §4.1: "the disk access bandwidths ... can
+// be measured by some measurement tools such as fio").
+//
+// Writes a scratch file into a target directory and measures sequential and
+// random read/write bandwidth with wall-clock timing, producing an
+// `IoCostModel` calibrated to the actual device. Benches default to the
+// canned HDD profile for determinism; the profiler exists so a user can run
+// GraphSD against their real disk economics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/cost_model.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::io {
+
+struct ProfilerOptions {
+  /// Size of the scratch file used for measurement.
+  std::uint64_t file_bytes = 64ULL * 1024 * 1024;
+  /// Request size for sequential phases.
+  std::uint64_t seq_request_bytes = 4 * 1024 * 1024;
+  /// Request size for random phases.
+  std::uint64_t rand_request_bytes = 64 * 1024;
+  /// Number of random requests to issue.
+  std::uint64_t rand_requests = 256;
+  /// Seed for the random-offset sequence.
+  std::uint64_t seed = 42;
+};
+
+struct ProfileResult {
+  double seq_read_bw = 0;   // bytes/sec
+  double seq_write_bw = 0;  // bytes/sec
+  double rand_read_bw = 0;  // bytes/sec at rand_request_bytes
+  double rand_write_bw = 0; // bytes/sec at rand_request_bytes
+
+  /// Converts the measurements into a cost model (deriving seek latency from
+  /// the gap between random and sequential bandwidth).
+  IoCostModel ToCostModel(std::uint64_t rand_request_bytes) const;
+};
+
+/// Measures the device backing `directory`. Creates and removes a scratch
+/// file `<directory>/graphsd_profile.tmp`.
+Result<ProfileResult> ProfileDevice(const std::string& directory,
+                                    const ProfilerOptions& options = {});
+
+}  // namespace graphsd::io

@@ -1,0 +1,59 @@
+// Preprocessing pipelines of the compared systems (paper §5.3, Figure 8).
+//
+// The three systems do measurably different preprocessing work:
+//   * GraphSD   — one copy of the edges, bucketed into the P×P grid,
+//                 sorted, plus the per-sub-block source index.
+//   * HUS-Graph — TWO copies of the edges (one organized by source for its
+//                 on-demand path, one by destination for its full path),
+//                 both sorted. Longest pipeline.
+//   * Lumos     — one copy, bucketed only (no sort, no index). Shortest.
+//
+// Each returns a dataset directory the corresponding engine can open, plus
+// a timing/traffic report for the preprocessing bench.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "io/device.hpp"
+#include "partition/grid_builder.hpp"
+
+namespace graphsd::partition {
+
+struct PreprocessReport {
+  std::string system;
+  double wall_seconds = 0;      // measured CPU-side time (partition+sort)
+  double io_seconds = 0;        // modeled I/O time (read raw + write layout)
+  io::IoStatsSnapshot io;       // traffic
+  GridManifest manifest;
+
+  double TotalSeconds() const noexcept { return wall_seconds + io_seconds; }
+};
+
+struct PreprocessOptions {
+  std::uint32_t num_intervals = 0;  // 0 = derive from memory budget
+  std::uint64_t memory_budget_bytes = 0;
+  std::string name = "graph";
+};
+
+/// GraphSD pipeline: read raw binary edges via `device`, build the sorted +
+/// indexed grid into `dir`.
+Result<PreprocessReport> PreprocessGraphSD(const std::string& raw_edges_path,
+                                           io::Device& device,
+                                           const std::string& dir,
+                                           const PreprocessOptions& options);
+
+/// HUS-Graph pipeline: builds the same destination-organized grid PLUS a
+/// second, source-organized copy (written under `<dir>_src`), both sorted.
+Result<PreprocessReport> PreprocessHusGraph(const std::string& raw_edges_path,
+                                            io::Device& device,
+                                            const std::string& dir,
+                                            const PreprocessOptions& options);
+
+/// Lumos pipeline: bucket-only grid, unsorted, no index.
+Result<PreprocessReport> PreprocessLumos(const std::string& raw_edges_path,
+                                         io::Device& device,
+                                         const std::string& dir,
+                                         const PreprocessOptions& options);
+
+}  // namespace graphsd::partition

@@ -1,0 +1,328 @@
+#include "partition/external_builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/edge_io.hpp"
+#include "util/logging.hpp"
+
+namespace graphsd::partition {
+namespace {
+
+template <typename T>
+std::span<const std::uint8_t> AsBytes(const std::vector<T>& v) {
+  return {reinterpret_cast<const std::uint8_t*>(v.data()),
+          v.size() * sizeof(T)};
+}
+
+template <typename T>
+std::span<std::uint8_t> AsWritableBytes(std::vector<T>& v) {
+  return {reinterpret_cast<std::uint8_t*>(v.data()), v.size() * sizeof(T)};
+}
+
+std::string SpillEdgesPath(const std::string& dir, std::uint32_t i,
+                           std::uint32_t j) {
+  return dir + "/spill_" + std::to_string(i) + "_" + std::to_string(j) +
+         ".edges";
+}
+
+std::string SpillWeightsPath(const std::string& dir, std::uint32_t i,
+                             std::uint32_t j) {
+  return dir + "/spill_" + std::to_string(i) + "_" + std::to_string(j) +
+         ".weights";
+}
+
+/// Bounded-memory append sink for one sub-block's spill files.
+class SpillBucket {
+ public:
+  void Configure(io::Device* device, std::string edges_path,
+                 std::string weights_path, bool weighted,
+                 std::uint64_t buffer_bytes) {
+    device_ = device;
+    edges_path_ = std::move(edges_path);
+    weights_path_ = std::move(weights_path);
+    weighted_ = weighted;
+    capacity_ = std::max<std::uint64_t>(1, buffer_bytes / sizeof(Edge));
+    edges_.reserve(capacity_);
+    if (weighted_) weights_.reserve(capacity_);
+  }
+
+  Status Add(const Edge& edge, Weight weight) {
+    edges_.push_back(edge);
+    if (weighted_) weights_.push_back(weight);
+    ++count_;
+    if (edges_.size() >= capacity_) return Flush();
+    return Status::Ok();
+  }
+
+  Status Flush() {
+    if (edges_.empty()) return Status::Ok();
+    {
+      GRAPHSD_ASSIGN_OR_RETURN(
+          io::DeviceFile file,
+          device_->Open(edges_path_, io::OpenMode::kReadWrite));
+      GRAPHSD_RETURN_IF_ERROR(
+          file.WriteAt(edge_offset_bytes_, AsBytes(edges_)));
+      edge_offset_bytes_ += edges_.size() * sizeof(Edge);
+    }
+    if (weighted_) {
+      GRAPHSD_ASSIGN_OR_RETURN(
+          io::DeviceFile file,
+          device_->Open(weights_path_, io::OpenMode::kReadWrite));
+      GRAPHSD_RETURN_IF_ERROR(
+          file.WriteAt(weight_offset_bytes_, AsBytes(weights_)));
+      weight_offset_bytes_ += weights_.size() * sizeof(Weight);
+    }
+    edges_.clear();
+    weights_.clear();
+    return Status::Ok();
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  io::Device* device_ = nullptr;
+  std::string edges_path_;
+  std::string weights_path_;
+  bool weighted_ = false;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t edge_offset_bytes_ = 0;
+  std::uint64_t weight_offset_bytes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<Weight> weights_;
+};
+
+/// Streams the input edge (and weight) arrays chunk by chunk.
+class EdgeStream {
+ public:
+  static Result<EdgeStream> Open(io::Device& device, const std::string& path,
+                                 const BinaryEdgeHeader& header,
+                                 std::uint64_t chunk_edges) {
+    EdgeStream stream;
+    stream.header_ = header;
+    stream.chunk_edges_ = std::max<std::uint64_t>(1, chunk_edges);
+    GRAPHSD_ASSIGN_OR_RETURN(stream.file_,
+                             device.Open(path, io::OpenMode::kRead));
+    return stream;
+  }
+
+  /// Reads the next chunk; empty spans signal end of stream.
+  Status Next(std::span<const Edge>& edges, std::span<const Weight>& weights) {
+    const std::uint64_t remaining = header_.num_edges - position_;
+    const std::uint64_t count = std::min(chunk_edges_, remaining);
+    edge_buffer_.resize(count);
+    weight_buffer_.resize(header_.weighted ? count : 0);
+    if (count > 0) {
+      GRAPHSD_RETURN_IF_ERROR(
+          file_.ReadAt(header_.edges_offset + position_ * sizeof(Edge),
+                       AsWritableBytes(edge_buffer_)));
+      if (header_.weighted) {
+        GRAPHSD_RETURN_IF_ERROR(
+            file_.ReadAt(header_.weights_offset + position_ * sizeof(Weight),
+                         AsWritableBytes(weight_buffer_)));
+      }
+      position_ += count;
+    }
+    edges = edge_buffer_;
+    weights = weight_buffer_;
+    return Status::Ok();
+  }
+
+  void Rewind() noexcept { position_ = 0; }
+
+ private:
+  BinaryEdgeHeader header_;
+  std::uint64_t chunk_edges_ = 0;
+  std::uint64_t position_ = 0;
+  io::DeviceFile file_;
+  std::vector<Edge> edge_buffer_;
+  std::vector<Weight> weight_buffer_;
+};
+
+}  // namespace
+
+Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
+                                       io::Device& device,
+                                       const std::string& dir,
+                                       const ExternalBuildOptions& options) {
+  if (options.build_index && !options.sort_sub_blocks) {
+    return InvalidArgumentError("the source index requires sorted sub-blocks");
+  }
+  GRAPHSD_ASSIGN_OR_RETURN(const BinaryEdgeHeader header,
+                           ReadBinaryEdgeHeader(device, raw_edges_path));
+  if (header.num_vertices == 0) {
+    return InvalidArgumentError("cannot build a grid over an empty graph");
+  }
+  GRAPHSD_RETURN_IF_ERROR(io::RemoveTree(dir));
+  GRAPHSD_RETURN_IF_ERROR(io::MakeDirectories(dir));
+
+  GRAPHSD_ASSIGN_OR_RETURN(
+      EdgeStream stream,
+      EdgeStream::Open(device, raw_edges_path, header,
+                       options.input_chunk_edges));
+
+  // --- pass 0: degrees (also validates vertex ids) -------------------------
+  std::vector<std::uint32_t> degrees(header.num_vertices, 0);
+  for (;;) {
+    std::span<const Edge> edges;
+    std::span<const Weight> weights;
+    GRAPHSD_RETURN_IF_ERROR(stream.Next(edges, weights));
+    if (edges.empty()) break;
+    for (const Edge& e : edges) {
+      if (e.src >= header.num_vertices || e.dst >= header.num_vertices) {
+        return CorruptDataError(raw_edges_path + ": edge out of range");
+      }
+      ++degrees[e.src];
+    }
+  }
+
+  // --- intervals + manifest skeleton ---------------------------------------
+  std::uint32_t p = options.num_intervals;
+  const std::uint64_t bytes_per_edge =
+      kEdgeBytes + (header.weighted ? kWeightBytes : 0);
+  if (p == 0) {
+    std::uint64_t budget = options.memory_budget_bytes;
+    if (budget == 0) {
+      budget =
+          std::max<std::uint64_t>(1, header.num_edges * bytes_per_edge / 20);
+    }
+    p = ChooseIntervalCount(header.num_vertices, header.num_edges, budget,
+                            header.weighted);
+  }
+  GridManifest manifest;
+  manifest.name = options.name;
+  manifest.num_vertices = header.num_vertices;
+  manifest.num_edges = header.num_edges;
+  manifest.weighted = header.weighted;
+  manifest.sorted = options.sort_sub_blocks;
+  manifest.has_index = options.build_index;
+  manifest.boundaries =
+      options.scheme == IntervalScheme::kEqualVertices
+          ? ComputeEqualIntervals(header.num_vertices, p)
+          : ComputeBalancedIntervals(degrees, p);
+  manifest.p = static_cast<std::uint32_t>(manifest.boundaries.size() - 1);
+  p = manifest.p;
+  manifest.sub_block_edges.assign(static_cast<std::size_t>(p) * p, 0);
+
+  // --- pass 1: route edges into per-sub-block spill files ------------------
+  std::vector<SpillBucket> buckets(static_cast<std::size_t>(p) * p);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    for (std::uint32_t j = 0; j < p; ++j) {
+      buckets[static_cast<std::size_t>(i) * p + j].Configure(
+          &device, SpillEdgesPath(dir, i, j), SpillWeightsPath(dir, i, j),
+          header.weighted, options.spill_buffer_bytes);
+    }
+  }
+  stream.Rewind();
+  for (;;) {
+    std::span<const Edge> edges;
+    std::span<const Weight> weights;
+    GRAPHSD_RETURN_IF_ERROR(stream.Next(edges, weights));
+    if (edges.empty()) break;
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      const Edge& e = edges[k];
+      const std::uint32_t i = IntervalOf(manifest.boundaries, e.src);
+      const std::uint32_t j = IntervalOf(manifest.boundaries, e.dst);
+      GRAPHSD_RETURN_IF_ERROR(
+          buckets[static_cast<std::size_t>(i) * p + j].Add(
+              e, header.weighted ? weights[k] : Weight{1}));
+    }
+  }
+  for (auto& bucket : buckets) GRAPHSD_RETURN_IF_ERROR(bucket.Flush());
+
+  // --- pass 2: per sub-block sort + index + final files --------------------
+  std::vector<Edge> block_edges;
+  std::vector<Weight> block_weights;
+  std::vector<std::uint32_t> index;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    for (std::uint32_t j = 0; j < p; ++j) {
+      const std::uint64_t count =
+          buckets[static_cast<std::size_t>(i) * p + j].count();
+      manifest.sub_block_edges[static_cast<std::size_t>(i) * p + j] = count;
+
+      block_edges.resize(count);
+      block_weights.resize(header.weighted ? count : 0);
+      if (count > 0) {
+        GRAPHSD_ASSIGN_OR_RETURN(
+            io::DeviceFile spill,
+            device.Open(SpillEdgesPath(dir, i, j), io::OpenMode::kRead));
+        GRAPHSD_RETURN_IF_ERROR(spill.ReadAt(0, AsWritableBytes(block_edges)));
+        if (header.weighted) {
+          GRAPHSD_ASSIGN_OR_RETURN(
+              io::DeviceFile wspill,
+              device.Open(SpillWeightsPath(dir, i, j), io::OpenMode::kRead));
+          GRAPHSD_RETURN_IF_ERROR(
+              wspill.ReadAt(0, AsWritableBytes(block_weights)));
+        }
+      }
+
+      if (options.sort_sub_blocks && count > 1) {
+        if (header.weighted) {
+          std::vector<std::uint32_t> order(count);
+          std::iota(order.begin(), order.end(), 0);
+          std::sort(order.begin(), order.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return block_edges[a] < block_edges[b];
+                    });
+          std::vector<Edge> sorted_edges(count);
+          std::vector<Weight> sorted_weights(count);
+          for (std::uint64_t k = 0; k < count; ++k) {
+            sorted_edges[k] = block_edges[order[k]];
+            sorted_weights[k] = block_weights[order[k]];
+          }
+          block_edges = std::move(sorted_edges);
+          block_weights = std::move(sorted_weights);
+        } else {
+          std::sort(block_edges.begin(), block_edges.end());
+        }
+      }
+
+      {
+        GRAPHSD_ASSIGN_OR_RETURN(
+            io::DeviceFile file,
+            device.Open(SubBlockEdgesPath(dir, i, j), io::OpenMode::kWrite));
+        GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(block_edges)));
+      }
+      if (header.weighted) {
+        GRAPHSD_ASSIGN_OR_RETURN(
+            io::DeviceFile file,
+            device.Open(SubBlockWeightsPath(dir, i, j), io::OpenMode::kWrite));
+        GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(block_weights)));
+      }
+      if (options.build_index) {
+        const VertexId begin = manifest.boundaries[i];
+        const VertexId size = manifest.IntervalSize(i);
+        index.assign(size + 1, 0);
+        for (const Edge& e : block_edges) ++index[e.src - begin + 1];
+        for (VertexId k = 0; k < size; ++k) index[k + 1] += index[k];
+        GRAPHSD_ASSIGN_OR_RETURN(
+            io::DeviceFile file,
+            device.Open(SubBlockIndexPath(dir, i, j), io::OpenMode::kWrite));
+        GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(index)));
+      }
+
+      GRAPHSD_RETURN_IF_ERROR(io::RemoveFile(SpillEdgesPath(dir, i, j)));
+      if (header.weighted) {
+        GRAPHSD_RETURN_IF_ERROR(io::RemoveFile(SpillWeightsPath(dir, i, j)));
+      }
+    }
+  }
+
+  // --- degrees + manifest ---------------------------------------------------
+  {
+    GRAPHSD_ASSIGN_OR_RETURN(
+        io::DeviceFile file,
+        device.Open(DegreesPath(dir), io::OpenMode::kWrite));
+    GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(degrees)));
+  }
+  GRAPHSD_RETURN_IF_ERROR(manifest.Validate());
+  GRAPHSD_RETURN_IF_ERROR(
+      io::WriteStringToFile(ManifestPath(dir), manifest.Serialize()));
+  GRAPHSD_LOG_DEBUG("externally built grid '%s': P=%u, %llu edges",
+                    manifest.name.c_str(), manifest.p,
+                    static_cast<unsigned long long>(manifest.num_edges));
+  return manifest;
+}
+
+}  // namespace graphsd::partition

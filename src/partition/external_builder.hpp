@@ -1,0 +1,51 @@
+// Out-of-core preprocessing: builds a grid dataset from a binary edge file
+// WITHOUT materializing the edge list in memory.
+//
+// The paper's largest input (Kron30, 32 B edges ≈ 384 GB) cannot pass
+// through the in-memory BuildGrid; a real GraphSD deployment preprocesses
+// out of core. This builder makes three bounded-memory passes:
+//
+//   pass 0 — stream the input once to count degrees (for interval
+//            computation and the degrees file);
+//   pass 1 — stream the input again, routing each edge into a buffered
+//            append-only spill file per sub-block (P² write buffers of
+//            `spill_buffer_bytes` each);
+//   pass 2 — per sub-block: load the spill (one sub-block is the memory
+//            high-water mark, the same bound the engine itself needs),
+//            sort, build the source index, write the final files.
+//
+// Output is byte-identical in layout to BuildGrid's (same manifest, same
+// file formats), which the tests assert.
+#pragma once
+
+#include <string>
+
+#include "io/device.hpp"
+#include "partition/grid_builder.hpp"
+#include "partition/manifest.hpp"
+
+namespace graphsd::partition {
+
+struct ExternalBuildOptions {
+  /// Interval count P; 0 = derive from `memory_budget_bytes`.
+  std::uint32_t num_intervals = 0;
+  /// Budget used when deriving P (0 = 5% of the raw edge bytes).
+  std::uint64_t memory_budget_bytes = 0;
+  IntervalScheme scheme = IntervalScheme::kEqualVertices;
+  bool sort_sub_blocks = true;
+  bool build_index = true;
+  std::string name = "graph";
+  /// Per-sub-block spill write buffer. P² of these are live in pass 1.
+  std::uint64_t spill_buffer_bytes = 64 * 1024;
+  /// Edges read per input chunk in passes 0 and 1.
+  std::uint64_t input_chunk_edges = 1 << 16;
+};
+
+/// Streams `raw_edges_path` (GSDE binary format) into a grid dataset at
+/// `dir` using bounded memory. All I/O flows through `device`.
+Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
+                                       io::Device& device,
+                                       const std::string& dir,
+                                       const ExternalBuildOptions& options = {});
+
+}  // namespace graphsd::partition

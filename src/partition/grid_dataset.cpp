@@ -1,0 +1,128 @@
+#include "partition/grid_dataset.hpp"
+
+namespace graphsd::partition {
+namespace {
+
+template <typename T>
+std::span<std::uint8_t> AsWritableBytes(std::vector<T>& v) {
+  return {reinterpret_cast<std::uint8_t*>(v.data()), v.size() * sizeof(T)};
+}
+
+}  // namespace
+
+Status SubBlockReader::ReadRange(std::uint64_t first, std::uint64_t count,
+                                 std::vector<Edge>& edges_out,
+                                 std::vector<Weight>* weights_out) {
+  if (count == 0) return Status::Ok();
+  const std::size_t edge_base = edges_out.size();
+  edges_out.resize(edge_base + count);
+  GRAPHSD_RETURN_IF_ERROR(edges_.ReadAt(
+      first * sizeof(Edge),
+      {reinterpret_cast<std::uint8_t*>(edges_out.data() + edge_base),
+       count * sizeof(Edge)}));
+  if (has_weights_ && weights_out != nullptr) {
+    const std::size_t weight_base = weights_out->size();
+    weights_out->resize(weight_base + count);
+    GRAPHSD_RETURN_IF_ERROR(weights_.ReadAt(
+        first * sizeof(Weight),
+        {reinterpret_cast<std::uint8_t*>(weights_out->data() + weight_base),
+         count * sizeof(Weight)}));
+  }
+  return Status::Ok();
+}
+
+Status IndexReader::ReadOffsets(VertexId first_local, VertexId count,
+                                std::vector<std::uint32_t>& out) {
+  out.resize(count);
+  if (count == 0) return Status::Ok();
+  return file_.ReadAt(static_cast<std::uint64_t>(first_local) *
+                          sizeof(std::uint32_t),
+                      AsWritableBytes(out));
+}
+
+Result<GridDataset> GridDataset::Open(io::Device& device,
+                                      const std::string& dir) {
+  GRAPHSD_ASSIGN_OR_RETURN(const std::string text,
+                           io::ReadFileToString(ManifestPath(dir)));
+  GRAPHSD_ASSIGN_OR_RETURN(GridManifest manifest, GridManifest::Parse(text));
+
+  GridDataset dataset;
+  dataset.device_ = &device;
+  dataset.dir_ = dir;
+  dataset.manifest_ = std::move(manifest);
+
+  dataset.degrees_.resize(dataset.manifest_.num_vertices);
+  GRAPHSD_ASSIGN_OR_RETURN(
+      io::DeviceFile file, device.Open(DegreesPath(dir), io::OpenMode::kRead));
+  GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(dataset.degrees_)));
+  return dataset;
+}
+
+Result<SubBlock> GridDataset::LoadSubBlock(std::uint32_t i, std::uint32_t j,
+                                           bool load_weights) const {
+  GRAPHSD_CHECK(i < p() && j < p());
+  SubBlock block;
+  const std::uint64_t count = manifest_.EdgesIn(i, j);
+  if (count == 0) return block;
+
+  block.edges.resize(count);
+  {
+    GRAPHSD_ASSIGN_OR_RETURN(
+        io::DeviceFile file,
+        device_->Open(SubBlockEdgesPath(dir_, i, j), io::OpenMode::kRead));
+    GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(block.edges)));
+  }
+  if (load_weights && weighted()) {
+    block.weights.resize(count);
+    GRAPHSD_ASSIGN_OR_RETURN(
+        io::DeviceFile file,
+        device_->Open(SubBlockWeightsPath(dir_, i, j), io::OpenMode::kRead));
+    GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(block.weights)));
+  }
+  return block;
+}
+
+Result<std::vector<std::uint32_t>> GridDataset::LoadIndex(
+    std::uint32_t i, std::uint32_t j) const {
+  GRAPHSD_CHECK(i < p() && j < p());
+  if (!manifest_.has_index) {
+    return NotFoundError("dataset '" + manifest_.name + "' has no index");
+  }
+  std::vector<std::uint32_t> index(manifest_.IntervalSize(i) + 1);
+  GRAPHSD_ASSIGN_OR_RETURN(
+      io::DeviceFile file,
+      device_->Open(SubBlockIndexPath(dir_, i, j), io::OpenMode::kRead));
+  GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(index)));
+  return index;
+}
+
+Result<IndexReader> GridDataset::OpenIndexReader(std::uint32_t i,
+                                                 std::uint32_t j) const {
+  GRAPHSD_CHECK(i < p() && j < p());
+  if (!manifest_.has_index) {
+    return NotFoundError("dataset '" + manifest_.name + "' has no index");
+  }
+  IndexReader reader;
+  GRAPHSD_ASSIGN_OR_RETURN(
+      reader.file_,
+      device_->Open(SubBlockIndexPath(dir_, i, j), io::OpenMode::kRead));
+  return reader;
+}
+
+Result<SubBlockReader> GridDataset::OpenSubBlockReader(
+    std::uint32_t i, std::uint32_t j, bool with_weights) const {
+  GRAPHSD_CHECK(i < p() && j < p());
+  SubBlockReader reader;
+  GRAPHSD_ASSIGN_OR_RETURN(
+      reader.edges_,
+      device_->Open(SubBlockEdgesPath(dir_, i, j), io::OpenMode::kRead));
+  if (with_weights && weighted()) {
+    GRAPHSD_ASSIGN_OR_RETURN(
+        reader.weights_,
+        device_->Open(SubBlockWeightsPath(dir_, i, j), io::OpenMode::kRead));
+    reader.has_weights_ = true;
+  }
+  return reader;
+}
+
+}  // namespace graphsd::partition

@@ -1,0 +1,89 @@
+#include "partition/intervals.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace graphsd::partition {
+
+IntervalBoundaries ComputeEqualIntervals(VertexId num_vertices,
+                                         std::uint32_t p) {
+  GRAPHSD_CHECK(p >= 1);
+  GRAPHSD_CHECK(num_vertices >= 1);
+  // Cap P at the vertex count so no interval is empty.
+  p = std::min<std::uint32_t>(p, num_vertices);
+  IntervalBoundaries boundaries(p + 1);
+  for (std::uint32_t i = 0; i <= p; ++i) {
+    boundaries[i] = static_cast<VertexId>(
+        (static_cast<std::uint64_t>(num_vertices) * i) / p);
+  }
+  return boundaries;
+}
+
+IntervalBoundaries ComputeBalancedIntervals(
+    const std::vector<std::uint32_t>& out_degrees, std::uint32_t p) {
+  GRAPHSD_CHECK(p >= 1);
+  const auto n = static_cast<VertexId>(out_degrees.size());
+  GRAPHSD_CHECK(n >= 1);
+  p = std::min<std::uint32_t>(p, n);
+
+  std::uint64_t total = 0;
+  for (const auto d : out_degrees) total += d;
+
+  IntervalBoundaries boundaries;
+  boundaries.reserve(p + 1);
+  boundaries.push_back(0);
+  std::uint64_t accumulated = 0;
+  std::uint32_t next_boundary = 1;
+  for (VertexId v = 0; v < n && next_boundary < p; ++v) {
+    accumulated += out_degrees[v];
+    // Close interval `next_boundary-1` once it holds its fair share,
+    // but never let an interval be empty.
+    const std::uint64_t target =
+        (total * next_boundary + p - 1) / p;
+    if (accumulated >= target && v + 1 < n &&
+        v + 1 > boundaries.back()) {
+      boundaries.push_back(v + 1);
+      ++next_boundary;
+    }
+  }
+  // Close any remaining intervals at the tail, keeping them non-empty.
+  while (boundaries.size() < p) {
+    const VertexId last = boundaries.back();
+    const auto remaining_intervals =
+        static_cast<VertexId>(p + 1 - boundaries.size());
+    const VertexId step =
+        std::max<VertexId>(1, (n - last) / remaining_intervals);
+    boundaries.push_back(std::min<VertexId>(n - (remaining_intervals - 1),
+                                            last + step));
+  }
+  boundaries.push_back(n);
+  return boundaries;
+}
+
+std::uint32_t IntervalOf(const IntervalBoundaries& boundaries, VertexId v) {
+  GRAPHSD_CHECK(boundaries.size() >= 2);
+  GRAPHSD_CHECK(v < boundaries.back());
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), v);
+  return static_cast<std::uint32_t>(it - boundaries.begin() - 1);
+}
+
+std::uint32_t ChooseIntervalCount(VertexId num_vertices,
+                                  std::uint64_t num_edges,
+                                  std::uint64_t memory_budget_bytes,
+                                  bool weighted) {
+  GRAPHSD_CHECK(memory_budget_bytes > 0);
+  const std::uint64_t bytes_per_edge =
+      kEdgeBytes + (weighted ? kWeightBytes : 0);
+  // A processing step holds ~one sub-block row of edges plus one interval of
+  // 8-byte vertex values.
+  for (std::uint32_t p = 1; p < 1024; ++p) {
+    const std::uint64_t row_bytes = num_edges * bytes_per_edge / p;
+    const std::uint64_t value_bytes = 8ULL * num_vertices / p;
+    if (row_bytes + value_bytes <= memory_budget_bytes) return p;
+  }
+  return 1024;
+}
+
+}  // namespace graphsd::partition

@@ -1,0 +1,40 @@
+// Vertex interval computation for the 2-D grid partitioning (paper §3.2).
+//
+// The vertex set is split into P disjoint contiguous intervals; edges land
+// in sub-block (i, j) when src ∈ interval i and dst ∈ interval j.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace graphsd::partition {
+
+/// How interval boundaries are chosen.
+enum class IntervalScheme {
+  kEqualVertices,  // |V|/P vertices per interval
+  kBalancedEdges,  // boundaries chosen so out-edge counts are balanced
+};
+
+/// P+1 boundaries: interval i is [boundaries[i], boundaries[i+1]).
+using IntervalBoundaries = std::vector<VertexId>;
+
+/// Equal-vertex split of [0, num_vertices) into `p` intervals.
+IntervalBoundaries ComputeEqualIntervals(VertexId num_vertices, std::uint32_t p);
+
+/// Degree-balanced split: each interval holds ≈ |E|/P out-edges.
+IntervalBoundaries ComputeBalancedIntervals(
+    const std::vector<std::uint32_t>& out_degrees, std::uint32_t p);
+
+/// Index of the interval containing `v` (binary search).
+std::uint32_t IntervalOf(const IntervalBoundaries& boundaries, VertexId v);
+
+/// Picks a default interval count so one sub-block row (≈ |E|/P edges plus
+/// an interval of vertex values) fits the memory budget.
+std::uint32_t ChooseIntervalCount(VertexId num_vertices,
+                                  std::uint64_t num_edges,
+                                  std::uint64_t memory_budget_bytes,
+                                  bool weighted);
+
+}  // namespace graphsd::partition

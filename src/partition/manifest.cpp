@@ -1,0 +1,143 @@
+#include "partition/manifest.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace graphsd::partition {
+namespace {
+
+std::string JoinU64(const std::vector<std::uint64_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint64_t>> SplitU64(const std::string& text) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + pos, text.data() + comma, value);
+    if (ec != std::errc() || ptr != text.data() + comma) {
+      return CorruptDataError("bad integer list in manifest: " + text);
+    }
+    out.push_back(value);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status GridManifest::Validate() const {
+  if (p == 0) return CorruptDataError("manifest: p == 0");
+  if (boundaries.size() != p + 1) {
+    return CorruptDataError("manifest: boundary count != p+1");
+  }
+  if (boundaries.front() != 0 || boundaries.back() != num_vertices) {
+    return CorruptDataError("manifest: boundaries do not span vertex set");
+  }
+  for (std::uint32_t i = 0; i < p; ++i) {
+    if (boundaries[i] >= boundaries[i + 1]) {
+      return CorruptDataError("manifest: empty or inverted interval " +
+                              std::to_string(i));
+    }
+  }
+  if (sub_block_edges.size() != static_cast<std::size_t>(p) * p) {
+    return CorruptDataError("manifest: sub-block count != p*p");
+  }
+  std::uint64_t total = 0;
+  for (const auto count : sub_block_edges) total += count;
+  if (total != num_edges) {
+    return CorruptDataError("manifest: sub-block edges sum " +
+                            std::to_string(total) + " != num_edges " +
+                            std::to_string(num_edges));
+  }
+  return Status::Ok();
+}
+
+std::string GridManifest::Serialize() const {
+  std::ostringstream out;
+  out << "graphsd_grid_manifest v1\n";
+  out << "name=" << name << "\n";
+  out << "num_vertices=" << num_vertices << "\n";
+  out << "num_edges=" << num_edges << "\n";
+  out << "weighted=" << (weighted ? 1 : 0) << "\n";
+  out << "sorted=" << (sorted ? 1 : 0) << "\n";
+  out << "has_index=" << (has_index ? 1 : 0) << "\n";
+  out << "p=" << p << "\n";
+  std::vector<std::uint64_t> bounds(boundaries.begin(), boundaries.end());
+  out << "boundaries=" << JoinU64(bounds) << "\n";
+  out << "sub_block_edges=" << JoinU64(sub_block_edges) << "\n";
+  return out.str();
+}
+
+Result<GridManifest> GridManifest::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "graphsd_grid_manifest v1") {
+    return CorruptDataError("not a graphsd grid manifest");
+  }
+  GridManifest m;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return CorruptDataError("manifest line without '=': " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "name") {
+      m.name = value;
+    } else if (key == "num_vertices") {
+      m.num_vertices = static_cast<VertexId>(std::stoull(value));
+    } else if (key == "num_edges") {
+      m.num_edges = std::stoull(value);
+    } else if (key == "weighted") {
+      m.weighted = value == "1";
+    } else if (key == "sorted") {
+      m.sorted = value == "1";
+    } else if (key == "has_index") {
+      m.has_index = value == "1";
+    } else if (key == "p") {
+      m.p = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "boundaries") {
+      GRAPHSD_ASSIGN_OR_RETURN(const auto bounds, SplitU64(value));
+      m.boundaries.assign(bounds.begin(), bounds.end());
+    } else if (key == "sub_block_edges") {
+      GRAPHSD_ASSIGN_OR_RETURN(m.sub_block_edges, SplitU64(value));
+    } else {
+      return CorruptDataError("unknown manifest key: " + key);
+    }
+  }
+  GRAPHSD_RETURN_IF_ERROR(m.Validate());
+  return m;
+}
+
+std::string ManifestPath(const std::string& dir) { return dir + "/manifest.txt"; }
+
+std::string DegreesPath(const std::string& dir) { return dir + "/degrees.bin"; }
+
+std::string SubBlockEdgesPath(const std::string& dir, std::uint32_t i,
+                              std::uint32_t j) {
+  return dir + "/sb_" + std::to_string(i) + "_" + std::to_string(j) + ".edges";
+}
+
+std::string SubBlockWeightsPath(const std::string& dir, std::uint32_t i,
+                                std::uint32_t j) {
+  return dir + "/sb_" + std::to_string(i) + "_" + std::to_string(j) +
+         ".weights";
+}
+
+std::string SubBlockIndexPath(const std::string& dir, std::uint32_t i,
+                              std::uint32_t j) {
+  return dir + "/sb_" + std::to_string(i) + "_" + std::to_string(j) + ".index";
+}
+
+}  // namespace graphsd::partition

@@ -1,0 +1,69 @@
+// On-disk dataset manifest: the metadata record describing a preprocessed
+// grid dataset (paper §3.2 representation).
+//
+// Stored as a line-oriented `key=value` text file so datasets are
+// self-describing and debuggable with `cat`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "partition/intervals.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::partition {
+
+struct GridManifest {
+  std::string name;            // dataset name (informational)
+  VertexId num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  bool weighted = false;
+  bool sorted = false;         // sub-blocks sorted by (src,dst)
+  bool has_index = false;      // per-sub-block CSR index present
+  std::uint32_t p = 0;         // interval count
+  IntervalBoundaries boundaries;           // p+1 entries
+  std::vector<std::uint64_t> sub_block_edges;  // p*p entries, row-major (i*p+j)
+
+  /// Edge count of sub-block (i, j).
+  std::uint64_t EdgesIn(std::uint32_t i, std::uint32_t j) const {
+    return sub_block_edges[static_cast<std::size_t>(i) * p + j];
+  }
+
+  /// Vertex count of interval i.
+  VertexId IntervalSize(std::uint32_t i) const {
+    return boundaries[i + 1] - boundaries[i];
+  }
+
+  /// Bytes per stored edge (M, or M+W when weighted).
+  std::uint64_t BytesPerEdge() const noexcept {
+    return kEdgeBytes + (weighted ? kWeightBytes : 0);
+  }
+
+  /// Total bytes of all edge (+weight) payload.
+  std::uint64_t TotalEdgeBytes() const noexcept {
+    return num_edges * BytesPerEdge();
+  }
+
+  /// Validates internal consistency.
+  Status Validate() const;
+
+  /// Serializes to the text format.
+  std::string Serialize() const;
+
+  /// Parses the text format.
+  static Result<GridManifest> Parse(const std::string& text);
+};
+
+/// Standard file names inside a dataset directory.
+std::string ManifestPath(const std::string& dir);
+std::string DegreesPath(const std::string& dir);
+std::string SubBlockEdgesPath(const std::string& dir, std::uint32_t i,
+                              std::uint32_t j);
+std::string SubBlockWeightsPath(const std::string& dir, std::uint32_t i,
+                                std::uint32_t j);
+std::string SubBlockIndexPath(const std::string& dir, std::uint32_t i,
+                              std::uint32_t j);
+
+}  // namespace graphsd::partition

@@ -1,0 +1,111 @@
+// Page-aligned byte buffer for direct I/O.
+//
+// O_DIRECT requires the user buffer, file offset, and transfer size to be
+// aligned to the logical block size. `AlignedBuffer` owns memory aligned to
+// `kDirectIoAlignment` (4 KiB, a safe superset of common block sizes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace graphsd {
+
+/// Alignment that satisfies O_DIRECT on all common Linux block devices.
+inline constexpr std::size_t kDirectIoAlignment = 4096;
+
+/// Rounds `n` up to a multiple of `alignment` (a power of two).
+constexpr std::size_t AlignUp(std::size_t n, std::size_t alignment) noexcept {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+/// Rounds `n` down to a multiple of `alignment` (a power of two).
+constexpr std::size_t AlignDown(std::size_t n, std::size_t alignment) noexcept {
+  return n & ~(alignment - 1);
+}
+
+/// Owning, movable, page-aligned byte buffer.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() noexcept = default;
+
+  /// Allocates `size` bytes aligned to `alignment`. Size is rounded up to a
+  /// full alignment multiple so the buffer is always usable for direct I/O.
+  explicit AlignedBuffer(std::size_t size,
+                         std::size_t alignment = kDirectIoAlignment) {
+    Allocate(size, alignment);
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { Free(); }
+
+  /// Ensures capacity for `size` bytes, reallocating if needed. Contents are
+  /// not preserved on reallocation.
+  void Reserve(std::size_t size,
+               std::size_t alignment = kDirectIoAlignment) {
+    if (size > capacity_) {
+      Free();
+      Allocate(size, alignment);
+    }
+    size_ = size;
+  }
+
+  std::uint8_t* data() noexcept { return data_; }
+  const std::uint8_t* data() const noexcept { return data_; }
+
+  /// Logical size (what the caller asked for, not the rounded capacity).
+  std::size_t size() const noexcept { return size_; }
+
+  /// Allocated capacity, a multiple of the alignment.
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::span<std::uint8_t> span() noexcept { return {data_, size_}; }
+  std::span<const std::uint8_t> span() const noexcept { return {data_, size_}; }
+
+ private:
+  void Allocate(std::size_t size, std::size_t alignment) {
+    const std::size_t rounded = AlignUp(size == 0 ? alignment : size, alignment);
+    void* p = std::aligned_alloc(alignment, rounded);
+    if (p == nullptr) throw std::bad_alloc();
+    data_ = static_cast<std::uint8_t*>(p);
+    size_ = size;
+    capacity_ = rounded;
+  }
+
+  void Free() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace graphsd

@@ -1,0 +1,78 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace graphsd {
+
+void CliFlags::Define(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+Status CliFlags::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return InvalidArgumentError("unknown flag --" + name);
+      }
+      // Boolean-style flag if the next token is absent or another flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+      it->second.value = value;
+      continue;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + name);
+    }
+    it->second.value = value;
+  }
+  return Status::Ok();
+}
+
+std::string CliFlags::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  GRAPHSD_CHECK_MSG(it != flags_.end(), "undefined flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t CliFlags::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double CliFlags::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool CliFlags::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliFlags::Help(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " + flag.default_value + ")\n      " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace graphsd

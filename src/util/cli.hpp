@@ -1,0 +1,49 @@
+// Tiny command-line flag parser used by the examples and benches.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` forms.
+// Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace graphsd {
+
+class CliFlags {
+ public:
+  /// Declares a flag with a default value and help text.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv. Returns an error on unknown or malformed flags.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Accessors; the flag must have been defined.
+  std::string GetString(const std::string& name) const;
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Renders a usage/help string listing every defined flag.
+  std::string Help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace graphsd

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace graphsd {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void LogF(LogLevel level, const char* format, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char body[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(body, sizeof(body), format, args);
+  va_end(args);
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[graphsd %s] %s\n", LevelTag(level), body);
+}
+
+}  // namespace graphsd

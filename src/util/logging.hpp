@@ -1,0 +1,32 @@
+// Minimal leveled logger. Single global sink (stderr by default); thread
+// safe; printf-style formatting kept out of hot paths (logging below the
+// configured level costs one branch).
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace graphsd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level. Messages below it are dropped.
+void SetLogLevel(LogLevel level) noexcept;
+
+/// Current global minimum level.
+LogLevel GetLogLevel() noexcept;
+
+/// Emits one formatted log line (printf semantics) at `level`.
+void LogF(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace graphsd
+
+#define GRAPHSD_LOG_DEBUG(...) \
+  ::graphsd::LogF(::graphsd::LogLevel::kDebug, __VA_ARGS__)
+#define GRAPHSD_LOG_INFO(...) \
+  ::graphsd::LogF(::graphsd::LogLevel::kInfo, __VA_ARGS__)
+#define GRAPHSD_LOG_WARN(...) \
+  ::graphsd::LogF(::graphsd::LogLevel::kWarning, __VA_ARGS__)
+#define GRAPHSD_LOG_ERROR(...) \
+  ::graphsd::LogF(::graphsd::LogLevel::kError, __VA_ARGS__)

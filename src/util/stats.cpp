@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <cstdio>
+
+namespace graphsd {
+
+void Log2Histogram::Add(std::uint64_t value) noexcept {
+  const std::size_t b = BucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+}
+
+std::uint64_t Log2Histogram::TotalCount() const noexcept {
+  std::uint64_t total = 0;
+  for (auto c : buckets_) total += c;
+  return total;
+}
+
+std::size_t Log2Histogram::BucketFor(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  return static_cast<std::size_t>(64 - __builtin_clzll(value));
+}
+
+std::uint64_t Log2Histogram::BucketLow(std::size_t b) noexcept {
+  return b == 0 ? 0 : 1ULL << (b - 1);
+}
+
+std::string Log2Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    std::snprintf(line, sizeof(line), "[%llu, %llu): %llu\n",
+                  static_cast<unsigned long long>(BucketLow(b)),
+                  static_cast<unsigned long long>(BucketLow(b + 1)),
+                  static_cast<unsigned long long>(buckets_[b]));
+    out += line;
+  }
+  return out;
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace graphsd

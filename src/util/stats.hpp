@@ -1,0 +1,79 @@
+// Small statistics helpers shared by the profiler, benches and reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphsd {
+
+/// Online mean/min/max/stddev accumulator (Welford).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+  /// Sample variance (n-1 denominator); zero with fewer than two samples.
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Resets to the empty state.
+  void Reset() noexcept { *this = RunningStat(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Power-of-two bucketed histogram for sizes/latencies.
+class Log2Histogram {
+ public:
+  /// Records a value (values of 0 land in bucket 0).
+  void Add(std::uint64_t value) noexcept;
+
+  /// Number of recorded values.
+  std::uint64_t TotalCount() const noexcept;
+
+  /// Bucket index for a value: floor(log2(value)) + 1, 0 for value==0.
+  static std::size_t BucketFor(std::uint64_t value) noexcept;
+
+  /// Inclusive lower bound of bucket `b`.
+  static std::uint64_t BucketLow(std::size_t b) noexcept;
+
+  /// Multi-line rendering ("[4096, 8192): 17").
+  std::string ToString() const;
+
+  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// Formats a byte count as a human-readable string ("1.5 GiB").
+std::string FormatBytes(std::uint64_t bytes);
+
+/// Formats seconds adaptively ("3.42 s", "17.1 ms").
+std::string FormatSeconds(double seconds);
+
+}  // namespace graphsd

@@ -1,0 +1,171 @@
+// Lightweight status/error handling for GraphSD.
+//
+// GraphSD uses two error channels, following the C++ Core Guidelines split
+// between recoverable and programming errors:
+//   * `Status` / `Result<T>` for recoverable runtime failures (I/O errors,
+//     malformed input files, resource exhaustion) that callers may handle.
+//   * `GRAPHSD_CHECK` for invariant violations (bugs) that abort with a
+//     diagnostic; these are never meant to be caught.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace graphsd {
+
+/// Error category for `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kIoError,
+  kCorruptData,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a status code (e.g. "IoError").
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to move; success carries no allocation.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs an error status with a message. `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Renders "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes additional context onto an error message; no-op when ok.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Convenience factory helpers mirroring absl-style constructors.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status IoError(std::string message);
+Status CorruptDataError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// Builds an IoError from the current `errno` with context.
+Status ErrnoError(std::string_view context, int errno_value);
+
+/// A value-or-status result. On success holds `T`; on failure holds the
+/// error `Status`. Accessing `value()` on an error aborts (it is a bug).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result<T>::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace internal
+
+}  // namespace graphsd
+
+/// Aborts with a diagnostic when `expr` is false. For invariants, not I/O.
+#define GRAPHSD_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::graphsd::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                    \
+  } while (0)
+
+/// Like GRAPHSD_CHECK but with a formatted context message.
+#define GRAPHSD_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::graphsd::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                    \
+  } while (0)
+
+/// Propagates an error status out of the enclosing function.
+#define GRAPHSD_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::graphsd::Status status_ = (expr);          \
+    if (!status_.ok()) return status_;           \
+  } while (0)
+
+#define GRAPHSD_INTERNAL_CONCAT2(a, b) a##b
+#define GRAPHSD_INTERNAL_CONCAT(a, b) GRAPHSD_INTERNAL_CONCAT2(a, b)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define GRAPHSD_ASSIGN_OR_RETURN(lhs, expr)                           \
+  GRAPHSD_INTERNAL_ASSIGN_OR_RETURN(                                  \
+      GRAPHSD_INTERNAL_CONCAT(graphsd_result_, __LINE__), lhs, expr)
+
+#define GRAPHSD_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                      \
+  if (!tmp.ok()) {                                        \
+    return tmp.status();                                  \
+  }                                                       \
+  lhs = std::move(tmp).value()

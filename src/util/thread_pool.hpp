@@ -1,0 +1,58 @@
+// A small fixed-size thread pool with a blocking `ParallelFor`.
+//
+// GraphSD parallelizes edge application *within* a destination interval;
+// combines are commutative atomics, so chunk scheduling order never changes
+// results. The pool is created once per engine run and reused across
+// iterations (no per-iteration thread churn).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace graphsd {
+
+class ThreadPool {
+ public:
+  /// Creates a pool of `num_threads` workers. `num_threads == 0` means
+  /// hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers. Pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all previously submitted tasks have completed.
+  void Wait();
+
+  /// Splits [begin, end) into chunks of at most `grain` items and runs
+  /// `fn(chunk_begin, chunk_end)` across the pool. Blocks until done.
+  /// With a single worker (or a tiny range) runs inline — zero overhead.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace graphsd

@@ -1,0 +1,76 @@
+#include "core/frontier.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace graphsd::core {
+namespace {
+
+TEST(Frontier, ActivateReportsFirstActivation) {
+  Frontier f(100);
+  EXPECT_TRUE(f.Empty());
+  EXPECT_TRUE(f.Activate(5));
+  EXPECT_FALSE(f.Activate(5));
+  EXPECT_TRUE(f.IsActive(5));
+  EXPECT_EQ(f.Count(), 1u);
+  EXPECT_FALSE(f.Empty());
+}
+
+TEST(Frontier, DeactivateRemoves) {
+  Frontier f(10);
+  f.Activate(3);
+  f.Deactivate(3);
+  EXPECT_FALSE(f.IsActive(3));
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(Frontier, ActivateAllAndClear) {
+  Frontier f(77);
+  f.ActivateAll();
+  EXPECT_EQ(f.Count(), 77u);
+  f.Clear();
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(Frontier, ForEachActiveAscending) {
+  Frontier f(200);
+  for (VertexId v : {190, 3, 64, 63}) f.Activate(v);
+  std::vector<VertexId> seen;
+  f.ForEachActive([&](std::size_t v) { seen.push_back(static_cast<VertexId>(v)); });
+  EXPECT_EQ(seen, (std::vector<VertexId>{3, 63, 64, 190}));
+}
+
+TEST(Frontier, RangeOperations) {
+  Frontier f(100);
+  for (VertexId v = 0; v < 100; v += 10) f.Activate(v);
+  EXPECT_EQ(f.CountInRange(0, 100), 10u);
+  EXPECT_EQ(f.CountInRange(5, 25), 2u);  // 10, 20
+  std::vector<VertexId> seen;
+  f.ForEachActiveInRange(20, 51, [&](std::size_t v) {
+    seen.push_back(static_cast<VertexId>(v));
+  });
+  EXPECT_EQ(seen, (std::vector<VertexId>{20, 30, 40, 50}));
+}
+
+TEST(Frontier, CopyFromAndSwap) {
+  Frontier a(50);
+  Frontier b(50);
+  a.Activate(7);
+  b.CopyFrom(a);
+  EXPECT_TRUE(b.IsActive(7));
+  Frontier c(50);
+  c.Activate(9);
+  b.Swap(c);
+  EXPECT_TRUE(b.IsActive(9));
+  EXPECT_FALSE(b.IsActive(7));
+  EXPECT_TRUE(c.IsActive(7));
+}
+
+TEST(Frontier, SizeReflectsConstruction) {
+  Frontier f(123);
+  EXPECT_EQ(f.size(), 123u);
+}
+
+}  // namespace
+}  // namespace graphsd::core

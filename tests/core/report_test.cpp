@@ -1,0 +1,64 @@
+// ExecutionReport rendering and arithmetic.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace graphsd::core {
+namespace {
+
+ExecutionReport MakeReport() {
+  ExecutionReport r;
+  r.engine = "GraphSD";
+  r.algorithm = "sssp";
+  r.dataset = "toy";
+  r.iterations = 7;
+  r.rounds = 4;
+  r.compute_seconds = 0.25;
+  r.update_seconds = 0.20;
+  r.io_seconds = 1.75;
+  r.scheduler_seconds = 0.001;
+  r.io.seq_read_bytes = 1 << 20;
+  r.buffer_hits = 3;
+  r.buffer_misses = 9;
+  r.buffer_bytes_saved = 4096;
+  return r;
+}
+
+TEST(ExecutionReport, TotalsAndBreakdown) {
+  const ExecutionReport r = MakeReport();
+  EXPECT_DOUBLE_EQ(r.TotalSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(r.OtherSeconds(), 0.05);
+}
+
+TEST(ExecutionReport, OtherSecondsClampsAtZero) {
+  ExecutionReport r = MakeReport();
+  r.update_seconds = 0.30;  // accumulators can slightly exceed the wall
+  EXPECT_DOUBLE_EQ(r.OtherSeconds(), 0.0);
+}
+
+TEST(ExecutionReport, SummaryNamesEverything) {
+  const std::string summary = MakeReport().Summary();
+  for (const char* needle :
+       {"GraphSD", "sssp", "toy", "7 iterations", "4 rounds", "buffer",
+        "3 hits", "9 misses"}) {
+    EXPECT_NE(summary.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ExecutionReport, SummaryOmitsBufferLineWhenUnused) {
+  ExecutionReport r = MakeReport();
+  r.buffer_hits = 0;
+  r.buffer_misses = 0;
+  EXPECT_EQ(r.Summary().find("buffer"), std::string::npos);
+}
+
+TEST(RoundModel, CharsAreStable) {
+  // Bench output and Figure 10 depend on these letters.
+  EXPECT_EQ(static_cast<char>(RoundModel::kSciu), 'S');
+  EXPECT_EQ(static_cast<char>(RoundModel::kFciu), 'F');
+  EXPECT_EQ(static_cast<char>(RoundModel::kPlainFull), 'P');
+  EXPECT_EQ(static_cast<char>(RoundModel::kSkipped), '-');
+}
+
+}  // namespace
+}  // namespace graphsd::core

@@ -1,0 +1,159 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::core {
+namespace {
+
+using graphsd::testing::BuildTestGrid;
+using graphsd::testing::TempDir;
+using graphsd::testing::ValueOrDie;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = io::MakeSimulatedDevice();
+    RmatOptions options;
+    options.scale = 10;
+    options.edge_factor = 8;
+    graph_ = GenerateRmat(options);
+    BuildTestGrid(graph_, *device_, dir_.Sub("ds"), 4);
+    dataset_ = std::make_unique<partition::GridDataset>(
+        ValueOrDie(partition::GridDataset::Open(*device_, dir_.Sub("ds"))));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<io::Device> device_;
+  EdgeList graph_;
+  std::unique_ptr<partition::GridDataset> dataset_;
+};
+
+TEST_F(SchedulerTest, FullFrontierSelectsFullModel) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::Hdd());
+  Frontier active(dataset_->num_vertices());
+  active.ActivateAll();
+  const SchedulerDecision d = scheduler.Evaluate(active, 8, false);
+  EXPECT_FALSE(d.on_demand);
+  EXPECT_EQ(d.active_vertices, dataset_->num_vertices());
+  EXPECT_EQ(d.active_edges, dataset_->num_edges());
+  EXPECT_GT(d.cost_on_demand, 0.0);
+  EXPECT_GT(d.cost_full, 0.0);
+}
+
+TEST_F(SchedulerTest, TinyFrontierSelectsOnDemand) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::ScaledHdd());
+  Frontier active(dataset_->num_vertices());
+  active.Activate(1);
+  const SchedulerDecision d = scheduler.Evaluate(active, 8, false);
+  EXPECT_TRUE(d.on_demand);
+  EXPECT_LT(d.cost_on_demand, d.cost_full);
+  EXPECT_EQ(d.active_vertices, 1u);
+  EXPECT_EQ(d.active_edges, dataset_->out_degrees()[1]);
+}
+
+TEST_F(SchedulerTest, EmptyFrontierOnDemandIsNearlyFree) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::ScaledHdd());
+  Frontier active(dataset_->num_vertices());
+  const SchedulerDecision d = scheduler.Evaluate(active, 8, false);
+  EXPECT_TRUE(d.on_demand);
+  EXPECT_EQ(d.active_edges, 0u);
+  EXPECT_EQ(d.rand_bytes + d.seq_bytes, 0u);
+}
+
+TEST_F(SchedulerTest, FullCostIsFrontierIndependent) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::Hdd());
+  Frontier small(dataset_->num_vertices());
+  small.Activate(0);
+  Frontier large(dataset_->num_vertices());
+  large.ActivateAll();
+  const auto d1 = scheduler.Evaluate(small, 8, false);
+  const auto d2 = scheduler.Evaluate(large, 8, false);
+  EXPECT_DOUBLE_EQ(d1.cost_full, d2.cost_full);
+}
+
+TEST_F(SchedulerTest, OnDemandCostGrowsWithFrontier) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::Hdd());
+  double prev = 0;
+  // Spacing stays >= 8 so each active vertex remains its own run; at
+  // spacing 1 the frontier would collapse into a single sequential run and
+  // the cost would legitimately drop.
+  for (std::uint64_t count : {1u, 16u, 64u, 128u}) {
+    Frontier active(dataset_->num_vertices());
+    for (std::uint64_t k = 0; k < count; ++k) {
+      active.Activate(static_cast<VertexId>(
+          k * (dataset_->num_vertices() / count)));
+    }
+    const auto d = scheduler.Evaluate(active, 8, false);
+    EXPECT_GE(d.cost_on_demand, prev);
+    prev = d.cost_on_demand;
+  }
+}
+
+TEST_F(SchedulerTest, WeightedEdgesRaiseFullCost) {
+  // Build a weighted dataset.
+  TempDir dir2;
+  RmatOptions options;
+  options.scale = 9;
+  options.max_weight = 5.0;
+  const EdgeList weighted = GenerateRmat(options);
+  BuildTestGrid(weighted, *device_, dir2.Sub("w"), 4);
+  const auto ds =
+      ValueOrDie(partition::GridDataset::Open(*device_, dir2.Sub("w")));
+  StateAwareScheduler scheduler(ds, io::IoCostModel::Hdd());
+  Frontier active(ds.num_vertices());
+  active.ActivateAll();
+  const auto with = scheduler.Evaluate(active, 8, true);
+  const auto without = scheduler.Evaluate(active, 8, false);
+  EXPECT_GT(with.cost_full, without.cost_full);
+}
+
+TEST_F(SchedulerTest, ContiguousActiveRunsCountAsSequential) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::Hdd());
+  Frontier active(dataset_->num_vertices());
+  // One large contiguous run of actives.
+  for (VertexId v = 0; v < 512; ++v) active.Activate(v);
+  const auto d = scheduler.Evaluate(active, 8, false);
+  EXPECT_LE(d.random_requests, 1u);
+  EXPECT_GT(d.seq_bytes + d.rand_bytes, 0u);
+}
+
+TEST_F(SchedulerTest, ScatteredActivesCountAsRandom) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::Hdd());
+  Frontier active(dataset_->num_vertices());
+  for (VertexId v = 0; v < dataset_->num_vertices(); v += 64) {
+    active.Activate(v);
+  }
+  const auto d = scheduler.Evaluate(active, 8, false);
+  EXPECT_GT(d.random_requests, 1u);
+}
+
+TEST_F(SchedulerTest, EvaluationOverheadIsRecordedAndSmall) {
+  StateAwareScheduler scheduler(*dataset_, io::IoCostModel::Hdd());
+  Frontier active(dataset_->num_vertices());
+  active.ActivateAll();
+  const auto d = scheduler.Evaluate(active, 8, false);
+  EXPECT_GT(d.eval_seconds, 0.0);
+  EXPECT_LT(d.eval_seconds, 1.0);
+}
+
+TEST_F(SchedulerTest, SsdProfileShiftsCrossoverTowardOnDemand) {
+  // With near-zero seek cost, even a fairly large scattered frontier should
+  // prefer on-demand; with HDD seeks it should not.
+  Frontier active(dataset_->num_vertices());
+  for (VertexId v = 0; v < dataset_->num_vertices(); v += 8) {
+    active.Activate(v);
+  }
+  StateAwareScheduler hdd(*dataset_, io::IoCostModel::Hdd());
+  StateAwareScheduler ssd(*dataset_, io::IoCostModel::Ssd());
+  const auto d_hdd = hdd.Evaluate(active, 8, false);
+  const auto d_ssd = ssd.Evaluate(active, 8, false);
+  const double hdd_ratio = d_hdd.cost_on_demand / d_hdd.cost_full;
+  const double ssd_ratio = d_ssd.cost_on_demand / d_ssd.cost_full;
+  EXPECT_LT(ssd_ratio, hdd_ratio);
+}
+
+}  // namespace
+}  // namespace graphsd::core

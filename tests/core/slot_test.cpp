@@ -1,0 +1,75 @@
+#include "core/slot.hpp"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace graphsd::core {
+namespace {
+
+TEST(Slot, DoubleRoundTrip) {
+  for (double v : {0.0, 1.0, -3.5, 1e-300, std::numeric_limits<double>::infinity()}) {
+    EXPECT_EQ(SlotToDouble(SlotFromDouble(v)), v);
+  }
+}
+
+TEST(AtomicMinDouble, LowersAndReports) {
+  Slot slot = SlotFromDouble(10.0);
+  EXPECT_TRUE(AtomicMinDouble(&slot, 5.0));
+  EXPECT_EQ(SlotToDouble(slot), 5.0);
+  EXPECT_FALSE(AtomicMinDouble(&slot, 7.0));
+  EXPECT_EQ(SlotToDouble(slot), 5.0);
+  EXPECT_FALSE(AtomicMinDouble(&slot, 5.0));  // equal is not a lowering
+}
+
+TEST(AtomicMinDouble, HandlesInfinity) {
+  Slot slot = SlotFromDouble(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(AtomicMinDouble(&slot, 1e308));
+  EXPECT_EQ(SlotToDouble(slot), 1e308);
+}
+
+TEST(AtomicMinU64, LowersAndReports) {
+  Slot slot = 100;
+  EXPECT_TRUE(AtomicMinU64(&slot, 7));
+  EXPECT_EQ(slot, 7u);
+  EXPECT_FALSE(AtomicMinU64(&slot, 9));
+  EXPECT_FALSE(AtomicMinU64(&slot, 7));
+}
+
+TEST(AtomicAddDouble, ReturnsNewValue) {
+  Slot slot = SlotFromDouble(1.5);
+  EXPECT_DOUBLE_EQ(AtomicAddDouble(&slot, 2.5), 4.0);
+  EXPECT_DOUBLE_EQ(SlotToDouble(slot), 4.0);
+}
+
+TEST(AtomicAddDouble, ConcurrentSumsAreLossless) {
+  Slot slot = SlotFromDouble(0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) AtomicAddDouble(&slot, 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(SlotToDouble(slot), 40000.0);
+}
+
+TEST(AtomicMinU64, ConcurrentMinFindsGlobalMinimum) {
+  Slot slot = UINT64_MAX;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 10000; ++i) {
+        AtomicMinU64(&slot, (i * 7 + t) % 100000 + 42);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(slot, 42u);
+}
+
+}  // namespace
+}  // namespace graphsd::core

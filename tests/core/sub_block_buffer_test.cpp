@@ -1,0 +1,128 @@
+#include "core/sub_block_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd::core {
+namespace {
+
+partition::SubBlock MakeBlock(std::size_t num_edges) {
+  partition::SubBlock block;
+  block.edges.resize(num_edges, Edge{1, 2});
+  return block;
+}
+
+TEST(SubBlockBuffer, DisabledBufferRejectsEverything) {
+  SubBlockBuffer buffer(0);
+  EXPECT_FALSE(buffer.enabled());
+  EXPECT_FALSE(buffer.Put(0, 1, MakeBlock(1), 100));
+  EXPECT_EQ(buffer.Get(0, 1), nullptr);
+  EXPECT_EQ(buffer.hits(), 0u);
+  EXPECT_EQ(buffer.misses(), 0u);  // disabled Get doesn't count a miss
+}
+
+TEST(SubBlockBuffer, PutThenGetHits) {
+  SubBlockBuffer buffer(1 << 20);
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 5));
+  const partition::SubBlock* block = buffer.Get(1, 0);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->edges.size(), 10u);
+  EXPECT_EQ(buffer.hits(), 1u);
+  EXPECT_EQ(buffer.bytes_saved(), 10 * sizeof(Edge));
+}
+
+TEST(SubBlockBuffer, MissCountsAndReturnsNull) {
+  SubBlockBuffer buffer(1 << 20);
+  EXPECT_EQ(buffer.Get(3, 3), nullptr);
+  EXPECT_EQ(buffer.misses(), 1u);
+}
+
+TEST(SubBlockBuffer, RejectsBlockLargerThanCapacity) {
+  SubBlockBuffer buffer(64);
+  EXPECT_FALSE(buffer.Put(0, 0, MakeBlock(100), 1000));
+  EXPECT_EQ(buffer.size_bytes(), 0u);
+}
+
+TEST(SubBlockBuffer, EvictsLowestPriorityFirst) {
+  // Capacity fits exactly two 10-edge blocks.
+  SubBlockBuffer buffer(2 * 10 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), /*priority=*/5));
+  ASSERT_TRUE(buffer.Put(2, 0, MakeBlock(10), /*priority=*/9));
+  // Higher priority than the lowest entry: evicts (1,0), not (2,0).
+  ASSERT_TRUE(buffer.Put(3, 0, MakeBlock(10), /*priority=*/7));
+  EXPECT_EQ(buffer.Get(1, 0), nullptr);
+  EXPECT_NE(buffer.Get(2, 0), nullptr);
+  EXPECT_NE(buffer.Get(3, 0), nullptr);
+}
+
+TEST(SubBlockBuffer, RefusesInsertWhenEverythingElseIsHotter) {
+  SubBlockBuffer buffer(10 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 100));
+  EXPECT_FALSE(buffer.Put(2, 0, MakeBlock(10), 50));  // colder: rejected
+  EXPECT_NE(buffer.Get(1, 0), nullptr);
+}
+
+TEST(SubBlockBuffer, EqualPriorityDoesNotEvict) {
+  SubBlockBuffer buffer(10 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 5));
+  EXPECT_FALSE(buffer.Put(2, 0, MakeBlock(10), 5));
+}
+
+TEST(SubBlockBuffer, UpdatePriorityChangesEvictionOrder) {
+  SubBlockBuffer buffer(2 * 10 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 5));
+  ASSERT_TRUE(buffer.Put(2, 0, MakeBlock(10), 6));
+  buffer.UpdatePriority(2, 0, 1);  // now (2,0) is the coldest
+  ASSERT_TRUE(buffer.Put(3, 0, MakeBlock(10), 4));
+  EXPECT_EQ(buffer.Get(2, 0), nullptr);
+  EXPECT_NE(buffer.Get(1, 0), nullptr);
+}
+
+TEST(SubBlockBuffer, ReplacingAnEntryReleasesItsBytes) {
+  SubBlockBuffer buffer(20 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(20), 5));
+  EXPECT_EQ(buffer.size_bytes(), 20 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 5));  // same key, smaller block
+  EXPECT_EQ(buffer.size_bytes(), 10 * sizeof(Edge));
+  EXPECT_EQ(buffer.Get(1, 0)->edges.size(), 10u);
+}
+
+TEST(SubBlockBuffer, EraseAndClear) {
+  SubBlockBuffer buffer(1 << 20);
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(5), 1));
+  ASSERT_TRUE(buffer.Put(2, 0, MakeBlock(5), 1));
+  buffer.Erase(1, 0);
+  EXPECT_EQ(buffer.Get(1, 0), nullptr);
+  EXPECT_NE(buffer.Get(2, 0), nullptr);
+  buffer.Clear();
+  EXPECT_EQ(buffer.Get(2, 0), nullptr);
+  EXPECT_EQ(buffer.size_bytes(), 0u);
+  EXPECT_EQ(buffer.entry_count(), 0u);
+}
+
+TEST(SubBlockBuffer, ForEachEntryVisitsAll) {
+  SubBlockBuffer buffer(1 << 20);
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(3), 1));
+  ASSERT_TRUE(buffer.Put(2, 1, MakeBlock(4), 1));
+  std::size_t visited = 0;
+  std::size_t total_edges = 0;
+  buffer.ForEachEntry([&](std::uint32_t, std::uint32_t,
+                          const partition::SubBlock& block) {
+    ++visited;
+    total_edges += block.edges.size();
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(total_edges, 7u);
+}
+
+TEST(SubBlockBuffer, WeightsCountTowardCapacity) {
+  partition::SubBlock block;
+  block.edges.resize(8);
+  block.weights.resize(8);
+  const std::uint64_t bytes = block.SizeBytes();
+  EXPECT_EQ(bytes, 8 * sizeof(Edge) + 8 * sizeof(Weight));
+  SubBlockBuffer tight(bytes - 1);
+  EXPECT_FALSE(tight.Put(0, 0, std::move(block), 1));
+}
+
+}  // namespace
+}  // namespace graphsd::core

@@ -1,0 +1,84 @@
+#include "core/vertex_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/slot.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::core {
+namespace {
+
+using graphsd::testing::TempDir;
+using graphsd::testing::ValueOrDie;
+
+TEST(VertexState, AllocatesRequestedArrays) {
+  VertexState state(100, 2, /*gather=*/false);
+  EXPECT_EQ(state.num_vertices(), 100u);
+  EXPECT_EQ(state.num_program_arrays(), 2u);
+  EXPECT_EQ(state.array(0).size(), 100u);
+  EXPECT_EQ(state.array(1).size(), 100u);
+  EXPECT_EQ(state.contrib(ContribSlot::kPrimary).size(), 100u);
+  EXPECT_EQ(state.contrib(ContribSlot::kSecondary).size(), 100u);
+}
+
+TEST(VertexState, GatherModeAddsAccumulators) {
+  VertexState state(10, 1, /*gather=*/true);
+  EXPECT_EQ(state.accum(AccumSlot::kA).size(), 10u);
+  EXPECT_EQ(state.accum(AccumSlot::kB).size(), 10u);
+}
+
+TEST(VertexState, PushModeHasNoAccumulators) {
+  VertexState state(10, 1, /*gather=*/false);
+  EXPECT_TRUE(state.accum(AccumSlot::kA).empty());
+}
+
+TEST(VertexState, ArraysAreZeroInitialized) {
+  VertexState state(50, 3, false);
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (const Slot s : state.array(a)) EXPECT_EQ(s, 0u);
+  }
+}
+
+TEST(VertexState, BytesPerVertexCountsProgramArraysOnly) {
+  VertexState state(10, 2, /*gather=*/true);
+  EXPECT_EQ(state.BytesPerVertex(), 16u);  // 2 arrays * 8 B
+}
+
+TEST(VertexState, PersistLoadRoundTrip) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  VertexState state(64, 2, false);
+  for (VertexId v = 0; v < 64; ++v) {
+    state.array(0)[v] = v;
+    state.array(1)[v] = SlotFromDouble(v * 0.5);
+  }
+  ASSERT_OK(state.Persist(*device, dir.Sub("values.bin")));
+
+  VertexState reload(64, 2, false);
+  ASSERT_OK(reload.Load(*device, dir.Sub("values.bin")));
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_EQ(reload.array(0)[v], v);
+    EXPECT_DOUBLE_EQ(SlotToDouble(reload.array(1)[v]), v * 0.5);
+  }
+}
+
+TEST(VertexState, PersistChargesVertexValueTraffic) {
+  TempDir dir;
+  auto device = io::MakeSimulatedDevice();
+  VertexState state(1000, 2, false);
+  ASSERT_OK(state.Persist(*device, dir.Sub("values.bin")));
+  // |V| * N with N = 16 bytes.
+  EXPECT_EQ(device->stats().Snapshot().TotalWriteBytes(), 1000u * 16);
+  ASSERT_OK(state.Load(*device, dir.Sub("values.bin")));
+  EXPECT_EQ(device->stats().Snapshot().TotalReadBytes(), 1000u * 16);
+}
+
+TEST(VertexState, LoadMissingFileFails) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  VertexState state(10, 1, false);
+  EXPECT_FALSE(state.Load(*device, dir.Sub("missing.bin")).ok());
+}
+
+}  // namespace
+}  // namespace graphsd::core

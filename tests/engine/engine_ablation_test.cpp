@@ -1,0 +1,162 @@
+// Ablation behaviour: the paper's §5.4 claims, verified at test scale.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace graphsd {
+namespace {
+
+using testing::MakeDataset;
+using testing::TempDir;
+using testing::TestDataset;
+using testing::ValueOrDie;
+
+core::ExecutionReport RunSssp(const TestDataset& t,
+                              const core::EngineOptions& options) {
+  core::GraphSDEngine engine(*t.dataset, options);
+  algos::Sssp sssp(0);
+  return ValueOrDie(engine.Run(sssp));
+}
+
+core::ExecutionReport RunPr(const TestDataset& t,
+                            const core::EngineOptions& options,
+                            std::uint32_t iterations) {
+  core::GraphSDEngine engine(*t.dataset, options);
+  algos::PageRank pr(iterations);
+  return ValueOrDie(engine.Run(pr));
+}
+
+class AblationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RmatOptions o;
+    o.scale = 10;
+    o.edge_factor = 8;
+    o.max_weight = 10.0;
+    t_ = MakeDataset(GenerateRmat(o), dir_.Sub("ds"), 6);
+  }
+  TempDir dir_;
+  TestDataset t_;
+};
+
+// Cross-iteration halves PageRank's loading rounds (2 iterations/round).
+TEST_F(AblationTest, CrossIterationHalvesPageRankRounds) {
+  core::EngineOptions with;
+  core::EngineOptions without;
+  without.enable_cross_iteration = false;
+  const auto r_with = RunPr(t_, with, 6);
+  const auto r_without = RunPr(t_, without, 6);
+  EXPECT_EQ(r_with.rounds, 3u);
+  EXPECT_EQ(r_without.rounds, 6u);
+  EXPECT_EQ(r_with.iterations, 6u);
+  EXPECT_EQ(r_without.iterations, 6u);
+}
+
+// ...and reduces PageRank read traffic (each FCIU round reads at most the
+// full grid + secondary half instead of two full grids).
+TEST_F(AblationTest, CrossIterationReducesPageRankReadBytes) {
+  core::EngineOptions with;
+  core::EngineOptions without;
+  without.enable_cross_iteration = false;
+  without.enable_buffering = false;
+  core::EngineOptions with_nobuf;
+  with_nobuf.enable_buffering = false;
+  const auto r_with = RunPr(t_, with_nobuf, 6);
+  const auto r_without = RunPr(t_, without, 6);
+  EXPECT_LT(r_with.io.TotalReadBytes(), r_without.io.TotalReadBytes());
+}
+
+// Selective processing reduces SSSP traffic versus always-full (b2).
+TEST_F(AblationTest, SelectiveReducesSsspTraffic) {
+  core::EngineOptions gsd;
+  core::EngineOptions b2;
+  b2.enable_selective = false;
+  const auto r_gsd = RunSssp(t_, gsd);
+  const auto r_b2 = RunSssp(t_, b2);
+  EXPECT_LT(r_gsd.io.TotalReadBytes(), r_b2.io.TotalReadBytes());
+  EXPECT_LT(r_gsd.io_seconds, r_b2.io_seconds);
+}
+
+// GraphSD (both mechanisms) beats both single-mechanism ablations on
+// modeled time — the Figure 9 ordering.
+TEST_F(AblationTest, Figure9Ordering) {
+  core::EngineOptions gsd;
+  core::EngineOptions b1;
+  b1.enable_cross_iteration = false;
+  core::EngineOptions b2;
+  b2.enable_selective = false;
+  const auto r_gsd = RunSssp(t_, gsd);
+  const auto r_b1 = RunSssp(t_, b1);
+  const auto r_b2 = RunSssp(t_, b2);
+  EXPECT_LE(r_gsd.io_seconds, r_b1.io_seconds * 1.001);
+  EXPECT_LT(r_gsd.io_seconds, r_b2.io_seconds);
+}
+
+// The adaptive scheduler must match or beat both forced models (Fig. 10).
+TEST_F(AblationTest, AdaptiveBeatsForcedModels) {
+  core::EngineOptions adaptive;
+  core::EngineOptions b3;  // always full
+  b3.enable_selective = false;
+  core::EngineOptions b4;  // always on-demand
+  b4.force_on_demand = true;
+  const auto r_adaptive = RunSssp(t_, adaptive);
+  const auto r_b3 = RunSssp(t_, b3);
+  const auto r_b4 = RunSssp(t_, b4);
+  EXPECT_LE(r_adaptive.io_seconds,
+            std::min(r_b3.io_seconds, r_b4.io_seconds) * 1.10);
+}
+
+// Buffering serves secondary sub-blocks from memory (Fig. 12 mechanism).
+TEST_F(AblationTest, BufferingProducesHitsAndSavesReads) {
+  core::EngineOptions with;
+  with.enable_selective = false;  // force FCIU rounds so the buffer matters
+  with.buffer_capacity_bytes = 1 << 26;  // roomy: every secondary fits
+  core::EngineOptions without = with;
+  without.enable_buffering = false;
+  const auto r_with = RunPr(t_, with, 6);
+  const auto r_without = RunPr(t_, without, 6);
+  EXPECT_GT(r_with.buffer_hits, 0u);
+  EXPECT_EQ(r_without.buffer_hits, 0u);
+  EXPECT_LT(r_with.io.TotalReadBytes(), r_without.io.TotalReadBytes());
+  EXPECT_GT(r_with.buffer_bytes_saved, 0u);
+}
+
+// A tiny buffer cannot help much but must not break anything.
+TEST_F(AblationTest, TinyBufferDegradesGracefully) {
+  core::EngineOptions tiny;
+  tiny.enable_selective = false;
+  tiny.buffer_capacity_bytes = 64;
+  const auto report = RunPr(t_, tiny, 4);
+  EXPECT_EQ(report.iterations, 4u);
+}
+
+// The scheduler's decision column must be consistent with its own cost
+// estimates in every recorded round.
+TEST_F(AblationTest, RecordedDecisionsMatchCostEstimates) {
+  core::EngineOptions options;
+  const auto report = RunSssp(t_, options);
+  for (const auto& round : report.per_round) {
+    if (round.model == core::RoundModel::kSkipped) continue;
+    if (round.cost_full == 0 && round.cost_on_demand == 0) continue;
+    if (round.model == core::RoundModel::kSciu) {
+      EXPECT_LE(round.cost_on_demand, round.cost_full);
+    } else {
+      EXPECT_GT(round.cost_on_demand, round.cost_full);
+    }
+  }
+}
+
+// Scheduler overhead is tiny compared to the I/O it saves (Fig. 11 shape).
+TEST_F(AblationTest, SchedulerOverheadIsNegligible) {
+  core::EngineOptions adaptive;
+  core::EngineOptions b3;
+  b3.enable_selective = false;
+  const auto r_adaptive = RunSssp(t_, adaptive);
+  const auto r_b3 = RunSssp(t_, b3);
+  const double saved = r_b3.io_seconds - r_adaptive.io_seconds;
+  EXPECT_GT(saved, 0.0);
+  EXPECT_LT(r_adaptive.scheduler_seconds, saved / 10);
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,126 @@
+// Parameterized exactness sweep for the gather path: PageRank under FCIU
+// must equal the synchronous reference for EVERY iteration count — odd
+// counts force a trailing plain round, even counts are all two-iteration
+// FCIU rounds, and both interleave with buffering.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace graphsd {
+namespace {
+
+using testing::ExpectValuesNear;
+using testing::MakeDataset;
+using testing::TempDir;
+using testing::TestDataset;
+using testing::Values;
+using testing::ValueOrDie;
+
+class GatherSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(GatherSweep, PageRankExactForEveryIterationCount) {
+  const auto [iterations, p] = GetParam();
+  TempDir dir;
+  RmatOptions o;
+  o.scale = 7;
+  o.edge_factor = 5;
+  TestDataset t = MakeDataset(GenerateRmat(o), dir.Sub("ds"), p);
+  const auto reference = ReferencePageRank(t.graph, iterations);
+
+  core::GraphSDEngine engine(*t.dataset, {});
+  algos::PageRank pr(iterations);
+  const auto report = ValueOrDie(engine.Run(pr));
+  EXPECT_EQ(report.iterations, iterations);
+  // Even iteration counts need ceil(n/2) rounds; odd add a plain round.
+  EXPECT_EQ(report.rounds, (iterations + 1) / 2);
+  ExpectValuesNear(Values(pr, *engine.state()), reference, 1e-11);
+}
+
+TEST_P(GatherSweep, PageRankExactWithoutBuffering) {
+  const auto [iterations, p] = GetParam();
+  TempDir dir;
+  RmatOptions o;
+  o.scale = 7;
+  o.edge_factor = 5;
+  TestDataset t = MakeDataset(GenerateRmat(o), dir.Sub("ds"), p);
+  const auto reference = ReferencePageRank(t.graph, iterations);
+
+  core::EngineOptions options;
+  options.enable_buffering = false;
+  core::GraphSDEngine engine(*t.dataset, options);
+  algos::PageRank pr(iterations);
+  (void)ValueOrDie(engine.Run(pr));
+  ExpectValuesNear(Values(pr, *engine.state()), reference, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IterationsByP, GatherSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                       ::testing::Values(1u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint32_t, std::uint32_t>>&
+           info) {
+      return "iters" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Damping sensitivity: the engine must respect non-default damping.
+TEST(GatherDamping, NonDefaultDampingMatchesReference) {
+  TempDir dir;
+  RmatOptions o;
+  o.scale = 7;
+  TestDataset t = MakeDataset(GenerateRmat(o), dir.Sub("ds"), 3);
+  for (const double damping : {0.5, 0.9, 0.99}) {
+    const auto reference = ReferencePageRank(t.graph, 4, damping);
+    core::GraphSDEngine engine(*t.dataset, {});
+    algos::PageRank pr(4, damping);
+    (void)ValueOrDie(engine.Run(pr));
+    SCOPED_TRACE(damping);
+    ExpectValuesNear(Values(pr, *engine.state()), reference, 1e-11);
+  }
+}
+
+// Relative-epsilon PR-Delta (the benchmark configuration) still converges
+// to the PageRank fixpoint.
+TEST(PageRankDeltaRelative, ConvergesToFixpoint) {
+  TempDir dir;
+  RmatOptions o;
+  o.scale = 8;
+  o.edge_factor = 6;
+  TestDataset t = MakeDataset(GenerateRmat(o), dir.Sub("ds"), 4);
+  const auto reference = ReferencePageRank(t.graph, 300);
+  core::GraphSDEngine engine(*t.dataset, {});
+  algos::PageRankDelta prd(/*epsilon=*/1e-6, 0.85, UINT32_MAX,
+                           /*relative_epsilon=*/true);
+  (void)ValueOrDie(engine.Run(prd));
+  // Threshold = 1e-6 * (0.15/n); residual leakage is bounded by n * that.
+  ExpectValuesNear(Values(prd, *engine.state()), reference, 1e-6);
+}
+
+// A looser relative epsilon terminates in fewer iterations.
+TEST(PageRankDeltaRelative, LooserEpsilonTerminatesFaster) {
+  TempDir dir;
+  RmatOptions o;
+  o.scale = 8;
+  o.edge_factor = 6;
+  TestDataset t = MakeDataset(GenerateRmat(o), dir.Sub("ds"), 4);
+  std::uint32_t tight_iterations = 0;
+  std::uint32_t loose_iterations = 0;
+  {
+    core::GraphSDEngine engine(*t.dataset, {});
+    algos::PageRankDelta prd(1e-6, 0.85, UINT32_MAX, true);
+    tight_iterations = ValueOrDie(engine.Run(prd)).iterations;
+  }
+  {
+    core::GraphSDEngine engine(*t.dataset, {});
+    algos::PageRankDelta prd(0.5, 0.85, UINT32_MAX, true);
+    loose_iterations = ValueOrDie(engine.Run(prd)).iterations;
+  }
+  EXPECT_LT(loose_iterations, tight_iterations);
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,96 @@
+// Widest path: the max-min combine on every engine and graph family.
+#include <gtest/gtest.h>
+
+#include "algos/widest_path.hpp"
+#include "engine_test_util.hpp"
+
+namespace graphsd {
+namespace {
+
+using testing::ExpectValuesNear;
+using testing::kGraphCases;
+using testing::MakeDataset;
+using testing::TempDir;
+using testing::TestDataset;
+using testing::Values;
+using testing::ValueOrDie;
+
+TEST(ReferenceWidestPath, PathBottleneckIsMinEdge) {
+  EdgeList g(4);
+  g.AddEdge(0, 1, 5.0f);
+  g.AddEdge(1, 2, 2.0f);
+  g.AddEdge(2, 3, 9.0f);
+  const auto width = ReferenceWidestPath(g, 0);
+  EXPECT_TRUE(std::isinf(width[0]));
+  EXPECT_DOUBLE_EQ(width[1], 5.0);
+  EXPECT_DOUBLE_EQ(width[2], 2.0);
+  EXPECT_DOUBLE_EQ(width[3], 2.0);
+}
+
+TEST(ReferenceWidestPath, PrefersWiderDetour) {
+  EdgeList g(4);
+  g.AddEdge(0, 1, 1.0f);   // narrow direct hop
+  g.AddEdge(0, 2, 10.0f);  // wide detour
+  g.AddEdge(2, 1, 8.0f);
+  const auto width = ReferenceWidestPath(g, 0);
+  EXPECT_DOUBLE_EQ(width[1], 8.0);
+}
+
+TEST(ReferenceWidestPath, UnreachedIsZero) {
+  EdgeList g(3);
+  g.AddEdge(0, 1, 4.0f);
+  const auto width = ReferenceWidestPath(g, 0);
+  EXPECT_DOUBLE_EQ(width[2], 0.0);
+}
+
+class WidestPathEngine : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidestPathEngine, MatchesReferenceOnAllFamilies) {
+  const auto& graph_case = kGraphCases[GetParam()];
+  TempDir dir;
+  TestDataset t = MakeDataset(graph_case.make(), dir.Sub("ds"), 4);
+  const auto reference = ReferenceWidestPath(t.graph, 0);
+  core::GraphSDEngine engine(*t.dataset, {});
+  algos::WidestPath widest(0);
+  (void)ValueOrDie(engine.Run(widest));
+  ExpectValuesNear(Values(widest, *engine.state()), reference, 1e-9);
+}
+
+TEST_P(WidestPathEngine, IdenticalUnderForcedOnDemand) {
+  const auto& graph_case = kGraphCases[GetParam()];
+  TempDir dir;
+  TestDataset t = MakeDataset(graph_case.make(), dir.Sub("ds"), 4);
+  const auto reference = ReferenceWidestPath(t.graph, 0);
+  core::EngineOptions options;
+  options.force_on_demand = true;
+  core::GraphSDEngine engine(*t.dataset, options);
+  algos::WidestPath widest(0);
+  (void)ValueOrDie(engine.Run(widest));
+  ExpectValuesNear(Values(widest, *engine.state()), reference, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, WidestPathEngine, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kGraphCases[info.param].name;
+                         });
+
+TEST(WidestPathEngine2, BaselinesAgree) {
+  TempDir dir;
+  TestDataset t = MakeDataset(testing::MakeRmatCase(), dir.Sub("ds"), 4);
+  const auto reference = ReferenceWidestPath(t.graph, 0);
+  {
+    baselines::HusGraphEngine engine(*t.dataset);
+    algos::WidestPath widest(0);
+    (void)ValueOrDie(engine.Run(widest));
+    ExpectValuesNear(Values(widest, *engine.state()), reference, 1e-9);
+  }
+  {
+    baselines::LumosEngine engine(*t.dataset);
+    algos::WidestPath widest(0);
+    (void)ValueOrDie(engine.Run(widest));
+    ExpectValuesNear(Values(widest, *engine.state()), reference, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace graphsd

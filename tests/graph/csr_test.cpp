@@ -1,0 +1,103 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace graphsd {
+namespace {
+
+TEST(CsrGraph, BuildsOutEdges) {
+  EdgeList list(4);
+  list.AddEdge(0, 1);
+  list.AddEdge(0, 2);
+  list.AddEdge(2, 3);
+  const CsrGraph g = CsrGraph::Build(list);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 0u);
+  auto n0 = g.Neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(CsrGraph, BuildReverseIsTranspose) {
+  EdgeList list(4);
+  list.AddEdge(0, 2);
+  list.AddEdge(1, 2);
+  list.AddEdge(3, 2);
+  const CsrGraph g = CsrGraph::BuildReverse(list);
+  auto in2 = g.Neighbors(2);
+  std::vector<VertexId> sources(in2.begin(), in2.end());
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(sources, (std::vector<VertexId>{0, 1, 3}));
+  EXPECT_EQ(g.Degree(0), 0u);
+}
+
+TEST(CsrGraph, WeightsTravelWithEdges) {
+  EdgeList list(3);
+  list.AddEdge(0, 1, 10.0f);
+  list.AddEdge(0, 2, 20.0f);
+  list.AddEdge(1, 2, 30.0f);
+  const CsrGraph g = CsrGraph::Build(list);
+  ASSERT_TRUE(g.weighted());
+  auto n = g.Neighbors(0);
+  auto w = g.NeighborWeights(0);
+  ASSERT_EQ(n.size(), 2u);
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    if (n[i] == 1) {
+      EXPECT_FLOAT_EQ(w[i], 10.0f);
+    }
+    if (n[i] == 2) {
+      EXPECT_FLOAT_EQ(w[i], 20.0f);
+    }
+  }
+}
+
+TEST(CsrGraph, UnweightedGraphHasEmptyWeightSpans) {
+  EdgeList list(2);
+  list.AddEdge(0, 1);
+  const CsrGraph g = CsrGraph::Build(list);
+  EXPECT_FALSE(g.weighted());
+  EXPECT_TRUE(g.NeighborWeights(0).empty());
+}
+
+TEST(CsrGraph, IsolatedVerticesHaveEmptyNeighborhoods) {
+  EdgeList list(10);
+  list.AddEdge(0, 9);
+  const CsrGraph g = CsrGraph::Build(list);
+  for (VertexId v = 1; v < 9; ++v) {
+    EXPECT_TRUE(g.Neighbors(v).empty());
+  }
+}
+
+TEST(CsrGraphProperty, DegreesSumToEdgeCount) {
+  RmatOptions options;
+  options.scale = 8;
+  options.edge_factor = 4;
+  const EdgeList list = GenerateRmat(options);
+  const CsrGraph g = CsrGraph::Build(list);
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) total += g.Degree(v);
+  EXPECT_EQ(total, list.num_edges());
+}
+
+TEST(CsrGraphProperty, EveryEdgeAppearsExactlyOnce) {
+  ErdosRenyiOptions options;
+  options.num_vertices = 200;
+  options.num_edges = 2000;
+  const EdgeList list = GenerateErdosRenyi(options);
+  const CsrGraph g = CsrGraph::Build(list);
+  std::uint64_t found = 0;
+  for (const Edge& e : list.edges()) {
+    const auto n = g.Neighbors(e.src);
+    found += std::count(n.begin(), n.end(), e.dst) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(found, list.num_edges());
+  EXPECT_EQ(g.num_edges(), list.num_edges());
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,111 @@
+#include "graph/edge_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd {
+namespace {
+
+using testing::TempDir;
+using testing::ValueOrDie;
+
+TEST(TextEdgeList, RoundTripUnweighted) {
+  TempDir dir;
+  EdgeList list(4);
+  list.AddEdge(0, 1);
+  list.AddEdge(2, 3);
+  ASSERT_OK(WriteTextEdgeList(list, dir.Sub("g.txt")));
+  const EdgeList read = ValueOrDie(ReadTextEdgeList(dir.Sub("g.txt")));
+  EXPECT_EQ(read.num_edges(), 2u);
+  EXPECT_EQ(read.edges(), list.edges());
+}
+
+TEST(TextEdgeList, RoundTripWeighted) {
+  TempDir dir;
+  EdgeList list(3);
+  list.AddEdge(0, 1, 1.5f);
+  list.AddEdge(1, 2, 2.25f);
+  ASSERT_OK(WriteTextEdgeList(list, dir.Sub("g.txt")));
+  const EdgeList read =
+      ValueOrDie(ReadTextEdgeList(dir.Sub("g.txt"), /*weighted=*/true));
+  ASSERT_TRUE(read.weighted());
+  EXPECT_FLOAT_EQ(read.weights()[0], 1.5f);
+  EXPECT_FLOAT_EQ(read.weights()[1], 2.25f);
+}
+
+TEST(TextEdgeList, SkipsCommentLines) {
+  TempDir dir;
+  ASSERT_OK(io::WriteStringToFile(dir.Sub("g.txt"),
+                                  "# snap header\n% mm header\n\n1 2\n3 4\n"));
+  const EdgeList read = ValueOrDie(ReadTextEdgeList(dir.Sub("g.txt")));
+  EXPECT_EQ(read.num_edges(), 2u);
+}
+
+TEST(TextEdgeList, RejectsMalformedLine) {
+  TempDir dir;
+  ASSERT_OK(io::WriteStringToFile(dir.Sub("bad.txt"), "1 2\nnot numbers\n"));
+  const auto result = ReadTextEdgeList(dir.Sub("bad.txt"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptData);
+  EXPECT_NE(result.status().message().find(":2"), std::string::npos);
+}
+
+TEST(TextEdgeList, ThirdColumnIgnoredWhenUnweighted) {
+  TempDir dir;
+  ASSERT_OK(io::WriteStringToFile(dir.Sub("g.txt"), "0 1 3.5\n"));
+  const EdgeList read = ValueOrDie(ReadTextEdgeList(dir.Sub("g.txt")));
+  EXPECT_FALSE(read.weighted());
+  EXPECT_EQ(read.num_edges(), 1u);
+}
+
+TEST(BinaryEdgeList, RoundTripUnweighted) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  const EdgeList list = GenerateRing(100);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  const EdgeList read = ValueOrDie(ReadBinaryEdgeList(*device, dir.Sub("g.bin")));
+  EXPECT_EQ(read.num_vertices(), list.num_vertices());
+  EXPECT_EQ(read.edges(), list.edges());
+  EXPECT_FALSE(read.weighted());
+}
+
+TEST(BinaryEdgeList, RoundTripWeighted) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  RmatOptions options;
+  options.scale = 6;
+  options.edge_factor = 4;
+  options.max_weight = 9.0;
+  const EdgeList list = GenerateRmat(options);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  const EdgeList read = ValueOrDie(ReadBinaryEdgeList(*device, dir.Sub("g.bin")));
+  EXPECT_EQ(read.edges(), list.edges());
+  EXPECT_EQ(read.weights(), list.weights());
+}
+
+TEST(BinaryEdgeList, RejectsBadMagic) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  ASSERT_OK(io::WriteStringToFile(dir.Sub("bad.bin"),
+                                  std::string(64, 'x')));
+  const auto result = ReadBinaryEdgeList(*device, dir.Sub("bad.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(BinaryEdgeList, IoIsAccounted) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  const EdgeList list = GenerateRing(1000);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  const auto after_write = device->stats().Snapshot();
+  EXPECT_GE(after_write.TotalWriteBytes(), list.num_edges() * sizeof(Edge));
+  (void)ValueOrDie(ReadBinaryEdgeList(*device, dir.Sub("g.bin")));
+  const auto after_read = device->stats().Snapshot();
+  EXPECT_GE(after_read.TotalReadBytes() , list.num_edges() * sizeof(Edge));
+}
+
+}  // namespace
+}  // namespace graphsd

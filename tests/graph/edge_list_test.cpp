@@ -1,0 +1,115 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(EdgeList, EmptyGraph) {
+  EdgeList list(5);
+  EXPECT_EQ(list.num_vertices(), 5u);
+  EXPECT_EQ(list.num_edges(), 0u);
+  EXPECT_FALSE(list.weighted());
+  EXPECT_TRUE(list.Validate().ok());
+}
+
+TEST(EdgeList, AddEdgeGrowsVertexCount) {
+  EdgeList list;
+  list.AddEdge(3, 7);
+  EXPECT_EQ(list.num_vertices(), 8u);
+  EXPECT_EQ(list.num_edges(), 1u);
+}
+
+TEST(EdgeList, WeightedEdgesKeepParallelWeights) {
+  EdgeList list;
+  list.AddEdge(0, 1, 2.5f);
+  list.AddEdge(1, 2, 0.5f);
+  EXPECT_TRUE(list.weighted());
+  ASSERT_EQ(list.weights().size(), 2u);
+  EXPECT_FLOAT_EQ(list.weights()[0], 2.5f);
+}
+
+TEST(EdgeList, DegreesCountBothDirections) {
+  EdgeList list(4);
+  list.AddEdge(0, 1);
+  list.AddEdge(0, 2);
+  list.AddEdge(1, 2);
+  const auto out = list.OutDegrees();
+  const auto in = list.InDegrees();
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{2, 1, 0, 0}));
+  EXPECT_EQ(in, (std::vector<std::uint32_t>{0, 1, 2, 0}));
+}
+
+TEST(EdgeList, ValidateCatchesOutOfRange) {
+  EdgeList list(3);
+  list.edges().push_back(Edge{0, 9});  // bypass AddEdge's auto-grow
+  EXPECT_FALSE(list.Validate().ok());
+}
+
+TEST(EdgeList, SortBySourceOrdersLexicographically) {
+  EdgeList list(5);
+  list.AddEdge(3, 1);
+  list.AddEdge(0, 4);
+  list.AddEdge(3, 0);
+  list.AddEdge(1, 2);
+  list.SortBySource();
+  const auto& edges = list.edges();
+  EXPECT_EQ(edges[0], (Edge{0, 4}));
+  EXPECT_EQ(edges[1], (Edge{1, 2}));
+  EXPECT_EQ(edges[2], (Edge{3, 0}));
+  EXPECT_EQ(edges[3], (Edge{3, 1}));
+}
+
+TEST(EdgeList, SortBySourceKeepsWeightsAttached) {
+  EdgeList list(3);
+  list.AddEdge(2, 0, 20.0f);
+  list.AddEdge(0, 1, 1.0f);
+  list.AddEdge(1, 2, 12.0f);
+  list.SortBySource();
+  EXPECT_EQ(list.edges()[0], (Edge{0, 1}));
+  EXPECT_FLOAT_EQ(list.weights()[0], 1.0f);
+  EXPECT_EQ(list.edges()[2], (Edge{2, 0}));
+  EXPECT_FLOAT_EQ(list.weights()[2], 20.0f);
+}
+
+TEST(EdgeList, DedupRemovesAdjacentDuplicates) {
+  EdgeList list(3);
+  list.AddEdge(0, 1);
+  list.AddEdge(0, 1);
+  list.AddEdge(0, 2);
+  list.AddEdge(0, 2);
+  list.AddEdge(1, 2);
+  list.SortBySource();
+  list.DedupSorted();
+  EXPECT_EQ(list.num_edges(), 3u);
+}
+
+TEST(EdgeList, DedupKeepsFirstWeight) {
+  EdgeList list(3);
+  list.AddEdge(0, 1, 5.0f);
+  list.AddEdge(0, 1, 9.0f);
+  list.SortBySource();
+  list.DedupSorted();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(list.weights()[0], 5.0f);
+}
+
+TEST(EdgeList, RawBytesMatchesCostModelConstants) {
+  EdgeList plain(3);
+  plain.AddEdge(0, 1);
+  plain.AddEdge(1, 2);
+  EXPECT_EQ(plain.RawBytes(), 2 * kEdgeBytes);
+
+  EdgeList weighted(3);
+  weighted.AddEdge(0, 1, 1.0f);
+  EXPECT_EQ(weighted.RawBytes(), kEdgeBytes + kWeightBytes);
+}
+
+TEST(EdgeTypes, DiskLayoutIsStable) {
+  EXPECT_EQ(sizeof(Edge), 8u);
+  EXPECT_EQ(kEdgeBytes, 8u);
+  EXPECT_EQ(kWeightBytes, 4u);
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,139 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(GenerateRmat, DeterministicForSameSeed) {
+  RmatOptions options;
+  options.scale = 8;
+  options.edge_factor = 4;
+  const EdgeList a = GenerateRmat(options);
+  const EdgeList b = GenerateRmat(options);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(GenerateRmat, DifferentSeedsDiffer) {
+  RmatOptions options;
+  options.scale = 8;
+  RmatOptions other = options;
+  other.seed = 99;
+  EXPECT_NE(GenerateRmat(options).edges(), GenerateRmat(other).edges());
+}
+
+TEST(GenerateRmat, RespectsScaleAndValidates) {
+  RmatOptions options;
+  options.scale = 9;
+  options.edge_factor = 8;
+  const EdgeList g = GenerateRmat(options);
+  EXPECT_EQ(g.num_vertices(), 1u << 9);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(GenerateRmat, DedupRemovesSelfLoopsAndDuplicates) {
+  RmatOptions options;
+  options.scale = 7;
+  options.dedup = true;
+  const EdgeList g = GenerateRmat(options);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+  auto copy = g.edges();
+  std::sort(copy.begin(), copy.end());
+  EXPECT_TRUE(std::adjacent_find(copy.begin(), copy.end()) == copy.end());
+}
+
+TEST(GenerateRmat, ProducesSkewedDegrees) {
+  RmatOptions options;
+  options.scale = 10;
+  options.edge_factor = 8;
+  const EdgeList g = GenerateRmat(options);
+  const auto degrees = g.OutDegrees();
+  const std::uint32_t max_degree =
+      *std::max_element(degrees.begin(), degrees.end());
+  const double avg =
+      static_cast<double>(g.num_edges()) / g.num_vertices();
+  // Power-law skew: the biggest hub is far above the average.
+  EXPECT_GT(max_degree, 8 * avg);
+}
+
+TEST(GenerateRmat, WeightedWhenRequested) {
+  RmatOptions options;
+  options.scale = 6;
+  options.max_weight = 5.0;
+  const EdgeList g = GenerateRmat(options);
+  ASSERT_TRUE(g.weighted());
+  for (const Weight w : g.weights()) {
+    EXPECT_GE(w, 1.0f);
+    EXPECT_LT(w, 5.0f);
+  }
+}
+
+TEST(GenerateErdosRenyi, EdgeCountAndRange) {
+  ErdosRenyiOptions options;
+  options.num_vertices = 100;
+  options.num_edges = 500;
+  options.dedup = false;
+  const EdgeList g = GenerateErdosRenyi(options);
+  EXPECT_EQ(g.num_edges(), 500u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GenerateWebGraph, HasStrongLocality) {
+  WebGraphOptions options;
+  options.num_vertices = 2000;
+  options.avg_degree = 8;
+  options.locality = 0.9;
+  options.locality_window = 32;
+  const EdgeList g = GenerateWebGraph(options);
+  std::uint64_t local = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.src / 32 == e.dst / 32) ++local;  // same ID cluster
+  }
+  // After dedup the ratio shifts a little, but locality must dominate.
+  EXPECT_GT(static_cast<double>(local) / g.num_edges(), 0.6);
+}
+
+TEST(GeneratePath, ExactStructure) {
+  const EdgeList g = GeneratePath(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.edges()[v], (Edge{v, v + 1}));
+  }
+}
+
+TEST(GenerateRing, ClosesTheLoop) {
+  const EdgeList g = GenerateRing(4);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.edges().back(), (Edge{3, 0}));
+}
+
+TEST(GenerateStar, HubFansOut) {
+  const EdgeList g = GenerateStar(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (const Edge& e : g.edges()) EXPECT_EQ(e.src, 0u);
+}
+
+TEST(GenerateComplete, AllPairsNoSelfLoops) {
+  const EdgeList g = GenerateComplete(5);
+  EXPECT_EQ(g.num_edges(), 20u);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(GenerateGrid2D, RowColumnStructure) {
+  const EdgeList g = GenerateGrid2D(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Right edges: 3 rows * 3 = 9; down edges: 2 * 4 = 8.
+  EXPECT_EQ(g.num_edges(), 17u);
+}
+
+TEST(GenerateGrid2D, WeightedVariant) {
+  const EdgeList g = GenerateGrid2D(4, 4, 1, 10.0);
+  EXPECT_TRUE(g.weighted());
+  EXPECT_EQ(g.weights().size(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace graphsd

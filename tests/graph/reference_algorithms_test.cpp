@@ -1,0 +1,147 @@
+#include "graph/reference_algorithms.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace graphsd {
+namespace {
+
+TEST(Symmetrize, AddsReverseEdges) {
+  EdgeList g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const EdgeList sym = Symmetrize(g);
+  EXPECT_EQ(sym.num_edges(), 4u);
+  const auto& edges = sym.edges();
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{1, 0}), edges.end());
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{2, 1}), edges.end());
+}
+
+TEST(Symmetrize, PreservesWeights) {
+  EdgeList g(2);
+  g.AddEdge(0, 1, 7.0f);
+  const EdgeList sym = Symmetrize(g);
+  ASSERT_EQ(sym.num_edges(), 2u);
+  EXPECT_FLOAT_EQ(sym.weights()[0], 7.0f);
+  EXPECT_FLOAT_EQ(sym.weights()[1], 7.0f);
+}
+
+TEST(ReferencePageRank, SumsToOneWithoutDanglingLoss) {
+  // A ring has no dangling vertices, so mass is conserved.
+  const EdgeList g = GenerateRing(10);
+  const auto rank = ReferencePageRank(g, 20);
+  const double total = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ReferencePageRank, RingIsUniform) {
+  const EdgeList g = GenerateRing(8);
+  const auto rank = ReferencePageRank(g, 30);
+  for (double r : rank) EXPECT_NEAR(r, 1.0 / 8, 1e-12);
+}
+
+TEST(ReferencePageRank, StarHubFeedsLeaves) {
+  // Star: 0 -> {1..5}. After convergence leaves outrank nothing; vertex 0
+  // only keeps the base rank, leaves get base + share of hub.
+  const EdgeList g = GenerateStar(6);
+  const auto rank = ReferencePageRank(g, 50);
+  EXPECT_NEAR(rank[0], 0.15 / 6, 1e-9);
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_GT(rank[v], rank[0]);
+    EXPECT_NEAR(rank[v], rank[1], 1e-12);  // symmetry
+  }
+}
+
+TEST(ReferencePageRank, ZeroIterationsIsInitialValue) {
+  const EdgeList g = GenerateRing(4);
+  const auto rank = ReferencePageRank(g, 0);
+  for (double r : rank) EXPECT_DOUBLE_EQ(r, 0.25);
+}
+
+TEST(ReferencePageRankDelta, ConvergesToPageRankFixpoint) {
+  RmatOptions options;
+  options.scale = 8;
+  options.edge_factor = 6;
+  const EdgeList g = GenerateRmat(options);
+  const auto pr = ReferencePageRank(g, 100);
+  const auto prd = ReferencePageRankDelta(g, 1e-13, 10000);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(prd[v], pr[v], 1e-8) << "vertex " << v;
+  }
+}
+
+TEST(ReferencePageRankDelta, LooseEpsilonStopsEarlyButClose) {
+  const EdgeList g = GenerateRing(16);
+  const auto tight = ReferencePageRankDelta(g, 1e-14, 10000);
+  const auto loose = ReferencePageRankDelta(g, 1e-4, 10000);
+  for (VertexId v = 0; v < 16; ++v) {
+    EXPECT_NEAR(loose[v], tight[v], 1e-2);
+  }
+}
+
+TEST(ReferenceConnectedComponents, DisjointRingsGetDistinctLabels) {
+  EdgeList g(8);
+  // Two 4-cycles: {0..3} and {4..7}.
+  for (VertexId v = 0; v < 4; ++v) g.AddEdge(v, (v + 1) % 4);
+  for (VertexId v = 4; v < 8; ++v) g.AddEdge(v, v == 7 ? 4 : v + 1);
+  const EdgeList sym = Symmetrize(g);
+  const auto label = ReferenceConnectedComponents(sym);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(label[v], 0u);
+  for (VertexId v = 4; v < 8; ++v) EXPECT_EQ(label[v], 4u);
+}
+
+TEST(ReferenceConnectedComponents, SingletonsAreTheirOwnComponent) {
+  EdgeList g(5);
+  g.AddEdge(0, 1);
+  const auto label = ReferenceConnectedComponents(Symmetrize(g));
+  EXPECT_EQ(label[0], 0u);
+  EXPECT_EQ(label[1], 0u);
+  for (VertexId v = 2; v < 5; ++v) EXPECT_EQ(label[v], v);
+}
+
+TEST(ReferenceSssp, PathDistancesAreCumulative) {
+  const EdgeList g = GeneratePath(5, 2.0);
+  const auto dist = ReferenceSssp(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(dist[v], 2.0 * v);
+}
+
+TEST(ReferenceSssp, UnreachableIsInfinity) {
+  EdgeList g(3);
+  g.AddEdge(0, 1, 1.0f);
+  const auto dist = ReferenceSssp(g, 0);
+  EXPECT_TRUE(std::isinf(dist[2]));
+}
+
+TEST(ReferenceSssp, PicksShorterOfTwoRoutes) {
+  EdgeList g(4);
+  g.AddEdge(0, 1, 1.0f);
+  g.AddEdge(1, 3, 1.0f);
+  g.AddEdge(0, 2, 5.0f);
+  g.AddEdge(2, 3, 0.5f);
+  const auto dist = ReferenceSssp(g, 0);
+  EXPECT_DOUBLE_EQ(dist[3], 2.0);
+}
+
+TEST(ReferenceBfs, LevelsOnGrid) {
+  const EdgeList g = GenerateGrid2D(3, 3);
+  const auto level = ReferenceBfs(g, 0);
+  EXPECT_EQ(level[0], 0u);
+  EXPECT_EQ(level[1], 1u);
+  EXPECT_EQ(level[3], 1u);
+  EXPECT_EQ(level[4], 2u);
+  EXPECT_EQ(level[8], 4u);
+}
+
+TEST(ReferenceBfs, UnreachedMarker) {
+  EdgeList g(3);
+  g.AddEdge(0, 1);
+  const auto level = ReferenceBfs(g, 0);
+  EXPECT_EQ(level[2], kUnreachedLevel);
+}
+
+}  // namespace
+}  // namespace graphsd

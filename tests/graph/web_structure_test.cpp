@@ -1,0 +1,164 @@
+// Tests for the crawl-structure features of the web generator (clusters,
+// homepage/site hubs, bounded long-range links, whiskers) and the
+// AppendWhiskers utility — the structural properties DESIGN.md §5.7 calls
+// load-bearing for the benchmark shapes.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/reference_algorithms.hpp"
+
+namespace graphsd {
+namespace {
+
+WebGraphOptions BaseOptions() {
+  WebGraphOptions o;
+  o.num_vertices = 4096;
+  o.avg_degree = 12;
+  o.locality = 0.9;
+  o.locality_window = 32;
+  o.seed = 5;
+  return o;
+}
+
+TEST(WebGraph, Deterministic) {
+  const EdgeList a = GenerateWebGraph(BaseOptions());
+  const EdgeList b = GenerateWebGraph(BaseOptions());
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(WebGraph, HomepageBiasConcentratesInDegree) {
+  WebGraphOptions with = BaseOptions();
+  with.homepage_bias = 0.6;
+  WebGraphOptions without = BaseOptions();
+  without.homepage_bias = 0.0;
+  const auto in_with = GenerateWebGraph(with).InDegrees();
+  const auto in_without = GenerateWebGraph(without).InDegrees();
+  // Average in-degree of cluster bases must be far higher with the bias.
+  auto homepage_avg = [&](const std::vector<std::uint32_t>& in) {
+    std::uint64_t total = 0;
+    std::uint64_t count = 0;
+    for (VertexId v = 0; v < 4096; v += 32) {
+      total += in[v];
+      ++count;
+    }
+    return static_cast<double>(total) / count;
+  };
+  EXPECT_GT(homepage_avg(in_with), 2.0 * homepage_avg(in_without));
+}
+
+TEST(WebGraph, SiteHubsHaveTrimmedOutDegree) {
+  WebGraphOptions o = BaseOptions();
+  o.homepage_bias = 0.5;
+  const EdgeList g = GenerateWebGraph(o);
+  const auto out = g.OutDegrees();
+  const VertexId site = 32 * 32;  // locality_window * 32
+  for (VertexId v = 0; v < g.num_vertices(); v += site) {
+    EXPECT_LE(out[v], 3u) << "site hub " << v;
+  }
+}
+
+TEST(WebGraph, LongRangeWindowBoundsNonLocalLinks) {
+  WebGraphOptions o = BaseOptions();
+  o.long_range_window = 128;
+  o.locality = 0.0;  // every link is long-range
+  o.homepage_bias = 0.0;
+  const EdgeList g = GenerateWebGraph(o);
+  for (const Edge& e : g.edges()) {
+    const VertexId fwd = (e.dst + g.num_vertices() - e.src) % g.num_vertices();
+    EXPECT_GE(fwd, 1u);
+    EXPECT_LE(fwd, 128u);
+  }
+}
+
+TEST(WebGraph, WhiskersOccupyTopIdsAsChains) {
+  WebGraphOptions o = BaseOptions();
+  o.whisker_fraction = 0.25;
+  o.whisker_length = 16;
+  const EdgeList g = GenerateWebGraph(o);
+  const VertexId core_n = g.num_vertices() - 1024;  // 25% of 4096
+  const auto out = g.OutDegrees();
+  std::uint64_t chain_edges = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.src >= core_n) {
+      EXPECT_EQ(e.dst, e.src + 1);  // whisker vertices only chain forward
+      ++chain_edges;
+    }
+  }
+  EXPECT_GT(chain_edges, 900u);  // ~1024 minus one tail per chain
+  // Chain interiors have out-degree exactly 1; chain tails 0.
+  for (VertexId v = core_n; v < g.num_vertices(); ++v) {
+    EXPECT_LE(out[v], 1u);
+  }
+}
+
+TEST(WebGraph, WhiskersMakeBfsTailLong) {
+  WebGraphOptions shallow = BaseOptions();
+  WebGraphOptions deep = BaseOptions();
+  deep.whisker_fraction = 0.25;
+  deep.whisker_length = 64;
+  const EdgeList g_shallow = GenerateWebGraph(shallow);
+  const EdgeList g_deep = GenerateWebGraph(deep);
+  auto max_level = [](const EdgeList& g) {
+    const auto level = ReferenceBfs(Symmetrize(g), 0);
+    std::uint32_t best = 0;
+    for (const auto l : level) {
+      if (l != kUnreachedLevel) best = std::max(best, l);
+    }
+    return best;
+  };
+  EXPECT_GE(max_level(g_deep), max_level(g_shallow) + 32);
+}
+
+TEST(AppendWhiskers, AddsExpectedStructure) {
+  EdgeList g = GenerateRing(100);
+  AppendWhiskers(g, 40, 10, /*seed=*/3);
+  EXPECT_EQ(g.num_vertices(), 140u);
+  // 40 whisker vertices in 4 chains: 4 head links + 4*9 chain links.
+  EXPECT_EQ(g.num_edges(), 100u + 4 + 36);
+  for (const Edge& e : g.edges()) {
+    if (e.src >= 100) {
+      EXPECT_EQ(e.dst, e.src + 1);
+    }
+  }
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(AppendWhiskers, HeadsRespectRangeFraction) {
+  EdgeList g = GenerateRing(1000);
+  AppendWhiskers(g, 100, 5, /*seed=*/3, /*max_weight=*/0.0,
+                 /*head_range_fraction=*/0.1);
+  for (const Edge& e : g.edges()) {
+    if (e.dst >= 1000 && e.src < 1000) {
+      EXPECT_LT(e.src, 100u);  // heads confined to the first 10% of IDs
+    }
+  }
+}
+
+TEST(AppendWhiskers, WeightedGraphGetsWeightedWhiskers) {
+  EdgeList g = GeneratePath(50, 2.0);
+  AppendWhiskers(g, 20, 5, /*seed=*/1, /*max_weight=*/7.0);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.weights().size(), g.num_edges());
+  for (std::uint64_t i = 49; i < g.num_edges(); ++i) {
+    EXPECT_GE(g.weights()[i], 1.0f);
+    EXPECT_LT(g.weights()[i], 7.0f);
+  }
+}
+
+TEST(AppendWhiskers, PartialLastChain) {
+  EdgeList g = GenerateRing(10);
+  AppendWhiskers(g, 7, 5, /*seed=*/1);  // one full chain of 5, one of 2
+  EXPECT_EQ(g.num_vertices(), 17u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(AppendWhiskers, WholeGraphStaysConnectedForCc) {
+  EdgeList g = GenerateRing(64);
+  AppendWhiskers(g, 64, 8, /*seed=*/9);
+  const auto labels = ReferenceConnectedComponents(Symmetrize(g));
+  for (const auto label : labels) EXPECT_EQ(label, 0u);
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,72 @@
+#include "io/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd::io {
+namespace {
+
+TEST(IoCostModel, SequentialCostIsBytesOverBandwidth) {
+  IoCostModel m = IoCostModel::Hdd();
+  const std::uint64_t bytes = 160ull * 1024 * 1024;  // exactly 1 s worth
+  EXPECT_NEAR(m.SeqReadSeconds(bytes), 1.0, 1e-9);
+}
+
+TEST(IoCostModel, RandomCostAddsSeekPerRequest) {
+  IoCostModel m;
+  m.seq_read_bw = 100.0 * 1024 * 1024;
+  m.seek_seconds = 0.01;
+  const double one = m.RandReadSeconds(1024, 1);
+  const double ten = m.RandReadSeconds(1024, 10);
+  EXPECT_NEAR(ten - one, 9 * 0.01, 1e-12);
+}
+
+TEST(IoCostModel, RandomSlowerThanSequentialForSameBytes) {
+  IoCostModel m = IoCostModel::Hdd();
+  const std::uint64_t bytes = 1 << 20;
+  EXPECT_GT(m.RandReadSeconds(bytes, 16), m.SeqReadSeconds(bytes));
+}
+
+TEST(IoCostModel, PaperStyleRandomBandwidthBelowSequential) {
+  IoCostModel hdd = IoCostModel::Hdd();
+  EXPECT_LT(hdd.RandomReadBandwidth(), hdd.seq_read_bw);
+  EXPECT_GT(hdd.RandomReadBandwidth(), 0.0);
+}
+
+TEST(IoCostModel, SsdHasMuchSmallerSeekPenalty) {
+  IoCostModel hdd = IoCostModel::Hdd();
+  IoCostModel ssd = IoCostModel::Ssd();
+  // Relative random penalty (random/sequential for the same transfer) must
+  // be far smaller on the SSD profile.
+  const std::uint64_t bytes = 64 * 1024;
+  const double hdd_ratio =
+      hdd.RandReadSeconds(bytes, 1) / hdd.SeqReadSeconds(bytes);
+  const double ssd_ratio =
+      ssd.RandReadSeconds(bytes, 1) / ssd.SeqReadSeconds(bytes);
+  EXPECT_GT(hdd_ratio, 10 * ssd_ratio);
+}
+
+TEST(IoCostModel, FreeModelCostsNothing) {
+  IoCostModel free = IoCostModel::Free();
+  EXPECT_EQ(free.SeqReadSeconds(1 << 30), 0.0);
+  EXPECT_EQ(free.SeqWriteSeconds(1 << 30), 0.0);
+  EXPECT_EQ(free.RandReadSeconds(1 << 30, 100), 0.0);
+}
+
+TEST(IoCostModel, CostIsMonotoneInBytes) {
+  IoCostModel m = IoCostModel::Hdd();
+  double prev = -1;
+  for (std::uint64_t bytes = 1; bytes < (1ull << 30); bytes *= 4) {
+    const double cost = m.SeqReadSeconds(bytes);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(IoCostModel, ToStringMentionsBandwidths) {
+  const std::string s = IoCostModel::Hdd().ToString();
+  EXPECT_NE(s.find("B_sr"), std::string::npos);
+  EXPECT_NE(s.find("seek"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphsd::io

@@ -1,0 +1,133 @@
+#include "io/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace graphsd::io {
+namespace {
+
+using testing::TempDir;
+using testing::ValueOrDie;
+
+std::vector<std::uint8_t> Pattern(std::size_t n) {
+  std::vector<std::uint8_t> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i);
+  return data;
+}
+
+TEST(Device, RoundTripPreservesData) {
+  TempDir dir;
+  auto device = MakePosixDevice();
+  const auto data = Pattern(1000);
+  {
+    DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, data));
+  }
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kRead));
+  std::vector<std::uint8_t> out(1000);
+  ASSERT_OK(f.ReadAt(0, out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(Device, FirstReadIsRandomFollowUpIsSequential) {
+  TempDir dir;
+  auto device = MakePosixDevice();
+  {
+    DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Pattern(4096)));
+  }
+  device->ResetAccounting();
+
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kRead));
+  std::vector<std::uint8_t> buf(1024);
+  ASSERT_OK(f.ReadAt(0, buf));     // seek to 0: random
+  ASSERT_OK(f.ReadAt(1024, buf));  // continues: sequential
+  ASSERT_OK(f.ReadAt(2048, buf));  // continues: sequential
+  ASSERT_OK(f.ReadAt(0, buf));     // jumps back: random
+
+  const auto s = device->stats().Snapshot();
+  EXPECT_EQ(s.rand_read_ops, 2u);
+  EXPECT_EQ(s.seq_read_ops, 2u);
+  EXPECT_EQ(s.TotalReadBytes(), 4096u);
+}
+
+TEST(Device, WritePatternClassification) {
+  TempDir dir;
+  auto device = MakePosixDevice();
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("w"), OpenMode::kWrite));
+  const auto data = Pattern(512);
+  ASSERT_OK(f.WriteAt(0, data));    // random (first)
+  ASSERT_OK(f.WriteAt(512, data));  // sequential
+  ASSERT_OK(f.WriteAt(0, data));    // random (rewind)
+  const auto s = device->stats().Snapshot();
+  EXPECT_EQ(s.rand_write_ops, 2u);
+  EXPECT_EQ(s.seq_write_ops, 1u);
+}
+
+TEST(Device, SimulatedDeviceChargesVirtualTime) {
+  TempDir dir;
+  IoCostModel model;
+  model.seq_read_bw = 1024.0 * 1024;  // 1 MiB/s: easy math
+  model.seq_write_bw = 1024.0 * 1024;
+  model.seek_seconds = 0.5;
+  auto device = MakeSimulatedDevice(model);
+
+  {
+    DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Pattern(1024 * 1024)));  // 1 random write
+  }
+  // 1 MiB at 1 MiB/s + one seek.
+  EXPECT_NEAR(device->clock().Seconds(), 1.0 + 0.5, 1e-6);
+
+  device->ResetAccounting();
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kRead));
+  std::vector<std::uint8_t> buf(512 * 1024);
+  ASSERT_OK(f.ReadAt(0, buf));              // seek + 0.5 s transfer
+  ASSERT_OK(f.ReadAt(512 * 1024, buf));     // sequential: 0.5 s
+  EXPECT_NEAR(device->clock().Seconds(), 0.5 + 0.5 + 0.5, 1e-6);
+}
+
+TEST(Device, PosixDeviceChargesNoVirtualTime) {
+  TempDir dir;
+  auto device = MakePosixDevice();
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kWrite));
+  ASSERT_OK(f.WriteAt(0, Pattern(1 << 20)));
+  EXPECT_EQ(device->clock().Seconds(), 0.0);
+  EXPECT_GT(device->stats().Snapshot().TotalBytes(), 0u);  // still counted
+}
+
+TEST(Device, ResetAccountingClearsBoth) {
+  TempDir dir;
+  auto device = MakeSimulatedDevice();
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("x"), OpenMode::kWrite));
+  ASSERT_OK(f.WriteAt(0, Pattern(4096)));
+  device->ResetAccounting();
+  EXPECT_EQ(device->stats().Snapshot().TotalBytes(), 0u);
+  EXPECT_EQ(device->clock().Seconds(), 0.0);
+}
+
+TEST(Device, IndependentFilesTrackIndependentCursors) {
+  TempDir dir;
+  auto device = MakePosixDevice();
+  {
+    DeviceFile a = ValueOrDie(device->Open(dir.Sub("a"), OpenMode::kWrite));
+    DeviceFile b = ValueOrDie(device->Open(dir.Sub("b"), OpenMode::kWrite));
+    ASSERT_OK(a.WriteAt(0, Pattern(1024)));
+    ASSERT_OK(b.WriteAt(0, Pattern(1024)));
+  }
+  device->ResetAccounting();
+  DeviceFile a = ValueOrDie(device->Open(dir.Sub("a"), OpenMode::kRead));
+  DeviceFile b = ValueOrDie(device->Open(dir.Sub("b"), OpenMode::kRead));
+  std::vector<std::uint8_t> buf(512);
+  ASSERT_OK(a.ReadAt(0, buf));
+  ASSERT_OK(b.ReadAt(0, buf));
+  ASSERT_OK(a.ReadAt(512, buf));  // sequential on a despite interleaving
+  ASSERT_OK(b.ReadAt(512, buf));  // sequential on b
+  const auto s = device->stats().Snapshot();
+  EXPECT_EQ(s.rand_read_ops, 2u);
+  EXPECT_EQ(s.seq_read_ops, 2u);
+}
+
+}  // namespace
+}  // namespace graphsd::io

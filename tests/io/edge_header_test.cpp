@@ -1,0 +1,64 @@
+// ReadBinaryEdgeHeader: the streaming readers' entry point.
+#include <gtest/gtest.h>
+
+#include "graph/edge_io.hpp"
+#include "graph/generators.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd {
+namespace {
+
+using testing::TempDir;
+using testing::ValueOrDie;
+
+TEST(BinaryEdgeHeader, DescribesUnweightedFile) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  const EdgeList g = GenerateRing(50);
+  ASSERT_OK(WriteBinaryEdgeList(g, *device, dir.Sub("g.bin")));
+  const BinaryEdgeHeader header =
+      ValueOrDie(ReadBinaryEdgeHeader(*device, dir.Sub("g.bin")));
+  EXPECT_EQ(header.num_vertices, 50u);
+  EXPECT_EQ(header.num_edges, 50u);
+  EXPECT_FALSE(header.weighted);
+  EXPECT_EQ(header.weights_offset,
+            header.edges_offset + 50 * sizeof(Edge));
+}
+
+TEST(BinaryEdgeHeader, OffsetsLocateThePayload) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  const EdgeList g = GeneratePath(10, 3.0);
+  ASSERT_OK(WriteBinaryEdgeList(g, *device, dir.Sub("g.bin")));
+  const BinaryEdgeHeader header =
+      ValueOrDie(ReadBinaryEdgeHeader(*device, dir.Sub("g.bin")));
+  ASSERT_TRUE(header.weighted);
+
+  io::DeviceFile file =
+      ValueOrDie(device->Open(dir.Sub("g.bin"), io::OpenMode::kRead));
+  Edge first{};
+  ASSERT_OK(file.ReadAt(header.edges_offset,
+                        {reinterpret_cast<std::uint8_t*>(&first),
+                         sizeof(first)}));
+  EXPECT_EQ(first, (Edge{0, 1}));
+  Weight w{};
+  ASSERT_OK(file.ReadAt(header.weights_offset,
+                        {reinterpret_cast<std::uint8_t*>(&w), sizeof(w)}));
+  EXPECT_FLOAT_EQ(w, 3.0f);
+}
+
+TEST(BinaryEdgeHeader, RejectsGarbage) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  ASSERT_OK(io::WriteStringToFile(dir.Sub("bad.bin"), std::string(100, 'q')));
+  EXPECT_FALSE(ReadBinaryEdgeHeader(*device, dir.Sub("bad.bin")).ok());
+}
+
+TEST(BinaryEdgeHeader, RejectsMissingFile) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EXPECT_FALSE(ReadBinaryEdgeHeader(*device, dir.Sub("nope.bin")).ok());
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,153 @@
+#include "io/file.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace graphsd::io {
+namespace {
+
+using testing::TempDir;
+using testing::ValueOrDie;
+
+std::span<const std::uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(File, WriteThenReadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.Sub("data.bin");
+  {
+    File f = ValueOrDie(File::Open(path, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Bytes("hello world")));
+    ASSERT_OK(f.Sync());
+  }
+  File f = ValueOrDie(File::Open(path, OpenMode::kRead));
+  EXPECT_EQ(ValueOrDie(f.Size()), 11u);
+  std::string out(5, '\0');
+  ASSERT_OK(f.ReadAt(6, {reinterpret_cast<std::uint8_t*>(out.data()), 5}));
+  EXPECT_EQ(out, "world");
+}
+
+TEST(File, OpenMissingFileFails) {
+  const auto result = File::Open("/nonexistent/nope.bin", OpenMode::kRead);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(File, ReadPastEndFails) {
+  TempDir dir;
+  const std::string path = dir.Sub("short.bin");
+  {
+    File f = ValueOrDie(File::Open(path, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Bytes("abc")));
+  }
+  File f = ValueOrDie(File::Open(path, OpenMode::kRead));
+  std::uint8_t buf[10];
+  const Status s = f.ReadAt(0, buf);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(File, WriteModeTruncates) {
+  TempDir dir;
+  const std::string path = dir.Sub("t.bin");
+  {
+    File f = ValueOrDie(File::Open(path, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Bytes("0123456789")));
+  }
+  {
+    File f = ValueOrDie(File::Open(path, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Bytes("ab")));
+  }
+  File f = ValueOrDie(File::Open(path, OpenMode::kRead));
+  EXPECT_EQ(ValueOrDie(f.Size()), 2u);
+}
+
+TEST(File, AppendExtends) {
+  TempDir dir;
+  const std::string path = dir.Sub("a.bin");
+  File f = ValueOrDie(File::Open(path, OpenMode::kReadWrite));
+  ASSERT_OK(f.Append(Bytes("abc")));
+  ASSERT_OK(f.Append(Bytes("def")));
+  EXPECT_EQ(ValueOrDie(f.Size()), 6u);
+  std::string out(6, '\0');
+  ASSERT_OK(f.ReadAt(0, {reinterpret_cast<std::uint8_t*>(out.data()), 6}));
+  EXPECT_EQ(out, "abcdef");
+}
+
+TEST(File, TruncateShrinksAndExtends) {
+  TempDir dir;
+  File f = ValueOrDie(File::Open(dir.Sub("t.bin"), OpenMode::kReadWrite));
+  ASSERT_OK(f.WriteAt(0, Bytes("0123456789")));
+  ASSERT_OK(f.Truncate(4));
+  EXPECT_EQ(ValueOrDie(f.Size()), 4u);
+  ASSERT_OK(f.Truncate(100));
+  EXPECT_EQ(ValueOrDie(f.Size()), 100u);
+}
+
+TEST(File, MoveTransfersDescriptor) {
+  TempDir dir;
+  File a = ValueOrDie(File::Open(dir.Sub("m.bin"), OpenMode::kWrite));
+  ASSERT_TRUE(a.is_open());
+  File b = std::move(a);
+  EXPECT_TRUE(b.is_open());
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move)
+  ASSERT_OK(b.WriteAt(0, Bytes("x")));
+}
+
+TEST(FileHelpers, PathExistsAndRemove) {
+  TempDir dir;
+  const std::string path = dir.Sub("exists.bin");
+  EXPECT_FALSE(PathExists(path));
+  { (void)ValueOrDie(File::Open(path, OpenMode::kWrite)); }
+  EXPECT_TRUE(PathExists(path));
+  ASSERT_OK(RemoveFile(path));
+  EXPECT_FALSE(PathExists(path));
+  ASSERT_OK(RemoveFile(path));  // idempotent
+}
+
+TEST(FileHelpers, MakeDirectoriesRecursive) {
+  TempDir dir;
+  const std::string deep = dir.Sub("a/b/c");
+  ASSERT_OK(MakeDirectories(deep));
+  EXPECT_TRUE(PathExists(deep));
+  ASSERT_OK(MakeDirectories(deep));  // idempotent
+}
+
+TEST(FileHelpers, RemoveTreeRecursive) {
+  TempDir dir;
+  const std::string deep = dir.Sub("x/y");
+  ASSERT_OK(MakeDirectories(deep));
+  ASSERT_OK(WriteStringToFile(deep + "/f.txt", "hi"));
+  ASSERT_OK(RemoveTree(dir.Sub("x")));
+  EXPECT_FALSE(PathExists(dir.Sub("x")));
+}
+
+TEST(FileHelpers, StringRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.Sub("s.txt");
+  ASSERT_OK(WriteStringToFile(path, "line1\nline2\n"));
+  EXPECT_EQ(ValueOrDie(ReadFileToString(path)), "line1\nline2\n");
+}
+
+TEST(FileHelpers, WriteStringIsAtomicReplacement) {
+  TempDir dir;
+  const std::string path = dir.Sub("s.txt");
+  ASSERT_OK(WriteStringToFile(path, "old"));
+  ASSERT_OK(WriteStringToFile(path, "new contents"));
+  EXPECT_EQ(ValueOrDie(ReadFileToString(path)), "new contents");
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+}
+
+TEST(File, DirectIoOpenFallsBackOrWorks) {
+  // O_DIRECT may be unsupported on the test filesystem; Open must either
+  // succeed with direct I/O or fall back to buffered — never fail outright.
+  TempDir dir;
+  const std::string path = dir.Sub("d.bin");
+  { (void)ValueOrDie(File::Open(path, OpenMode::kWrite)); }
+  File f = ValueOrDie(File::Open(path, OpenMode::kRead, /*direct=*/true));
+  EXPECT_TRUE(f.is_open());
+}
+
+}  // namespace
+}  // namespace graphsd::io

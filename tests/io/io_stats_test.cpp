@@ -1,0 +1,93 @@
+#include "io/io_stats.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace graphsd::io {
+namespace {
+
+TEST(IoStats, StartsZeroed) {
+  IoStats stats;
+  const auto s = stats.Snapshot();
+  EXPECT_EQ(s.TotalBytes(), 0u);
+  EXPECT_EQ(s.TotalOps(), 0u);
+}
+
+TEST(IoStats, RecordsByDirectionAndPattern) {
+  IoStats stats;
+  stats.RecordRead(AccessPattern::kSequential, 100);
+  stats.RecordRead(AccessPattern::kRandom, 10);
+  stats.RecordWrite(AccessPattern::kSequential, 200);
+  stats.RecordWrite(AccessPattern::kRandom, 20);
+  const auto s = stats.Snapshot();
+  EXPECT_EQ(s.seq_read_bytes, 100u);
+  EXPECT_EQ(s.rand_read_bytes, 10u);
+  EXPECT_EQ(s.seq_write_bytes, 200u);
+  EXPECT_EQ(s.rand_write_bytes, 20u);
+  EXPECT_EQ(s.TotalReadBytes(), 110u);
+  EXPECT_EQ(s.TotalWriteBytes(), 220u);
+  EXPECT_EQ(s.TotalBytes(), 330u);
+  EXPECT_EQ(s.seq_read_ops, 1u);
+  EXPECT_EQ(s.rand_read_ops, 1u);
+  EXPECT_EQ(s.TotalOps(), 4u);
+}
+
+TEST(IoStats, SnapshotDifference) {
+  IoStats stats;
+  stats.RecordRead(AccessPattern::kSequential, 100);
+  const auto before = stats.Snapshot();
+  stats.RecordRead(AccessPattern::kSequential, 50);
+  stats.RecordWrite(AccessPattern::kRandom, 7);
+  const auto delta = stats.Snapshot() - before;
+  EXPECT_EQ(delta.seq_read_bytes, 50u);
+  EXPECT_EQ(delta.rand_write_bytes, 7u);
+  EXPECT_EQ(delta.seq_read_ops, 1u);
+}
+
+TEST(IoStats, SnapshotAccumulate) {
+  IoStatsSnapshot a;
+  a.seq_read_bytes = 5;
+  a.rand_write_ops = 1;
+  IoStatsSnapshot b;
+  b.seq_read_bytes = 7;
+  b.rand_write_ops = 2;
+  a += b;
+  EXPECT_EQ(a.seq_read_bytes, 12u);
+  EXPECT_EQ(a.rand_write_ops, 3u);
+}
+
+TEST(IoStats, ResetZeroes) {
+  IoStats stats;
+  stats.RecordRead(AccessPattern::kRandom, 10);
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().TotalBytes(), 0u);
+}
+
+TEST(IoStats, ConcurrentRecordingIsExact) {
+  IoStats stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        stats.RecordRead(AccessPattern::kSequential, 3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = stats.Snapshot();
+  EXPECT_EQ(s.seq_read_bytes, 12000u);
+  EXPECT_EQ(s.seq_read_ops, 4000u);
+}
+
+TEST(IoStats, ToStringMentionsComponents) {
+  IoStats stats;
+  stats.RecordRead(AccessPattern::kSequential, 1024);
+  const std::string s = stats.Snapshot().ToString();
+  EXPECT_NE(s.find("read"), std::string::npos);
+  EXPECT_NE(s.find("write"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphsd::io

@@ -1,0 +1,69 @@
+#include "io/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/file.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::io {
+namespace {
+
+using testing::TempDir;
+using testing::ValueOrDie;
+
+TEST(DeviceProfiler, ProducesPositiveBandwidths) {
+  TempDir dir;
+  ProfilerOptions options;
+  options.file_bytes = 4 * 1024 * 1024;  // keep the test fast
+  options.rand_requests = 32;
+  const ProfileResult r = ValueOrDie(ProfileDevice(dir.path(), options));
+  EXPECT_GT(r.seq_read_bw, 0.0);
+  EXPECT_GT(r.seq_write_bw, 0.0);
+  EXPECT_GT(r.rand_read_bw, 0.0);
+  EXPECT_GT(r.rand_write_bw, 0.0);
+}
+
+TEST(DeviceProfiler, CleansUpScratchFile) {
+  TempDir dir;
+  ProfilerOptions options;
+  options.file_bytes = 1 * 1024 * 1024;
+  options.rand_requests = 8;
+  (void)ValueOrDie(ProfileDevice(dir.path(), options));
+  EXPECT_FALSE(PathExists(dir.path() + "/graphsd_profile.tmp"));
+}
+
+TEST(DeviceProfiler, RejectsRequestLargerThanFile) {
+  TempDir dir;
+  ProfilerOptions options;
+  options.file_bytes = 64 * 1024;
+  options.rand_request_bytes = 1024 * 1024;
+  const auto result = ProfileDevice(dir.path(), options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ProfileResult, ToCostModelDerivesSeekFromBandwidthGap) {
+  ProfileResult r;
+  r.seq_read_bw = 100.0 * 1024 * 1024;
+  r.seq_write_bw = 100.0 * 1024 * 1024;
+  const std::uint64_t request = 64 * 1024;
+  // Suppose random reads achieve 10 MiB/s at 64 KiB requests.
+  r.rand_read_bw = 10.0 * 1024 * 1024;
+  const IoCostModel m = r.ToCostModel(request);
+  // seek = s/B_rr - s/B_sr
+  const double expected =
+      request / r.rand_read_bw - request / r.seq_read_bw;
+  EXPECT_NEAR(m.seek_seconds, expected, 1e-9);
+  // Round-tripping: the model's derived B_rr matches the measurement.
+  EXPECT_NEAR(m.RandomReadBandwidth(), r.rand_read_bw, 1.0);
+}
+
+TEST(ProfileResult, ToCostModelClampsNegativeSeek) {
+  ProfileResult r;
+  r.seq_read_bw = 100.0 * 1024 * 1024;
+  r.rand_read_bw = 200.0 * 1024 * 1024;  // cache effects: faster than seq
+  const IoCostModel m = r.ToCostModel(64 * 1024);
+  EXPECT_GE(m.seek_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace graphsd::io

@@ -1,0 +1,59 @@
+// The ScaledHdd calibration invariants (DESIGN.md §5.1).
+#include <gtest/gtest.h>
+
+#include "io/cost_model.hpp"
+
+namespace graphsd::io {
+namespace {
+
+TEST(ScaledHdd, PreservesSeeksPerScanRatio) {
+  const IoCostModel hdd = IoCostModel::Hdd();
+  const IoCostModel scaled = IoCostModel::ScaledHdd(1000.0, 8.0);
+  // Ratio = (scan time of a reference payload) / seek. For the scaled model
+  // the payload shrinks by the size factor; the ratio must match.
+  const std::uint64_t paper_bytes = 18ull << 30;
+  const std::uint64_t proxy_bytes = paper_bytes / 1000;
+  const double paper_ratio =
+      hdd.SeqReadSeconds(paper_bytes) / hdd.seek_seconds;
+  const double proxy_ratio =
+      scaled.SeqReadSeconds(proxy_bytes) / scaled.seek_seconds;
+  EXPECT_NEAR(proxy_ratio / paper_ratio, 1.0, 1e-6);
+}
+
+TEST(ScaledHdd, IoWeightInflatesModeledTimeUniformly) {
+  const IoCostModel base = IoCostModel::ScaledHdd(1000.0, 1.0);
+  const IoCostModel weighted = IoCostModel::ScaledHdd(1000.0, 8.0);
+  const std::uint64_t bytes = 10 << 20;
+  EXPECT_NEAR(weighted.SeqReadSeconds(bytes) / base.SeqReadSeconds(bytes),
+              8.0, 1e-9);
+  EXPECT_NEAR(weighted.SeqWriteSeconds(bytes) / base.SeqWriteSeconds(bytes),
+              8.0, 1e-9);
+  // Seeks inflate by the same factor, so relative costs are unchanged.
+  EXPECT_NEAR(weighted.seek_seconds / base.seek_seconds, 8.0, 1e-9);
+}
+
+TEST(ScaledHdd, CrossoverInvariantUnderIoWeight) {
+  // The scheduler decision compares sums of seq/rand terms: multiplying
+  // every term by the same factor must not change which side wins.
+  const IoCostModel a = IoCostModel::ScaledHdd(1000.0, 1.0);
+  const IoCostModel b = IoCostModel::ScaledHdd(1000.0, 8.0);
+  const std::uint64_t scan = 8 << 20;
+  const std::uint64_t selective = 1 << 20;
+  for (const std::uint64_t seeks : {10ull, 1000ull, 100000ull}) {
+    const bool a_prefers_selective =
+        a.RandReadSeconds(selective, seeks) < a.SeqReadSeconds(scan);
+    const bool b_prefers_selective =
+        b.RandReadSeconds(selective, seeks) < b.SeqReadSeconds(scan);
+    EXPECT_EQ(a_prefers_selective, b_prefers_selective) << seeks;
+  }
+}
+
+TEST(ScaledHdd, DefaultsMatchDocumentedProfile) {
+  const IoCostModel m = IoCostModel::ScaledHdd();
+  EXPECT_NEAR(m.seq_read_bw, 160.0 * 1024 * 1024 / 8, 1.0);
+  EXPECT_NEAR(m.seek_seconds, 8.0e-3 * 8 / 1000, 1e-12);
+  EXPECT_EQ(m.random_request_bytes, 4096u);
+}
+
+}  // namespace
+}  // namespace graphsd::io

@@ -1,0 +1,103 @@
+#include "partition/baseline_preprocessors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_io.hpp"
+#include "graph/generators.hpp"
+#include "partition/grid_dataset.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::partition {
+namespace {
+
+using graphsd::testing::TempDir;
+using graphsd::testing::ValueOrDie;
+
+class PreprocessorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = io::MakeSimulatedDevice();
+    RmatOptions options;
+    options.scale = 8;
+    options.edge_factor = 6;
+    graph_ = GenerateRmat(options);
+    raw_path_ = dir_.Sub("raw.bin");
+    ASSERT_OK(WriteBinaryEdgeList(graph_, *device_, raw_path_));
+    options_.num_intervals = 4;
+    options_.name = "pp";
+  }
+
+  TempDir dir_;
+  std::unique_ptr<io::Device> device_;
+  EdgeList graph_;
+  std::string raw_path_;
+  PreprocessOptions options_;
+};
+
+TEST_F(PreprocessorsTest, GraphSDPipelineProducesSortedIndexedGrid) {
+  const PreprocessReport report = ValueOrDie(
+      PreprocessGraphSD(raw_path_, *device_, dir_.Sub("gsd"), options_));
+  EXPECT_EQ(report.system, "GraphSD");
+  EXPECT_TRUE(report.manifest.sorted);
+  EXPECT_TRUE(report.manifest.has_index);
+  EXPECT_GT(report.io_seconds, 0.0);
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("gsd")));
+  EXPECT_EQ(ds.num_edges(), graph_.num_edges());
+}
+
+TEST_F(PreprocessorsTest, LumosPipelineSkipsSortAndIndex) {
+  const PreprocessReport report = ValueOrDie(
+      PreprocessLumos(raw_path_, *device_, dir_.Sub("lumos"), options_));
+  EXPECT_FALSE(report.manifest.sorted);
+  EXPECT_FALSE(report.manifest.has_index);
+  const GridDataset ds =
+      ValueOrDie(GridDataset::Open(*device_, dir_.Sub("lumos")));
+  EXPECT_EQ(ds.num_edges(), graph_.num_edges());
+}
+
+TEST_F(PreprocessorsTest, HusGraphWritesTwoCopies) {
+  const PreprocessReport report = ValueOrDie(
+      PreprocessHusGraph(raw_path_, *device_, dir_.Sub("hus"), options_));
+  EXPECT_EQ(report.system, "HUS-Graph");
+  // Both orientations exist on disk.
+  EXPECT_TRUE(io::PathExists(ManifestPath(dir_.Sub("hus"))));
+  EXPECT_TRUE(io::PathExists(ManifestPath(dir_.Sub("hus") + "_src")));
+  const GridDataset fwd = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("hus")));
+  const GridDataset rev =
+      ValueOrDie(GridDataset::Open(*device_, dir_.Sub("hus") + "_src"));
+  EXPECT_EQ(fwd.num_edges(), graph_.num_edges());
+  EXPECT_EQ(rev.num_edges(), graph_.num_edges());
+}
+
+// The Figure-8 ordering: HUS-Graph (two sorted copies) costs the most,
+// Lumos (bucket only) the least, GraphSD in between.
+TEST_F(PreprocessorsTest, Figure8CostOrdering) {
+  const PreprocessReport gsd = ValueOrDie(
+      PreprocessGraphSD(raw_path_, *device_, dir_.Sub("f_gsd"), options_));
+  const PreprocessReport hus = ValueOrDie(
+      PreprocessHusGraph(raw_path_, *device_, dir_.Sub("f_hus"), options_));
+  const PreprocessReport lumos = ValueOrDie(
+      PreprocessLumos(raw_path_, *device_, dir_.Sub("f_lumos"), options_));
+  EXPECT_GT(hus.io.TotalWriteBytes(), gsd.io.TotalWriteBytes());
+  EXPECT_GE(gsd.io.TotalWriteBytes(), lumos.io.TotalWriteBytes());
+  EXPECT_GT(hus.io_seconds, gsd.io_seconds);
+  EXPECT_GE(gsd.io_seconds, lumos.io_seconds * 0.99);
+}
+
+TEST_F(PreprocessorsTest, MissingRawFileFails) {
+  EXPECT_FALSE(
+      PreprocessGraphSD(dir_.Sub("missing.bin"), *device_, dir_.Sub("x"),
+                        options_)
+          .ok());
+}
+
+TEST_F(PreprocessorsTest, ReportsIncludeRawReadTraffic) {
+  device_->ResetAccounting();
+  const PreprocessReport report = ValueOrDie(
+      PreprocessGraphSD(raw_path_, *device_, dir_.Sub("t"), options_));
+  EXPECT_GE(report.io.TotalReadBytes(), graph_.num_edges() * sizeof(Edge));
+  EXPECT_GE(report.io.TotalWriteBytes(), graph_.num_edges() * sizeof(Edge));
+}
+
+}  // namespace
+}  // namespace graphsd::partition

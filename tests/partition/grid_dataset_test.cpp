@@ -1,0 +1,118 @@
+#include "partition/grid_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::partition {
+namespace {
+
+using graphsd::testing::BuildTestGrid;
+using graphsd::testing::TempDir;
+using graphsd::testing::ValueOrDie;
+
+class GridDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = io::MakePosixDevice();
+    RmatOptions options;
+    options.scale = 7;
+    options.edge_factor = 6;
+    options.max_weight = 10.0;
+    graph_ = GenerateRmat(options);
+    manifest_ = BuildTestGrid(graph_, *device_, dir_.Sub("ds"), 4);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<io::Device> device_;
+  EdgeList graph_;
+  GridManifest manifest_;
+};
+
+TEST_F(GridDatasetTest, OpenExposesMetadata) {
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("ds")));
+  EXPECT_EQ(ds.num_vertices(), graph_.num_vertices());
+  EXPECT_EQ(ds.num_edges(), graph_.num_edges());
+  EXPECT_EQ(ds.p(), 4u);
+  EXPECT_TRUE(ds.weighted());
+  EXPECT_EQ(ds.out_degrees(), graph_.OutDegrees());
+}
+
+TEST_F(GridDatasetTest, OpenMissingDirectoryFails) {
+  EXPECT_FALSE(GridDataset::Open(*device_, dir_.Sub("nope")).ok());
+}
+
+TEST_F(GridDatasetTest, LoadSubBlockWithAndWithoutWeights) {
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("ds")));
+  const SubBlock plain = ValueOrDie(ds.LoadSubBlock(0, 0, false));
+  EXPECT_TRUE(plain.weights.empty());
+  const SubBlock weighted = ValueOrDie(ds.LoadSubBlock(0, 0, true));
+  EXPECT_EQ(weighted.weights.size(), weighted.edges.size());
+  EXPECT_EQ(plain.edges, weighted.edges);
+}
+
+TEST_F(GridDatasetTest, SubBlockBytesTracksWeightChoice) {
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("ds")));
+  const auto count = manifest_.EdgesIn(1, 2);
+  EXPECT_EQ(ds.SubBlockBytes(1, 2, false), count * kEdgeBytes);
+  EXPECT_EQ(ds.SubBlockBytes(1, 2, true), count * (kEdgeBytes + kWeightBytes));
+}
+
+TEST_F(GridDatasetTest, SelectiveRangeReadMatchesFullLoad) {
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("ds")));
+  const SubBlock full = ValueOrDie(ds.LoadSubBlock(1, 1, true));
+  if (full.edges.size() < 4) GTEST_SKIP() << "sub-block too small";
+
+  SubBlockReader reader = ValueOrDie(ds.OpenSubBlockReader(1, 1, true));
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  ASSERT_OK(reader.ReadRange(1, 2, edges, &weights));
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], full.edges[1]);
+  EXPECT_EQ(edges[1], full.edges[2]);
+  EXPECT_FLOAT_EQ(weights[0], full.weights[1]);
+
+  // Appending a second range keeps earlier data.
+  ASSERT_OK(reader.ReadRange(0, 1, edges, &weights));
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[2], full.edges[0]);
+}
+
+TEST_F(GridDatasetTest, ZeroCountRangeReadIsNoOp) {
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("ds")));
+  SubBlockReader reader = ValueOrDie(ds.OpenSubBlockReader(0, 0, false));
+  std::vector<Edge> edges;
+  ASSERT_OK(reader.ReadRange(0, 0, edges, nullptr));
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST_F(GridDatasetTest, IndexAgreesWithEdgeContents) {
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*device_, dir_.Sub("ds")));
+  const auto index = ValueOrDie(ds.LoadIndex(2, 3));
+  const SubBlock block = ValueOrDie(ds.LoadSubBlock(2, 3, false));
+  EXPECT_EQ(index.back(), block.edges.size());
+  // Per-vertex ranges reconstruct the whole block in order.
+  SubBlockReader reader = ValueOrDie(ds.OpenSubBlockReader(2, 3, false));
+  std::vector<Edge> rebuilt;
+  for (std::size_t local = 0; local + 1 < index.size(); ++local) {
+    ASSERT_OK(reader.ReadRange(index[local], index[local + 1] - index[local],
+                               rebuilt, nullptr));
+  }
+  EXPECT_EQ(rebuilt, block.edges);
+}
+
+TEST_F(GridDatasetTest, FullSubBlockLoadChargesOneSeekThenStreams) {
+  auto sim = io::MakeSimulatedDevice();
+  // Re-open through a simulated device to observe classification.
+  const GridDataset ds = ValueOrDie(GridDataset::Open(*sim, dir_.Sub("ds")));
+  sim->ResetAccounting();
+  const SubBlock block = ValueOrDie(ds.LoadSubBlock(0, 1, false));
+  if (block.edges.empty()) GTEST_SKIP();
+  const auto stats = sim->stats().Snapshot();
+  EXPECT_EQ(stats.rand_read_ops, 1u);  // one positioned read for the block
+  EXPECT_EQ(stats.TotalReadBytes(), block.edges.size() * sizeof(Edge));
+}
+
+}  // namespace
+}  // namespace graphsd::partition

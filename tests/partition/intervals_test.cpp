@@ -1,0 +1,93 @@
+#include "partition/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd::partition {
+namespace {
+
+TEST(EqualIntervals, EvenSplit) {
+  const auto b = ComputeEqualIntervals(100, 4);
+  EXPECT_EQ(b, (IntervalBoundaries{0, 25, 50, 75, 100}));
+}
+
+TEST(EqualIntervals, UnevenSplitCoversEverything) {
+  const auto b = ComputeEqualIntervals(10, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 10u);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LT(b[i], b[i + 1]);
+}
+
+TEST(EqualIntervals, MoreIntervalsThanVerticesCaps) {
+  const auto b = ComputeEqualIntervals(3, 10);
+  EXPECT_EQ(b.size(), 4u);  // capped at 3 intervals
+  EXPECT_EQ(b.back(), 3u);
+}
+
+TEST(EqualIntervals, SingleInterval) {
+  const auto b = ComputeEqualIntervals(7, 1);
+  EXPECT_EQ(b, (IntervalBoundaries{0, 7}));
+}
+
+TEST(BalancedIntervals, SkewedDegreesBalanceEdges) {
+  // Vertex 0 has 90 edges, the other 9 have 1 each: with P=2 the heavy
+  // vertex must sit alone-ish in the first interval.
+  std::vector<std::uint32_t> degrees = {90, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const auto b = ComputeBalancedIntervals(degrees, 2);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[2], 10u);
+  EXPECT_LE(b[1], 2u);  // boundary lands right after the hub
+}
+
+TEST(BalancedIntervals, NoEmptyIntervals) {
+  std::vector<std::uint32_t> degrees(20, 0);  // all zero degrees
+  degrees[19] = 100;
+  const auto b = ComputeBalancedIntervals(degrees, 4);
+  ASSERT_EQ(b.size(), 5u);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    EXPECT_LT(b[i], b[i + 1]) << "interval " << i << " empty";
+  }
+  EXPECT_EQ(b.back(), 20u);
+}
+
+TEST(BalancedIntervals, UniformDegreesSplitEvenly) {
+  std::vector<std::uint32_t> degrees(100, 5);
+  const auto b = ComputeBalancedIntervals(degrees, 4);
+  ASSERT_EQ(b.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto size = b[i + 1] - b[i];
+    EXPECT_GE(size, 20u);
+    EXPECT_LE(size, 30u);
+  }
+}
+
+TEST(IntervalOf, FindsContainingInterval) {
+  const IntervalBoundaries b = {0, 10, 20, 35};
+  EXPECT_EQ(IntervalOf(b, 0), 0u);
+  EXPECT_EQ(IntervalOf(b, 9), 0u);
+  EXPECT_EQ(IntervalOf(b, 10), 1u);
+  EXPECT_EQ(IntervalOf(b, 19), 1u);
+  EXPECT_EQ(IntervalOf(b, 20), 2u);
+  EXPECT_EQ(IntervalOf(b, 34), 2u);
+}
+
+TEST(ChooseIntervalCount, SmallGraphNeedsOneInterval) {
+  EXPECT_EQ(ChooseIntervalCount(100, 1000, 1 << 30, false), 1u);
+}
+
+TEST(ChooseIntervalCount, TightBudgetNeedsMoreIntervals) {
+  // 1M edges * 8B = 8MB; with a 1MB budget we need >= 8 intervals.
+  const auto p = ChooseIntervalCount(1000, 1'000'000, 1 << 20, false);
+  EXPECT_GE(p, 8u);
+  EXPECT_LE(p, 16u);
+}
+
+TEST(ChooseIntervalCount, WeightedEdgesNeedMore) {
+  const auto plain = ChooseIntervalCount(1000, 1'000'000, 1 << 20, false);
+  const auto weighted = ChooseIntervalCount(1000, 1'000'000, 1 << 20, true);
+  EXPECT_GE(weighted, plain);
+}
+
+}  // namespace
+}  // namespace graphsd::partition

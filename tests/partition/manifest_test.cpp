@@ -1,0 +1,94 @@
+#include "partition/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+
+namespace graphsd::partition {
+namespace {
+
+using testing::ValueOrDie;
+
+GridManifest MakeManifest() {
+  GridManifest m;
+  m.name = "toy";
+  m.num_vertices = 10;
+  m.num_edges = 6;
+  m.weighted = true;
+  m.sorted = true;
+  m.has_index = true;
+  m.p = 2;
+  m.boundaries = {0, 5, 10};
+  m.sub_block_edges = {1, 2, 3, 0};
+  return m;
+}
+
+TEST(GridManifest, ValidatesGoodManifest) {
+  EXPECT_OK(MakeManifest().Validate());
+}
+
+TEST(GridManifest, SerializeParseRoundTrip) {
+  const GridManifest m = MakeManifest();
+  const GridManifest parsed = ValueOrDie(GridManifest::Parse(m.Serialize()));
+  EXPECT_EQ(parsed.name, "toy");
+  EXPECT_EQ(parsed.num_vertices, 10u);
+  EXPECT_EQ(parsed.num_edges, 6u);
+  EXPECT_TRUE(parsed.weighted);
+  EXPECT_TRUE(parsed.sorted);
+  EXPECT_TRUE(parsed.has_index);
+  EXPECT_EQ(parsed.p, 2u);
+  EXPECT_EQ(parsed.boundaries, m.boundaries);
+  EXPECT_EQ(parsed.sub_block_edges, m.sub_block_edges);
+}
+
+TEST(GridManifest, AccessorsMatchLayout) {
+  const GridManifest m = MakeManifest();
+  EXPECT_EQ(m.EdgesIn(0, 0), 1u);
+  EXPECT_EQ(m.EdgesIn(0, 1), 2u);
+  EXPECT_EQ(m.EdgesIn(1, 0), 3u);
+  EXPECT_EQ(m.EdgesIn(1, 1), 0u);
+  EXPECT_EQ(m.IntervalSize(0), 5u);
+  EXPECT_EQ(m.IntervalSize(1), 5u);
+  EXPECT_EQ(m.BytesPerEdge(), kEdgeBytes + kWeightBytes);
+  EXPECT_EQ(m.TotalEdgeBytes(), 6 * (kEdgeBytes + kWeightBytes));
+}
+
+TEST(GridManifest, RejectsWrongHeader) {
+  EXPECT_FALSE(GridManifest::Parse("not a manifest\n").ok());
+}
+
+TEST(GridManifest, RejectsEdgeSumMismatch) {
+  GridManifest m = MakeManifest();
+  m.sub_block_edges = {1, 1, 1, 1};  // sums to 4, not 6
+  EXPECT_FALSE(m.Validate().ok());
+  EXPECT_FALSE(GridManifest::Parse(m.Serialize()).ok());
+}
+
+TEST(GridManifest, RejectsEmptyInterval) {
+  GridManifest m = MakeManifest();
+  m.boundaries = {0, 5, 5};  // second interval empty... and wrong end
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(GridManifest, RejectsBoundariesNotSpanningVertexSet) {
+  GridManifest m = MakeManifest();
+  m.boundaries = {0, 5, 9};
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(GridManifest, RejectsUnknownKey) {
+  std::string text = MakeManifest().Serialize();
+  text += "mystery=1\n";
+  EXPECT_FALSE(GridManifest::Parse(text).ok());
+}
+
+TEST(ManifestPaths, StableNames) {
+  EXPECT_EQ(ManifestPath("/d"), "/d/manifest.txt");
+  EXPECT_EQ(DegreesPath("/d"), "/d/degrees.bin");
+  EXPECT_EQ(SubBlockEdgesPath("/d", 1, 2), "/d/sb_1_2.edges");
+  EXPECT_EQ(SubBlockWeightsPath("/d", 1, 2), "/d/sb_1_2.weights");
+  EXPECT_EQ(SubBlockIndexPath("/d", 1, 2), "/d/sb_1_2.index");
+}
+
+}  // namespace
+}  // namespace graphsd::partition

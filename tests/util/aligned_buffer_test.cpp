@@ -1,0 +1,80 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(AlignUp, PowerOfTwoMath) {
+  EXPECT_EQ(AlignUp(0, 4096), 0u);
+  EXPECT_EQ(AlignUp(1, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4097, 4096), 8192u);
+  EXPECT_EQ(AlignDown(4097, 4096), 4096u);
+  EXPECT_EQ(AlignDown(4095, 4096), 0u);
+}
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  AlignedBuffer buffer(100);
+  EXPECT_EQ(buffer.size(), 100u);
+  EXPECT_GE(buffer.capacity(), 100u);
+  EXPECT_EQ(buffer.capacity() % kDirectIoAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) %
+                kDirectIoAlignment,
+            0u);
+}
+
+TEST(AlignedBuffer, ZeroSizeStillGetsUsableCapacity) {
+  AlignedBuffer buffer(0);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_GE(buffer.capacity(), kDirectIoAlignment);
+  EXPECT_NE(buffer.data(), nullptr);
+}
+
+TEST(AlignedBuffer, ReserveGrowsAndKeepsAlignment) {
+  AlignedBuffer buffer(16);
+  buffer.Reserve(100000);
+  EXPECT_EQ(buffer.size(), 100000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) %
+                kDirectIoAlignment,
+            0u);
+}
+
+TEST(AlignedBuffer, ReserveShrinkOnlyChangesLogicalSize) {
+  AlignedBuffer buffer(8192);
+  const auto* p = buffer.data();
+  buffer.Reserve(10);
+  EXPECT_EQ(buffer.size(), 10u);
+  EXPECT_EQ(buffer.data(), p);  // no reallocation when shrinking
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(64);
+  std::memset(a.data(), 0xAB, 64);
+  const auto* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.data()[0], 0xAB);
+
+  AlignedBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+TEST(AlignedBuffer, SpanCoversLogicalSize) {
+  AlignedBuffer buffer(33);
+  EXPECT_EQ(buffer.span().size(), 33u);
+}
+
+}  // namespace
+}  // namespace graphsd

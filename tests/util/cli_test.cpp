@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+CliFlags MakeFlags() {
+  CliFlags flags;
+  flags.Define("name", "default", "a string flag");
+  flags.Define("count", "10", "an int flag");
+  flags.Define("ratio", "0.5", "a double flag");
+  flags.Define("verbose", "false", "a bool flag");
+  return flags;
+}
+
+TEST(CliFlags, DefaultsApply) {
+  CliFlags flags = MakeFlags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(CliFlags, EqualsForm) {
+  CliFlags flags = MakeFlags();
+  const char* argv[] = {"prog", "--name=xyz", "--count=42"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+}
+
+TEST(CliFlags, SpaceForm) {
+  CliFlags flags = MakeFlags();
+  const char* argv[] = {"prog", "--ratio", "0.25"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.25);
+}
+
+TEST(CliFlags, BareBooleanForm) {
+  CliFlags flags = MakeFlags();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(CliFlags, BoolAcceptedSpellings) {
+  for (const char* spelling : {"true", "1", "yes", "on"}) {
+    CliFlags flags = MakeFlags();
+    const std::string arg = std::string("--verbose=") + spelling;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(flags.Parse(2, argv).ok());
+    EXPECT_TRUE(flags.GetBool("verbose")) << spelling;
+  }
+}
+
+TEST(CliFlags, UnknownFlagIsError) {
+  CliFlags flags = MakeFlags();
+  const char* argv[] = {"prog", "--bogus=1"};
+  const Status s = flags.Parse(2, argv);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bogus"), std::string::npos);
+}
+
+TEST(CliFlags, PositionalArgumentsCollected) {
+  CliFlags flags = MakeFlags();
+  const char* argv[] = {"prog", "input.txt", "--count=3", "output.txt"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(CliFlags, HelpMentionsEveryFlag) {
+  CliFlags flags = MakeFlags();
+  const std::string help = flags.Help("prog");
+  for (const char* name : {"name", "count", "ratio", "verbose"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,74 @@
+#include "util/clock.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.Seconds(), 0.015);
+  EXPECT_GE(timer.Millis(), 15.0);
+}
+
+TEST(WallTimer, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 0.015);
+}
+
+TEST(VirtualClock, AccumulatesExactly) {
+  VirtualClock clock;
+  clock.Add(1.5);
+  clock.Add(0.25);
+  EXPECT_NEAR(clock.Seconds(), 1.75, 1e-9);
+}
+
+TEST(VirtualClock, IgnoresNonPositive) {
+  VirtualClock clock;
+  clock.Add(0.0);
+  clock.Add(-5.0);
+  EXPECT_EQ(clock.Seconds(), 0.0);
+}
+
+TEST(VirtualClock, ResetZeroes) {
+  VirtualClock clock;
+  clock.Add(3.0);
+  clock.Reset();
+  EXPECT_EQ(clock.Seconds(), 0.0);
+}
+
+TEST(VirtualClock, ConcurrentAddsAreExact) {
+  VirtualClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) clock.Add(0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(clock.Seconds(), 4.0, 1e-6);
+}
+
+TEST(ScopedWallAccumulator, AddsScopeTime) {
+  double sink = 0;
+  {
+    ScopedWallAccumulator acc(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink, 0.008);
+  const double first = sink;
+  {
+    ScopedWallAccumulator acc(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink, first + 0.008);  // accumulates, not overwrites
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStat, ResetClears) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Log2Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Log2Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Log2Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Log2Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Log2Histogram::BucketFor(4095), 12u);
+  EXPECT_EQ(Log2Histogram::BucketFor(4096), 13u);
+}
+
+TEST(Log2Histogram, CountsAndRendering) {
+  Log2Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(5);
+  h.Add(5);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("[4, 8): 2"), std::string::npos);
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024ull * 1024), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(5ull * 1024 * 1024 * 1024), "5.00 GiB");
+}
+
+TEST(FormatSeconds, Units) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.50 s");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatSeconds(4.2e-5), "42.00 us");
+}
+
+}  // namespace
+}  // namespace graphsd

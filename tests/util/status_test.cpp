@@ -1,0 +1,115 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(Status, AllFactoriesProduceTheirCode) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(CorruptDataError("x").code(), StatusCode::kCorruptData);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, WithContextPrefixes) {
+  Status s = NotFoundError("no such block").WithContext("sub-block (3,4)");
+  EXPECT_EQ(s.message(), "sub-block (3,4): no such block");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(Status, WithContextIsNoOpOnOk) {
+  Status s = Status::Ok().WithContext("context");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, ErrnoErrorMentionsStrerror) {
+  Status s = ErrnoError("open /nope", ENOENT);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("open /nope"), std::string::npos);
+  EXPECT_NE(s.message().find("No such file"), std::string::npos);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(NotFoundError("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailingFn() { return IoError("boom"); }
+
+Status Propagating() {
+  GRAPHSD_RETURN_IF_ERROR(FailingFn());
+  ADD_FAILURE() << "should not reach";
+  return Status::Ok();
+}
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagating().code(), StatusCode::kIoError);
+}
+
+Result<int> MakeInt(bool ok) {
+  if (ok) return 5;
+  return InvalidArgumentError("nope");
+}
+
+Result<int> Doubled(bool ok) {
+  GRAPHSD_ASSIGN_OR_RETURN(const int v, MakeInt(ok));
+  return v * 2;
+}
+
+TEST(StatusMacros, AssignOrReturnHappyPath) {
+  EXPECT_EQ(Doubled(true).value(), 10);
+}
+
+TEST(StatusMacros, AssignOrReturnErrorPath) {
+  EXPECT_EQ(Doubled(false).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacros, AssignOrReturnTwiceInOneScope) {
+  auto fn = []() -> Result<int> {
+    GRAPHSD_ASSIGN_OR_RETURN(const int a, MakeInt(true));
+    GRAPHSD_ASSIGN_OR_RETURN(const int b, MakeInt(true));
+    return a + b;
+  };
+  EXPECT_EQ(fn().value(), 10);
+}
+
+}  // namespace
+}  // namespace graphsd

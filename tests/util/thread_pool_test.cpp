@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), 37, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, 10, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(0, 10, 100,
+                   [&](std::size_t, std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 1);
+  std::atomic<std::uint64_t> sum{0};
+  pool.ParallelFor(0, data.size(), 128, [&](std::size_t b, std::size_t e) {
+    std::uint64_t local = 0;
+    for (std::size_t i = b; i < e; ++i) local += data[i];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 10000ull * 10001 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyParallelFors) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 64, 8, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(static_cast<int>(e - b));
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 64);
+}
+
+TEST(ThreadPool, ZeroThreadRequestDefaultsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace graphsd

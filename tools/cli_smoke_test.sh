@@ -1,0 +1,44 @@
+#!/bin/sh
+# End-to-end smoke test of the graphsd CLI: generate -> convert round trip,
+# preprocess (in-core and external), info, run (two engines + ablation
+# flags), values dump. Registered with ctest; $1 is the binary path.
+set -e
+CLI="$1"
+WORK="$(mktemp -d /tmp/graphsd_cli_test_XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" generate --type web --vertices 2048 --avg-degree 8 --max-weight 9 \
+    --out "$WORK/g.bin" > "$WORK/log" 2>&1
+grep -q "2048 vertices" "$WORK/log"
+
+"$CLI" preprocess --input "$WORK/g.bin" --out "$WORK/ds" --p 4 \
+    >> "$WORK/log" 2>&1
+"$CLI" preprocess --input "$WORK/g.bin" --out "$WORK/ds_ext" --p 4 \
+    --external true >> "$WORK/log" 2>&1
+grep -q "out-of-core preprocessing" "$WORK/log"
+
+"$CLI" info --dataset "$WORK/ds" > "$WORK/info" 2>&1
+grep -q "intervals: 4 (sorted, indexed)" "$WORK/info"
+
+"$CLI" run --dataset "$WORK/ds" --algo sssp --root 0 \
+    --values-out "$WORK/dist.txt" > "$WORK/run1" 2>&1
+grep -q "GraphSD/sssp" "$WORK/run1"
+test "$(wc -l < "$WORK/dist.txt")" = "2048"
+
+# Both preprocessing paths must yield identical results.
+"$CLI" run --dataset "$WORK/ds_ext" --algo sssp --root 0 \
+    --values-out "$WORK/dist_ext.txt" > "$WORK/run2" 2>&1
+cmp "$WORK/dist.txt" "$WORK/dist_ext.txt"
+
+"$CLI" run --dataset "$WORK/ds" --algo pr --engine lumos > "$WORK/run3" 2>&1
+grep -q "Lumos/pagerank" "$WORK/run3"
+
+"$CLI" run --dataset "$WORK/ds" --algo ppr --root 7 --no-buffer \
+    > "$WORK/run4" 2>&1
+grep -q "GraphSD/ppr" "$WORK/run4"
+
+# Unknown flags and commands fail loudly.
+if "$CLI" run --bogus-flag 2>/dev/null; then exit 1; fi
+if "$CLI" frobnicate 2>/dev/null; then exit 1; fi
+
+echo "cli smoke: OK"

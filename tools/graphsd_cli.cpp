@@ -1,0 +1,380 @@
+// graphsd — command-line front end for the GraphSD library.
+//
+//   graphsd generate   --type rmat|er|web|grid --out graph.bin [...]
+//   graphsd convert    --input graph.txt --out graph.bin [--weighted]
+//   graphsd preprocess --input graph.bin --out dataset_dir [--p N] [--system ...]
+//   graphsd info       --dataset dataset_dir
+//   graphsd run        --dataset dataset_dir --algo pr|prd|cc|sssp|bfs [...]
+//   graphsd profile    --dir /path/on/target/disk
+//
+// `run` prints the execution report and optionally dumps per-vertex values.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "algos/bfs.hpp"
+#include "algos/connected_components.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/pagerank_delta.hpp"
+#include "algos/sssp.hpp"
+#include "algos/personalized_pagerank.hpp"
+#include "algos/widest_path.hpp"
+#include "baselines/hus_graph_engine.hpp"
+#include "baselines/lumos_engine.hpp"
+#include "core/engine.hpp"
+#include "graph/edge_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference_algorithms.hpp"
+#include "io/profiler.hpp"
+#include "partition/baseline_preprocessors.hpp"
+#include "partition/external_builder.hpp"
+#include "partition/grid_dataset.hpp"
+#include "util/cli.hpp"
+
+namespace graphsd {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::unique_ptr<io::Device> MakeDevice(const CliFlags& flags) {
+  const std::string kind = flags.GetString("device");
+  if (kind == "posix") return io::MakePosixDevice();
+  if (kind == "hdd") return io::MakeSimulatedDevice(io::IoCostModel::Hdd());
+  if (kind == "ssd") return io::MakeSimulatedDevice(io::IoCostModel::Ssd());
+  return io::MakeSimulatedDevice(io::IoCostModel::ScaledHdd());
+}
+
+void DefineDeviceFlag(CliFlags& flags) {
+  flags.Define("device", "scaled-hdd",
+               "storage model: scaled-hdd | hdd | ssd | posix");
+}
+
+int CmdGenerate(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("type", "rmat", "rmat | er | web | grid");
+  flags.Define("out", "graph.bin", "output binary edge file");
+  flags.Define("scale", "14", "rmat: log2 vertex count");
+  flags.Define("edge-factor", "16", "rmat: edges per vertex");
+  flags.Define("vertices", "16384", "er/web: vertex count");
+  flags.Define("edges", "262144", "er: edge count");
+  flags.Define("rows", "128", "grid: rows");
+  flags.Define("cols", "128", "grid: cols");
+  flags.Define("avg-degree", "16", "web: average out-degree");
+  flags.Define("max-weight", "0", "attach uniform weights in [1,W] when > 0");
+  flags.Define("whiskers", "0", "append this fraction of whisker vertices");
+  flags.Define("seed", "1", "generator seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  const std::string type = flags.GetString("type");
+  const double max_weight = flags.GetDouble("max-weight");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  EdgeList graph;
+  if (type == "rmat") {
+    RmatOptions o;
+    o.scale = static_cast<std::uint32_t>(flags.GetInt("scale"));
+    o.edge_factor = static_cast<std::uint32_t>(flags.GetInt("edge-factor"));
+    o.max_weight = max_weight;
+    o.seed = seed;
+    graph = GenerateRmat(o);
+  } else if (type == "er") {
+    ErdosRenyiOptions o;
+    o.num_vertices = static_cast<VertexId>(flags.GetInt("vertices"));
+    o.num_edges = static_cast<std::uint64_t>(flags.GetInt("edges"));
+    o.max_weight = max_weight;
+    o.seed = seed;
+    graph = GenerateErdosRenyi(o);
+  } else if (type == "web") {
+    WebGraphOptions o;
+    o.num_vertices = static_cast<VertexId>(flags.GetInt("vertices"));
+    o.avg_degree = static_cast<std::uint32_t>(flags.GetInt("avg-degree"));
+    o.max_weight = max_weight;
+    o.seed = seed;
+    graph = GenerateWebGraph(o);
+  } else if (type == "grid") {
+    graph = GenerateGrid2D(static_cast<VertexId>(flags.GetInt("rows")),
+                           static_cast<VertexId>(flags.GetInt("cols")), seed,
+                           max_weight);
+  } else {
+    std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+    return 1;
+  }
+  const double whiskers = flags.GetDouble("whiskers");
+  if (whiskers > 0) {
+    AppendWhiskers(graph,
+                   static_cast<VertexId>(graph.num_vertices() * whiskers), 32,
+                   seed, max_weight);
+  }
+
+  auto device = io::MakePosixDevice();
+  if (Status s = WriteBinaryEdgeList(graph, *device, flags.GetString("out"));
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("%s: %u vertices, %llu edges%s\n",
+              flags.GetString("out").c_str(), graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.weighted() ? " (weighted)" : "");
+  return 0;
+}
+
+int CmdConvert(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("input", "", "text edge list (src dst [weight] per line)");
+  flags.Define("out", "graph.bin", "output binary edge file");
+  flags.Define("weighted", "false", "parse the third column as weights");
+  flags.Define("symmetrize", "false", "add reverse edges (for WCC)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  auto list = ReadTextEdgeList(flags.GetString("input"),
+                               flags.GetBool("weighted"));
+  if (!list.ok()) return Fail(list.status());
+  EdgeList graph = std::move(list).value();
+  if (flags.GetBool("symmetrize")) graph = Symmetrize(graph);
+  auto device = io::MakePosixDevice();
+  if (Status s = WriteBinaryEdgeList(graph, *device, flags.GetString("out"));
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %llu edges over %u vertices to %s\n",
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.num_vertices(), flags.GetString("out").c_str());
+  return 0;
+}
+
+int CmdPreprocess(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("input", "graph.bin", "binary edge file (see generate/convert)");
+  flags.Define("out", "dataset", "output dataset directory");
+  flags.Define("p", "0", "interval count (0 = derive from memory budget)");
+  flags.Define("memory-budget", "0", "bytes; 0 = 5% of the raw edge bytes");
+  flags.Define("system", "graphsd", "pipeline: graphsd | hus | lumos");
+  flags.Define("external", "false",
+               "stream out of core (bounded memory; graphsd layout only)");
+  flags.Define("name", "graph", "dataset name stored in the manifest");
+  DefineDeviceFlag(flags);
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  auto device = MakeDevice(flags);
+  partition::PreprocessOptions options;
+  options.num_intervals = static_cast<std::uint32_t>(flags.GetInt("p"));
+  options.memory_budget_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("memory-budget"));
+  options.name = flags.GetString("name");
+
+  if (flags.GetBool("external")) {
+    partition::ExternalBuildOptions external;
+    external.num_intervals = options.num_intervals;
+    external.memory_budget_bytes = options.memory_budget_bytes;
+    external.name = options.name;
+    auto manifest = partition::BuildGridExternal(
+        flags.GetString("input"), *device, flags.GetString("out"), external);
+    if (!manifest.ok()) return Fail(manifest.status());
+    std::printf("out-of-core preprocessing: P=%u, %llu edges\n", manifest->p,
+                static_cast<unsigned long long>(manifest->num_edges));
+    return 0;
+  }
+
+  const std::string system = flags.GetString("system");
+  Result<partition::PreprocessReport> report =
+      InternalError("unknown system");
+  if (system == "graphsd") {
+    report = partition::PreprocessGraphSD(flags.GetString("input"), *device,
+                                          flags.GetString("out"), options);
+  } else if (system == "hus") {
+    report = partition::PreprocessHusGraph(flags.GetString("input"), *device,
+                                           flags.GetString("out"), options);
+  } else if (system == "lumos") {
+    report = partition::PreprocessLumos(flags.GetString("input"), *device,
+                                        flags.GetString("out"), options);
+  }
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s preprocessing: P=%u, modeled io %.3fs, pipeline wall "
+              "%.3fs, traffic %s\n",
+              report->system.c_str(), report->manifest.p, report->io_seconds,
+              report->wall_seconds, report->io.ToString().c_str());
+  return 0;
+}
+
+int CmdInfo(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("dataset", "dataset", "dataset directory");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  auto device = io::MakePosixDevice();
+  auto dataset =
+      partition::GridDataset::Open(*device, flags.GetString("dataset"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  const auto& m = dataset->manifest();
+  std::printf("dataset '%s'\n", m.name.c_str());
+  std::printf("  vertices:  %u\n", m.num_vertices);
+  std::printf("  edges:     %llu%s\n",
+              static_cast<unsigned long long>(m.num_edges),
+              m.weighted ? " (weighted)" : "");
+  std::printf("  intervals: %u (%s, %s)\n", m.p,
+              m.sorted ? "sorted" : "unsorted",
+              m.has_index ? "indexed" : "no index");
+  std::printf("  payload:   %llu bytes\n",
+              static_cast<unsigned long long>(m.TotalEdgeBytes()));
+  std::printf("  sub-block edge counts:\n");
+  for (std::uint32_t i = 0; i < m.p; ++i) {
+    std::printf("   ");
+    for (std::uint32_t j = 0; j < m.p; ++j) {
+      std::printf(" %8llu", static_cast<unsigned long long>(m.EdgesIn(i, j)));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdRun(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("dataset", "dataset", "dataset directory");
+  flags.Define("algo", "pr", "pr | prd | cc | sssp | bfs | widest | ppr");
+  flags.Define("engine", "graphsd", "graphsd | hus | lumos");
+  flags.Define("iterations", "10", "pr: iteration count");
+  flags.Define("epsilon", "1e-9", "prd: residual activation threshold");
+  flags.Define("root", "0", "sssp/bfs: source vertex");
+  flags.Define("threads", "0", "worker threads (0 = hardware)");
+  flags.Define("no-cross-iteration", "false", "disable cross-iteration (b1)");
+  flags.Define("no-selective", "false", "disable the on-demand model (b2)");
+  flags.Define("no-buffer", "false", "disable the sub-block buffer");
+  flags.Define("values-out", "", "write per-vertex results to this file");
+  DefineDeviceFlag(flags);
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  auto device = MakeDevice(flags);
+  auto dataset =
+      partition::GridDataset::Open(*device, flags.GetString("dataset"));
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  std::unique_ptr<core::Program> program;
+  const std::string algo = flags.GetString("algo");
+  if (algo == "pr") {
+    program = std::make_unique<algos::PageRank>(
+        static_cast<std::uint32_t>(flags.GetInt("iterations")));
+  } else if (algo == "prd") {
+    program =
+        std::make_unique<algos::PageRankDelta>(flags.GetDouble("epsilon"));
+  } else if (algo == "cc") {
+    program = std::make_unique<algos::ConnectedComponents>();
+  } else if (algo == "sssp") {
+    program = std::make_unique<algos::Sssp>(
+        static_cast<VertexId>(flags.GetInt("root")));
+  } else if (algo == "bfs") {
+    program = std::make_unique<algos::Bfs>(
+        static_cast<VertexId>(flags.GetInt("root")));
+  } else if (algo == "widest") {
+    program = std::make_unique<algos::WidestPath>(
+        static_cast<VertexId>(flags.GetInt("root")));
+  } else if (algo == "ppr") {
+    program = std::make_unique<algos::PersonalizedPageRank>(
+        static_cast<VertexId>(flags.GetInt("root")),
+        flags.GetDouble("epsilon"));
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+    return 1;
+  }
+
+  const std::string engine_kind = flags.GetString("engine");
+  Result<core::ExecutionReport> report = InternalError("unknown engine");
+  const core::VertexState* state = nullptr;
+  core::GraphSDEngine* graphsd_engine = nullptr;
+
+  std::unique_ptr<core::GraphSDEngine> gsd;
+  std::unique_ptr<baselines::HusGraphEngine> hus;
+  std::unique_ptr<baselines::LumosEngine> lumos;
+  if (engine_kind == "graphsd") {
+    core::EngineOptions options;
+    options.num_threads = static_cast<std::size_t>(flags.GetInt("threads"));
+    options.enable_cross_iteration = !flags.GetBool("no-cross-iteration");
+    options.enable_selective = !flags.GetBool("no-selective");
+    options.enable_buffering = !flags.GetBool("no-buffer");
+    gsd = std::make_unique<core::GraphSDEngine>(*dataset, options);
+    graphsd_engine = gsd.get();
+    report = gsd->Run(*program);
+    state = gsd->state();
+  } else if (engine_kind == "hus") {
+    baselines::HusGraphEngine::Options options;
+    options.num_threads = static_cast<std::size_t>(flags.GetInt("threads"));
+    hus = std::make_unique<baselines::HusGraphEngine>(*dataset, options);
+    report = hus->Run(*program);
+    state = hus->state();
+  } else if (engine_kind == "lumos") {
+    baselines::LumosEngine::Options options;
+    options.num_threads = static_cast<std::size_t>(flags.GetInt("threads"));
+    lumos = std::make_unique<baselines::LumosEngine>(*dataset, options);
+    report = lumos->Run(*program);
+    state = lumos->state();
+  } else {
+    std::fprintf(stderr, "unknown --engine %s\n", engine_kind.c_str());
+    return 1;
+  }
+  (void)graphsd_engine;
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->Summary().c_str());
+
+  const std::string values_out = flags.GetString("values-out");
+  if (!values_out.empty() && state != nullptr) {
+    std::FILE* f = std::fopen(values_out.c_str(), "w");
+    if (f == nullptr) return Fail(ErrnoError("fopen " + values_out, errno));
+    for (VertexId v = 0; v < state->num_vertices(); ++v) {
+      std::fprintf(f, "%u %.17g\n", v, program->ValueOf(*state, v));
+    }
+    std::fclose(f);
+    std::printf("wrote %u vertex values to %s\n", state->num_vertices(),
+                values_out.c_str());
+  }
+  return 0;
+}
+
+int CmdProfile(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("dir", "/tmp", "directory on the device to profile");
+  flags.Define("file-mb", "64", "scratch file size in MiB");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  io::ProfilerOptions options;
+  options.file_bytes =
+      static_cast<std::uint64_t>(flags.GetInt("file-mb")) * 1024 * 1024;
+  auto result = io::ProfileDevice(flags.GetString("dir"), options);
+  if (!result.ok()) return Fail(result.status());
+  const io::IoCostModel model = result->ToCostModel(64 * 1024);
+  std::printf("seq read  %.1f MiB/s\nseq write %.1f MiB/s\n"
+              "rand read %.1f MiB/s (64 KiB requests)\n"
+              "rand write %.1f MiB/s\nfitted model: %s\n",
+              result->seq_read_bw / (1 << 20),
+              result->seq_write_bw / (1 << 20),
+              result->rand_read_bw / (1 << 20),
+              result->rand_write_bw / (1 << 20), model.ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: graphsd <command> [flags]\n"
+               "commands: generate convert preprocess info run profile\n"
+               "run `graphsd <command> --help=true` is not supported; see\n"
+               "tools/graphsd_cli.cpp for every flag.\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace graphsd
+
+int main(int argc, char** argv) {
+  if (argc < 2) return graphsd::Usage();
+  const std::string command = argv[1];
+  // Shift argv so each command parses only its own flags.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "generate") return graphsd::CmdGenerate(sub_argc, sub_argv);
+  if (command == "convert") return graphsd::CmdConvert(sub_argc, sub_argv);
+  if (command == "preprocess") {
+    return graphsd::CmdPreprocess(sub_argc, sub_argv);
+  }
+  if (command == "info") return graphsd::CmdInfo(sub_argc, sub_argv);
+  if (command == "run") return graphsd::CmdRun(sub_argc, sub_argv);
+  if (command == "profile") return graphsd::CmdProfile(sub_argc, sub_argv);
+  return graphsd::Usage();
+}
