@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_buffering.dir/fig/bench_fig12_buffering.cpp.o"
+  "CMakeFiles/bench_fig12_buffering.dir/fig/bench_fig12_buffering.cpp.o.d"
+  "bench_fig12_buffering"
+  "bench_fig12_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

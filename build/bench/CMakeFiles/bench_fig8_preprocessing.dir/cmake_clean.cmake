@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_preprocessing.dir/fig/bench_fig8_preprocessing.cpp.o"
+  "CMakeFiles/bench_fig8_preprocessing.dir/fig/bench_fig8_preprocessing.cpp.o.d"
+  "bench_fig8_preprocessing"
+  "bench_fig8_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_update_strategies.dir/fig/bench_fig9_update_strategies.cpp.o"
+  "CMakeFiles/bench_fig9_update_strategies.dir/fig/bench_fig9_update_strategies.cpp.o.d"
+  "bench_fig9_update_strategies"
+  "bench_fig9_update_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_update_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

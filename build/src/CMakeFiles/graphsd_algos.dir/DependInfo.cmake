@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/bfs.cpp" "src/CMakeFiles/graphsd_algos.dir/algos/bfs.cpp.o" "gcc" "src/CMakeFiles/graphsd_algos.dir/algos/bfs.cpp.o.d"
+  "/root/repo/src/algos/connected_components.cpp" "src/CMakeFiles/graphsd_algos.dir/algos/connected_components.cpp.o" "gcc" "src/CMakeFiles/graphsd_algos.dir/algos/connected_components.cpp.o.d"
+  "/root/repo/src/algos/pagerank.cpp" "src/CMakeFiles/graphsd_algos.dir/algos/pagerank.cpp.o" "gcc" "src/CMakeFiles/graphsd_algos.dir/algos/pagerank.cpp.o.d"
+  "/root/repo/src/algos/pagerank_delta.cpp" "src/CMakeFiles/graphsd_algos.dir/algos/pagerank_delta.cpp.o" "gcc" "src/CMakeFiles/graphsd_algos.dir/algos/pagerank_delta.cpp.o.d"
+  "/root/repo/src/algos/personalized_pagerank.cpp" "src/CMakeFiles/graphsd_algos.dir/algos/personalized_pagerank.cpp.o" "gcc" "src/CMakeFiles/graphsd_algos.dir/algos/personalized_pagerank.cpp.o.d"
+  "/root/repo/src/algos/sssp.cpp" "src/CMakeFiles/graphsd_algos.dir/algos/sssp.cpp.o" "gcc" "src/CMakeFiles/graphsd_algos.dir/algos/sssp.cpp.o.d"
+  "/root/repo/src/algos/widest_path.cpp" "src/CMakeFiles/graphsd_algos.dir/algos/widest_path.cpp.o" "gcc" "src/CMakeFiles/graphsd_algos.dir/algos/widest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

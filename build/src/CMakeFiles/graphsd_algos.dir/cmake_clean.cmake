@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_algos.dir/algos/bfs.cpp.o"
+  "CMakeFiles/graphsd_algos.dir/algos/bfs.cpp.o.d"
+  "CMakeFiles/graphsd_algos.dir/algos/connected_components.cpp.o"
+  "CMakeFiles/graphsd_algos.dir/algos/connected_components.cpp.o.d"
+  "CMakeFiles/graphsd_algos.dir/algos/pagerank.cpp.o"
+  "CMakeFiles/graphsd_algos.dir/algos/pagerank.cpp.o.d"
+  "CMakeFiles/graphsd_algos.dir/algos/pagerank_delta.cpp.o"
+  "CMakeFiles/graphsd_algos.dir/algos/pagerank_delta.cpp.o.d"
+  "CMakeFiles/graphsd_algos.dir/algos/personalized_pagerank.cpp.o"
+  "CMakeFiles/graphsd_algos.dir/algos/personalized_pagerank.cpp.o.d"
+  "CMakeFiles/graphsd_algos.dir/algos/sssp.cpp.o"
+  "CMakeFiles/graphsd_algos.dir/algos/sssp.cpp.o.d"
+  "CMakeFiles/graphsd_algos.dir/algos/widest_path.cpp.o"
+  "CMakeFiles/graphsd_algos.dir/algos/widest_path.cpp.o.d"
+  "libgraphsd_algos.a"
+  "libgraphsd_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

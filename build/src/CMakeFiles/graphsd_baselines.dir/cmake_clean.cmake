@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_baselines.dir/baselines/hus_graph_engine.cpp.o"
+  "CMakeFiles/graphsd_baselines.dir/baselines/hus_graph_engine.cpp.o.d"
+  "CMakeFiles/graphsd_baselines.dir/baselines/lumos_engine.cpp.o"
+  "CMakeFiles/graphsd_baselines.dir/baselines/lumos_engine.cpp.o.d"
+  "libgraphsd_baselines.a"
+  "libgraphsd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/graphsd_core.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/fciu_executor.cpp" "src/CMakeFiles/graphsd_core.dir/core/fciu_executor.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/fciu_executor.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "src/CMakeFiles/graphsd_core.dir/core/frontier.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/frontier.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/graphsd_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/graphsd_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/sciu_executor.cpp" "src/CMakeFiles/graphsd_core.dir/core/sciu_executor.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/sciu_executor.cpp.o.d"
+  "/root/repo/src/core/sub_block_buffer.cpp" "src/CMakeFiles/graphsd_core.dir/core/sub_block_buffer.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/sub_block_buffer.cpp.o.d"
+  "/root/repo/src/core/vertex_state.cpp" "src/CMakeFiles/graphsd_core.dir/core/vertex_state.cpp.o" "gcc" "src/CMakeFiles/graphsd_core.dir/core/vertex_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_core.dir/core/engine.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/engine.cpp.o.d"
+  "CMakeFiles/graphsd_core.dir/core/fciu_executor.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/fciu_executor.cpp.o.d"
+  "CMakeFiles/graphsd_core.dir/core/frontier.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/frontier.cpp.o.d"
+  "CMakeFiles/graphsd_core.dir/core/report.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/graphsd_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/graphsd_core.dir/core/sciu_executor.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/sciu_executor.cpp.o.d"
+  "CMakeFiles/graphsd_core.dir/core/sub_block_buffer.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/sub_block_buffer.cpp.o.d"
+  "CMakeFiles/graphsd_core.dir/core/vertex_state.cpp.o"
+  "CMakeFiles/graphsd_core.dir/core/vertex_state.cpp.o.d"
+  "libgraphsd_core.a"
+  "libgraphsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

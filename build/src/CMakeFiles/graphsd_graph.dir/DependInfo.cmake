@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/graphsd_graph.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/graphsd_graph.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/edge_io.cpp" "src/CMakeFiles/graphsd_graph.dir/graph/edge_io.cpp.o" "gcc" "src/CMakeFiles/graphsd_graph.dir/graph/edge_io.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/graphsd_graph.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/graphsd_graph.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/graphsd_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/graphsd_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/reference_algorithms.cpp" "src/CMakeFiles/graphsd_graph.dir/graph/reference_algorithms.cpp.o" "gcc" "src/CMakeFiles/graphsd_graph.dir/graph/reference_algorithms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

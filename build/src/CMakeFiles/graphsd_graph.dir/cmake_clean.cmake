@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_graph.dir/graph/csr.cpp.o"
+  "CMakeFiles/graphsd_graph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/graphsd_graph.dir/graph/edge_io.cpp.o"
+  "CMakeFiles/graphsd_graph.dir/graph/edge_io.cpp.o.d"
+  "CMakeFiles/graphsd_graph.dir/graph/edge_list.cpp.o"
+  "CMakeFiles/graphsd_graph.dir/graph/edge_list.cpp.o.d"
+  "CMakeFiles/graphsd_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/graphsd_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/graphsd_graph.dir/graph/reference_algorithms.cpp.o"
+  "CMakeFiles/graphsd_graph.dir/graph/reference_algorithms.cpp.o.d"
+  "libgraphsd_graph.a"
+  "libgraphsd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/cost_model.cpp" "src/CMakeFiles/graphsd_io.dir/io/cost_model.cpp.o" "gcc" "src/CMakeFiles/graphsd_io.dir/io/cost_model.cpp.o.d"
+  "/root/repo/src/io/device.cpp" "src/CMakeFiles/graphsd_io.dir/io/device.cpp.o" "gcc" "src/CMakeFiles/graphsd_io.dir/io/device.cpp.o.d"
+  "/root/repo/src/io/file.cpp" "src/CMakeFiles/graphsd_io.dir/io/file.cpp.o" "gcc" "src/CMakeFiles/graphsd_io.dir/io/file.cpp.o.d"
+  "/root/repo/src/io/io_stats.cpp" "src/CMakeFiles/graphsd_io.dir/io/io_stats.cpp.o" "gcc" "src/CMakeFiles/graphsd_io.dir/io/io_stats.cpp.o.d"
+  "/root/repo/src/io/profiler.cpp" "src/CMakeFiles/graphsd_io.dir/io/profiler.cpp.o" "gcc" "src/CMakeFiles/graphsd_io.dir/io/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_io.dir/io/cost_model.cpp.o"
+  "CMakeFiles/graphsd_io.dir/io/cost_model.cpp.o.d"
+  "CMakeFiles/graphsd_io.dir/io/device.cpp.o"
+  "CMakeFiles/graphsd_io.dir/io/device.cpp.o.d"
+  "CMakeFiles/graphsd_io.dir/io/file.cpp.o"
+  "CMakeFiles/graphsd_io.dir/io/file.cpp.o.d"
+  "CMakeFiles/graphsd_io.dir/io/io_stats.cpp.o"
+  "CMakeFiles/graphsd_io.dir/io/io_stats.cpp.o.d"
+  "CMakeFiles/graphsd_io.dir/io/profiler.cpp.o"
+  "CMakeFiles/graphsd_io.dir/io/profiler.cpp.o.d"
+  "libgraphsd_io.a"
+  "libgraphsd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/baseline_preprocessors.cpp" "src/CMakeFiles/graphsd_partition.dir/partition/baseline_preprocessors.cpp.o" "gcc" "src/CMakeFiles/graphsd_partition.dir/partition/baseline_preprocessors.cpp.o.d"
+  "/root/repo/src/partition/external_builder.cpp" "src/CMakeFiles/graphsd_partition.dir/partition/external_builder.cpp.o" "gcc" "src/CMakeFiles/graphsd_partition.dir/partition/external_builder.cpp.o.d"
+  "/root/repo/src/partition/grid_builder.cpp" "src/CMakeFiles/graphsd_partition.dir/partition/grid_builder.cpp.o" "gcc" "src/CMakeFiles/graphsd_partition.dir/partition/grid_builder.cpp.o.d"
+  "/root/repo/src/partition/grid_dataset.cpp" "src/CMakeFiles/graphsd_partition.dir/partition/grid_dataset.cpp.o" "gcc" "src/CMakeFiles/graphsd_partition.dir/partition/grid_dataset.cpp.o.d"
+  "/root/repo/src/partition/intervals.cpp" "src/CMakeFiles/graphsd_partition.dir/partition/intervals.cpp.o" "gcc" "src/CMakeFiles/graphsd_partition.dir/partition/intervals.cpp.o.d"
+  "/root/repo/src/partition/manifest.cpp" "src/CMakeFiles/graphsd_partition.dir/partition/manifest.cpp.o" "gcc" "src/CMakeFiles/graphsd_partition.dir/partition/manifest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_partition.dir/partition/baseline_preprocessors.cpp.o"
+  "CMakeFiles/graphsd_partition.dir/partition/baseline_preprocessors.cpp.o.d"
+  "CMakeFiles/graphsd_partition.dir/partition/external_builder.cpp.o"
+  "CMakeFiles/graphsd_partition.dir/partition/external_builder.cpp.o.d"
+  "CMakeFiles/graphsd_partition.dir/partition/grid_builder.cpp.o"
+  "CMakeFiles/graphsd_partition.dir/partition/grid_builder.cpp.o.d"
+  "CMakeFiles/graphsd_partition.dir/partition/grid_dataset.cpp.o"
+  "CMakeFiles/graphsd_partition.dir/partition/grid_dataset.cpp.o.d"
+  "CMakeFiles/graphsd_partition.dir/partition/intervals.cpp.o"
+  "CMakeFiles/graphsd_partition.dir/partition/intervals.cpp.o.d"
+  "CMakeFiles/graphsd_partition.dir/partition/manifest.cpp.o"
+  "CMakeFiles/graphsd_partition.dir/partition/manifest.cpp.o.d"
+  "libgraphsd_partition.a"
+  "libgraphsd_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphsd_partition.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_util.dir/util/bitset.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/bitset.cpp.o.d"
+  "CMakeFiles/graphsd_util.dir/util/cli.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/graphsd_util.dir/util/clock.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/clock.cpp.o.d"
+  "CMakeFiles/graphsd_util.dir/util/logging.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/graphsd_util.dir/util/rng.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/graphsd_util.dir/util/stats.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/graphsd_util.dir/util/status.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/status.cpp.o.d"
+  "CMakeFiles/graphsd_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/graphsd_util.dir/util/thread_pool.cpp.o.d"
+  "libgraphsd_util.a"
+  "libgraphsd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

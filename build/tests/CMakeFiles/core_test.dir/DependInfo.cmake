@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/frontier_test.cpp" "tests/CMakeFiles/core_test.dir/core/frontier_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/frontier_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_fciu_test.cpp" "tests/CMakeFiles/core_test.dir/core/scheduler_fciu_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_fciu_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/slot_test.cpp" "tests/CMakeFiles/core_test.dir/core/slot_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/slot_test.cpp.o.d"
+  "/root/repo/tests/core/sub_block_buffer_test.cpp" "tests/CMakeFiles/core_test.dir/core/sub_block_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sub_block_buffer_test.cpp.o.d"
+  "/root/repo/tests/core/vertex_state_test.cpp" "tests/CMakeFiles/core_test.dir/core/vertex_state_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/vertex_state_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

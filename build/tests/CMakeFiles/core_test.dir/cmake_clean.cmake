@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/frontier_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/frontier_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_fciu_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/scheduler_fciu_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/slot_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/slot_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sub_block_buffer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sub_block_buffer_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/vertex_state_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/vertex_state_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/baseline_engines_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/baseline_engines_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/baseline_engines_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_ablation_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/engine_ablation_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_ablation_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_balanced_intervals_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/engine_balanced_intervals_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_balanced_intervals_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_correctness_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/engine_correctness_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_correctness_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_equivalence_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/engine_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_equivalence_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_gather_sweep_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/engine_gather_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_gather_sweep_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_io_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/engine_io_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_io_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_stress_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/engine_stress_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_stress_test.cpp.o.d"
+  "/root/repo/tests/engine/failure_injection_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/engine/lumos_model_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/lumos_model_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/lumos_model_test.cpp.o.d"
+  "/root/repo/tests/engine/personalized_pagerank_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/personalized_pagerank_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/personalized_pagerank_test.cpp.o.d"
+  "/root/repo/tests/engine/widest_path_test.cpp" "tests/CMakeFiles/engine_test.dir/engine/widest_path_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/widest_path_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/baseline_engines_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/baseline_engines_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_ablation_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_ablation_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_balanced_intervals_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_balanced_intervals_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_correctness_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_correctness_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_equivalence_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_equivalence_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_gather_sweep_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_gather_sweep_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_io_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_io_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_stress_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/engine_stress_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/failure_injection_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/failure_injection_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/lumos_model_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/lumos_model_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/personalized_pagerank_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/personalized_pagerank_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/widest_path_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/widest_path_test.cpp.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

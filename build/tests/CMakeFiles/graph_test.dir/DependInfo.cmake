@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/csr_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/csr_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/csr_test.cpp.o.d"
+  "/root/repo/tests/graph/edge_io_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/edge_io_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/edge_io_test.cpp.o.d"
+  "/root/repo/tests/graph/edge_list_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/edge_list_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/edge_list_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/reference_algorithms_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/reference_algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/reference_algorithms_test.cpp.o.d"
+  "/root/repo/tests/graph/web_structure_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/web_structure_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/web_structure_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/cost_model_test.cpp" "tests/CMakeFiles/io_test.dir/io/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io/cost_model_test.cpp.o.d"
+  "/root/repo/tests/io/device_test.cpp" "tests/CMakeFiles/io_test.dir/io/device_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io/device_test.cpp.o.d"
+  "/root/repo/tests/io/edge_header_test.cpp" "tests/CMakeFiles/io_test.dir/io/edge_header_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io/edge_header_test.cpp.o.d"
+  "/root/repo/tests/io/file_test.cpp" "tests/CMakeFiles/io_test.dir/io/file_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io/file_test.cpp.o.d"
+  "/root/repo/tests/io/io_stats_test.cpp" "tests/CMakeFiles/io_test.dir/io/io_stats_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io/io_stats_test.cpp.o.d"
+  "/root/repo/tests/io/profiler_test.cpp" "tests/CMakeFiles/io_test.dir/io/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io/profiler_test.cpp.o.d"
+  "/root/repo/tests/io/scaled_model_test.cpp" "tests/CMakeFiles/io_test.dir/io/scaled_model_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io/scaled_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

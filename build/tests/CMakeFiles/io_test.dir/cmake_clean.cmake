@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_test.dir/io/cost_model_test.cpp.o"
+  "CMakeFiles/io_test.dir/io/cost_model_test.cpp.o.d"
+  "CMakeFiles/io_test.dir/io/device_test.cpp.o"
+  "CMakeFiles/io_test.dir/io/device_test.cpp.o.d"
+  "CMakeFiles/io_test.dir/io/edge_header_test.cpp.o"
+  "CMakeFiles/io_test.dir/io/edge_header_test.cpp.o.d"
+  "CMakeFiles/io_test.dir/io/file_test.cpp.o"
+  "CMakeFiles/io_test.dir/io/file_test.cpp.o.d"
+  "CMakeFiles/io_test.dir/io/io_stats_test.cpp.o"
+  "CMakeFiles/io_test.dir/io/io_stats_test.cpp.o.d"
+  "CMakeFiles/io_test.dir/io/profiler_test.cpp.o"
+  "CMakeFiles/io_test.dir/io/profiler_test.cpp.o.d"
+  "CMakeFiles/io_test.dir/io/scaled_model_test.cpp.o"
+  "CMakeFiles/io_test.dir/io/scaled_model_test.cpp.o.d"
+  "io_test"
+  "io_test.pdb"
+  "io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/partition/baseline_preprocessors_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/baseline_preprocessors_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/baseline_preprocessors_test.cpp.o.d"
+  "/root/repo/tests/partition/external_builder_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/external_builder_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/external_builder_test.cpp.o.d"
+  "/root/repo/tests/partition/grid_builder_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/grid_builder_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/grid_builder_test.cpp.o.d"
+  "/root/repo/tests/partition/grid_dataset_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/grid_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/grid_dataset_test.cpp.o.d"
+  "/root/repo/tests/partition/index_reader_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/index_reader_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/index_reader_test.cpp.o.d"
+  "/root/repo/tests/partition/intervals_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/intervals_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/intervals_test.cpp.o.d"
+  "/root/repo/tests/partition/manifest_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/manifest_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/manifest_test.cpp.o.d"
+  "/root/repo/tests/partition/partition_property_test.cpp" "tests/CMakeFiles/partition_test.dir/partition/partition_property_test.cpp.o" "gcc" "tests/CMakeFiles/partition_test.dir/partition/partition_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

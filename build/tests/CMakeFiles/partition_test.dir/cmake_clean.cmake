@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_test.dir/partition/baseline_preprocessors_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/baseline_preprocessors_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/external_builder_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/external_builder_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/grid_builder_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/grid_builder_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/grid_dataset_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/grid_dataset_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/index_reader_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/index_reader_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/intervals_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/intervals_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/manifest_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/manifest_test.cpp.o.d"
+  "CMakeFiles/partition_test.dir/partition/partition_property_test.cpp.o"
+  "CMakeFiles/partition_test.dir/partition/partition_property_test.cpp.o.d"
+  "partition_test"
+  "partition_test.pdb"
+  "partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/aligned_buffer_test.cpp" "tests/CMakeFiles/util_test.dir/util/aligned_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/aligned_buffer_test.cpp.o.d"
+  "/root/repo/tests/util/bitset_test.cpp" "tests/CMakeFiles/util_test.dir/util/bitset_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/bitset_test.cpp.o.d"
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/util_test.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/clock_test.cpp" "tests/CMakeFiles/util_test.dir/util/clock_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/clock_test.cpp.o.d"
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/util_test.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/status_test.cpp" "tests/CMakeFiles/util_test.dir/util/status_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphsd_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphsd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

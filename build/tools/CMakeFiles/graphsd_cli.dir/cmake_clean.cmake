@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphsd_cli.dir/graphsd_cli.cpp.o"
+  "CMakeFiles/graphsd_cli.dir/graphsd_cli.cpp.o.d"
+  "graphsd"
+  "graphsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphsd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
