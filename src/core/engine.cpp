@@ -116,6 +116,10 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   const std::uint32_t max_iterations =
       std::min(program.max_iterations(), options_.max_iterations);
   std::uint32_t iterations = 0;
+  // Cleared when the on-demand model hits unusable inputs (missing index,
+  // checksum mismatch); the full-streaming model needs neither the index
+  // nor ranged reads, so the run degrades instead of failing.
+  bool selective_healthy = true;
 
   while (iterations < max_iterations) {
     if (active.Empty()) {
@@ -136,7 +140,8 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     RoundStat stat;
     stat.first_iteration = iterations;
     bool on_demand = false;
-    if (options_.force_on_demand || options_.enable_selective) {
+    if (selective_healthy &&
+        (options_.force_on_demand || options_.enable_selective)) {
       const SchedulerDecision decision = scheduler.Evaluate(
           active, state.BytesPerVertex(),
           program.needs_weights() && manifest.weighted,
@@ -154,23 +159,44 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
 
     RoundAccounting accounting(device, stat, report);
     GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+    // `preact` is kept intact until the round commits: if the on-demand
+    // attempt fails it reseeds the full-streaming redo of the same round.
     out.CopyFrom(preact);
-    preact.Clear();
     out_ni.Clear();
 
     if (on_demand) {
-      GRAPHSD_RETURN_IF_ERROR(sciu.RunIteration(
-          program, state, active, out, out_ni,
-          options_.enable_cross_iteration, stat, &report.update_seconds));
-      iterations += 1;
-      active.Swap(out);
-      preact.Swap(out_ni);
-    } else {
+      Status status = sciu.RunIteration(program, state, active, out, out_ni,
+                                        options_.enable_cross_iteration, stat,
+                                        &report.update_seconds);
+      if (!status.ok() && (status.code() == StatusCode::kNotFound ||
+                           status.code() == StatusCode::kCorruptData)) {
+        GRAPHSD_LOG_WARN(
+            "iteration %u: on-demand model unusable (%s); degrading to "
+            "full-streaming for the rest of the run",
+            iterations, status.ToString().c_str());
+        selective_healthy = false;
+        ++report.degraded_rounds;
+        // Discard the partial iteration and redo it under the full model:
+        // reload persisted values and reseed the output frontiers.
+        GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+        out.CopyFrom(preact);
+        out_ni.Clear();
+        on_demand = false;
+      } else {
+        GRAPHSD_RETURN_IF_ERROR(status);
+        iterations += 1;
+        preact.Clear();
+        active.Swap(out);
+        preact.Swap(out_ni);
+      }
+    }
+    if (!on_demand) {
       const bool two = options_.enable_cross_iteration &&
                        iterations + 2 <= max_iterations;
       GRAPHSD_RETURN_IF_ERROR(fciu.RunPushRound(program, state, active, out,
                                                 out_ni, two, stat,
                                                 &report.update_seconds));
+      preact.Clear();
       if (two) {
         iterations += 2;
         active.Swap(out_ni);  // `out` was fully consumed inside the round

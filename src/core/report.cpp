@@ -28,6 +28,15 @@ std::string ExecutionReport::Summary() const {
                   graphsd::FormatBytes(buffer_bytes_saved).c_str());
     out += line;
   }
+  if (io.retries > 0 || io.checksum_failures > 0 || degraded_rounds > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  resilience: %llu retries, %llu checksum failures, "
+                  "%u degraded rounds\n",
+                  static_cast<unsigned long long>(io.retries),
+                  static_cast<unsigned long long>(io.checksum_failures),
+                  degraded_rounds);
+    out += line;
+  }
   return out;
 }
 

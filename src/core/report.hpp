@@ -53,6 +53,10 @@ struct ExecutionReport {
   std::uint64_t buffer_misses = 0;  // sub-blocks (re)loaded from disk
   std::uint64_t buffer_bytes_saved = 0;
 
+  // Rounds that fell back from the on-demand to the full-streaming model
+  // after an index read failed (missing file or checksum mismatch).
+  std::uint32_t degraded_rounds = 0;
+
   std::vector<RoundStat> per_round;
 
   /// The headline number: modeled I/O + measured compute.

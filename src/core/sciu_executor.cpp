@@ -1,8 +1,47 @@
 #include "core/sciu_executor.hpp"
 
+#include "partition/dataset_verify.hpp"
 #include "util/clock.hpp"
 
 namespace graphsd::core {
+
+Status SciuExecutor::EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
+                                            bool need_weights) {
+  const auto& dataset = *ctx_.dataset;
+  const auto& manifest = dataset.manifest();
+  if (!manifest.has_checksums) return Status::Ok();
+  if (verified_.empty()) {
+    verified_.assign(static_cast<std::size_t>(manifest.p) * manifest.p, 0);
+  }
+  const std::size_t slot = manifest.SubBlockSlot(i, j);
+  if (verified_[slot]) return Status::Ok();
+
+  const std::uint64_t edges = manifest.EdgesIn(i, j);
+  const std::string& dir = dataset.dir();
+  Status status = partition::VerifyFileCrc(
+      partition::SubBlockEdgesPath(dir, i, j), edges * kEdgeBytes,
+      manifest.edge_crcs[slot]);
+  if (status.ok() && need_weights) {
+    status = partition::VerifyFileCrc(
+        partition::SubBlockWeightsPath(dir, i, j), edges * kWeightBytes,
+        manifest.weight_crcs[slot]);
+  }
+  if (status.ok() && manifest.has_index) {
+    status = partition::VerifyFileCrc(
+        partition::SubBlockIndexPath(dir, i, j),
+        (static_cast<std::uint64_t>(manifest.IntervalSize(i)) + 1) *
+            sizeof(std::uint32_t),
+        manifest.index_crcs[slot]);
+  }
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kCorruptData) {
+      dataset.device().stats().RecordChecksumFailure();
+    }
+    return status;
+  }
+  verified_[slot] = 1;
+  return Status::Ok();
+}
 
 Status SciuExecutor::RunIteration(const PushProgram& program,
                                   VertexState& state, const Frontier& active,
@@ -78,6 +117,7 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
     for (std::uint32_t j = 0; j < manifest.p; ++j) {
       if (manifest.EdgesIn(i, j) == 0) continue;
 
+      GRAPHSD_RETURN_IF_ERROR(EnsureSubBlockVerified(i, j, need_weights));
       GRAPHSD_ASSIGN_OR_RETURN(partition::IndexReader index_reader,
                                dataset.OpenIndexReader(i, j));
       GRAPHSD_ASSIGN_OR_RETURN(
@@ -130,6 +170,12 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
           const VertexId local = locals[pos];
           const std::uint64_t range_begin = offsets[local - first_local];
           const std::uint64_t range_end = offsets[local - first_local + 1];
+          if (range_end < range_begin || range_end > manifest.EdgesIn(i, j)) {
+            return CorruptDataError(
+                partition::SubBlockIndexPath(dataset.dir(), i, j) +
+                ": non-monotonic or out-of-range offsets for local vertex " +
+                std::to_string(local));
+          }
           if (range_begin == range_end) continue;
           if (pending_end == range_begin && pending_end > pending_begin) {
             pending_end = range_end;  // coalesce with the pending run

@@ -17,6 +17,9 @@
 // step is skipped for that iteration.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/exec_context.hpp"
 #include "core/frontier.hpp"
 #include "core/program.hpp"
@@ -38,7 +41,15 @@ class SciuExecutor {
                       double* update_seconds);
 
  private:
+  /// Ranged reads cannot verify checksums per request, so the first time a
+  /// run touches sub-block (i, j) its payload files are CRC-verified in
+  /// full. The verification reads use raw (unaccounted) I/O: they are not
+  /// part of the paper's I/O economics.
+  Status EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
+                                bool need_weights);
+
   ExecContext ctx_;
+  std::vector<std::uint8_t> verified_;  // per sub-block, lazily sized p*p
 };
 
 }  // namespace graphsd::core

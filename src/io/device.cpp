@@ -1,13 +1,39 @@
 #include "io/device.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace graphsd::io {
+
+namespace {
+
+// How an injected fault surfaces to the retry loop. Transient kinds map to
+// kIoError (retryable); ENOSPC maps to kResourceExhausted (fatal).
+Status FaultToStatus(FaultKind kind, const std::string& path) {
+  switch (kind) {
+    case FaultKind::kEio:
+      return IoError("injected EIO on " + path);
+    case FaultKind::kEintr:
+      return IoError("injected EINTR on " + path);
+    case FaultKind::kShortRead:
+      return IoError("injected short transfer on " + path);
+    case FaultKind::kEnospc:
+      return ResourceExhaustedError("injected ENOSPC on " + path);
+  }
+  return InternalError("unknown injected fault kind");
+}
+
+}  // namespace
 
 Status DeviceFile::ReadAt(std::uint64_t offset, std::span<std::uint8_t> out) {
   GRAPHSD_CHECK(device_ != nullptr);
   const AccessPattern pattern = (offset == last_read_end_)
                                     ? AccessPattern::kSequential
                                     : AccessPattern::kRandom;
-  GRAPHSD_RETURN_IF_ERROR(file_.ReadAt(offset, out));
+  GRAPHSD_RETURN_IF_ERROR(device_->RunWithRetry(
+      FaultOp::kRead, file_.path(),
+      [&] { return file_.ReadAt(offset, out); }));
   last_read_end_ = offset + out.size();
   device_->AccountRead(pattern, out.size());
   return Status::Ok();
@@ -19,10 +45,46 @@ Status DeviceFile::WriteAt(std::uint64_t offset,
   const AccessPattern pattern = (offset == last_write_end_)
                                     ? AccessPattern::kSequential
                                     : AccessPattern::kRandom;
-  GRAPHSD_RETURN_IF_ERROR(file_.WriteAt(offset, data));
+  GRAPHSD_RETURN_IF_ERROR(device_->RunWithRetry(
+      FaultOp::kWrite, file_.path(),
+      [&] { return file_.WriteAt(offset, data); }));
   last_write_end_ = offset + data.size();
   device_->AccountWrite(pattern, data.size());
   return Status::Ok();
+}
+
+Status Device::RunWithRetry(FaultOp op, const std::string& path,
+                            const std::function<Status()>& attempt) {
+  const int max_attempts = std::max(1, options_.max_io_attempts);
+  double backoff = options_.retry_backoff_seconds;
+  Status status;
+  for (int attempt_no = 1; attempt_no <= max_attempts; ++attempt_no) {
+    if (attempt_no > 1) {
+      stats_.RecordRetry();
+      Backoff(backoff);
+      backoff *= 2.0;
+    }
+    status = Status::Ok();
+    if (options_.fault_injector != nullptr) {
+      if (auto fault = options_.fault_injector->Evaluate(op, path)) {
+        status = FaultToStatus(*fault, path);
+      }
+    }
+    if (status.ok()) status = attempt();
+    if (status.code() != StatusCode::kIoError) return status;
+  }
+  return status.WithContext("after " + std::to_string(max_attempts) +
+                            " attempts");
+}
+
+void Device::Backoff(double seconds) {
+  if (options_.charge_virtual_time) {
+    clock_.Add(seconds);
+    return;
+  }
+  // Real sleep, capped so an exponential schedule can never stall a run.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::min(seconds, 0.05)));
 }
 
 Result<DeviceFile> Device::Open(const std::string& path, OpenMode mode) {

@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 
 #include "io/cost_model.hpp"
+#include "io/fault_injector.hpp"
 #include "io/file.hpp"
 #include "io/io_stats.hpp"
 #include "util/clock.hpp"
@@ -33,6 +35,16 @@ struct DeviceOptions {
   bool charge_virtual_time = true;
   /// The disk profile used to charge requests.
   IoCostModel cost_model = IoCostModel::Hdd();
+  /// Total attempts per request (first try + retries) before a transient
+  /// kIoError is surfaced. Non-transient codes are never retried.
+  int max_io_attempts = 4;
+  /// Backoff before the first retry; doubles on each subsequent retry.
+  /// Charged to the virtual clock when charge_virtual_time, otherwise slept
+  /// (capped) in real time.
+  double retry_backoff_seconds = 1e-3;
+  /// Optional fault schedule consulted before every request (non-owning;
+  /// must outlive the Device). See fault_injector.hpp.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class Device;
@@ -81,6 +93,12 @@ class Device {
 
   const DeviceOptions& options() const noexcept { return options_; }
 
+  /// Attaches (or detaches, with nullptr) a fault schedule after
+  /// construction, e.g. once a test dataset has been built fault-free.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    options_.fault_injector = injector;
+  }
+
   /// Resets counters and the virtual clock (between benchmark phases).
   void ResetAccounting() noexcept {
     stats_.Reset();
@@ -91,6 +109,13 @@ class Device {
   friend class DeviceFile;
   void AccountRead(AccessPattern pattern, std::uint64_t bytes) noexcept;
   void AccountWrite(AccessPattern pattern, std::uint64_t bytes) noexcept;
+
+  /// Runs `attempt` under the device's bounded retry-with-backoff policy,
+  /// consulting the fault injector before each try. Only kIoError is
+  /// considered transient.
+  Status RunWithRetry(FaultOp op, const std::string& path,
+                      const std::function<Status()>& attempt);
+  void Backoff(double seconds);
 
   DeviceOptions options_;
   IoStats stats_;

@@ -1,0 +1,32 @@
+#include "io/fault_injector.hpp"
+
+namespace graphsd::io {
+
+std::optional<FaultKind> FaultInjector::Evaluate(FaultOp op,
+                                                 const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ops_seen_;
+  for (auto& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.op != FaultOp::kAny && rule.op != op) continue;
+    if (!rule.path_substring.empty() &&
+        path.find(rule.path_substring) == std::string::npos) {
+      continue;
+    }
+    ++state.matched;
+    if (state.fired >= rule.max_fires) continue;
+    const bool nth_hit = rule.nth != 0 && state.matched == rule.nth;
+    // Only probabilistic rules consume RNG draws, so purely ordinal rules
+    // never perturb the sequence a probabilistic rule sees.
+    const bool coin_hit =
+        rule.probability > 0.0 && rng_.NextDouble() < rule.probability;
+    if (nth_hit || coin_hit) {
+      ++state.fired;
+      ++faults_injected_;
+      return rule.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace graphsd::io

@@ -1,0 +1,114 @@
+// Deterministic storage-fault injection for resilience testing.
+//
+// A `FaultInjector` is attached to a `Device` (DeviceOptions::fault_injector)
+// and consulted once per DeviceFile read/write request *before* the real I/O
+// is issued. Rules fire either on the nth matching request or with a fixed
+// probability drawn from a seeded RNG, so a given (seed, workload) pair
+// always injects the same fault sequence — failures found in CI reproduce
+// bit-for-bit locally.
+//
+// Injected faults model the failure taxonomy of DESIGN.md §7:
+//   * kEio / kEintr / kShortRead — transient; the device's bounded
+//     retry-with-backoff policy should absorb them.
+//   * kEnospc — fatal resource exhaustion; never retried.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace graphsd::io {
+
+/// What the injected failure looks like to the device layer.
+enum class FaultKind {
+  kEio,        // read/write fails as if the medium returned EIO
+  kEintr,      // the request is interrupted (EINTR storm survivor)
+  kShortRead,  // the request transfers fewer bytes than asked
+  kEnospc,     // write fails with no space left on device
+};
+
+/// Which request direction a rule applies to.
+enum class FaultOp { kRead, kWrite, kAny };
+
+/// One programmable fault source. A rule fires on a request when the op and
+/// path filters match AND either `nth` equals the rule's matching-request
+/// ordinal (1-based) or a seeded coin with `probability` comes up heads.
+struct FaultRule {
+  FaultKind kind = FaultKind::kEio;
+  FaultOp op = FaultOp::kAny;
+  /// Substring filter on the file path; empty matches every file.
+  std::string path_substring;
+  /// Fire on exactly the nth matching request (1-based). 0 disables the
+  /// ordinal trigger.
+  std::uint64_t nth = 0;
+  /// Independent per-request fire probability in [0, 1].
+  double probability = 0.0;
+  /// Stop firing after this many injections (bounds EINTR storms).
+  std::uint64_t max_fires = UINT64_MAX;
+};
+
+/// Thread-safe, seeded fault schedule. Lives outside the Device (tests own
+/// it) so one schedule can be shared, inspected, and reset between runs.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
+
+  void AddRule(FaultRule rule) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.push_back(RuleState{rule, 0, 0});
+  }
+
+  /// Clears counters and reseeds the RNG; rules are kept. Makes two runs of
+  /// the same workload see the same fault sequence.
+  void Reset(std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rng_ = Xoshiro256(seed);
+    seed_ = seed;
+    ops_seen_ = 0;
+    faults_injected_ = 0;
+    for (auto& state : rules_) {
+      state.matched = 0;
+      state.fired = 0;
+    }
+  }
+
+  /// Resets with the seed of the last Reset/construction.
+  void Reset() { Reset(seed_); }
+
+  /// Consulted by DeviceFile once per request (including retries). Returns
+  /// the fault to simulate, or nullopt to let the real I/O proceed. The
+  /// first matching rule wins.
+  std::optional<FaultKind> Evaluate(FaultOp op, const std::string& path);
+
+  /// Total requests evaluated.
+  std::uint64_t ops_seen() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ops_seen_;
+  }
+
+  /// Total faults injected across all rules.
+  std::uint64_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return faults_injected_;
+  }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t matched = 0;  // requests this rule's filters matched
+    std::uint64_t fired = 0;    // faults this rule injected
+  };
+
+  mutable std::mutex mutex_;
+  Xoshiro256 rng_;
+  std::uint64_t seed_;
+  std::uint64_t ops_seen_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::vector<RuleState> rules_;
+};
+
+}  // namespace graphsd::io

@@ -162,18 +162,26 @@ Result<std::string> ReadFileToString(const std::string& path) {
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
   const std::string tmp = path + ".tmp";
-  {
-    GRAPHSD_ASSIGN_OR_RETURN(File file, File::Open(tmp, OpenMode::kWrite));
-    GRAPHSD_RETURN_IF_ERROR(file.WriteAt(
-        0, std::span<const std::uint8_t>(
-               reinterpret_cast<const std::uint8_t*>(contents.data()),
-               contents.size())));
-    GRAPHSD_RETURN_IF_ERROR(file.Sync());
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) return IoError("rename " + tmp + " -> " + path + ": " + ec.message());
-  return Status::Ok();
+  Status status = [&]() -> Status {
+    {
+      GRAPHSD_ASSIGN_OR_RETURN(File file, File::Open(tmp, OpenMode::kWrite));
+      GRAPHSD_RETURN_IF_ERROR(file.WriteAt(
+          0, std::span<const std::uint8_t>(
+                 reinterpret_cast<const std::uint8_t*>(contents.data()),
+                 contents.size())));
+      GRAPHSD_RETURN_IF_ERROR(file.Sync());
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      return IoError("rename " + tmp + " -> " + path + ": " + ec.message());
+    }
+    return Status::Ok();
+  }();
+  // Never leave the temp file behind: a stale `.tmp` would shadow the next
+  // atomic replace and leak scratch space.
+  if (!status.ok()) (void)RemoveFile(tmp);
+  return status;
 }
 
 }  // namespace graphsd::io

@@ -15,6 +15,8 @@ IoStatsSnapshot IoStatsSnapshot::operator-(
   d.seq_write_ops = seq_write_ops - other.seq_write_ops;
   d.rand_read_ops = rand_read_ops - other.rand_read_ops;
   d.rand_write_ops = rand_write_ops - other.rand_write_ops;
+  d.retries = retries - other.retries;
+  d.checksum_failures = checksum_failures - other.checksum_failures;
   return d;
 }
 
@@ -28,6 +30,8 @@ IoStatsSnapshot& IoStatsSnapshot::operator+=(
   seq_write_ops += other.seq_write_ops;
   rand_read_ops += other.rand_read_ops;
   rand_write_ops += other.rand_write_ops;
+  retries += other.retries;
+  checksum_failures += other.checksum_failures;
   return *this;
 }
 
@@ -38,6 +42,10 @@ std::string IoStatsSnapshot::ToString() const {
   out += ", rand " + graphsd::FormatBytes(rand_read_bytes);
   out += "), write " + graphsd::FormatBytes(TotalWriteBytes());
   out += ", ops " + std::to_string(TotalOps());
+  if (retries > 0) out += ", retries " + std::to_string(retries);
+  if (checksum_failures > 0) {
+    out += ", checksum failures " + std::to_string(checksum_failures);
+  }
   return out;
 }
 
@@ -71,6 +79,8 @@ IoStatsSnapshot IoStats::Snapshot() const noexcept {
   s.seq_write_ops = seq_write_ops_.load(std::memory_order_relaxed);
   s.rand_read_ops = rand_read_ops_.load(std::memory_order_relaxed);
   s.rand_write_ops = rand_write_ops_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -83,6 +93,8 @@ void IoStats::Reset() noexcept {
   seq_write_ops_.store(0, std::memory_order_relaxed);
   rand_read_ops_.store(0, std::memory_order_relaxed);
   rand_write_ops_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+  checksum_failures_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace graphsd::io

@@ -25,6 +25,9 @@ struct IoStatsSnapshot {
   std::uint64_t seq_write_ops = 0;
   std::uint64_t rand_read_ops = 0;
   std::uint64_t rand_write_ops = 0;
+  // Resilience counters (see DESIGN.md "Failure model & recovery").
+  std::uint64_t retries = 0;            // transient errors absorbed by retry
+  std::uint64_t checksum_failures = 0;  // CRC mismatches surfaced on load
 
   std::uint64_t TotalReadBytes() const noexcept {
     return seq_read_bytes + rand_read_bytes;
@@ -57,6 +60,16 @@ class IoStats {
   /// Records one write of `bytes` with the given pattern.
   void RecordWrite(AccessPattern pattern, std::uint64_t bytes) noexcept;
 
+  /// Records one retry of a transiently-failed request.
+  void RecordRetry() noexcept {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one detected checksum mismatch.
+  void RecordChecksumFailure() noexcept {
+    checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Copies the current counters.
   IoStatsSnapshot Snapshot() const noexcept;
 
@@ -72,6 +85,8 @@ class IoStats {
   std::atomic<std::uint64_t> seq_write_ops_{0};
   std::atomic<std::uint64_t> rand_read_ops_{0};
   std::atomic<std::uint64_t> rand_write_ops_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> checksum_failures_{0};
 };
 
 }  // namespace graphsd::io

@@ -1,0 +1,102 @@
+#include "partition/dataset_verify.hpp"
+
+#include <algorithm>
+
+#include "graph/types.hpp"
+#include "io/file.hpp"
+#include "util/crc32c.hpp"
+
+namespace graphsd::partition {
+namespace {
+
+constexpr std::size_t kChunkBytes = 1 << 20;
+
+}  // namespace
+
+std::string DatasetVerifyReport::Summary() const {
+  std::string out;
+  out += "verified " + std::to_string(files_checked) + " files: ";
+  if (!has_checksums) {
+    out += "no checksums recorded (dataset predates checksumming)";
+  } else if (failures.empty()) {
+    out += "all checksums match";
+  } else {
+    out += std::to_string(failures.size()) + " failed";
+    for (const FileCheck& check : failures) {
+      out += "\n  " + check.path + ": " + check.status.ToString();
+    }
+  }
+  return out;
+}
+
+Status VerifyFileCrc(const std::string& path, std::uint64_t expected_bytes,
+                     std::uint32_t expected_crc) {
+  GRAPHSD_ASSIGN_OR_RETURN(io::File file,
+                           io::File::Open(path, io::OpenMode::kRead));
+  GRAPHSD_ASSIGN_OR_RETURN(const std::uint64_t size, file.Size());
+  if (size != expected_bytes) {
+    return CorruptDataError(path + ": size " + std::to_string(size) +
+                            " != expected " + std::to_string(expected_bytes));
+  }
+  std::vector<std::uint8_t> chunk;
+  std::uint32_t crc = 0;
+  for (std::uint64_t offset = 0; offset < size;) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kChunkBytes,
+                                                         size - offset));
+    chunk.resize(n);
+    GRAPHSD_RETURN_IF_ERROR(file.ReadAt(offset, chunk));
+    crc = Crc32c(crc, chunk.data(), n);
+    offset += n;
+  }
+  if (crc != expected_crc) {
+    return CorruptDataError(path + ": CRC32C mismatch (stored " +
+                            std::to_string(expected_crc) + ", computed " +
+                            std::to_string(crc) + ")");
+  }
+  return Status::Ok();
+}
+
+Result<DatasetVerifyReport> VerifyDataset(const std::string& dir) {
+  GRAPHSD_ASSIGN_OR_RETURN(const std::string text,
+                           io::ReadFileToString(ManifestPath(dir)));
+  GRAPHSD_ASSIGN_OR_RETURN(const GridManifest manifest,
+                           GridManifest::Parse(text));
+
+  DatasetVerifyReport report;
+  report.has_checksums = manifest.has_checksums;
+  if (!manifest.has_checksums) return report;
+
+  const auto check = [&report](const std::string& path, std::uint64_t bytes,
+                               std::uint32_t crc) {
+    ++report.files_checked;
+    Status status = VerifyFileCrc(path, bytes, crc);
+    if (!status.ok()) report.failures.push_back({path, std::move(status)});
+  };
+
+  check(DegreesPath(dir),
+        static_cast<std::uint64_t>(manifest.num_vertices) *
+            sizeof(std::uint32_t),
+        manifest.degrees_crc);
+  for (std::uint32_t i = 0; i < manifest.p; ++i) {
+    for (std::uint32_t j = 0; j < manifest.p; ++j) {
+      const std::size_t slot = manifest.SubBlockSlot(i, j);
+      const std::uint64_t edges = manifest.EdgesIn(i, j);
+      check(SubBlockEdgesPath(dir, i, j), edges * kEdgeBytes,
+            manifest.edge_crcs[slot]);
+      if (manifest.weighted) {
+        check(SubBlockWeightsPath(dir, i, j), edges * kWeightBytes,
+              manifest.weight_crcs[slot]);
+      }
+      if (manifest.has_index) {
+        check(SubBlockIndexPath(dir, i, j),
+              (static_cast<std::uint64_t>(manifest.IntervalSize(i)) + 1) *
+                  sizeof(std::uint32_t),
+              manifest.index_crcs[slot]);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace graphsd::partition

@@ -1,0 +1,46 @@
+// Offline integrity verification of a preprocessed grid dataset.
+//
+// `VerifyDataset` re-reads every payload file (degrees, sub-block
+// edges/weights/index) through raw unaccounted I/O, checks sizes implied by
+// the manifest, and compares CRC32C checksums recorded at build time. It
+// backs the `graphsd_cli verify` subcommand and the engine's one-time
+// sub-block verification on the on-demand path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/manifest.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::partition {
+
+/// Outcome of checking one file.
+struct FileCheck {
+  std::string path;
+  Status status;  // kOk, or why the file failed
+};
+
+struct DatasetVerifyReport {
+  bool has_checksums = false;    // manifest records CRCs at all
+  std::uint64_t files_checked = 0;
+  std::vector<FileCheck> failures;
+
+  bool ok() const noexcept { return failures.empty(); }
+
+  /// Multi-line human-readable summary (one line per failure).
+  std::string Summary() const;
+};
+
+/// Reads `path` in full (raw, unaccounted I/O), requiring exactly
+/// `expected_bytes` bytes whose CRC32C equals `expected_crc`.
+Status VerifyFileCrc(const std::string& path, std::uint64_t expected_bytes,
+                     std::uint32_t expected_crc);
+
+/// Verifies every payload file of the dataset in `dir` against its manifest.
+/// Returns an error only when the manifest itself cannot be read; per-file
+/// problems are collected in the report.
+Result<DatasetVerifyReport> VerifyDataset(const std::string& dir);
+
+}  // namespace graphsd::partition

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/edge_io.hpp"
+#include "util/crc32c.hpp"
 #include "util/logging.hpp"
 
 namespace graphsd::partition {
@@ -204,6 +205,14 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
   manifest.p = static_cast<std::uint32_t>(manifest.boundaries.size() - 1);
   p = manifest.p;
   manifest.sub_block_edges.assign(static_cast<std::size_t>(p) * p, 0);
+  manifest.has_checksums = true;
+  manifest.edge_crcs.assign(static_cast<std::size_t>(p) * p, 0);
+  if (header.weighted) {
+    manifest.weight_crcs.assign(static_cast<std::size_t>(p) * p, 0);
+  }
+  if (options.build_index) {
+    manifest.index_crcs.assign(static_cast<std::size_t>(p) * p, 0);
+  }
 
   // --- pass 1: route edges into per-sub-block spill files ------------------
   std::vector<SpillBucket> buckets(static_cast<std::size_t>(p) * p);
@@ -278,17 +287,20 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
         }
       }
 
+      const std::size_t slot = static_cast<std::size_t>(i) * p + j;
       {
         GRAPHSD_ASSIGN_OR_RETURN(
             io::DeviceFile file,
             device.Open(SubBlockEdgesPath(dir, i, j), io::OpenMode::kWrite));
         GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(block_edges)));
+        manifest.edge_crcs[slot] = Crc32c(AsBytes(block_edges));
       }
       if (header.weighted) {
         GRAPHSD_ASSIGN_OR_RETURN(
             io::DeviceFile file,
             device.Open(SubBlockWeightsPath(dir, i, j), io::OpenMode::kWrite));
         GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(block_weights)));
+        manifest.weight_crcs[slot] = Crc32c(AsBytes(block_weights));
       }
       if (options.build_index) {
         const VertexId begin = manifest.boundaries[i];
@@ -300,6 +312,7 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
             io::DeviceFile file,
             device.Open(SubBlockIndexPath(dir, i, j), io::OpenMode::kWrite));
         GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(index)));
+        manifest.index_crcs[slot] = Crc32c(AsBytes(index));
       }
 
       GRAPHSD_RETURN_IF_ERROR(io::RemoveFile(SpillEdgesPath(dir, i, j)));
@@ -315,6 +328,7 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
         io::DeviceFile file,
         device.Open(DegreesPath(dir), io::OpenMode::kWrite));
     GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(degrees)));
+    manifest.degrees_crc = Crc32c(AsBytes(degrees));
   }
   GRAPHSD_RETURN_IF_ERROR(manifest.Validate());
   GRAPHSD_RETURN_IF_ERROR(

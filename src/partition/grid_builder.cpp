@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/crc32c.hpp"
 #include "util/logging.hpp"
 
 namespace graphsd::partition {
@@ -51,6 +52,14 @@ Result<GridManifest> BuildGrid(const EdgeList& list, io::Device& device,
   manifest.p = static_cast<std::uint32_t>(manifest.boundaries.size() - 1);
   p = manifest.p;
   manifest.sub_block_edges.assign(static_cast<std::size_t>(p) * p, 0);
+  manifest.has_checksums = true;
+  manifest.edge_crcs.assign(static_cast<std::size_t>(p) * p, 0);
+  if (list.weighted()) {
+    manifest.weight_crcs.assign(static_cast<std::size_t>(p) * p, 0);
+  }
+  if (options.build_index) {
+    manifest.index_crcs.assign(static_cast<std::size_t>(p) * p, 0);
+  }
 
   // --- bucket edges into sub-blocks ---------------------------------------
   struct Bucket {
@@ -96,17 +105,20 @@ Result<GridManifest> BuildGrid(const EdgeList& list, io::Device& device,
         }
       }
 
+      const std::size_t slot = static_cast<std::size_t>(i) * p + j;
       {
         GRAPHSD_ASSIGN_OR_RETURN(
             io::DeviceFile file,
             device.Open(SubBlockEdgesPath(dir, i, j), io::OpenMode::kWrite));
         GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(bucket.edges)));
+        manifest.edge_crcs[slot] = Crc32c(AsBytes(bucket.edges));
       }
       if (list.weighted()) {
         GRAPHSD_ASSIGN_OR_RETURN(
             io::DeviceFile file,
             device.Open(SubBlockWeightsPath(dir, i, j), io::OpenMode::kWrite));
         GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(bucket.weights)));
+        manifest.weight_crcs[slot] = Crc32c(AsBytes(bucket.weights));
       }
 
       if (options.build_index) {
@@ -123,6 +135,7 @@ Result<GridManifest> BuildGrid(const EdgeList& list, io::Device& device,
             io::DeviceFile file,
             device.Open(SubBlockIndexPath(dir, i, j), io::OpenMode::kWrite));
         GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(index)));
+        manifest.index_crcs[slot] = Crc32c(AsBytes(index));
       }
 
       // Release bucket memory as we go.
@@ -137,6 +150,7 @@ Result<GridManifest> BuildGrid(const EdgeList& list, io::Device& device,
         io::DeviceFile file,
         device.Open(DegreesPath(dir), io::OpenMode::kWrite));
     GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(degrees)));
+    manifest.degrees_crc = Crc32c(AsBytes(degrees));
   }
   GRAPHSD_RETURN_IF_ERROR(manifest.Validate());
   GRAPHSD_RETURN_IF_ERROR(

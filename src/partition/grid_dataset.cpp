@@ -1,5 +1,7 @@
 #include "partition/grid_dataset.hpp"
 
+#include "util/crc32c.hpp"
+
 namespace graphsd::partition {
 namespace {
 
@@ -8,12 +10,36 @@ std::span<std::uint8_t> AsWritableBytes(std::vector<T>& v) {
   return {reinterpret_cast<std::uint8_t*>(v.data()), v.size() * sizeof(T)};
 }
 
+template <typename T>
+std::span<const std::uint8_t> AsBytes(const std::vector<T>& v) {
+  return {reinterpret_cast<const std::uint8_t*>(v.data()),
+          v.size() * sizeof(T)};
+}
+
+// Compares a freshly loaded payload against its build-time CRC, counting the
+// mismatch in the device's stats so end-of-run reports surface it.
+Status VerifyCrc(io::Device& device, const std::string& path,
+                 std::span<const std::uint8_t> data, std::uint32_t expected) {
+  const std::uint32_t actual = Crc32c(data);
+  if (actual == expected) return Status::Ok();
+  device.stats().RecordChecksumFailure();
+  return CorruptDataError(path + ": CRC32C mismatch (stored " +
+                          std::to_string(expected) + ", computed " +
+                          std::to_string(actual) + ")");
+}
+
 }  // namespace
 
 Status SubBlockReader::ReadRange(std::uint64_t first, std::uint64_t count,
                                  std::vector<Edge>& edges_out,
                                  std::vector<Weight>* weights_out) {
   if (count == 0) return Status::Ok();
+  if (first > num_edges_ || count > num_edges_ - first) {
+    return CorruptDataError(
+        edges_.path() + ": range read [" + std::to_string(first) + ", " +
+        std::to_string(first + count) + ") outside sub-block of " +
+        std::to_string(num_edges_) + " edges (corrupt index?)");
+  }
   const std::size_t edge_base = edges_out.size();
   edges_out.resize(edge_base + count);
   GRAPHSD_RETURN_IF_ERROR(edges_.ReadAt(
@@ -35,6 +61,14 @@ Status IndexReader::ReadOffsets(VertexId first_local, VertexId count,
                                 std::vector<std::uint32_t>& out) {
   out.resize(count);
   if (count == 0) return Status::Ok();
+  const std::uint64_t first = first_local;
+  if (first > num_entries_ || count > num_entries_ - first) {
+    return CorruptDataError(file_.path() + ": offset read [" +
+                            std::to_string(first) + ", " +
+                            std::to_string(first + count) +
+                            ") outside index of " +
+                            std::to_string(num_entries_) + " entries");
+  }
   return file_.ReadAt(static_cast<std::uint64_t>(first_local) *
                           sizeof(std::uint32_t),
                       AsWritableBytes(out));
@@ -55,6 +89,11 @@ Result<GridDataset> GridDataset::Open(io::Device& device,
   GRAPHSD_ASSIGN_OR_RETURN(
       io::DeviceFile file, device.Open(DegreesPath(dir), io::OpenMode::kRead));
   GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(dataset.degrees_)));
+  if (dataset.manifest_.has_checksums) {
+    GRAPHSD_RETURN_IF_ERROR(VerifyCrc(device, DegreesPath(dir),
+                                      AsBytes(dataset.degrees_),
+                                      dataset.manifest_.degrees_crc));
+  }
   return dataset;
 }
 
@@ -71,6 +110,12 @@ Result<SubBlock> GridDataset::LoadSubBlock(std::uint32_t i, std::uint32_t j,
         io::DeviceFile file,
         device_->Open(SubBlockEdgesPath(dir_, i, j), io::OpenMode::kRead));
     GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(block.edges)));
+    if (manifest_.has_checksums) {
+      GRAPHSD_RETURN_IF_ERROR(
+          VerifyCrc(*device_, SubBlockEdgesPath(dir_, i, j),
+                    AsBytes(block.edges),
+                    manifest_.edge_crcs[manifest_.SubBlockSlot(i, j)]));
+    }
   }
   if (load_weights && weighted()) {
     block.weights.resize(count);
@@ -78,6 +123,12 @@ Result<SubBlock> GridDataset::LoadSubBlock(std::uint32_t i, std::uint32_t j,
         io::DeviceFile file,
         device_->Open(SubBlockWeightsPath(dir_, i, j), io::OpenMode::kRead));
     GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(block.weights)));
+    if (manifest_.has_checksums) {
+      GRAPHSD_RETURN_IF_ERROR(
+          VerifyCrc(*device_, SubBlockWeightsPath(dir_, i, j),
+                    AsBytes(block.weights),
+                    manifest_.weight_crcs[manifest_.SubBlockSlot(i, j)]));
+    }
   }
   return block;
 }
@@ -93,6 +144,11 @@ Result<std::vector<std::uint32_t>> GridDataset::LoadIndex(
       io::DeviceFile file,
       device_->Open(SubBlockIndexPath(dir_, i, j), io::OpenMode::kRead));
   GRAPHSD_RETURN_IF_ERROR(file.ReadAt(0, AsWritableBytes(index)));
+  if (manifest_.has_checksums) {
+    GRAPHSD_RETURN_IF_ERROR(
+        VerifyCrc(*device_, SubBlockIndexPath(dir_, i, j), AsBytes(index),
+                  manifest_.index_crcs[manifest_.SubBlockSlot(i, j)]));
+  }
   return index;
 }
 
@@ -103,6 +159,8 @@ Result<IndexReader> GridDataset::OpenIndexReader(std::uint32_t i,
     return NotFoundError("dataset '" + manifest_.name + "' has no index");
   }
   IndexReader reader;
+  reader.num_entries_ =
+      static_cast<std::uint64_t>(manifest_.IntervalSize(i)) + 1;
   GRAPHSD_ASSIGN_OR_RETURN(
       reader.file_,
       device_->Open(SubBlockIndexPath(dir_, i, j), io::OpenMode::kRead));
@@ -113,6 +171,7 @@ Result<SubBlockReader> GridDataset::OpenSubBlockReader(
     std::uint32_t i, std::uint32_t j, bool with_weights) const {
   GRAPHSD_CHECK(i < p() && j < p());
   SubBlockReader reader;
+  reader.num_edges_ = manifest_.EdgesIn(i, j);
   GRAPHSD_ASSIGN_OR_RETURN(
       reader.edges_,
       device_->Open(SubBlockEdgesPath(dir_, i, j), io::OpenMode::kRead));

@@ -45,6 +45,7 @@ class IndexReader {
  private:
   friend class GridDataset;
   io::DeviceFile file_;
+  std::uint64_t num_entries_ = 0;  // IntervalSize(i) + 1
 };
 
 /// Selective reader over one sub-block: issues accounted range reads against
@@ -63,6 +64,7 @@ class SubBlockReader {
   io::DeviceFile edges_;
   io::DeviceFile weights_;
   bool has_weights_ = false;
+  std::uint64_t num_edges_ = 0;  // manifest EdgesIn(i, j), for bounds checks
 };
 
 class GridDataset {

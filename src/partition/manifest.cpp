@@ -33,10 +33,54 @@ Result<std::vector<std::uint64_t>> SplitU64(const std::string& text) {
   return out;
 }
 
+Result<std::vector<std::uint32_t>> SplitU32(const std::string& text) {
+  GRAPHSD_ASSIGN_OR_RETURN(const auto wide, SplitU64(text));
+  std::vector<std::uint32_t> out;
+  out.reserve(wide.size());
+  for (const auto value : wide) {
+    if (value > UINT32_MAX) {
+      return CorruptDataError("32-bit value out of range in manifest: " +
+                              std::to_string(value));
+    }
+    out.push_back(static_cast<std::uint32_t>(value));
+  }
+  return out;
+}
+
+std::string JoinU32(const std::vector<std::uint32_t>& values) {
+  return JoinU64(std::vector<std::uint64_t>(values.begin(), values.end()));
+}
+
+// Strict full-string parse; unlike std::stoull this never throws and
+// rejects trailing garbage, so a damaged manifest surfaces as kCorruptData
+// instead of terminating the process.
+Result<std::uint64_t> ParseU64(const std::string& text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || text.empty()) {
+    return CorruptDataError("bad integer in manifest: '" + text + "'");
+  }
+  return value;
+}
+
+Result<std::uint32_t> ParseU32(const std::string& text) {
+  GRAPHSD_ASSIGN_OR_RETURN(const std::uint64_t value, ParseU64(text));
+  if (value > UINT32_MAX) {
+    return CorruptDataError("32-bit value out of range in manifest: " + text);
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
 }  // namespace
 
 Status GridManifest::Validate() const {
   if (p == 0) return CorruptDataError("manifest: p == 0");
+  // Caps p*p (and every per-sub-block allocation sized from it) well below
+  // anything a corrupted manifest could use to exhaust memory.
+  if (p > 65536) {
+    return CorruptDataError("manifest: implausible p " + std::to_string(p));
+  }
   if (boundaries.size() != p + 1) {
     return CorruptDataError("manifest: boundary count != p+1");
   }
@@ -53,11 +97,33 @@ Status GridManifest::Validate() const {
     return CorruptDataError("manifest: sub-block count != p*p");
   }
   std::uint64_t total = 0;
-  for (const auto count : sub_block_edges) total += count;
+  for (const auto count : sub_block_edges) {
+    if (count > num_edges - total) {  // overflow-safe: total <= num_edges
+      return CorruptDataError(
+          "manifest: sub-block edges sum exceeds num_edges " +
+          std::to_string(num_edges));
+    }
+    total += count;
+  }
   if (total != num_edges) {
     return CorruptDataError("manifest: sub-block edges sum " +
                             std::to_string(total) + " != num_edges " +
                             std::to_string(num_edges));
+  }
+  const std::size_t slots = static_cast<std::size_t>(p) * p;
+  if (has_checksums) {
+    if (edge_crcs.size() != slots) {
+      return CorruptDataError("manifest: edge checksum count != p*p");
+    }
+    if (weight_crcs.size() != (weighted ? slots : 0)) {
+      return CorruptDataError("manifest: weight checksum count mismatch");
+    }
+    if (index_crcs.size() != (has_index ? slots : 0)) {
+      return CorruptDataError("manifest: index checksum count mismatch");
+    }
+  } else if (!edge_crcs.empty() || !weight_crcs.empty() ||
+             !index_crcs.empty()) {
+    return CorruptDataError("manifest: checksum lists without checksum_algo");
   }
   return Status::Ok();
 }
@@ -75,6 +141,13 @@ std::string GridManifest::Serialize() const {
   std::vector<std::uint64_t> bounds(boundaries.begin(), boundaries.end());
   out << "boundaries=" << JoinU64(bounds) << "\n";
   out << "sub_block_edges=" << JoinU64(sub_block_edges) << "\n";
+  if (has_checksums) {
+    out << "checksum_algo=crc32c\n";
+    out << "degrees_crc=" << degrees_crc << "\n";
+    out << "edge_crcs=" << JoinU32(edge_crcs) << "\n";
+    if (weighted) out << "weight_crcs=" << JoinU32(weight_crcs) << "\n";
+    if (has_index) out << "index_crcs=" << JoinU32(index_crcs) << "\n";
+  }
   return out.str();
 }
 
@@ -96,9 +169,9 @@ Result<GridManifest> GridManifest::Parse(const std::string& text) {
     if (key == "name") {
       m.name = value;
     } else if (key == "num_vertices") {
-      m.num_vertices = static_cast<VertexId>(std::stoull(value));
+      GRAPHSD_ASSIGN_OR_RETURN(m.num_vertices, ParseU32(value));
     } else if (key == "num_edges") {
-      m.num_edges = std::stoull(value);
+      GRAPHSD_ASSIGN_OR_RETURN(m.num_edges, ParseU64(value));
     } else if (key == "weighted") {
       m.weighted = value == "1";
     } else if (key == "sorted") {
@@ -106,12 +179,25 @@ Result<GridManifest> GridManifest::Parse(const std::string& text) {
     } else if (key == "has_index") {
       m.has_index = value == "1";
     } else if (key == "p") {
-      m.p = static_cast<std::uint32_t>(std::stoul(value));
+      GRAPHSD_ASSIGN_OR_RETURN(m.p, ParseU32(value));
     } else if (key == "boundaries") {
       GRAPHSD_ASSIGN_OR_RETURN(const auto bounds, SplitU64(value));
       m.boundaries.assign(bounds.begin(), bounds.end());
     } else if (key == "sub_block_edges") {
       GRAPHSD_ASSIGN_OR_RETURN(m.sub_block_edges, SplitU64(value));
+    } else if (key == "checksum_algo") {
+      if (value != "crc32c") {
+        return CorruptDataError("unsupported checksum_algo: " + value);
+      }
+      m.has_checksums = true;
+    } else if (key == "degrees_crc") {
+      GRAPHSD_ASSIGN_OR_RETURN(m.degrees_crc, ParseU32(value));
+    } else if (key == "edge_crcs") {
+      GRAPHSD_ASSIGN_OR_RETURN(m.edge_crcs, SplitU32(value));
+    } else if (key == "weight_crcs") {
+      GRAPHSD_ASSIGN_OR_RETURN(m.weight_crcs, SplitU32(value));
+    } else if (key == "index_crcs") {
+      GRAPHSD_ASSIGN_OR_RETURN(m.index_crcs, SplitU32(value));
     } else {
       return CorruptDataError("unknown manifest key: " + key);
     }

@@ -26,13 +26,29 @@ struct GridManifest {
   IntervalBoundaries boundaries;           // p+1 entries
   std::vector<std::uint64_t> sub_block_edges;  // p*p entries, row-major (i*p+j)
 
+  // CRC32C checksums of every payload file, recorded at build time and
+  // verified on load (DESIGN.md "Failure model & recovery"). Datasets built
+  // before checksumming load with has_checksums=false and skip verification.
+  bool has_checksums = false;
+  std::uint32_t degrees_crc = 0;
+  std::vector<std::uint32_t> edge_crcs;    // p*p, row-major
+  std::vector<std::uint32_t> weight_crcs;  // p*p when weighted, else empty
+  std::vector<std::uint32_t> index_crcs;   // p*p when has_index, else empty
+
+  /// Row-major flat index of sub-block (i, j), bounds-checked.
+  std::size_t SubBlockSlot(std::uint32_t i, std::uint32_t j) const {
+    GRAPHSD_CHECK(i < p && j < p);
+    return static_cast<std::size_t>(i) * p + j;
+  }
+
   /// Edge count of sub-block (i, j).
   std::uint64_t EdgesIn(std::uint32_t i, std::uint32_t j) const {
-    return sub_block_edges[static_cast<std::size_t>(i) * p + j];
+    return sub_block_edges[SubBlockSlot(i, j)];
   }
 
   /// Vertex count of interval i.
   VertexId IntervalSize(std::uint32_t i) const {
+    GRAPHSD_CHECK(i < p);
     return boundaries[i + 1] - boundaries[i];
   }
 

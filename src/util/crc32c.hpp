@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli) checksums for end-to-end on-disk integrity.
+//
+// Every payload file of a grid dataset (sub-block edges/weights/index,
+// degrees) is checksummed at build time and verified on load, so bit rot or
+// torn writes surface as `kCorruptData` instead of silent wrong answers.
+// Software table-driven implementation: portable, ~1 GB/s, no intrinsics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace graphsd {
+
+/// Extends a running CRC32C with `data`. Start from `crc = 0`; the result of
+/// one call feeds the next, so large files can be checksummed in chunks:
+///   crc = Crc32c(Crc32c(0, a), b)  ==  Crc32c(0, ab)
+std::uint32_t Crc32c(std::uint32_t crc, const void* data,
+                     std::size_t size) noexcept;
+
+/// One-shot CRC32C of a byte span.
+inline std::uint32_t Crc32c(std::span<const std::uint8_t> data) noexcept {
+  return Crc32c(0, data.data(), data.size());
+}
+
+}  // namespace graphsd

@@ -69,7 +69,21 @@ Status ErrnoError(std::string_view context, int errno_value) {
   std::string message(context);
   message += ": ";
   message += std::strerror(errno_value);
-  return Status(StatusCode::kIoError, std::move(message));
+  // Map the errno values callers branch on (retry policy, scheduler
+  // degradation) onto distinct codes; everything else is a generic,
+  // potentially transient, I/O error.
+  StatusCode code = StatusCode::kIoError;
+  switch (errno_value) {
+    case ENOENT: code = StatusCode::kNotFound; break;
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      code = StatusCode::kResourceExhausted;
+      break;
+    default: break;
+  }
+  return Status(code, std::move(message));
 }
 
 namespace internal {

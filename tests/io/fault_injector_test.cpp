@@ -1,0 +1,204 @@
+// The deterministic fault injector and the device retry policy it exercises.
+#include "io/fault_injector.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/device.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::io {
+namespace {
+
+using testing::TempDir;
+using testing::ValueOrDie;
+
+std::span<const std::uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(FaultInjector, NthRuleFiresExactlyOnce) {
+  FaultInjector injector(1);
+  FaultRule rule;
+  rule.kind = FaultKind::kEio;
+  rule.op = FaultOp::kRead;
+  rule.nth = 3;
+  injector.AddRule(rule);
+  EXPECT_FALSE(injector.Evaluate(FaultOp::kRead, "/f").has_value());
+  EXPECT_FALSE(injector.Evaluate(FaultOp::kRead, "/f").has_value());
+  const auto fault = injector.Evaluate(FaultOp::kRead, "/f");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(*fault, FaultKind::kEio);
+  EXPECT_FALSE(injector.Evaluate(FaultOp::kRead, "/f").has_value());
+  EXPECT_EQ(injector.ops_seen(), 4u);
+  EXPECT_EQ(injector.faults_injected(), 1u);
+}
+
+TEST(FaultInjector, OpAndPathFiltersGateMatching) {
+  FaultInjector injector(1);
+  FaultRule rule;
+  rule.kind = FaultKind::kEio;
+  rule.op = FaultOp::kRead;
+  rule.path_substring = ".index";
+  rule.nth = 1;
+  injector.AddRule(rule);
+  // Writes and non-index paths do not advance the rule's match counter.
+  EXPECT_FALSE(injector.Evaluate(FaultOp::kWrite, "/ds/sb_0_0.index"));
+  EXPECT_FALSE(injector.Evaluate(FaultOp::kRead, "/ds/sb_0_0.edges"));
+  EXPECT_TRUE(injector.Evaluate(FaultOp::kRead, "/ds/sb_0_0.index"));
+}
+
+TEST(FaultInjector, MaxFiresBoundsStorms) {
+  FaultInjector injector(1);
+  FaultRule rule;
+  rule.kind = FaultKind::kEintr;
+  rule.probability = 1.0;
+  rule.max_fires = 2;
+  injector.AddRule(rule);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.Evaluate(FaultOp::kRead, "/f")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(injector.faults_injected(), 2u);
+}
+
+TEST(FaultInjector, SeededProbabilityIsReproducible) {
+  FaultRule rule;
+  rule.kind = FaultKind::kEio;
+  rule.probability = 0.3;
+
+  const auto sequence = [&rule](std::uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.AddRule(rule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(injector.Evaluate(FaultOp::kRead, "/f").has_value());
+    }
+    return fired;
+  };
+  const auto a = sequence(7);
+  EXPECT_EQ(a, sequence(7));
+  EXPECT_NE(a, sequence(8));
+
+  // Reset(seed) replays the same schedule without rebuilding the rules.
+  FaultInjector injector(7);
+  injector.AddRule(rule);
+  std::vector<bool> first;
+  for (int i = 0; i < 200; ++i) {
+    first.push_back(injector.Evaluate(FaultOp::kRead, "/f").has_value());
+  }
+  injector.Reset();
+  std::vector<bool> second;
+  for (int i = 0; i < 200; ++i) {
+    second.push_back(injector.Evaluate(FaultOp::kRead, "/f").has_value());
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, a);
+}
+
+class DeviceRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = MakeSimulatedDevice(IoCostModel::Free());
+    path_ = dir_.Sub("payload.bin");
+    DeviceFile f = ValueOrDie(device_->Open(path_, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Bytes("0123456789abcdef")));
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Device> device_;
+  std::string path_;
+};
+
+TEST_F(DeviceRetryTest, TransientReadFaultIsAbsorbedByRetry) {
+  FaultInjector injector(3);
+  FaultRule rule;
+  rule.kind = FaultKind::kEio;
+  rule.op = FaultOp::kRead;
+  rule.nth = 1;
+  injector.AddRule(rule);
+  // When the kEio rule fires (its request's attempt 1) the evaluation
+  // returns early, so this rule only sees the remaining read ops: the kEio
+  // retry is its 1st match and request 2's first attempt its 2nd.
+  FaultRule short_read;
+  short_read.kind = FaultKind::kShortRead;
+  short_read.op = FaultOp::kRead;
+  short_read.nth = 2;
+  injector.AddRule(short_read);
+  device_->set_fault_injector(&injector);
+
+  DeviceFile f = ValueOrDie(device_->Open(path_, OpenMode::kRead));
+  std::string out(4, '\0');
+  // First request: attempt 1 hits kEio, attempt 2 succeeds.
+  ASSERT_OK(f.ReadAt(0, {reinterpret_cast<std::uint8_t*>(out.data()), 4}));
+  EXPECT_EQ(out, "0123");
+  // Second request: attempt 3 hits kShortRead, attempt 4 succeeds.
+  ASSERT_OK(f.ReadAt(4, {reinterpret_cast<std::uint8_t*>(out.data()), 4}));
+  EXPECT_EQ(out, "4567");
+  EXPECT_EQ(device_->stats().Snapshot().retries, 2u);
+  EXPECT_EQ(injector.faults_injected(), 2u);
+}
+
+TEST_F(DeviceRetryTest, BackoffIsChargedToTheVirtualClock) {
+  FaultInjector injector(3);
+  FaultRule rule;
+  rule.kind = FaultKind::kEintr;
+  rule.op = FaultOp::kRead;
+  rule.nth = 1;
+  injector.AddRule(rule);
+  device_->set_fault_injector(&injector);
+
+  DeviceFile f = ValueOrDie(device_->Open(path_, OpenMode::kRead));
+  std::uint8_t buf[4];
+  const double before = device_->clock().Seconds();
+  ASSERT_OK(f.ReadAt(0, buf));
+  // One retry at the default 1 ms backoff; the Free cost model charges
+  // nothing for bytes, so the delta is exactly the backoff.
+  EXPECT_GE(device_->clock().Seconds() - before,
+            device_->options().retry_backoff_seconds);
+}
+
+TEST_F(DeviceRetryTest, PersistentFaultExhaustsAttempts) {
+  FaultInjector injector(3);
+  FaultRule rule;
+  rule.kind = FaultKind::kEio;
+  rule.op = FaultOp::kRead;
+  rule.probability = 1.0;
+  injector.AddRule(rule);
+  device_->set_fault_injector(&injector);
+
+  DeviceFile f = ValueOrDie(device_->Open(path_, OpenMode::kRead));
+  std::uint8_t buf[4];
+  const Status status = f.ReadAt(0, buf);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("attempts"), std::string::npos);
+  const int max_attempts = device_->options().max_io_attempts;
+  EXPECT_EQ(device_->stats().Snapshot().retries,
+            static_cast<std::uint64_t>(max_attempts - 1));
+  EXPECT_EQ(injector.faults_injected(),
+            static_cast<std::uint64_t>(max_attempts));
+}
+
+TEST_F(DeviceRetryTest, EnospcIsNeverRetried) {
+  FaultInjector injector(3);
+  FaultRule rule;
+  rule.kind = FaultKind::kEnospc;
+  rule.op = FaultOp::kWrite;
+  rule.nth = 1;
+  injector.AddRule(rule);
+  device_->set_fault_injector(&injector);
+
+  DeviceFile f = ValueOrDie(device_->Open(dir_.Sub("out.bin"),
+                                          OpenMode::kWrite));
+  const Status status = f.WriteAt(0, Bytes("data"));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(device_->stats().Snapshot().retries, 0u);
+  EXPECT_EQ(injector.faults_injected(), 1u);
+}
+
+}  // namespace
+}  // namespace graphsd::io

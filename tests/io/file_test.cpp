@@ -32,7 +32,7 @@ TEST(File, WriteThenReadRoundTrip) {
 TEST(File, OpenMissingFileFails) {
   const auto result = File::Open("/nonexistent/nope.bin", OpenMode::kRead);
   EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST(File, ReadPastEndFails) {
@@ -137,6 +137,17 @@ TEST(FileHelpers, WriteStringIsAtomicReplacement) {
   ASSERT_OK(WriteStringToFile(path, "new contents"));
   EXPECT_EQ(ValueOrDie(ReadFileToString(path)), "new contents");
   EXPECT_FALSE(PathExists(path + ".tmp"));
+}
+
+TEST(FileHelpers, WriteStringCleansUpTempOnRenameFailure) {
+  TempDir dir;
+  // A non-empty directory at the target path makes the final rename fail
+  // after the temp file has already been written.
+  const std::string target = dir.Sub("occupied");
+  ASSERT_OK(MakeDirectories(target + "/child"));
+  const Status status = WriteStringToFile(target, "payload");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(PathExists(target + ".tmp"));
 }
 
 TEST(File, DirectIoOpenFallsBackOrWorks) {

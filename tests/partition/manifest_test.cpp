@@ -82,6 +82,100 @@ TEST(GridManifest, RejectsUnknownKey) {
   EXPECT_FALSE(GridManifest::Parse(text).ok());
 }
 
+TEST(GridManifest, ChecksumRoundTrip) {
+  GridManifest m = MakeManifest();
+  m.has_checksums = true;
+  m.degrees_crc = 0xDEADBEEF;
+  m.edge_crcs = {1, 2, 3, 4};
+  m.weight_crcs = {5, 6, 7, 8};
+  m.index_crcs = {9, 10, 11, 12};
+  EXPECT_OK(m.Validate());
+  const GridManifest parsed = ValueOrDie(GridManifest::Parse(m.Serialize()));
+  EXPECT_TRUE(parsed.has_checksums);
+  EXPECT_EQ(parsed.degrees_crc, 0xDEADBEEFu);
+  EXPECT_EQ(parsed.edge_crcs, m.edge_crcs);
+  EXPECT_EQ(parsed.weight_crcs, m.weight_crcs);
+  EXPECT_EQ(parsed.index_crcs, m.index_crcs);
+}
+
+TEST(GridManifest, LegacyManifestWithoutChecksumsStillParses) {
+  const GridManifest parsed =
+      ValueOrDie(GridManifest::Parse(MakeManifest().Serialize()));
+  EXPECT_FALSE(parsed.has_checksums);
+  EXPECT_TRUE(parsed.edge_crcs.empty());
+}
+
+TEST(GridManifest, RejectsGarbageIntegersWithoutThrowing) {
+  const std::string text = MakeManifest().Serialize();
+  // Each mutation replaces one numeric value with something std::stoull
+  // would have thrown on (or silently truncated); Parse must return
+  // kCorruptData instead.
+  const struct {
+    const char* from;
+    const char* to;
+  } kMutations[] = {
+      {"num_edges=6", "num_edges=6x"},
+      {"num_edges=6", "num_edges="},
+      {"num_vertices=10", "num_vertices=ten"},
+      {"num_vertices=10", "num_vertices=99999999999999999999"},
+      {"p=2", "p=4294967296"},  // > UINT32_MAX
+      {"sub_block_edges=1,2,3,0", "sub_block_edges=1,,3,0"},
+  };
+  for (const auto& mutation : kMutations) {
+    std::string bad = text;
+    const auto pos = bad.find(mutation.from);
+    ASSERT_NE(pos, std::string::npos) << mutation.from;
+    bad.replace(pos, std::string(mutation.from).size(), mutation.to);
+    const auto result = GridManifest::Parse(bad);
+    ASSERT_FALSE(result.ok()) << mutation.to;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruptData)
+        << mutation.to;
+  }
+}
+
+TEST(GridManifest, RejectsOverflowingSubBlockSum) {
+  GridManifest m = MakeManifest();
+  // Sums past UINT64_MAX; a naive total would wrap around to num_edges.
+  m.sub_block_edges = {UINT64_MAX, UINT64_MAX, 7, 0};
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(GridManifest, RejectsImplausibleP) {
+  GridManifest m = MakeManifest();
+  m.p = 70000;  // p*p alone would be ~5 billion sub-block slots
+  const Status status = m.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruptData);
+  EXPECT_NE(status.message().find("implausible p"), std::string::npos);
+}
+
+TEST(GridManifest, RejectsChecksumListSizeMismatch) {
+  GridManifest m = MakeManifest();
+  m.has_checksums = true;
+  m.edge_crcs = {1, 2, 3};  // needs p*p == 4
+  m.weight_crcs = {1, 2, 3, 4};
+  m.index_crcs = {1, 2, 3, 4};
+  EXPECT_FALSE(m.Validate().ok());
+  m.edge_crcs = {1, 2, 3, 4};
+  EXPECT_OK(m.Validate());
+  m.weight_crcs = {1};
+  EXPECT_FALSE(m.Validate().ok());
+  m.weight_crcs = {1, 2, 3, 4};
+  m.index_crcs.clear();  // has_index demands p*p index CRCs
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(GridManifest, RejectsChecksumListsWithoutAlgo) {
+  std::string text = MakeManifest().Serialize();
+  text += "edge_crcs=1,2,3,4\n";
+  EXPECT_FALSE(GridManifest::Parse(text).ok());
+}
+
+TEST(GridManifest, SubBlockSlotBoundsChecked) {
+  const GridManifest m = MakeManifest();
+  EXPECT_EQ(m.SubBlockSlot(1, 1), 3u);
+}
+
 TEST(ManifestPaths, StableNames) {
   EXPECT_EQ(ManifestPath("/d"), "/d/manifest.txt");
   EXPECT_EQ(DegreesPath("/d"), "/d/degrees.bin");

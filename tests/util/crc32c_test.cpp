@@ -1,0 +1,66 @@
+#include "util/crc32c.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+std::uint32_t CrcOf(const std::string& s) {
+  return Crc32c(0, s.data(), s.size());
+}
+
+TEST(Crc32c, MatchesRfc3720CheckVector) {
+  // The canonical CRC32C (Castagnoli) check value, e.g. RFC 3720 §B.4.
+  EXPECT_EQ(CrcOf("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInputIsZero) {
+  EXPECT_EQ(CrcOf(""), 0u);
+  EXPECT_EQ(Crc32c(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32c, IncrementalEqualsOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = CrcOf(text);
+  for (std::size_t split = 0; split <= text.size(); split += 7) {
+    std::uint32_t crc = Crc32c(0, text.data(), split);
+    crc = Crc32c(crc, text.data() + split, text.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, SpanOverloadMatchesPointerOverload) {
+  const std::vector<std::uint8_t> data = {0x00, 0xFF, 0x42, 0x13, 0x37};
+  EXPECT_EQ(Crc32c(std::span<const std::uint8_t>(data)),
+            Crc32c(0, data.data(), data.size()));
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  // Every single-bit corruption of a small payload must change the CRC —
+  // this is the property the dataset verifier relies on.
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const std::uint32_t clean = Crc32c(std::span<const std::uint8_t>(data));
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(Crc32c(std::span<const std::uint8_t>(data)), clean)
+          << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc32c, DetectsSwappedBlocks) {
+  // CRCs of concatenations must be order-sensitive.
+  EXPECT_NE(CrcOf("abcdef"), CrcOf("defabc"));
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,5 +1,7 @@
 #include "util/status.hpp"
 
+#include <cerrno>
+
 #include <gtest/gtest.h>
 
 namespace graphsd {
@@ -47,9 +49,20 @@ TEST(Status, WithContextIsNoOpOnOk) {
 
 TEST(Status, ErrnoErrorMentionsStrerror) {
   Status s = ErrnoError("open /nope", ENOENT);
-  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
   EXPECT_NE(s.message().find("open /nope"), std::string::npos);
   EXPECT_NE(s.message().find("No such file"), std::string::npos);
+}
+
+TEST(Status, ErrnoErrorMapsFailureClasses) {
+  // The retry policy keys off these codes: kIoError is transient
+  // (retryable), the others fail fast.
+  EXPECT_EQ(ErrnoError("write /f", ENOSPC).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ErrnoError("write /f", EDQUOT).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ErrnoError("read /f", EIO).code(), StatusCode::kIoError);
+  EXPECT_EQ(ErrnoError("read /f", EINTR).code(), StatusCode::kIoError);
 }
 
 TEST(Result, HoldsValue) {

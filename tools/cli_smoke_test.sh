@@ -20,6 +20,12 @@ grep -q "out-of-core preprocessing" "$WORK/log"
 "$CLI" info --dataset "$WORK/ds" > "$WORK/info" 2>&1
 grep -q "intervals: 4 (sorted, indexed)" "$WORK/info"
 
+# A freshly built dataset passes verification.
+"$CLI" verify --dataset "$WORK/ds" > "$WORK/verify1" 2>&1
+grep -q "all checksums match" "$WORK/verify1"
+"$CLI" verify --dataset "$WORK/ds_ext" > "$WORK/verify_ext" 2>&1
+grep -q "all checksums match" "$WORK/verify_ext"
+
 "$CLI" run --dataset "$WORK/ds" --algo sssp --root 0 \
     --values-out "$WORK/dist.txt" > "$WORK/run1" 2>&1
 grep -q "GraphSD/sssp" "$WORK/run1"
@@ -29,6 +35,25 @@ test "$(wc -l < "$WORK/dist.txt")" = "2048"
 "$CLI" run --dataset "$WORK/ds_ext" --algo sssp --root 0 \
     --values-out "$WORK/dist_ext.txt" > "$WORK/run2" 2>&1
 cmp "$WORK/dist.txt" "$WORK/dist_ext.txt"
+
+# Flipping one payload byte must be detected by verify AND by run —
+# a corrupted dataset may never produce a silent wrong answer.
+SB=""
+for f in "$WORK"/ds_ext/sb_*.edges; do
+  if [ -s "$f" ]; then SB="$f"; break; fi
+done
+test -n "$SB"
+FIRST="$(od -An -tu1 -N1 "$SB" | tr -d ' ')"
+printf "$(printf '\\%03o' $(( (FIRST + 1) % 256 )))" \
+    | dd of="$SB" bs=1 count=1 conv=notrunc 2>/dev/null
+if "$CLI" verify --dataset "$WORK/ds_ext" > "$WORK/verify2" 2>&1; then
+  exit 1
+fi
+grep -q "CRC32C mismatch" "$WORK/verify2"
+if "$CLI" run --dataset "$WORK/ds_ext" --algo pr > "$WORK/run_bad" 2>&1; then
+  exit 1
+fi
+grep -q "CorruptData" "$WORK/run_bad"
 
 "$CLI" run --dataset "$WORK/ds" --algo pr --engine lumos > "$WORK/run3" 2>&1
 grep -q "Lumos/pagerank" "$WORK/run3"

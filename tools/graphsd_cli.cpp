@@ -4,6 +4,7 @@
 //   graphsd convert    --input graph.txt --out graph.bin [--weighted]
 //   graphsd preprocess --input graph.bin --out dataset_dir [--p N] [--system ...]
 //   graphsd info       --dataset dataset_dir
+//   graphsd verify     --dataset dataset_dir
 //   graphsd run        --dataset dataset_dir --algo pr|prd|cc|sssp|bfs [...]
 //   graphsd profile    --dir /path/on/target/disk
 //
@@ -27,6 +28,7 @@
 #include "graph/reference_algorithms.hpp"
 #include "io/profiler.hpp"
 #include "partition/baseline_preprocessors.hpp"
+#include "partition/dataset_verify.hpp"
 #include "partition/external_builder.hpp"
 #include "partition/grid_dataset.hpp"
 #include "util/cli.hpp"
@@ -228,6 +230,16 @@ int CmdInfo(int argc, const char* const* argv) {
   return 0;
 }
 
+int CmdVerify(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("dataset", "dataset", "dataset directory");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+  auto report = partition::VerifyDataset(flags.GetString("dataset"));
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s\n", report->Summary().c_str());
+  return report->ok() ? 0 : 1;
+}
+
 int CmdRun(int argc, const char* const* argv) {
   CliFlags flags;
   flags.Define("dataset", "dataset", "dataset directory");
@@ -353,7 +365,8 @@ int CmdProfile(int argc, const char* const* argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: graphsd <command> [flags]\n"
-               "commands: generate convert preprocess info run profile\n"
+               "commands: generate convert preprocess info verify run "
+               "profile\n"
                "run `graphsd <command> --help=true` is not supported; see\n"
                "tools/graphsd_cli.cpp for every flag.\n");
   return 1;
@@ -374,6 +387,7 @@ int main(int argc, char** argv) {
     return graphsd::CmdPreprocess(sub_argc, sub_argv);
   }
   if (command == "info") return graphsd::CmdInfo(sub_argc, sub_argv);
+  if (command == "verify") return graphsd::CmdVerify(sub_argc, sub_argv);
   if (command == "run") return graphsd::CmdRun(sub_argc, sub_argv);
   if (command == "profile") return graphsd::CmdProfile(sub_argc, sub_argv);
   return graphsd::Usage();

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Builds and tests the tree under ASan+UBSan (GRAPHSD_SANITIZE=ON) in a
+# separate build directory, so the instrumented binaries never mix with the
+# regular build. Usage: tools/sanitize_build.sh [ctest-regex]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-sanitize"
+
+cmake -B "$BUILD" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGRAPHSD_SANITIZE=ON
+cmake --build "$BUILD" -j "$(nproc)"
+
+cd "$BUILD"
+if [ -n "$1" ]; then
+  ctest --output-on-failure -R "$1"
+else
+  ctest --output-on-failure
+fi
