@@ -17,10 +17,14 @@ namespace {
 /// folds the deltas into the stat and report at Commit().
 class RoundAccounting {
  public:
-  RoundAccounting(io::Device& device, RoundStat& stat, ExecutionReport& report)
+  /// `overlap` selects the pipelined per-round charge max(compute, io);
+  /// otherwise the serial sum is charged (baselines, ablations).
+  RoundAccounting(io::Device& device, RoundStat& stat, ExecutionReport& report,
+                  bool overlap)
       : device_(device),
         stat_(stat),
         report_(report),
+        overlap_(overlap),
         io_before_(device.stats().Snapshot()),
         clock_before_(device.clock().Seconds()) {}
 
@@ -28,12 +32,17 @@ class RoundAccounting {
     const auto io_delta = device_.stats().Snapshot() - io_before_;
     stat_.io_seconds = device_.clock().Seconds() - clock_before_;
     stat_.compute_seconds = wall_.Seconds();
+    stat_.overlapped_seconds =
+        overlap_ ? io::IoCostModel::OverlapSeconds(stat_.io_seconds,
+                                                   stat_.compute_seconds)
+                 : stat_.io_seconds + stat_.compute_seconds;
     stat_.read_bytes = io_delta.TotalReadBytes();
     stat_.write_bytes = io_delta.TotalWriteBytes();
 
     report_.io += io_delta;
     report_.io_seconds += stat_.io_seconds;
     report_.compute_seconds += stat_.compute_seconds;
+    report_.overlapped_seconds += stat_.overlapped_seconds;
     report_.scheduler_seconds += stat_.scheduler_seconds;
     ++report_.rounds;
     if (record) report_.per_round.push_back(stat_);
@@ -43,6 +52,7 @@ class RoundAccounting {
   io::Device& device_;
   RoundStat& stat_;
   ExecutionReport& report_;
+  bool overlap_;
   io::IoStatsSnapshot io_before_;
   double clock_before_;
   WallTimer wall_;
@@ -94,14 +104,20 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   ctx.memory_budget_bytes = options_.memory_budget_bytes != 0
                                 ? options_.memory_budget_bytes
                                 : default_budget;
+  io::PrefetchPipeline prefetch(options_.prefetch_depth);
+  ctx.prefetch = &prefetch;
   SciuExecutor sciu(ctx);
   FciuExecutor fciu(ctx);
   StateAwareScheduler scheduler(*dataset_, device.options().cost_model);
+
+  // Overlap charging is only honest when the pipeline actually overlaps.
+  const bool overlap = options_.overlap_io && prefetch.enabled();
 
   ExecutionReport report;
   report.engine = options_.engine_name;
   report.algorithm = program.name();
   report.dataset = manifest.name;
+  report.overlap_io = overlap;
 
   VertexState& state = *state_;
   Frontier active(n);
@@ -142,14 +158,25 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     bool on_demand = false;
     if (selective_healthy &&
         (options_.force_on_demand || options_.enable_selective)) {
+      // Under overlap charging the scheduler floors both model costs at the
+      // run's observed per-round compute (0 before the first round commits,
+      // i.e. the first evaluation is effectively serial).
+      const double overlap_compute =
+          overlap && report.rounds > 0
+              ? report.compute_seconds / report.rounds
+              : (overlap ? 0.0 : -1.0);
       const SchedulerDecision decision = scheduler.Evaluate(
           active, state.BytesPerVertex(),
           program.needs_weights() && manifest.weighted,
           /*fciu_round=*/options_.enable_cross_iteration &&
-              iterations + 2 <= max_iterations);
+              iterations + 2 <= max_iterations,
+          overlap_compute);
       stat.scheduler_seconds = decision.eval_seconds;
-      stat.cost_on_demand = decision.cost_on_demand;
-      stat.cost_full = decision.cost_full;
+      // Record the raw model estimates: the charged (compute-floored)
+      // values only break ties for the decision and would obscure the
+      // cost-model shapes Figure 10 plots.
+      stat.cost_on_demand = decision.serial_cost_on_demand;
+      stat.cost_full = decision.serial_cost_full;
       stat.active_vertices = decision.active_vertices;
       stat.active_edges = decision.active_edges;
       on_demand = options_.force_on_demand || decision.on_demand;
@@ -157,7 +184,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       stat.active_vertices = active.Count();
     }
 
-    RoundAccounting accounting(device, stat, report);
+    RoundAccounting accounting(device, stat, report, overlap);
     GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
     // `preact` is kept intact until the round commits: if the on-demand
     // attempt fails it reseeds the full-streaming redo of the same round.
@@ -238,12 +265,17 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   ctx.dataset = dataset_;
   ctx.pool = &pool;
   ctx.buffer = &buffer;
+  io::PrefetchPipeline prefetch(options_.prefetch_depth);
+  ctx.prefetch = &prefetch;
   FciuExecutor fciu(ctx);
+
+  const bool overlap = options_.overlap_io && prefetch.enabled();
 
   ExecutionReport report;
   report.engine = options_.engine_name;
   report.algorithm = program.name();
   report.dataset = manifest.name;
+  report.overlap_io = overlap;
 
   VertexState& state = *state_;
   Frontier unused(manifest.num_vertices);
@@ -262,7 +294,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
     stat.active_vertices = manifest.num_vertices;
     stat.active_edges = manifest.num_edges;
 
-    RoundAccounting accounting(device, stat, report);
+    RoundAccounting accounting(device, stat, report, overlap);
     GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
     const bool two = options_.enable_cross_iteration &&
                      iterations + 2 <= max_iterations;

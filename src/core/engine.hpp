@@ -37,6 +37,18 @@ struct EngineOptions {
   std::uint64_t buffer_capacity_bytes = 0;
   /// SCIU edge-retention budget for its cross-iteration step; 0 = same 5 %.
   std::uint64_t memory_budget_bytes = 0;
+  /// Asynchronous prefetch: sub-blocks (FCIU) and coalesced edge runs
+  /// (SCIU) load on a dedicated loader thread up to this many fetch units
+  /// ahead of the applies. 0 = fully synchronous I/O. Results, I/O byte
+  /// counts and buffer hit/miss accounting are identical at any depth.
+  std::size_t prefetch_depth = 1;
+  /// Overlap-aware accounting: charge each loading round max(compute, io)
+  /// instead of compute + io, reflecting the pipeline's hiding of disk
+  /// time behind compute. Takes effect only when the pipeline can actually
+  /// overlap (prefetch_depth > 0). Scheduler decisions are provably
+  /// unaffected (see StateAwareScheduler::Evaluate); disable for serial
+  /// baselines and ablations.
+  bool overlap_io = true;
   /// Hard iteration cap on top of the program's own budget.
   std::uint32_t max_iterations = UINT32_MAX;
   /// Record the per-round series (Figure 10).

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/sub_block_buffer.hpp"
+#include "io/prefetch.hpp"
 #include "partition/grid_dataset.hpp"
 #include "util/thread_pool.hpp"
 
@@ -15,6 +16,9 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   /// May be a disabled (capacity 0) buffer; never null.
   SubBlockBuffer* buffer = nullptr;
+  /// Asynchronous read pipeline. May be null or disabled (depth 0), in
+  /// which case the executors run their fetches inline (synchronous path).
+  io::PrefetchPipeline* prefetch = nullptr;
   /// Memory budget for SCIU's in-memory retention of loaded active edges
   /// (the precondition for its cross-iteration step).
   std::uint64_t memory_budget_bytes = 0;

@@ -22,13 +22,47 @@ void ParallelApply(ThreadPool& pool, std::size_t grain,
 
 }  // namespace
 
+FciuExecutor::SubBlockStream::Unit FciuExecutor::FetchUnit(
+    std::uint32_t i, std::uint32_t j, bool need_weights) const {
+  const partition::GridDataset* dataset = ctx_.dataset;
+  const SubBlockBuffer* buffer = ctx_.buffer;
+  SubBlockStream::Unit unit;
+  unit.skip = [buffer, i, j] { return buffer->Contains(i, j); };
+  unit.fetch = [dataset, i, j, need_weights](partition::SubBlock& out) {
+    GRAPHSD_ASSIGN_OR_RETURN(out, dataset->LoadSubBlock(i, j, need_weights));
+    return Status::Ok();
+  };
+  return unit;
+}
+
+FciuExecutor::SubBlockStream FciuExecutor::MakeStream(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& plan,
+    bool need_weights) const {
+  std::vector<SubBlockStream::Unit> units;
+  units.reserve(plan.size());
+  for (const auto& [i, j] : plan) units.push_back(FetchUnit(i, j, need_weights));
+  return SubBlockStream(ctx_.prefetch, std::move(units));
+}
+
 Result<const partition::SubBlock*> FciuExecutor::Fetch(
-    std::uint32_t i, std::uint32_t j, bool need_weights,
-    partition::SubBlock& local) {
+    SubBlockStream& stream, std::uint32_t i, std::uint32_t j,
+    bool need_weights, partition::SubBlock& local) {
+  SubBlockStream::Item item = stream.Take();
   if (const partition::SubBlock* cached = ctx_.buffer->Get(i, j);
       cached != nullptr) {
+    // Blocks only ever enter the buffer when they themselves are consumed,
+    // so a block absent at issue time cannot be resident at consume time —
+    // a fetched payload never shadows a cached copy (no double read).
+    GRAPHSD_CHECK(!item.fetched);
     return cached;
   }
+  if (item.fetched) {
+    GRAPHSD_RETURN_IF_ERROR(item.status);
+    local = std::move(item.payload);
+    return static_cast<const partition::SubBlock*>(&local);
+  }
+  // Resident at issue time but evicted before consumption: fall back to a
+  // synchronous load, exactly what the synchronous path would have done.
   GRAPHSD_ASSIGN_OR_RETURN(local,
                            ctx_.dataset->LoadSubBlock(i, j, need_weights));
   return static_cast<const partition::SubBlock*>(&local);
@@ -54,6 +88,13 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
   }
 
   // --- first half: iteration t over all sub-blocks, column-major ----------
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> plan;
+  for (std::uint32_t j = 0; j < p; ++j) {
+    for (std::uint32_t i = 0; i < p; ++i) {
+      if (manifest.EdgesIn(i, j) != 0) plan.emplace_back(i, j);
+    }
+  }
+  SubBlockStream stream = MakeStream(plan, need_weights);
   for (std::uint32_t j = 0; j < p; ++j) {
     partition::SubBlock diagonal;  // (j, j) held until the column seals
     bool have_diagonal = false;
@@ -62,7 +103,7 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
       if (manifest.EdgesIn(i, j) == 0) continue;
       partition::SubBlock local;
       GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
-                               Fetch(i, j, need_weights, local));
+                               Fetch(stream, i, j, need_weights, local));
       const bool from_buffer = (block != &local);
 
       // UserFunction pass (iteration t), guarded by the active frontier.
@@ -155,6 +196,19 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
 
   // --- second half: iteration t+1 over the secondary sub-blocks (i > j) ---
   if (!out.Empty()) {
+    // `out` is final, so the second-half sweep (and its row skips) is fully
+    // known up front and can stream ahead of the applies.
+    plan.clear();
+    for (std::uint32_t i = 1; i < p; ++i) {
+      if (out.CountInRange(manifest.boundaries[i],
+                           manifest.boundaries[i + 1]) == 0) {
+        continue;
+      }
+      for (std::uint32_t j = 0; j < i; ++j) {
+        if (manifest.EdgesIn(i, j) != 0) plan.emplace_back(i, j);
+      }
+    }
+    SubBlockStream second(MakeStream(plan, need_weights));
     for (std::uint32_t i = 1; i < p; ++i) {
       if (out.CountInRange(manifest.boundaries[i], manifest.boundaries[i + 1]) ==
           0) {
@@ -164,7 +218,7 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
         if (manifest.EdgesIn(i, j) == 0) continue;
         partition::SubBlock local;
         GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
-                                 Fetch(i, j, need_weights, local));
+                                 Fetch(second, i, j, need_weights, local));
         ScopedWallAccumulator acc(update_seconds);
         ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
                       [&](const Edge& edge, Weight w) {
@@ -201,6 +255,13 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
     if (two_iterations) program.ResetAccum(state, AccumSlot::kB);
   }
 
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> plan;
+  for (std::uint32_t j = 0; j < p; ++j) {
+    for (std::uint32_t i = 0; i < p; ++i) {
+      if (manifest.EdgesIn(i, j) != 0) plan.emplace_back(i, j);
+    }
+  }
+  SubBlockStream stream = MakeStream(plan, need_weights);
   for (std::uint32_t j = 0; j < p; ++j) {
     partition::SubBlock diagonal;
     bool have_diagonal = false;
@@ -209,7 +270,7 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
       if (manifest.EdgesIn(i, j) == 0) continue;
       partition::SubBlock local;
       GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
-                               Fetch(i, j, need_weights, local));
+                               Fetch(stream, i, j, need_weights, local));
       const bool from_buffer = (block != &local);
 
       {
@@ -271,12 +332,19 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
     return Status::Ok();
   }
 
+  plan.clear();
+  for (std::uint32_t i = 1; i < p; ++i) {
+    for (std::uint32_t j = 0; j < i; ++j) {
+      if (manifest.EdgesIn(i, j) != 0) plan.emplace_back(i, j);
+    }
+  }
+  SubBlockStream second(MakeStream(plan, need_weights));
   for (std::uint32_t i = 1; i < p; ++i) {
     for (std::uint32_t j = 0; j < i; ++j) {
       if (manifest.EdgesIn(i, j) == 0) continue;
       partition::SubBlock local;
       GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
-                               Fetch(i, j, need_weights, local));
+                               Fetch(second, i, j, need_weights, local));
       ScopedWallAccumulator acc(update_seconds);
       ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
                     [&](const Edge& edge, Weight w) {

@@ -13,12 +13,24 @@
 //
 // The push variant guards every apply by frontier membership (GraphSD's
 // state-awareness); the gather variant accumulates every edge (PageRank).
+//
+// The (j, i) sweep order of each half-round is known before any byte is
+// read, so both halves run off a PrefetchStream: sub-blocks load on the
+// pipeline's loader thread while the previous block's edges are applied.
+// Blocks the priority buffer already holds are skipped at issue time
+// (SubBlockBuffer::Contains) and consumed via Get() as before, keeping
+// byte counts and hit/miss accounting identical to the synchronous path.
 #pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/exec_context.hpp"
 #include "core/frontier.hpp"
 #include "core/program.hpp"
 #include "core/report.hpp"
+#include "io/prefetch.hpp"
 #include "util/status.hpp"
 
 namespace graphsd::core {
@@ -45,9 +57,23 @@ class FciuExecutor {
                         double* update_seconds);
 
  private:
-  /// Loads (i,j) through the buffer; `loaded` receives the freshly-read
-  /// block when it was a miss (and may then be donated to the buffer).
-  Result<const partition::SubBlock*> Fetch(std::uint32_t i, std::uint32_t j,
+  using SubBlockStream = io::PrefetchStream<partition::SubBlock>;
+
+  /// One planned fetch of sub-block (i, j): skip probe = buffer residency,
+  /// fetch = LoadSubBlock. Runs inline when the pipeline is disabled.
+  SubBlockStream::Unit FetchUnit(std::uint32_t i, std::uint32_t j,
+                                 bool need_weights) const;
+
+  /// Opens a stream over an ordered (i, j) plan.
+  SubBlockStream MakeStream(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& plan,
+      bool need_weights) const;
+
+  /// Consumes the next planned sub-block — which must be (i, j) — through
+  /// the buffer; `local` receives the block when it was not buffered (and
+  /// may then be donated to the buffer).
+  Result<const partition::SubBlock*> Fetch(SubBlockStream& stream,
+                                           std::uint32_t i, std::uint32_t j,
                                            bool need_weights,
                                            partition::SubBlock& local);
 

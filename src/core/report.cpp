@@ -18,6 +18,13 @@ std::string ExecutionReport::Summary() const {
                 graphsd::FormatSeconds(compute_seconds).c_str(),
                 graphsd::FormatSeconds(scheduler_seconds).c_str());
   out += line;
+  if (overlap_io) {
+    std::snprintf(line, sizeof(line),
+                  "  overlap: pipelined charge %s (serial would be %s)\n",
+                  graphsd::FormatSeconds(overlapped_seconds).c_str(),
+                  graphsd::FormatSeconds(SerialSeconds()).c_str());
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "  traffic: %s\n", io.ToString().c_str());
   out += line;
   if (buffer_hits + buffer_misses > 0) {

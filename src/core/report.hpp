@@ -27,6 +27,9 @@ struct RoundStat {
   std::uint64_t active_edges = 0;      // scheduler estimate
   double io_seconds = 0;               // modeled
   double compute_seconds = 0;          // measured wall
+  // Pipelined charge of the round: max(compute, io) when the prefetch
+  // pipeline overlapped the two, compute + io otherwise.
+  double overlapped_seconds = 0;
   double scheduler_seconds = 0;        // benefit-evaluation overhead
   double cost_on_demand = 0;           // scheduler estimate C_r
   double cost_full = 0;                // scheduler estimate C_s
@@ -57,10 +60,23 @@ struct ExecutionReport {
   // after an index read failed (missing file or checksum mismatch).
   std::uint32_t degraded_rounds = 0;
 
+  // Overlap-aware accounting: true when the run executed with the prefetch
+  // pipeline and charges each round max(compute, io) instead of the sum.
+  // Byte counts and results are identical either way — only the time
+  // charging differs.
+  bool overlap_io = false;
+  double overlapped_seconds = 0;  // sum of per-round pipelined charges
+
   std::vector<RoundStat> per_round;
 
-  /// The headline number: modeled I/O + measured compute.
-  double TotalSeconds() const noexcept { return compute_seconds + io_seconds; }
+  /// The serial charge: modeled I/O + measured compute, each paid in full.
+  double SerialSeconds() const noexcept { return compute_seconds + io_seconds; }
+
+  /// The headline number: per-round max(compute, io) under overlap-aware
+  /// accounting, the serial sum otherwise.
+  double TotalSeconds() const noexcept {
+    return overlap_io ? overlapped_seconds : SerialSeconds();
+  }
 
   /// "Other" time of the Figure 6 breakdown.
   double OtherSeconds() const noexcept {

@@ -10,7 +10,8 @@ namespace graphsd::core {
 
 SchedulerDecision StateAwareScheduler::Evaluate(
     const Frontier& active, std::uint64_t vertex_record_bytes,
-    bool with_weights, bool fciu_round) const {
+    bool with_weights, bool fciu_round,
+    double overlap_compute_seconds) const {
   WallTimer timer;
   SchedulerDecision d;
 
@@ -156,7 +157,22 @@ SchedulerDecision StateAwareScheduler::Evaluate(
                      model_.SeqReadSeconds(index_bytes + values_bytes) +
                      model_.SeqWriteSeconds(values_bytes);
 
-  d.on_demand = d.cost_on_demand <= d.cost_full;
+  d.serial_cost_on_demand = d.cost_on_demand;
+  d.serial_cost_full = d.cost_full;
+  if (overlap_compute_seconds >= 0) {
+    // Overlap-aware charging: the pipeline hides disk time behind the
+    // round's compute, so each model costs its critical path. The compute
+    // floor is common to both models; ties are broken on the raw costs so
+    // the decision matches serial charging exactly (see the header).
+    d.overlapped = true;
+    d.cost_on_demand = io::IoCostModel::OverlapSeconds(
+        d.serial_cost_on_demand, overlap_compute_seconds);
+    d.cost_full = io::IoCostModel::OverlapSeconds(d.serial_cost_full,
+                                                  overlap_compute_seconds);
+  }
+  d.on_demand = d.cost_on_demand != d.cost_full
+                    ? d.cost_on_demand < d.cost_full
+                    : d.serial_cost_on_demand <= d.serial_cost_full;
   d.eval_seconds = timer.Seconds();
   return d;
 }

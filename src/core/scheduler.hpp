@@ -25,8 +25,13 @@ namespace graphsd::core {
 
 struct SchedulerDecision {
   bool on_demand = false;
-  double cost_on_demand = 0;  // C_r, seconds
-  double cost_full = 0;       // C_s, seconds
+  double cost_on_demand = 0;  // C_r, seconds (pipelined charge when overlapped)
+  double cost_full = 0;       // C_s, seconds (pipelined charge when overlapped)
+  // The raw serial formulas, before any overlap charging. Equal to the
+  // charged costs when the evaluation was not overlapped.
+  double serial_cost_on_demand = 0;
+  double serial_cost_full = 0;
+  bool overlapped = false;  // costs were charged max(C_x, compute estimate)
   std::uint64_t active_vertices = 0;
   std::uint64_t active_edges = 0;
   std::uint64_t seq_bytes = 0;   // S_seq
@@ -48,10 +53,19 @@ class StateAwareScheduler {
   /// round — one full sweep plus the secondary sub-blocks, amortized over
   /// the two BSP iterations the round executes — instead of the plain
   /// single-iteration formula.
+  ///
+  /// `overlap_compute_seconds >= 0` enables overlap-aware charging: with
+  /// the prefetch pipeline active, each model's disk time hides behind the
+  /// iteration's compute, so both costs are charged max(C_x, compute).
+  /// Because the compute floor is common to both models and max(c, ·) is
+  /// monotone, the comparison can at most collapse into a tie — which is
+  /// broken by the raw costs, so the decision (and with it the I/O byte
+  /// stream) is provably identical to serial charging, preserving the
+  /// paper's cost-model shapes.
   SchedulerDecision Evaluate(const Frontier& active,
                              std::uint64_t vertex_record_bytes,
-                             bool with_weights,
-                             bool fciu_round = false) const;
+                             bool with_weights, bool fciu_round = false,
+                             double overlap_compute_seconds = -1.0) const;
 
   const io::IoCostModel& model() const noexcept { return model_; }
 

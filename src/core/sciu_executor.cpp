@@ -4,6 +4,14 @@
 #include "util/clock.hpp"
 
 namespace graphsd::core {
+namespace {
+
+// Index entries are read per active run (never whole index files): nearby
+// active vertices share one ranged offset read, so the index traffic scales
+// with |A|, matching the paper's 2|V|·N bound for a full frontier.
+constexpr VertexId kIndexCoalesceGap = 64;
+
+}  // namespace
 
 Status SciuExecutor::EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
                                             bool need_weights) {
@@ -43,6 +51,60 @@ Status SciuExecutor::EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
   return Status::Ok();
 }
 
+Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
+                               const IntervalActives& actives,
+                               bool need_weights, SciuPassPayload& out) {
+  const auto& dataset = *ctx_.dataset;
+  const auto& manifest = dataset.manifest();
+  GRAPHSD_RETURN_IF_ERROR(EnsureSubBlockVerified(i, j, need_weights));
+  GRAPHSD_ASSIGN_OR_RETURN(partition::IndexReader index_reader,
+                           dataset.OpenIndexReader(i, j));
+  GRAPHSD_ASSIGN_OR_RETURN(partition::SubBlockReader reader,
+                           dataset.OpenSubBlockReader(i, j, need_weights));
+
+  std::vector<std::uint32_t> offsets;  // scratch for ranged index reads
+  std::uint64_t pending_begin = 0;
+  std::uint64_t pending_end = 0;
+
+  auto flush = [&]() -> Status {
+    if (pending_end == pending_begin) return Status::Ok();
+    const std::size_t base = out.edges.size();
+    GRAPHSD_RETURN_IF_ERROR(
+        reader.ReadRange(pending_begin, pending_end - pending_begin, out.edges,
+                         need_weights ? &out.weights : nullptr));
+    out.runs.emplace_back(base, out.edges.size());
+    pending_begin = pending_end = 0;
+    return Status::Ok();
+  };
+
+  for (const IntervalActives::Group& group : actives.groups) {
+    const VertexId first_local = actives.locals[group.begin_pos];
+    const VertexId last_local = actives.locals[group.end_pos - 1];
+    GRAPHSD_RETURN_IF_ERROR(index_reader.ReadOffsets(
+        first_local, last_local - first_local + 2, offsets));
+    for (std::size_t pos = group.begin_pos; pos < group.end_pos; ++pos) {
+      const VertexId local = actives.locals[pos];
+      const std::uint64_t range_begin = offsets[local - first_local];
+      const std::uint64_t range_end = offsets[local - first_local + 1];
+      if (range_end < range_begin || range_end > manifest.EdgesIn(i, j)) {
+        return CorruptDataError(
+            partition::SubBlockIndexPath(dataset.dir(), i, j) +
+            ": non-monotonic or out-of-range offsets for local vertex " +
+            std::to_string(local));
+      }
+      if (range_begin == range_end) continue;
+      if (pending_end == range_begin && pending_end > pending_begin) {
+        pending_end = range_end;  // coalesce with the pending run
+      } else {
+        GRAPHSD_RETURN_IF_ERROR(flush());
+        pending_begin = range_begin;
+        pending_end = range_end;
+      }
+    }
+  }
+  return flush();
+}
+
 Status SciuExecutor::RunIteration(const PushProgram& program,
                                   VertexState& state, const Frontier& active,
                                   Frontier& out, Frontier& out_ni,
@@ -78,115 +140,72 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
   }
 
   // --- selective sweep: rows with active vertices, all columns ------------
-  // Index entries are read per active run (never whole index files): nearby
-  // active vertices share one ranged offset read, so the index traffic
-  // scales with |A|, matching the paper's 2|V|·N bound for a full frontier.
-  constexpr VertexId kIndexCoalesceGap = 64;
-
-  std::vector<Edge> run_edges;
-  std::vector<Weight> run_weights;
-  std::vector<VertexId> locals;       // active local ids, ascending
-  std::vector<std::uint32_t> offsets; // scratch for ranged index reads
-
+  // The per-interval active runs (and with them the whole read script) are
+  // computed before the sweep starts; each (i, j) pass then streams through
+  // the prefetch pipeline while earlier passes' edges are applied.
+  std::vector<IntervalActives> intervals(manifest.p);
+  std::vector<io::PrefetchStream<SciuPassPayload>::Unit> units;
   for (std::uint32_t i = 0; i < manifest.p; ++i) {
     const VertexId interval_begin = manifest.boundaries[i];
     const VertexId interval_end = manifest.boundaries[i + 1];
-    locals.clear();
+    IntervalActives& ia = intervals[i];
     active.ForEachActiveInRange(interval_begin, interval_end,
                                 [&](std::size_t idx) {
-                                  locals.push_back(static_cast<VertexId>(idx) -
-                                                   interval_begin);
+                                  ia.locals.push_back(
+                                      static_cast<VertexId>(idx) -
+                                      interval_begin);
                                 });
-    if (locals.empty()) continue;
+    if (ia.locals.empty()) continue;
 
     // Group nearby actives: one index read per group per sub-block.
-    struct Group {
-      std::size_t begin_pos;
-      std::size_t end_pos;  // exclusive, into `locals`
-    };
-    std::vector<Group> groups;
-    groups.push_back({0, 1});
-    for (std::size_t pos = 1; pos < locals.size(); ++pos) {
-      if (locals[pos] - locals[pos - 1] <= kIndexCoalesceGap) {
-        groups.back().end_pos = pos + 1;
+    ia.groups.push_back({0, 1});
+    for (std::size_t pos = 1; pos < ia.locals.size(); ++pos) {
+      if (ia.locals[pos] - ia.locals[pos - 1] <= kIndexCoalesceGap) {
+        ia.groups.back().end_pos = pos + 1;
       } else {
-        groups.push_back({pos, pos + 1});
+        ia.groups.push_back({pos, pos + 1});
       }
     }
 
     for (std::uint32_t j = 0; j < manifest.p; ++j) {
       if (manifest.EdgesIn(i, j) == 0) continue;
-
-      GRAPHSD_RETURN_IF_ERROR(EnsureSubBlockVerified(i, j, need_weights));
-      GRAPHSD_ASSIGN_OR_RETURN(partition::IndexReader index_reader,
-                               dataset.OpenIndexReader(i, j));
-      GRAPHSD_ASSIGN_OR_RETURN(
-          partition::SubBlockReader reader,
-          dataset.OpenSubBlockReader(i, j, need_weights));
-
-      std::uint64_t pending_begin = 0;
-      std::uint64_t pending_end = 0;
-
-      auto flush = [&]() -> Status {
-        if (pending_end == pending_begin) return Status::Ok();
-        run_edges.clear();
-        run_weights.clear();
-        GRAPHSD_RETURN_IF_ERROR(reader.ReadRange(
-            pending_begin, pending_end - pending_begin, run_edges,
-            need_weights ? &run_weights : nullptr));
-        {
-          ScopedWallAccumulator acc(update_seconds);
-          ctx_.pool->ParallelFor(
-              0, run_edges.size(), ctx_.parallel_grain,
-              [&](std::size_t b, std::size_t e) {
-                for (std::size_t k = b; k < e; ++k) {
-                  const Edge& edge = run_edges[k];
-                  const Weight w = need_weights ? run_weights[k] : Weight{1};
-                  if (program.Apply(state, edge.src, edge.dst, w,
-                                    ContribSlot::kPrimary)) {
-                    out.Activate(edge.dst);
-                  }
-                }
-              });
-        }
-        if (retain) {
-          arena_edges.insert(arena_edges.end(), run_edges.begin(),
-                             run_edges.end());
-          if (need_weights) {
-            arena_weights.insert(arena_weights.end(), run_weights.begin(),
-                                 run_weights.end());
-          }
-        }
-        pending_begin = pending_end = 0;
-        return Status::Ok();
+      io::PrefetchStream<SciuPassPayload>::Unit unit;
+      // `intervals` is fully sized up front, so the pointer stays valid.
+      unit.fetch = [this, i, j, actives = &ia,
+                    need_weights](SciuPassPayload& out) {
+        return FetchPass(i, j, *actives, need_weights, out);
       };
+      units.push_back(std::move(unit));
+    }
+  }
 
-      for (const Group& group : groups) {
-        const VertexId first_local = locals[group.begin_pos];
-        const VertexId last_local = locals[group.end_pos - 1];
-        GRAPHSD_RETURN_IF_ERROR(index_reader.ReadOffsets(
-            first_local, last_local - first_local + 2, offsets));
-        for (std::size_t pos = group.begin_pos; pos < group.end_pos; ++pos) {
-          const VertexId local = locals[pos];
-          const std::uint64_t range_begin = offsets[local - first_local];
-          const std::uint64_t range_end = offsets[local - first_local + 1];
-          if (range_end < range_begin || range_end > manifest.EdgesIn(i, j)) {
-            return CorruptDataError(
-                partition::SubBlockIndexPath(dataset.dir(), i, j) +
-                ": non-monotonic or out-of-range offsets for local vertex " +
-                std::to_string(local));
-          }
-          if (range_begin == range_end) continue;
-          if (pending_end == range_begin && pending_end > pending_begin) {
-            pending_end = range_end;  // coalesce with the pending run
-          } else {
-            GRAPHSD_RETURN_IF_ERROR(flush());
-            pending_begin = range_begin;
-            pending_end = range_end;
-          }
-        }
+  io::PrefetchStream<SciuPassPayload> stream(ctx_.prefetch, std::move(units));
+  for (std::size_t pass = 0; pass < stream.planned(); ++pass) {
+    auto item = stream.Take();
+    GRAPHSD_RETURN_IF_ERROR(item.status);
+    const SciuPassPayload& payload = item.payload;
+    for (const auto& [run_begin, run_end] : payload.runs) {
+      ScopedWallAccumulator acc(update_seconds);
+      ctx_.pool->ParallelFor(
+          run_begin, run_end, ctx_.parallel_grain,
+          [&](std::size_t b, std::size_t e) {
+            for (std::size_t k = b; k < e; ++k) {
+              const Edge& edge = payload.edges[k];
+              const Weight w = need_weights ? payload.weights[k] : Weight{1};
+              if (program.Apply(state, edge.src, edge.dst, w,
+                                ContribSlot::kPrimary)) {
+                out.Activate(edge.dst);
+              }
+            }
+          });
+    }
+    if (retain) {
+      arena_edges.insert(arena_edges.end(), payload.edges.begin(),
+                         payload.edges.end());
+      if (need_weights) {
+        arena_weights.insert(arena_weights.end(), payload.weights.begin(),
+                             payload.weights.end());
       }
-      GRAPHSD_RETURN_IF_ERROR(flush());
     }
   }
 

@@ -15,18 +15,35 @@
 // Retention is all-or-nothing per iteration: if the active edges exceed the
 // memory budget, the edges are processed streaming and the cross-iteration
 // step is skipped for that iteration.
+// The whole sweep's read script — which index entries and which coalesced
+// edge runs get read, in what order — depends only on the (const) active
+// frontier and the offsets those reads return, never on applied values. It
+// is therefore computed up front and executed pass-by-pass on the prefetch
+// pipeline's loader thread, overlapping ranged reads with edge application.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/exec_context.hpp"
 #include "core/frontier.hpp"
 #include "core/program.hpp"
 #include "core/report.hpp"
+#include "io/prefetch.hpp"
 #include "util/status.hpp"
 
 namespace graphsd::core {
+
+/// Edges one sub-block pass — (i, j) under the active frontier — reads.
+/// `runs` lists the coalesced ranges as [begin, end) into `edges`, in read
+/// order; the consumer applies them run by run, exactly as the synchronous
+/// path did.
+struct SciuPassPayload {
+  std::vector<Edge> edges;
+  std::vector<Weight> weights;
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+};
 
 class SciuExecutor {
  public:
@@ -41,12 +58,32 @@ class SciuExecutor {
                       double* update_seconds);
 
  private:
+  /// Active vertices of one source interval, as ascending local ids, with
+  /// nearby actives grouped so each group costs one index read per
+  /// sub-block.
+  struct IntervalActives {
+    struct Group {
+      std::size_t begin_pos;
+      std::size_t end_pos;  // exclusive, into `locals`
+    };
+    std::vector<VertexId> locals;
+    std::vector<Group> groups;
+  };
+
   /// Ranged reads cannot verify checksums per request, so the first time a
   /// run touches sub-block (i, j) its payload files are CRC-verified in
   /// full. The verification reads use raw (unaccounted) I/O: they are not
   /// part of the paper's I/O economics.
   Status EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
                                 bool need_weights);
+
+  /// Reads one pass: index offsets per group, then the coalesced edge runs,
+  /// in exactly the synchronous order. Runs on the loader thread when
+  /// prefetching (tasks are serialized, so `verified_` needs no lock),
+  /// inline otherwise.
+  Status FetchPass(std::uint32_t i, std::uint32_t j,
+                   const IntervalActives& actives, bool need_weights,
+                   SciuPassPayload& out);
 
   ExecContext ctx_;
   std::vector<std::uint8_t> verified_;  // per sub-block, lazily sized p*p

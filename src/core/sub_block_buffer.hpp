@@ -28,6 +28,14 @@ class SubBlockBuffer {
   /// Cached block (i, j), or nullptr. Bumps the hit/miss counters.
   const partition::SubBlock* Get(std::uint32_t i, std::uint32_t j);
 
+  /// Issue-time residency probe for the prefetch pipeline. Deliberately
+  /// bumps no counters: the consumer still calls Get() exactly once per
+  /// sub-block, keeping hit/miss accounting identical to the synchronous
+  /// path.
+  bool Contains(std::uint32_t i, std::uint32_t j) const noexcept {
+    return entries_.find(Key(i, j)) != entries_.end();
+  }
+
   /// Inserts block (i,j) with `priority` (active-edge count). Evicts
   /// lower-priority entries while space is needed; the block is rejected if
   /// it cannot fit even after evicting everything with lower priority.

@@ -104,6 +104,14 @@ struct IoCostModel {
     return t <= 0 ? 0.0 : static_cast<double>(random_request_bytes) / t;
   }
 
+  /// Pipelined charge for a stage whose `io_seconds` of modeled disk time
+  /// run on the prefetch loader while `compute_seconds` of measured compute
+  /// run on the workers: the stage costs its critical path, not the sum.
+  static double OverlapSeconds(double io_seconds,
+                               double compute_seconds) noexcept {
+    return io_seconds > compute_seconds ? io_seconds : compute_seconds;
+  }
+
   /// One-line description for bench headers.
   std::string ToString() const;
 };

@@ -1,0 +1,23 @@
+#include "io/prefetch.hpp"
+
+namespace graphsd::io {
+
+PrefetchPipeline::PrefetchPipeline(std::size_t depth) : depth_(depth) {
+  if (depth_ == 0) return;
+  // One loader thread, always: see the header for why parallel loaders
+  // would break read-sequence parity with the synchronous path.
+  loader_ = std::make_unique<ThreadPool>(1);
+  queue_ = std::make_unique<ReadQueue>(*loader_, depth_);
+}
+
+PrefetchPipeline::~PrefetchPipeline() {
+  // Queue first (drains in-flight tasks), then the loader pool joins.
+  queue_.reset();
+  loader_.reset();
+}
+
+void PrefetchPipeline::Drain() {
+  if (queue_ != nullptr) queue_->Drain();
+}
+
+}  // namespace graphsd::io

@@ -1,0 +1,162 @@
+// Asynchronous prefetch pipeline: overlap device reads with compute.
+//
+// A PrefetchPipeline owns a dedicated single-worker loader pool plus a
+// bounded ReadQueue (io/read_queue.hpp). Fetch closures run ahead of the
+// consumer on the loader thread while the consumer applies edges, so disk
+// time hides behind compute time. The loader is deliberately a single
+// thread: the modeled device is serial (one head position, one virtual
+// clock), and a single worker executes tasks in submission order, which is
+// what makes the performed read sequence — and therefore byte counts,
+// sequential/random classification, and fault-injection behavior — exactly
+// match the synchronous path.
+//
+// PrefetchStream<Payload> is the planning front-end the executors use: a
+// fixed, ordered plan of fetch units consumed strictly FIFO with a
+// look-ahead window of `depth` units. Each unit may carry a skip probe
+// (evaluated on the consumer thread at issue time) so already-resident
+// sub-blocks are never re-read. With a null or disabled pipeline the
+// stream degrades to running each fetch inline at Take(), i.e. the
+// synchronous path is the same code minus the look-ahead.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "io/read_queue.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace graphsd::io {
+
+class PrefetchPipeline {
+ public:
+  /// `depth` is the look-ahead window in fetch units; 0 disables the
+  /// pipeline entirely (no loader thread is started).
+  explicit PrefetchPipeline(std::size_t depth);
+  ~PrefetchPipeline();
+
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  bool enabled() const noexcept { return queue_ != nullptr; }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// The shared read queue. Valid only when enabled().
+  ReadQueue& queue() noexcept { return *queue_; }
+
+  /// Blocks until no loader task is in flight. Streams already drain their
+  /// own tickets; engines call this at round boundaries so per-round I/O
+  /// accounting snapshots see a quiesced device.
+  void Drain();
+
+ private:
+  std::size_t depth_;
+  std::unique_ptr<ThreadPool> loader_;
+  std::unique_ptr<ReadQueue> queue_;
+};
+
+/// FIFO stream of planned fetches with bounded look-ahead. Single consumer
+/// thread; the loader thread only ever touches the payload a fetch closure
+/// was handed (publication happens-before Wait() via the queue's mutex).
+template <typename Payload>
+class PrefetchStream {
+ public:
+  struct Unit {
+    /// Evaluated on the consumer thread when the unit is issued (which in
+    /// synchronous mode is also when it is consumed). True = don't fetch.
+    std::function<bool()> skip;
+    /// Performs the accounted reads and fills the payload. Runs on the
+    /// loader thread when prefetching, inline at Take() otherwise.
+    std::function<Status(Payload&)> fetch;
+  };
+
+  struct Item {
+    bool fetched = false;  // false: the skip probe fired
+    Status status = Status::Ok();
+    Payload payload{};
+  };
+
+  /// `pipeline` may be null or disabled (synchronous mode). The plan is
+  /// consumed in order by Take(); issuing starts immediately.
+  PrefetchStream(PrefetchPipeline* pipeline, std::vector<Unit> plan)
+      : pipeline_(pipeline != nullptr && pipeline->enabled() ? pipeline
+                                                             : nullptr),
+        plan_(std::move(plan)) {
+    if (pipeline_ != nullptr) FillWindow();
+  }
+
+  /// Waits out any tickets the consumer never took (error unwinds).
+  ~PrefetchStream() {
+    for (Pending& pending : window_) {
+      if (pending.issued) {
+        Status unused = pipeline_->queue().Wait(pending.ticket);
+        (void)unused;
+      }
+    }
+  }
+
+  PrefetchStream(const PrefetchStream&) = delete;
+  PrefetchStream& operator=(const PrefetchStream&) = delete;
+
+  /// Consumes the next planned unit, in plan order.
+  Item Take() {
+    GRAPHSD_CHECK(consumed_ < plan_.size());
+    Item item;
+    if (pipeline_ == nullptr) {
+      Unit& unit = plan_[consumed_++];
+      if (unit.skip && unit.skip()) return item;
+      item.fetched = true;
+      item.status = unit.fetch(item.payload);
+      return item;
+    }
+    Pending pending = std::move(window_.front());
+    window_.pop_front();
+    ++consumed_;
+    FillWindow();
+    if (!pending.issued) return item;
+    item.fetched = true;
+    item.status = pipeline_->queue().Wait(pending.ticket);
+    item.payload = std::move(*pending.payload);
+    return item;
+  }
+
+  std::size_t consumed() const noexcept { return consumed_; }
+  std::size_t planned() const noexcept { return plan_.size(); }
+
+ private:
+  struct Pending {
+    bool issued = false;
+    ReadQueue::Ticket ticket = 0;
+    // Heap slot the loader writes into; stable across deque shuffles.
+    std::unique_ptr<Payload> payload;
+  };
+
+  void FillWindow() {
+    while (issued_ < plan_.size() && window_.size() < pipeline_->depth()) {
+      Unit& unit = plan_[issued_++];
+      Pending pending;
+      if (!(unit.skip && unit.skip())) {
+        pending.issued = true;
+        pending.payload = std::make_unique<Payload>();
+        Payload* out = pending.payload.get();
+        pending.ticket = pipeline_->queue().Submit(
+            [fetch = std::move(unit.fetch), out]() -> Status {
+              return fetch(*out);
+            });
+      }
+      window_.push_back(std::move(pending));
+    }
+  }
+
+  PrefetchPipeline* pipeline_;  // null = synchronous mode
+  std::vector<Unit> plan_;
+  std::size_t issued_ = 0;
+  std::size_t consumed_ = 0;
+  std::deque<Pending> window_;
+};
+
+}  // namespace graphsd::io

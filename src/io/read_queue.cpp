@@ -1,0 +1,104 @@
+#include "io/read_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace graphsd::io {
+
+ReadQueue::ReadQueue(ThreadPool& pool, std::size_t depth)
+    : pool_(&pool), depth_(std::max<std::size_t>(1, depth)) {}
+
+ReadQueue::~ReadQueue() { Drain(); }
+
+ReadQueue::Ticket ReadQueue::Submit(std::function<Status()> task) {
+  Ticket ticket;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    window_open_.wait(lock, [this] { return in_flight_ < depth_; });
+    ticket = next_ticket_++;
+    slots_.emplace_back();
+    ++in_flight_;
+  }
+  pool_->Submit([this, ticket, task = std::move(task)] {
+    RunTask(ticket, task);
+  });
+  return ticket;
+}
+
+void ReadQueue::RunTask(Ticket ticket, const std::function<Status()>& task) {
+  // Poison check happens at execution time, not submission time: with a
+  // single-worker pool, tasks run in submission order, so everything queued
+  // behind a failed task is skipped before touching the device.
+  bool skip = false;
+  Status status;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!poison_.ok()) {
+      skip = true;
+      status = poison_;
+      ++skipped_;
+    }
+  }
+  if (!skip) status = task();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!skip && !status.ok() && poison_.ok()) poison_ = status;
+    Slot& slot = SlotFor(ticket);
+    slot.done = true;
+    slot.status = std::move(status);
+    --in_flight_;
+    // Notify under the lock: once Drain() observes in_flight_ == 0 the
+    // queue may be destroyed, so this task must not touch the condition
+    // variables after releasing the mutex.
+    window_open_.notify_all();
+    task_done_.notify_all();
+  }
+}
+
+ReadQueue::Slot& ReadQueue::SlotFor(Ticket ticket) {
+  GRAPHSD_CHECK(ticket >= base_ &&
+                ticket - base_ < static_cast<Ticket>(slots_.size()));
+  return slots_[static_cast<std::size_t>(ticket - base_)];
+}
+
+void ReadQueue::PopRedeemedLocked() {
+  while (!slots_.empty() && slots_.front().redeemed) {
+    slots_.pop_front();
+    ++base_;
+  }
+  // Poison is scoped to the outstanding batch: once every submitted task
+  // has been resolved and redeemed, the next submission starts clean. A
+  // failed round must not poison the rounds executed after it (e.g. the
+  // full-streaming redo of a failed on-demand round).
+  if (slots_.empty()) poison_ = Status::Ok();
+}
+
+Status ReadQueue::Wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_done_.wait(lock, [&] { return SlotFor(ticket).done; });
+  Slot& slot = SlotFor(ticket);
+  GRAPHSD_CHECK(!slot.redeemed);
+  slot.redeemed = true;
+  Status status = std::move(slot.status);
+  PopRedeemedLocked();
+  return status;
+}
+
+void ReadQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_done_.wait(lock, [this] { return in_flight_ == 0; });
+  for (Slot& slot : slots_) slot.redeemed = true;
+  PopRedeemedLocked();
+}
+
+std::uint64_t ReadQueue::submitted() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return next_ticket_;
+}
+
+std::uint64_t ReadQueue::skipped() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return skipped_;
+}
+
+}  // namespace graphsd::io

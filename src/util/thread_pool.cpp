@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/status.hpp"
 
@@ -38,6 +39,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr pending = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(pending);
+  }
 }
 
 void ThreadPool::ParallelFor(
@@ -71,9 +77,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = thrown;
+      }
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

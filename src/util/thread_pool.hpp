@@ -3,11 +3,19 @@
 // GraphSD parallelizes edge application *within* a destination interval;
 // combines are commutative atomics, so chunk scheduling order never changes
 // results. The pool is created once per engine run and reused across
-// iterations (no per-iteration thread churn).
+// iterations (no per-iteration thread churn). The prefetch pipeline
+// (io/prefetch.hpp) runs its loader on a dedicated single-worker pool.
+//
+// A task that throws does not kill the worker: the first exception is
+// captured and rethrown to the next caller of Wait() (and therefore to
+// ParallelFor callers). Later exceptions from the same batch are dropped —
+// one failure is enough to fail the wait, matching Status-style
+// first-error-wins propagation.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -22,7 +30,8 @@ class ThreadPool {
   /// hardware concurrency (at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Joins all workers. Pending tasks are drained first.
+  /// Joins all workers. Pending tasks are drained first. An unconsumed
+  /// task exception is swallowed (destructors must not throw).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -34,12 +43,15 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all previously submitted tasks have completed.
+  /// Blocks until all previously submitted tasks have completed. If any
+  /// task threw since the last Wait(), rethrows the first such exception
+  /// (after all tasks have drained, so no task is left running).
   void Wait();
 
   /// Splits [begin, end) into chunks of at most `grain` items and runs
   /// `fn(chunk_begin, chunk_end)` across the pool. Blocks until done.
   /// With a single worker (or a tiny range) runs inline — zero overhead.
+  /// Rethrows the first exception thrown by any chunk.
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -53,6 +65,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace graphsd

@@ -81,6 +81,65 @@ TEST(IoStats, ConcurrentRecordingIsExact) {
   EXPECT_EQ(s.seq_read_ops, 4000u);
 }
 
+TEST(IoStats, ConcurrentMixedRecordingLosesNoBytesOrOps) {
+  // The prefetch loader thread records reads while the consumer thread
+  // records writes and retries; no update may be lost and every op must
+  // land in the counter its pattern selects.
+  IoStats stats;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        stats.RecordRead(AccessPattern::kSequential, 5);
+        stats.RecordRead(AccessPattern::kRandom, 3);
+        stats.RecordRetry();
+      }
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        stats.RecordWrite(AccessPattern::kSequential, 7);
+        stats.RecordWrite(AccessPattern::kRandom, 2);
+        stats.RecordChecksumFailure();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto s = stats.Snapshot();
+  EXPECT_EQ(s.seq_read_bytes, 2u * kOpsPerThread * 5);
+  EXPECT_EQ(s.rand_read_bytes, 2u * kOpsPerThread * 3);
+  EXPECT_EQ(s.seq_write_bytes, 2u * kOpsPerThread * 7);
+  EXPECT_EQ(s.rand_write_bytes, 2u * kOpsPerThread * 2);
+  EXPECT_EQ(s.seq_read_ops, 2u * kOpsPerThread);
+  EXPECT_EQ(s.rand_read_ops, 2u * kOpsPerThread);
+  EXPECT_EQ(s.seq_write_ops, 2u * kOpsPerThread);
+  EXPECT_EQ(s.rand_write_ops, 2u * kOpsPerThread);
+  EXPECT_EQ(s.retries, 2u * kOpsPerThread);
+  EXPECT_EQ(s.checksum_failures, 2u * kOpsPerThread);
+}
+
+TEST(IoStats, SnapshotWhileRecordingSeesConsistentMonotoneTotals) {
+  // Snapshots taken mid-flight (the engine's per-round accounting does
+  // this while the loader is reading ahead) must be monotone and bounded
+  // by the final total.
+  IoStats stats;
+  constexpr int kOps = 5000;
+  std::thread writer([&] {
+    for (int i = 0; i < kOps; ++i) {
+      stats.RecordRead(AccessPattern::kSequential, 4);
+    }
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t now = stats.Snapshot().TotalReadBytes();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(stats.Snapshot().TotalReadBytes(), 4u * kOps);
+  EXPECT_LE(last, 4u * kOps);
+}
+
 TEST(IoStats, ToStringMentionsComponents) {
   IoStats stats;
   stats.RecordRead(AccessPattern::kSequential, 1024);

@@ -1,0 +1,178 @@
+#include "io/read_queue.hpp"
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace graphsd::io {
+namespace {
+
+TEST(ReadQueue, DepthClampedToAtLeastOne) {
+  ThreadPool pool(1);
+  ReadQueue queue(pool, 0);
+  EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(ReadQueue, FifoSubmitWaitReturnsEachStatus) {
+  ThreadPool pool(1);
+  ReadQueue queue(pool, 2);
+  std::vector<ReadQueue::Ticket> tickets;
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(queue.Submit([&executed] {
+      ++executed;
+      return Status::Ok();
+    }));
+  }
+  for (const ReadQueue::Ticket t : tickets) EXPECT_OK(queue.Wait(t));
+  EXPECT_EQ(executed.load(), 8);
+  EXPECT_EQ(queue.submitted(), 8u);
+  EXPECT_EQ(queue.skipped(), 0u);
+}
+
+TEST(ReadQueue, SingleWorkerExecutesInSubmissionOrder) {
+  ThreadPool pool(1);
+  ReadQueue queue(pool, 4);
+  std::vector<int> order;
+  std::mutex order_mutex;
+  std::vector<ReadQueue::Ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(queue.Submit([i, &order, &order_mutex] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(i);
+      return Status::Ok();
+    }));
+  }
+  for (const ReadQueue::Ticket t : tickets) EXPECT_OK(queue.Wait(t));
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ReadQueue, InFlightWindowNeverExceedsDepth) {
+  // Submit blocks while `depth` tasks are unresolved, so even with more
+  // workers than depth at most `depth` tasks can ever run concurrently.
+  ThreadPool pool(4);
+  ReadQueue queue(pool, 2);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<ReadQueue::Ticket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    tickets.push_back(queue.Submit([&running, &peak] {
+      const int now = ++running;
+      int seen = peak.load();
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      --running;
+      return Status::Ok();
+    }));
+  }
+  for (const ReadQueue::Ticket t : tickets) EXPECT_OK(queue.Wait(t));
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ReadQueue, FailureSkipsQueuedTasksWithPoisoningStatus) {
+  ThreadPool pool(1);
+  ReadQueue queue(pool, 4);
+  // Park the worker so the failing task and its successors queue up behind
+  // the gate; none of the successors may touch the "device".
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> executed_after_failure{0};
+  const ReadQueue::Ticket t0 = queue.Submit([opened] {
+    opened.wait();
+    return Status::Ok();
+  });
+  const ReadQueue::Ticket t1 =
+      queue.Submit([] { return IoError("injected"); });
+  const ReadQueue::Ticket t2 = queue.Submit([&executed_after_failure] {
+    ++executed_after_failure;
+    return Status::Ok();
+  });
+  const ReadQueue::Ticket t3 = queue.Submit([&executed_after_failure] {
+    ++executed_after_failure;
+    return Status::Ok();
+  });
+  gate.set_value();
+  EXPECT_OK(queue.Wait(t0));
+  const Status failed = queue.Wait(t1);
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(queue.Wait(t2).code(), StatusCode::kIoError);
+  EXPECT_EQ(queue.Wait(t3).code(), StatusCode::kIoError);
+  EXPECT_EQ(executed_after_failure.load(), 0);
+  EXPECT_EQ(queue.skipped(), 2u);
+}
+
+TEST(ReadQueue, PoisonClearsOnceBatchFullyRedeemed) {
+  // A failed round must not poison the next one (the engine redoes a failed
+  // on-demand round under full streaming through the same queue).
+  ThreadPool pool(1);
+  ReadQueue queue(pool, 4);
+  const ReadQueue::Ticket bad =
+      queue.Submit([] { return IoError("injected"); });
+  EXPECT_EQ(queue.Wait(bad).code(), StatusCode::kIoError);
+
+  std::atomic<int> executed{0};
+  const ReadQueue::Ticket next = queue.Submit([&executed] {
+    ++executed;
+    return Status::Ok();
+  });
+  EXPECT_OK(queue.Wait(next));
+  EXPECT_EQ(executed.load(), 1);
+  EXPECT_EQ(queue.skipped(), 0u);
+}
+
+TEST(ReadQueue, DrainResolvesUnredeemedTickets) {
+  ThreadPool pool(2);
+  ReadQueue queue(pool, 4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 8; ++i) {
+    (void)queue.Submit([&executed] {
+      ++executed;
+      return Status::Ok();
+    });
+  }
+  queue.Drain();
+  EXPECT_EQ(executed.load(), 8);
+  // The batch is gone: a fresh submission gets a clean window.
+  const ReadQueue::Ticket t = queue.Submit([] { return Status::Ok(); });
+  EXPECT_OK(queue.Wait(t));
+}
+
+TEST(ReadQueue, DrainAfterFailureClearsPoison) {
+  ThreadPool pool(1);
+  ReadQueue queue(pool, 4);
+  (void)queue.Submit([] { return IoError("injected"); });
+  (void)queue.Submit([] { return Status::Ok(); });
+  queue.Drain();
+  std::atomic<int> executed{0};
+  const ReadQueue::Ticket t = queue.Submit([&executed] {
+    ++executed;
+    return Status::Ok();
+  });
+  EXPECT_OK(queue.Wait(t));
+  EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(ReadQueue, DestructorDrainsOutstandingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  {
+    ReadQueue queue(pool, 4);
+    for (int i = 0; i < 8; ++i) {
+      (void)queue.Submit([&executed] {
+        ++executed;
+        return Status::Ok();
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), 8);
+}
+
+}  // namespace
+}  // namespace graphsd::io

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +82,75 @@ TEST(ThreadPool, ZeroThreadRequestDefaultsToAtLeastOne) {
   pool.Submit([&] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillWorkersOrLaterBatches) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable: the worker survived and the exception slot is
+  // cleared once consumed.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();  // must not rethrow again
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndLaterOnesAreDropped) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("one of many"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // the batch is drained; nothing left to rethrow
+}
+
+TEST(ThreadPool, WaitDrainsAllTasksBeforeRethrowing) {
+  // The rethrow must not leave tasks of the same batch still running.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("early failure"); });
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForRethrowsChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 1024, 8,
+                                [](std::size_t b, std::size_t) {
+                                  if (b == 512) {
+                                    throw std::runtime_error("chunk failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // Later ParallelFor batches are unaffected.
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 64, 8, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, SingleWorkerParallelForPropagatesInlineException) {
+  // With one worker ParallelFor runs inline; the exception must surface the
+  // same way it does on the threaded path.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 16, 4,
+                                [](std::size_t, std::size_t) {
+                                  throw std::runtime_error("inline failure");
+                                }),
+               std::runtime_error);
 }
 
 }  // namespace

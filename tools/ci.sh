@@ -1,0 +1,29 @@
+#!/bin/sh
+# One-shot CI entry point.
+#
+#   1. Tier-1: regular build + the full test suite (the gate every change
+#      must keep green, see ROADMAP.md).
+#   2. ASan+UBSan build + full suite.
+#   3. TSan build + the concurrency smoke targets (ReadQueue, ThreadPool,
+#      IoStats and the prefetch pipeline end to end). The full suite under
+#      TSan is too slow for per-change CI; run it manually before releases
+#      with `tools/sanitize_build.sh thread`.
+#
+# Usage: tools/ci.sh [--tier1-only]
+set -e
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== tier 1: build + full test suite =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$(nproc)"
+(cd "$ROOT/build" && ctest --output-on-failure -j "$(nproc)")
+
+if [ "$1" = "--tier1-only" ]; then
+  exit 0
+fi
+
+echo "== tier 2: ASan + UBSan =="
+"$ROOT/tools/sanitize_build.sh" address
+
+echo "== tier 3: TSan concurrency smoke =="
+"$ROOT/tools/sanitize_build.sh" thread "^tsan_"

@@ -252,6 +252,10 @@ int CmdRun(int argc, const char* const* argv) {
   flags.Define("no-cross-iteration", "false", "disable cross-iteration (b1)");
   flags.Define("no-selective", "false", "disable the on-demand model (b2)");
   flags.Define("no-buffer", "false", "disable the sub-block buffer");
+  flags.Define("prefetch-depth", "1",
+               "async read look-ahead in fetch units (0 = synchronous I/O)");
+  flags.Define("no-overlap-io", "false",
+               "charge compute + io serially instead of max(compute, io)");
   flags.Define("values-out", "", "write per-vertex results to this file");
   DefineDeviceFlag(flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
@@ -303,6 +307,9 @@ int CmdRun(int argc, const char* const* argv) {
     options.enable_cross_iteration = !flags.GetBool("no-cross-iteration");
     options.enable_selective = !flags.GetBool("no-selective");
     options.enable_buffering = !flags.GetBool("no-buffer");
+    options.prefetch_depth =
+        static_cast<std::size_t>(flags.GetInt("prefetch-depth"));
+    options.overlap_io = !flags.GetBool("no-overlap-io");
     gsd = std::make_unique<core::GraphSDEngine>(*dataset, options);
     graphsd_engine = gsd.get();
     report = gsd->Run(*program);
