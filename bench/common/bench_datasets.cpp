@@ -11,6 +11,7 @@
 #include "graph/edge_io.hpp"
 #include "graph/generators.hpp"
 #include "graph/reference_algorithms.hpp"
+#include "obs/run_report.hpp"
 #include "partition/grid_builder.hpp"
 #include "util/logging.hpp"
 
@@ -227,13 +228,31 @@ core::ExecutionReport RunOn(io::Device& device, const std::string& dir,
   return std::move(report).value();
 }
 
+/// When GRAPHSD_BENCH_REPORT_DIR is set, every bench run also drops its
+/// machine-readable run report there (one JSON per engine/algo/dataset), so
+/// figure trajectories can be diffed across commits without re-parsing the
+/// printed tables.
+void MaybeDumpRunReport(const core::ExecutionReport& report,
+                        const io::Device& device) {
+  const char* dir = std::getenv("GRAPHSD_BENCH_REPORT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + report.engine + "_" +
+                           report.algorithm + "_" + report.dataset + ".json";
+  if (Status s = obs::WriteRunReport(report, device.options().cost_model, path);
+      !s.ok()) {
+    GRAPHSD_LOG_WARN("run-report dump failed: %s", s.ToString().c_str());
+  }
+}
+
 }  // namespace
 
 core::ExecutionReport RunSystem(io::Device& device,
                                 const PreparedDataset& dataset, System system,
                                 Algo algo) {
   const std::string& dir = (algo == Algo::kCc) ? dataset.sym_dir : dataset.dir;
-  return RunOn(device, dir, system, algo);
+  core::ExecutionReport report = RunOn(device, dir, system, algo);
+  MaybeDumpRunReport(report, device);
+  return report;
 }
 
 core::ExecutionReport RunGraphSD(io::Device& device,
@@ -247,7 +266,9 @@ core::ExecutionReport RunGraphSD(io::Device& device,
   core::GraphSDEngine engine(*ds, options);
   auto report = engine.Run(*program);
   if (!report.ok()) return Fail(report.status());
-  return std::move(report).value();
+  core::ExecutionReport out = std::move(report).value();
+  MaybeDumpRunReport(out, device);
+  return out;
 }
 
 std::unique_ptr<io::Device> MakeBenchDevice() {

@@ -6,6 +6,8 @@
 #include "core/scheduler.hpp"
 #include "core/sciu_executor.hpp"
 #include "core/sub_block_buffer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/clock.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -58,6 +60,43 @@ class RoundAccounting {
   WallTimer wall_;
 };
 
+/// End-of-run metrics publication. Engine totals accumulate as counters
+/// (one Add per run); the I/O-stack components publish gauge snapshots.
+/// Strictly passive: reads counters, performs no I/O, feeds nothing back.
+void PublishRunMetrics(obs::MetricsRegistry* metrics,
+                       const ExecutionReport& report, const io::Device& device,
+                       const SubBlockBuffer& buffer,
+                       const io::PrefetchPipeline& prefetch) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("engine.runs").Add(1);
+  metrics->GetCounter("engine.iterations").Add(report.iterations);
+  metrics->GetCounter("engine.rounds").Add(report.rounds);
+  metrics->GetCounter("engine.degraded_rounds").Add(report.degraded_rounds);
+  obs::Histogram& reads = metrics->GetHistogram("engine.round_read_bytes");
+  obs::Histogram& writes = metrics->GetHistogram("engine.round_write_bytes");
+  for (const RoundStat& stat : report.per_round) {
+    switch (stat.model) {
+      case RoundModel::kSciu:
+        metrics->GetCounter("engine.rounds_sciu").Add(1);
+        break;
+      case RoundModel::kFciu:
+        metrics->GetCounter("engine.rounds_fciu").Add(1);
+        break;
+      case RoundModel::kPlainFull:
+        metrics->GetCounter("engine.rounds_plain_full").Add(1);
+        break;
+      case RoundModel::kSkipped:
+        metrics->GetCounter("engine.rounds_skipped").Add(1);
+        break;
+    }
+    reads.Record(stat.read_bytes);
+    writes.Record(stat.write_bytes);
+  }
+  device.PublishMetrics(*metrics);
+  buffer.PublishMetrics(*metrics);
+  prefetch.PublishMetrics(*metrics);
+}
+
 }  // namespace
 
 GraphSDEngine::GraphSDEngine(const partition::GridDataset& dataset,
@@ -106,6 +145,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
                                 : default_budget;
   io::PrefetchPipeline prefetch(options_.prefetch_depth);
   ctx.prefetch = &prefetch;
+  ctx.trace = options_.trace;
   SciuExecutor sciu(ctx);
   FciuExecutor fciu(ctx);
   StateAwareScheduler scheduler(*dataset_, device.options().cost_model);
@@ -165,6 +205,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
           overlap && report.rounds > 0
               ? report.compute_seconds / report.rounds
               : (overlap ? 0.0 : -1.0);
+      obs::TraceSpan span(options_.trace, "schedule-decision", iterations);
       const SchedulerDecision decision = scheduler.Evaluate(
           active, state.BytesPerVertex(),
           program.needs_weights() && manifest.weighted,
@@ -179,13 +220,19 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       stat.cost_full = decision.serial_cost_full;
       stat.active_vertices = decision.active_vertices;
       stat.active_edges = decision.active_edges;
+      stat.seq_bytes = decision.seq_bytes;
+      stat.rand_bytes = decision.rand_bytes;
+      stat.random_requests = decision.random_requests;
       on_demand = options_.force_on_demand || decision.on_demand;
     } else {
       stat.active_vertices = active.Count();
     }
 
     RoundAccounting accounting(device, stat, report, overlap);
-    GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+    {
+      obs::TraceSpan span(options_.trace, "state-load", iterations);
+      GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+    }
     // `preact` is kept intact until the round commits: if the on-demand
     // attempt fails it reseeds the full-streaming redo of the same round.
     out.CopyFrom(preact);
@@ -205,6 +252,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
         ++report.degraded_rounds;
         // Discard the partial iteration and redo it under the full model:
         // reload persisted values and reseed the output frontiers.
+        obs::TraceSpan span(options_.trace, "state-load", iterations);
         GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
         out.CopyFrom(preact);
         out_ni.Clear();
@@ -238,7 +286,10 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       }
     }
 
-    GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+    {
+      obs::TraceSpan span(options_.trace, "write-back", stat.first_iteration);
+      GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+    }
     accounting.Commit(options_.record_per_round);
   }
 
@@ -246,6 +297,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   report.buffer_hits = buffer.hits();
   report.buffer_misses = buffer.misses();
   report.buffer_bytes_saved = buffer.bytes_saved();
+  PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
   return report;
 }
 
@@ -267,6 +319,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   ctx.buffer = &buffer;
   io::PrefetchPipeline prefetch(options_.prefetch_depth);
   ctx.prefetch = &prefetch;
+  ctx.trace = options_.trace;
   FciuExecutor fciu(ctx);
 
   const bool overlap = options_.overlap_io && prefetch.enabled();
@@ -295,7 +348,10 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
     stat.active_edges = manifest.num_edges;
 
     RoundAccounting accounting(device, stat, report, overlap);
-    GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+    {
+      obs::TraceSpan span(options_.trace, "state-load", iterations);
+      GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+    }
     const bool two = options_.enable_cross_iteration &&
                      iterations + 2 <= max_iterations;
     GRAPHSD_RETURN_IF_ERROR(fciu.RunGatherRound(program, state, two, stat,
@@ -305,7 +361,10 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
       GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path + ".prop"));
       GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path + ".prop"));
     }
-    GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+    {
+      obs::TraceSpan span(options_.trace, "write-back", stat.first_iteration);
+      GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+    }
     accounting.Commit(options_.record_per_round);
   }
 
@@ -313,6 +372,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   report.buffer_hits = buffer.hits();
   report.buffer_misses = buffer.misses();
   report.buffer_bytes_saved = buffer.bytes_saved();
+  PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
   return report;
 }
 

@@ -19,6 +19,11 @@
 #include "core/report.hpp"
 #include "partition/grid_dataset.hpp"
 
+namespace graphsd::obs {
+class MetricsRegistry;
+class TraceBuffer;
+}  // namespace graphsd::obs
+
 namespace graphsd::core {
 
 struct EngineOptions {
@@ -64,6 +69,16 @@ struct EngineOptions {
   std::string scratch_dir;
   /// Name stamped into reports.
   std::string engine_name = "GraphSD";
+  /// Phase-trace sink (non-owning; must outlive the engine run). Null
+  /// disables tracing. Strictly passive: attaching a buffer changes no
+  /// bytes, decisions or results (asserted by the prefetch-equivalence
+  /// suite).
+  obs::TraceBuffer* trace = nullptr;
+  /// Metrics sink (non-owning; must outlive the engine run). Null disables
+  /// metrics. Engine counters accumulate per run; device/buffer/prefetch
+  /// levels are published as end-of-run gauge snapshots. Passive, like
+  /// `trace`.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class GraphSDEngine {

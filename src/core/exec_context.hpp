@@ -6,6 +6,7 @@
 
 #include "core/sub_block_buffer.hpp"
 #include "io/prefetch.hpp"
+#include "obs/trace.hpp"
 #include "partition/grid_dataset.hpp"
 #include "util/thread_pool.hpp"
 
@@ -19,6 +20,10 @@ struct ExecContext {
   /// Asynchronous read pipeline. May be null or disabled (depth 0), in
   /// which case the executors run their fetches inline (synchronous path).
   io::PrefetchPipeline* prefetch = nullptr;
+  /// Phase-trace sink. Null (the default) disables tracing entirely; spans
+  /// then cost one pointer compare. Strictly passive — attaching a buffer
+  /// never changes bytes read, decisions or results.
+  obs::TraceBuffer* trace = nullptr;
   /// Memory budget for SCIU's in-memory retention of loaded active edges
   /// (the precondition for its cross-iteration step).
   std::uint64_t memory_budget_bytes = 0;

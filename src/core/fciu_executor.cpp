@@ -28,7 +28,9 @@ FciuExecutor::SubBlockStream::Unit FciuExecutor::FetchUnit(
   const SubBlockBuffer* buffer = ctx_.buffer;
   SubBlockStream::Unit unit;
   unit.skip = [buffer, i, j] { return buffer->Contains(i, j); };
-  unit.fetch = [dataset, i, j, need_weights](partition::SubBlock& out) {
+  unit.fetch = [dataset, i, j, need_weights, trace = ctx_.trace,
+                iteration = trace_iteration_](partition::SubBlock& out) {
+    obs::TraceSpan span(trace, "edge-read", iteration);
     GRAPHSD_ASSIGN_OR_RETURN(out, dataset->LoadSubBlock(i, j, need_weights));
     return Status::Ok();
   };
@@ -63,6 +65,7 @@ Result<const partition::SubBlock*> FciuExecutor::Fetch(
   }
   // Resident at issue time but evicted before consumption: fall back to a
   // synchronous load, exactly what the synchronous path would have done.
+  obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
   GRAPHSD_ASSIGN_OR_RETURN(local,
                            ctx_.dataset->LoadSubBlock(i, j, need_weights));
   return static_cast<const partition::SubBlock*>(&local);
@@ -75,6 +78,7 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
                                   double* update_seconds) {
   const auto& dataset = *ctx_.dataset;
   const auto& manifest = dataset.manifest();
+  trace_iteration_ = stat.first_iteration;
   const bool need_weights = program.needs_weights() && manifest.weighted;
   const std::uint32_t p = manifest.p;
 
@@ -109,6 +113,7 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
       // UserFunction pass (iteration t), guarded by the active frontier.
       std::atomic<std::uint64_t> provisional_priority{0};
       {
+        obs::TraceSpan span(ctx_.trace, "compute", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
         ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
                       [&](const Edge& edge, Weight w) {
@@ -125,6 +130,7 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
       if (two_iterations && i < j) {
         // CrossIterUpdate: interval i sealed when column i completed, so
         // these edges produce iteration t+1 values from the same copy.
+        obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
         ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
                       [&](const Edge& edge, Weight w) {
@@ -153,6 +159,7 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
 
     // Column j complete: interval j sealed for iteration t.
     if (two_iterations) {
+      obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
       {
         ScopedWallAccumulator acc(update_seconds);
         out.ForEachActiveInRange(
@@ -219,6 +226,7 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
         partition::SubBlock local;
         GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
                                  Fetch(second, i, j, need_weights, local));
+        obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
         ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
                       [&](const Edge& edge, Weight w) {
@@ -242,6 +250,7 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
                                     RoundStat& stat, double* update_seconds) {
   const auto& dataset = *ctx_.dataset;
   const auto& manifest = dataset.manifest();
+  trace_iteration_ = stat.first_iteration;
   const bool need_weights = program.needs_weights() && manifest.weighted;
   const std::uint32_t p = manifest.p;
   const VertexId n = manifest.num_vertices;
@@ -274,6 +283,7 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
       const bool from_buffer = (block != &local);
 
       {
+        obs::TraceSpan span(ctx_.trace, "compute", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
         ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
                       [&](const Edge& edge, Weight w) {
@@ -345,6 +355,7 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
       partition::SubBlock local;
       GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
                                Fetch(second, i, j, need_weights, local));
+      obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
       ScopedWallAccumulator acc(update_seconds);
       ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
                     [&](const Edge& edge, Weight w) {

@@ -78,6 +78,10 @@ class FciuExecutor {
                                            partition::SubBlock& local);
 
   ExecContext ctx_;
+  /// Iteration label for trace spans recorded by fetch closures. Set at
+  /// round start, before any stream is planned, and stable until the round
+  /// returns, so the loader thread reads it race-free.
+  std::uint32_t trace_iteration_ = 0;
 };
 
 }  // namespace graphsd::core

@@ -6,6 +6,7 @@
 
 #include "graph/types.hpp"
 #include "util/bitset.hpp"
+#include "util/checked_cast.hpp"
 
 namespace graphsd::core {
 
@@ -51,7 +52,7 @@ class Frontier {
   void CopyFrom(const Frontier& other) noexcept { bits_.CopyFrom(other.bits_); }
   void Swap(Frontier& other) noexcept { bits_.Swap(other.bits_); }
 
-  VertexId size() const noexcept { return static_cast<VertexId>(bits_.size()); }
+  VertexId size() const noexcept { return CheckedCast<VertexId>(bits_.size()); }
 
  private:
   ConcurrentBitset bits_;

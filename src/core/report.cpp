@@ -1,48 +1,41 @@
 #include "core/report.hpp"
 
-#include <cstdio>
-
 #include "util/stats.hpp"
+#include "util/str_format.hpp"
 
 namespace graphsd::core {
 
 std::string ExecutionReport::Summary() const {
-  char line[512];
+  // StrAppendf sizes each line exactly, so long engine/algorithm/dataset
+  // names can never truncate the summary.
   std::string out;
-  std::snprintf(line, sizeof(line),
-                "%s/%s on %s: %u iterations in %u rounds, total %s "
-                "(io %s, compute %s, scheduler %s)\n",
-                engine.c_str(), algorithm.c_str(), dataset.c_str(), iterations,
-                rounds, graphsd::FormatSeconds(TotalSeconds()).c_str(),
-                graphsd::FormatSeconds(io_seconds).c_str(),
-                graphsd::FormatSeconds(compute_seconds).c_str(),
-                graphsd::FormatSeconds(scheduler_seconds).c_str());
-  out += line;
+  StrAppendf(&out,
+             "%s/%s on %s: %u iterations in %u rounds, total %s "
+             "(io %s, compute %s, scheduler %s)\n",
+             engine.c_str(), algorithm.c_str(), dataset.c_str(), iterations,
+             rounds, graphsd::FormatSeconds(TotalSeconds()).c_str(),
+             graphsd::FormatSeconds(io_seconds).c_str(),
+             graphsd::FormatSeconds(compute_seconds).c_str(),
+             graphsd::FormatSeconds(scheduler_seconds).c_str());
   if (overlap_io) {
-    std::snprintf(line, sizeof(line),
-                  "  overlap: pipelined charge %s (serial would be %s)\n",
-                  graphsd::FormatSeconds(overlapped_seconds).c_str(),
-                  graphsd::FormatSeconds(SerialSeconds()).c_str());
-    out += line;
+    StrAppendf(&out, "  overlap: pipelined charge %s (serial would be %s)\n",
+               graphsd::FormatSeconds(overlapped_seconds).c_str(),
+               graphsd::FormatSeconds(SerialSeconds()).c_str());
   }
-  std::snprintf(line, sizeof(line), "  traffic: %s\n", io.ToString().c_str());
-  out += line;
+  StrAppendf(&out, "  traffic: %s\n", io.ToString().c_str());
   if (buffer_hits + buffer_misses > 0) {
-    std::snprintf(line, sizeof(line),
-                  "  buffer: %llu hits / %llu misses, %s saved\n",
-                  static_cast<unsigned long long>(buffer_hits),
-                  static_cast<unsigned long long>(buffer_misses),
-                  graphsd::FormatBytes(buffer_bytes_saved).c_str());
-    out += line;
+    StrAppendf(&out, "  buffer: %llu hits / %llu misses, %s saved\n",
+               static_cast<unsigned long long>(buffer_hits),
+               static_cast<unsigned long long>(buffer_misses),
+               graphsd::FormatBytes(buffer_bytes_saved).c_str());
   }
   if (io.retries > 0 || io.checksum_failures > 0 || degraded_rounds > 0) {
-    std::snprintf(line, sizeof(line),
-                  "  resilience: %llu retries, %llu checksum failures, "
-                  "%u degraded rounds\n",
-                  static_cast<unsigned long long>(io.retries),
-                  static_cast<unsigned long long>(io.checksum_failures),
-                  degraded_rounds);
-    out += line;
+    StrAppendf(&out,
+               "  resilience: %llu retries, %llu checksum failures, "
+               "%u degraded rounds\n",
+               static_cast<unsigned long long>(io.retries),
+               static_cast<unsigned long long>(io.checksum_failures),
+               degraded_rounds);
   }
   return out;
 }

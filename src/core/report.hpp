@@ -33,6 +33,12 @@ struct RoundStat {
   double scheduler_seconds = 0;        // benefit-evaluation overhead
   double cost_on_demand = 0;           // scheduler estimate C_r
   double cost_full = 0;                // scheduler estimate C_s
+  // The cost-model inputs behind C_r, recorded so run reports can replay
+  // the schedule decision: bytes the on-demand estimate would read
+  // sequentially (S_seq) vs randomly (S_ran), and the request count.
+  std::uint64_t seq_bytes = 0;         // S_seq
+  std::uint64_t rand_bytes = 0;        // S_ran
+  std::uint64_t random_requests = 0;
   std::uint64_t read_bytes = 0;
   std::uint64_t write_bytes = 0;
 };

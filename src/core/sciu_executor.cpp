@@ -68,6 +68,7 @@ Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
 
   auto flush = [&]() -> Status {
     if (pending_end == pending_begin) return Status::Ok();
+    obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
     const std::size_t base = out.edges.size();
     GRAPHSD_RETURN_IF_ERROR(
         reader.ReadRange(pending_begin, pending_end - pending_begin, out.edges,
@@ -80,8 +81,11 @@ Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
   for (const IntervalActives::Group& group : actives.groups) {
     const VertexId first_local = actives.locals[group.begin_pos];
     const VertexId last_local = actives.locals[group.end_pos - 1];
-    GRAPHSD_RETURN_IF_ERROR(index_reader.ReadOffsets(
-        first_local, last_local - first_local + 2, offsets));
+    {
+      obs::TraceSpan span(ctx_.trace, "index-load", trace_iteration_);
+      GRAPHSD_RETURN_IF_ERROR(index_reader.ReadOffsets(
+          first_local, last_local - first_local + 2, offsets));
+    }
     for (std::size_t pos = group.begin_pos; pos < group.end_pos; ++pos) {
       const VertexId local = actives.locals[pos];
       const std::uint64_t range_begin = offsets[local - first_local];
@@ -113,6 +117,7 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
   const auto& dataset = *ctx_.dataset;
   const auto& manifest = dataset.manifest();
   const auto& degrees = dataset.out_degrees();
+  trace_iteration_ = stat.first_iteration;
   const bool need_weights = program.needs_weights() && manifest.weighted;
   const std::uint64_t bytes_per_edge =
       kEdgeBytes + (need_weights ? kWeightBytes : 0);
@@ -184,6 +189,7 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
     auto item = stream.Take();
     GRAPHSD_RETURN_IF_ERROR(item.status);
     const SciuPassPayload& payload = item.payload;
+    obs::TraceSpan compute_span(ctx_.trace, "compute", trace_iteration_);
     for (const auto& [run_begin, run_end] : payload.runs) {
       ScopedWallAccumulator acc(update_seconds);
       ctx_.pool->ParallelFor(
@@ -220,6 +226,7 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
       }
     });
     if (qualify_count > 0) {
+      obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
       ScopedWallAccumulator acc(update_seconds);
       // Seal the re-activated vertices' fresh values, then push them into
       // iteration t+1 using the resident edges.

@@ -87,6 +87,10 @@ class SciuExecutor {
 
   ExecContext ctx_;
   std::vector<std::uint8_t> verified_;  // per sub-block, lazily sized p*p
+  /// Iteration label for trace spans recorded by FetchPass. Set before the
+  /// sweep's fetch units are planned and stable until the stream drains, so
+  /// the loader thread reads it race-free.
+  std::uint32_t trace_iteration_ = 0;
 };
 
 }  // namespace graphsd::core

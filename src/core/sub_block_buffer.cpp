@@ -1,5 +1,7 @@
 #include "core/sub_block_buffer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace graphsd::core {
 
 const partition::SubBlock* SubBlockBuffer::Get(std::uint32_t i,
@@ -19,27 +21,49 @@ bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
                          partition::SubBlock block, std::uint64_t priority) {
   if (!enabled()) return false;
   const std::uint64_t bytes = block.SizeBytes();
-  if (bytes > capacity_) return false;
   const std::uint64_t key = Key(i, j);
-  // Replacing an existing entry: release its bytes first.
+  if (bytes > capacity_) {
+    // A block that can never fit is rejected before any eviction: flushing
+    // the cache for an insert that must fail would only destroy hits.
+    ++rejected_;
+    return false;
+  }
+  // Feasibility first: only the same-key entry (it is being replaced) and
+  // strictly-lower-priority entries may be evicted for this insert. If that
+  // budget cannot make room, reject without touching the cache — the old
+  // code evicted cold entries one by one and could flush several of them
+  // before discovering the insert was doomed.
+  std::uint64_t evictable = 0;
+  for (const auto& [entry_key, entry] : entries_) {
+    if (entry_key == key || entry.priority < priority) {
+      evictable += entry.block.SizeBytes();
+    }
+  }
+  if (used_ - evictable + bytes > capacity_) {
+    ++rejected_;
+    return false;
+  }
+  // Replacing an existing entry: release its bytes first (not an eviction).
   if (const auto it = entries_.find(key); it != entries_.end()) {
     used_ -= it->second.block.SizeBytes();
     entries_.erase(it);
   }
-  // Evict strictly-lower-priority entries until the block fits.
+  // Evict coldest-first until the block fits. Equal priorities tie-break on
+  // the smaller key so the victim sequence is independent of hash-map
+  // iteration order — runs must be reproducible.
   while (used_ + bytes > capacity_) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (victim == entries_.end() ||
-          it->second.priority < victim->second.priority) {
+          it->second.priority < victim->second.priority ||
+          (it->second.priority == victim->second.priority &&
+           it->first < victim->first)) {
         victim = it;
       }
     }
-    if (victim == entries_.end() || victim->second.priority >= priority) {
-      return false;  // nothing cheaper to evict — reject the insert
-    }
     used_ -= victim->second.block.SizeBytes();
     entries_.erase(victim);
+    ++evictions_;
   }
   used_ += bytes;
   entries_.emplace(key, Entry{std::move(block), priority});
@@ -63,6 +87,16 @@ void SubBlockBuffer::Erase(std::uint32_t i, std::uint32_t j) {
 void SubBlockBuffer::Clear() {
   entries_.clear();
   used_ = 0;
+}
+
+void SubBlockBuffer::PublishMetrics(obs::MetricsRegistry& metrics) const {
+  metrics.GetGauge("buffer.capacity_bytes").Set(static_cast<double>(capacity_));
+  metrics.GetGauge("buffer.used_bytes").Set(static_cast<double>(used_));
+  metrics.GetGauge("buffer.hits").Set(static_cast<double>(hits_));
+  metrics.GetGauge("buffer.misses").Set(static_cast<double>(misses_));
+  metrics.GetGauge("buffer.bytes_saved").Set(static_cast<double>(bytes_saved_));
+  metrics.GetGauge("buffer.evictions").Set(static_cast<double>(evictions_));
+  metrics.GetGauge("buffer.rejected_puts").Set(static_cast<double>(rejected_));
 }
 
 }  // namespace graphsd::core

@@ -12,6 +12,10 @@
 
 #include "partition/grid_dataset.hpp"
 
+namespace graphsd::obs {
+class MetricsRegistry;
+}  // namespace graphsd::obs
+
 namespace graphsd::core {
 
 class SubBlockBuffer {
@@ -36,10 +40,12 @@ class SubBlockBuffer {
     return entries_.find(Key(i, j)) != entries_.end();
   }
 
-  /// Inserts block (i,j) with `priority` (active-edge count). Evicts
-  /// lower-priority entries while space is needed; the block is rejected if
-  /// it cannot fit even after evicting everything with lower priority.
-  /// Returns true if cached.
+  /// Inserts block (i,j) with `priority` (active-edge count). The insert is
+  /// feasibility-checked first: if the block cannot fit even after evicting
+  /// every strictly-lower-priority entry (plus the same-key entry being
+  /// replaced), it is rejected with the cache untouched. Otherwise evicts
+  /// coldest-first, tie-breaking equal priorities on the smaller (i,j) key
+  /// so the victim sequence is deterministic. Returns true if cached.
   bool Put(std::uint32_t i, std::uint32_t j, partition::SubBlock block,
            std::uint64_t priority);
 
@@ -65,6 +71,12 @@ class SubBlockBuffer {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t bytes_saved() const noexcept { return bytes_saved_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t rejected_puts() const noexcept { return rejected_; }
+
+  /// Publishes the current counters as `buffer.*` gauges (snapshot
+  /// semantics: safe to call repeatedly, last write wins).
+  void PublishMetrics(obs::MetricsRegistry& metrics) const;
 
  private:
   struct Entry {
@@ -80,6 +92,8 @@ class SubBlockBuffer {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t bytes_saved_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t rejected_ = 0;
   std::unordered_map<std::uint64_t, Entry> entries_;
 };
 

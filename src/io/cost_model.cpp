@@ -1,19 +1,18 @@
 #include "io/cost_model.hpp"
 
-#include <cstdio>
+#include "util/str_format.hpp"
 
 namespace graphsd::io {
 
 std::string IoCostModel::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "B_sr=%.0f MiB/s B_sw=%.0f MiB/s seek=%.2f ms "
-                "B_rr(%llu KiB)=%.1f MiB/s",
-                seq_read_bw / (1024.0 * 1024.0),
-                seq_write_bw / (1024.0 * 1024.0), seek_seconds * 1e3,
-                static_cast<unsigned long long>(random_request_bytes / 1024),
-                RandomReadBandwidth() / (1024.0 * 1024.0));
-  return buf;
+  // StrPrintf sizes the output first, so arbitrarily large bandwidth or
+  // request-size values can never truncate the rendering.
+  return StrPrintf("B_sr=%.0f MiB/s B_sw=%.0f MiB/s seek=%.2f ms "
+                   "B_rr(%llu KiB)=%.1f MiB/s",
+                   seq_read_bw / (1024.0 * 1024.0),
+                   seq_write_bw / (1024.0 * 1024.0), seek_seconds * 1e3,
+                   static_cast<unsigned long long>(random_request_bytes / 1024),
+                   RandomReadBandwidth() / (1024.0 * 1024.0));
 }
 
 }  // namespace graphsd::io

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace graphsd::io {
 
 namespace {
@@ -111,6 +113,24 @@ void Device::AccountWrite(AccessPattern pattern, std::uint64_t bytes) noexcept {
   clock_.Add(pattern == AccessPattern::kSequential
                  ? m.SeqWriteSeconds(bytes)
                  : m.RandWriteSeconds(bytes));
+}
+
+void Device::PublishMetrics(obs::MetricsRegistry& metrics) const {
+  const IoStatsSnapshot s = stats_.Snapshot();
+  const auto set = [&metrics](const char* name, std::uint64_t v) {
+    metrics.GetGauge(name).Set(static_cast<double>(v));
+  };
+  set("device.seq_read_bytes", s.seq_read_bytes);
+  set("device.seq_write_bytes", s.seq_write_bytes);
+  set("device.rand_read_bytes", s.rand_read_bytes);
+  set("device.rand_write_bytes", s.rand_write_bytes);
+  set("device.seq_read_ops", s.seq_read_ops);
+  set("device.seq_write_ops", s.seq_write_ops);
+  set("device.rand_read_ops", s.rand_read_ops);
+  set("device.rand_write_ops", s.rand_write_ops);
+  set("device.retries", s.retries);
+  set("device.checksum_failures", s.checksum_failures);
+  metrics.GetGauge("device.clock_seconds").Set(clock_.Seconds());
 }
 
 std::unique_ptr<Device> MakePosixDevice(bool direct_io) {

@@ -24,6 +24,10 @@
 #include "io/io_stats.hpp"
 #include "util/clock.hpp"
 
+namespace graphsd::obs {
+class MetricsRegistry;
+}  // namespace graphsd::obs
+
 namespace graphsd::io {
 
 struct DeviceOptions {
@@ -104,6 +108,10 @@ class Device {
     stats_.Reset();
     clock_.Reset();
   }
+
+  /// Publishes the current traffic counters and modeled clock as `device.*`
+  /// gauges (snapshot semantics: safe to call repeatedly, last write wins).
+  void PublishMetrics(obs::MetricsRegistry& metrics) const;
 
  private:
   friend class DeviceFile;

@@ -1,5 +1,7 @@
 #include "io/prefetch.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace graphsd::io {
 
 PrefetchPipeline::PrefetchPipeline(std::size_t depth) : depth_(depth) {
@@ -18,6 +20,14 @@ PrefetchPipeline::~PrefetchPipeline() {
 
 void PrefetchPipeline::Drain() {
   if (queue_ != nullptr) queue_->Drain();
+}
+
+void PrefetchPipeline::PublishMetrics(obs::MetricsRegistry& metrics) const {
+  metrics.GetGauge("prefetch.depth").Set(static_cast<double>(depth_));
+  metrics.GetGauge("prefetch.submitted")
+      .Set(queue_ != nullptr ? static_cast<double>(queue_->submitted()) : 0.0);
+  metrics.GetGauge("prefetch.skipped")
+      .Set(queue_ != nullptr ? static_cast<double>(queue_->skipped()) : 0.0);
 }
 
 }  // namespace graphsd::io

@@ -30,6 +30,10 @@
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
+namespace graphsd::obs {
+class MetricsRegistry;
+}  // namespace graphsd::obs
+
 namespace graphsd::io {
 
 class PrefetchPipeline {
@@ -52,6 +56,10 @@ class PrefetchPipeline {
   /// own tickets; engines call this at round boundaries so per-round I/O
   /// accounting snapshots see a quiesced device.
   void Drain();
+
+  /// Publishes depth and lifetime queue counters as `prefetch.*` gauges
+  /// (snapshot semantics: safe to call repeatedly, last write wins).
+  void PublishMetrics(obs::MetricsRegistry& metrics) const;
 
  private:
   std::size_t depth_;

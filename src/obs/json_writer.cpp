@@ -1,0 +1,179 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace graphsd::obs {
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (!stack_.empty() && stack_.back() == Scope::kObject) {
+    // Inside an object a value must follow a Key() (which cleared the
+    // comma state itself).
+    GRAPHSD_CHECK(have_key_);
+    have_key_ = false;
+    return;
+  }
+  if (need_comma_) Raw(",");
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  Raw("{");
+  stack_.push_back(Scope::kObject);
+  need_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  GRAPHSD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject &&
+                !have_key_);
+  stack_.pop_back();
+  Raw("}");
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  Raw("[");
+  stack_.push_back(Scope::kArray);
+  need_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  GRAPHSD_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  stack_.pop_back();
+  Raw("]");
+  need_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view name) {
+  GRAPHSD_CHECK(!stack_.empty() && stack_.back() == Scope::kObject &&
+                !have_key_);
+  if (need_comma_) Raw(",");
+  Raw("\"");
+  Raw(JsonEscape(name));
+  Raw("\":");
+  need_comma_ = true;
+  have_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Raw("\"");
+  Raw(JsonEscape(value));
+  Raw("\"");
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  Raw(buf);
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  Raw(buf);
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Null();  // JSON has no NaN/Inf
+    return;
+  }
+  BeforeValue();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  Raw(buf);
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  Raw("null");
+}
+
+void JsonWriter::Field(std::string_view name, std::string_view value) {
+  Key(name);
+  String(value);
+}
+void JsonWriter::Field(std::string_view name, const char* value) {
+  Key(name);
+  String(value);
+}
+void JsonWriter::Field(std::string_view name, bool value) {
+  Key(name);
+  Bool(value);
+}
+void JsonWriter::Field(std::string_view name, std::int64_t value) {
+  Key(name);
+  Int(value);
+}
+void JsonWriter::Field(std::string_view name, std::uint64_t value) {
+  Key(name);
+  Uint(value);
+}
+void JsonWriter::Field(std::string_view name, std::uint32_t value) {
+  Key(name);
+  Uint(value);
+}
+void JsonWriter::Field(std::string_view name, double value) {
+  Key(name);
+  Double(value);
+}
+
+std::string JsonWriter::Finish() {
+  GRAPHSD_CHECK(stack_.empty());
+  return std::move(out_);
+}
+
+}  // namespace graphsd::obs

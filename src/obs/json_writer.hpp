@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer for the observability exporters.
+//
+// Produces deterministic, valid JSON (RFC 8259): strings are escaped,
+// doubles render with enough digits to round-trip, and NaN/Inf — which JSON
+// cannot represent — degrade to null. The writer is a thin state machine
+// (comma insertion is automatic); callers are responsible for balancing
+// Begin/End calls, which GRAPHSD_CHECK enforces at Finish().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphsd::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  /// Opens an object / array as the next value.
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits `"name":` inside an object; the next call writes its value.
+  void Key(std::string_view name);
+
+  /// Scalar values.
+  void String(std::string_view value);
+  void Bool(bool value);
+  void Int(std::int64_t value);
+  void Uint(std::uint64_t value);
+  void Double(double value);
+  void Null();
+
+  /// Convenience: Key + scalar.
+  void Field(std::string_view name, std::string_view value);
+  void Field(std::string_view name, const char* value);
+  void Field(std::string_view name, bool value);
+  void Field(std::string_view name, std::int64_t value);
+  void Field(std::string_view name, std::uint64_t value);
+  void Field(std::string_view name, std::uint32_t value);
+  void Field(std::string_view name, double value);
+
+  /// Returns the finished document; all containers must be closed.
+  std::string Finish();
+
+  /// The buffer so far (for tests).
+  const std::string& buffer() const noexcept { return out_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void BeforeValue();
+  void Raw(std::string_view text) { out_.append(text); }
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// Escapes `value` per JSON string rules (quotes not included).
+std::string JsonEscape(std::string_view value);
+
+}  // namespace graphsd::obs

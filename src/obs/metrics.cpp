@@ -1,0 +1,76 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json_writer.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::obs {
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GRAPHSD_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                        histograms_.find(name) == histograms_.end(),
+                    name);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GRAPHSD_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                        histograms_.find(name) == histograms_.end(),
+                    name);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GRAPHSD_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                        gauges_.find(name) == gauges_.end(),
+                    name);
+  return histograms_[name];
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Field(name, counter.value());
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Field(name, gauge.value());
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const Log2Histogram snapshot = histogram.Snapshot();
+    json.Key(name);
+    json.BeginObject();
+    json.Field("count", snapshot.TotalCount());
+    json.Key("buckets");
+    json.BeginArray();
+    const auto& buckets = snapshot.buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) continue;
+      json.BeginObject();
+      json.Field("low", Log2Histogram::BucketLow(b));
+      json.Field("count", buckets[b]);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace graphsd::obs

@@ -1,0 +1,99 @@
+// MetricsRegistry: named counters, gauges and histograms the engine and the
+// I/O stack publish into (paper §5's per-component breakdowns).
+//
+// Design rules:
+//   - Handles are stable: Counter/Gauge/Histogram references returned by the
+//     registry stay valid for the registry's lifetime (node-based map), so
+//     components grab a handle once and bump it lock-free afterwards.
+//   - Instruments are thread safe (atomics; the histogram takes a narrow
+//     lock) — the prefetch loader thread and the workers share them.
+//   - Observability is strictly passive: nothing in here feeds back into
+//     scheduling, I/O or results. Engines run identically with or without a
+//     registry attached (asserted by the prefetch-equivalence suite).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace graphsd::obs {
+
+class JsonWriter;
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (bytes in use, hit rate, modeled seconds, ...).
+class Gauge {
+ public:
+  void Set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two bucketed distribution (sizes, latencies).
+class Histogram {
+ public:
+  void Record(std::uint64_t value) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hist_.Add(value);
+  }
+  /// Copies the current buckets.
+  Log2Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Log2Histogram hist_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. A name addresses exactly one instrument kind; reusing it for a
+  /// different kind is a bug (checked).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Writes `{"counters":{...},"gauges":{...},"histograms":{...}}` sorted
+  /// by name (deterministic output for diffing bench runs).
+  void WriteJson(JsonWriter& json) const;
+
+  /// Number of registered instruments (all kinds).
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: node-based (stable references) and name-sorted for export.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace graphsd::obs

@@ -1,0 +1,90 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include "obs/json_writer.hpp"
+
+namespace graphsd::obs {
+
+std::uint32_t TraceBuffer::TidLocked(std::thread::id id) {
+  const auto it = std::find(threads_.begin(), threads_.end(), id);
+  if (it != threads_.end()) {
+    return static_cast<std::uint32_t>(it - threads_.begin());
+  }
+  threads_.push_back(id);
+  return static_cast<std::uint32_t>(threads_.size() - 1);
+}
+
+void TraceBuffer::Record(const char* name, std::uint32_t iteration,
+                         double start_us, double duration_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.iteration = iteration;
+  event.tid = TidLocked(std::this_thread::get_id());
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceBuffer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string ToChromeTraceJson(const TraceBuffer& buffer) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("displayTimeUnit", "ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const TraceEvent& event : buffer.Events()) {
+    json.BeginObject();
+    json.Field("name", event.name);
+    json.Field("cat", "graphsd");
+    json.Field("ph", "X");
+    json.Field("ts", event.start_us);
+    json.Field("dur", event.duration_us);
+    json.Field("pid", std::uint64_t{1});
+    json.Field("tid", event.tid);
+    json.Key("args");
+    json.BeginObject();
+    json.Field("iteration", event.iteration);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("droppedEvents", buffer.dropped());
+  json.EndObject();
+  return json.Finish();
+}
+
+Status WriteChromeTrace(const TraceBuffer& buffer, const std::string& path) {
+  const std::string body = ToChromeTraceJson(buffer);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return ErrnoError("fopen " + path, errno);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace graphsd::obs

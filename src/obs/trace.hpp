@@ -1,0 +1,111 @@
+// Phase tracing: scoped spans recording where each iteration's wall time
+// goes (schedule-decision, index-load, edge-read, compute,
+// cross-iter-update, write-back), exportable as chrome://tracing JSON.
+//
+// Overhead contract: with no buffer attached (the default) a TraceSpan is a
+// null check at construction and destruction — no clock reads, no
+// allocation. With a buffer attached the cost is two steady_clock reads and
+// one short-lock append per span; spans are recorded at phase granularity
+// (per sub-block pass, never per edge), so tracing a run adds thousands of
+// events, not millions.
+//
+// Thread safety: spans are recorded from the consumer thread, pool workers
+// and the prefetch loader thread concurrently; the buffer serializes
+// appends under a mutex. Tracing is strictly passive — it performs no
+// device I/O and feeds nothing back into execution, so traced runs are
+// byte- and decision-identical to untraced runs (asserted by the
+// prefetch-equivalence suite).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::obs {
+
+/// One completed span. `name` must point at a string literal (spans are hot
+/// enough that owning strings would show up); `iteration` is the BSP
+/// iteration the phase belongs to.
+struct TraceEvent {
+  const char* name = "";
+  std::uint32_t iteration = 0;
+  std::uint32_t tid = 0;       // dense per-buffer thread index
+  double start_us = 0;         // since the buffer's epoch
+  double duration_us = 0;
+};
+
+class TraceBuffer {
+ public:
+  /// `max_events` bounds memory; appends past it are counted but dropped
+  /// (the exporter reports the drop count so truncation is never silent).
+  explicit TraceBuffer(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Appends one completed span. Thread safe.
+  void Record(const char* name, std::uint32_t iteration, double start_us,
+              double duration_us);
+
+  /// Microseconds since the buffer was constructed (span timestamps).
+  double NowMicros() const noexcept { return epoch_.Seconds() * 1e6; }
+
+  /// Copies the events recorded so far, in append order.
+  std::vector<TraceEvent> Events() const;
+
+  std::size_t event_count() const;
+  std::uint64_t dropped() const;
+
+ private:
+  std::uint32_t TidLocked(std::thread::id id);
+
+  const std::size_t max_events_;
+  WallTimer epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::thread::id> threads_;  // index = dense tid
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: times its scope into `buffer` (no-op when null).
+class TraceSpan {
+ public:
+  TraceSpan(TraceBuffer* buffer, const char* name,
+            std::uint32_t iteration) noexcept
+      : buffer_(buffer), name_(name), iteration_(iteration) {
+    if (buffer_ != nullptr) start_us_ = buffer_->NowMicros();
+  }
+
+  ~TraceSpan() {
+    if (buffer_ != nullptr) {
+      buffer_->Record(name_, iteration_, start_us_,
+                      buffer_->NowMicros() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  const char* name_;
+  std::uint32_t iteration_;
+  double start_us_ = 0;
+};
+
+/// Serializes the buffer in Chrome trace-event format ("Trace Event Format",
+/// the JSON chrome://tracing and Perfetto load): one complete ("ph":"X")
+/// event per span plus a metadata record with the drop count.
+std::string ToChromeTraceJson(const TraceBuffer& buffer);
+
+/// Writes ToChromeTraceJson(buffer) to `path` (plain stdio; trace files are
+/// tooling output, not dataset payload, so no Device accounting).
+Status WriteChromeTrace(const TraceBuffer& buffer, const std::string& path);
+
+}  // namespace graphsd::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/checked_cast.hpp"
 #include "util/status.hpp"
 
 namespace graphsd::partition {
@@ -23,7 +24,7 @@ IntervalBoundaries ComputeEqualIntervals(VertexId num_vertices,
 IntervalBoundaries ComputeBalancedIntervals(
     const std::vector<std::uint32_t>& out_degrees, std::uint32_t p) {
   GRAPHSD_CHECK(p >= 1);
-  const auto n = static_cast<VertexId>(out_degrees.size());
+  const auto n = CheckedCast<VertexId>(out_degrees.size());
   GRAPHSD_CHECK(n >= 1);
   p = std::min<std::uint32_t>(p, n);
 

@@ -1,0 +1,45 @@
+// Checked integral narrowing for size/ID boundaries.
+//
+// GraphSD's on-disk formats use 32-bit vertex ids while in-memory containers
+// report std::size_t; the conversion sites (Frontier::size, CLI argument
+// parsing, builder vertex counts) used unchecked static_casts that would
+// silently wrap past 2^32 vertices. CheckedCast aborts with a diagnostic
+// instead — out-of-range here is always a programming or input-validation
+// bug, never a recoverable condition.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "util/status.hpp"
+
+namespace graphsd {
+
+/// True when `value` converts to `To` and back without changing value or
+/// sign (for call sites that want to degrade instead of abort).
+template <typename To, typename From>
+constexpr bool FitsIn(From value) noexcept {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "FitsIn is for integral conversions only");
+  if constexpr (std::is_signed_v<From> && std::is_unsigned_v<To>) {
+    if (value < From{}) return false;
+  }
+  if constexpr (std::is_unsigned_v<From> && std::is_signed_v<To>) {
+    // A modular round-trip can be the identity even when the cast flips the
+    // sign (UINT64_MAX -> int64_t{-1} -> UINT64_MAX), so compare against
+    // To's maximum directly; both sides are non-negative.
+    return static_cast<std::uintmax_t>(value) <=
+           static_cast<std::uintmax_t>(std::numeric_limits<To>::max());
+  }
+  return static_cast<From>(static_cast<To>(value)) == value;
+}
+
+/// static_cast<To>(value) that aborts if the value does not round-trip.
+template <typename To, typename From>
+constexpr To CheckedCast(From value) noexcept {
+  GRAPHSD_CHECK_MSG(FitsIn<To>(value), "integral narrowing out of range");
+  return static_cast<To>(value);
+}
+
+}  // namespace graphsd

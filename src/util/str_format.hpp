@@ -1,0 +1,19 @@
+// printf-style formatting into std::string with no truncation: sizes the
+// output with a measuring vsnprintf pass, then writes. Replaces the
+// fixed-buffer snprintf idiom in report/cost-model ToString paths, where a
+// long dataset or engine name used to truncate silently.
+#pragma once
+
+#include <string>
+
+namespace graphsd {
+
+/// Returns the fully formatted string regardless of length.
+std::string StrPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Appends the formatted string to `*out`.
+void StrAppendf(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace graphsd

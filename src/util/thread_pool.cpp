@@ -56,11 +56,42 @@ void ThreadPool::ParallelFor(
     fn(begin, end);
     return;
   }
+  // Completion and exception delivery are scoped to this call's chunks via
+  // a per-call latch: waiting on the pool-wide Wait() here would drain
+  // unrelated previously-submitted tasks and could steal (or receive) their
+  // first-exception slot.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr first_exception;
+  };
+  Batch batch;
+  batch.remaining = (total + grain - 1) / grain;
   for (std::size_t chunk = begin; chunk < end; chunk += grain) {
     const std::size_t chunk_end = std::min(end, chunk + grain);
-    Submit([&fn, chunk, chunk_end] { fn(chunk, chunk_end); });
+    Submit([&fn, &batch, chunk, chunk_end] {
+      std::exception_ptr thrown;
+      try {
+        fn(chunk, chunk_end);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      // Notify under the lock: once the waiter observes remaining == 0 and
+      // reacquires the mutex, `batch` may leave scope, so the notifier must
+      // be done with it by the time the lock releases.
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      if (thrown != nullptr && batch.first_exception == nullptr) {
+        batch.first_exception = thrown;
+      }
+      if (--batch.remaining == 0) batch.done.notify_one();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.first_exception != nullptr) {
+    std::rethrow_exception(batch.first_exception);
+  }
 }
 
 void ThreadPool::WorkerLoop() {

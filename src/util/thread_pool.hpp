@@ -7,10 +7,12 @@
 // (io/prefetch.hpp) runs its loader on a dedicated single-worker pool.
 //
 // A task that throws does not kill the worker: the first exception is
-// captured and rethrown to the next caller of Wait() (and therefore to
-// ParallelFor callers). Later exceptions from the same batch are dropped —
-// one failure is enough to fail the wait, matching Status-style
-// first-error-wins propagation.
+// captured and rethrown to the next caller of Wait(). Later exceptions from
+// the same batch are dropped — one failure is enough to fail the wait,
+// matching Status-style first-error-wins propagation. ParallelFor is
+// batch-scoped: it waits only on the chunks it submitted and rethrows only
+// their first exception, so it neither drains unrelated Submit() tasks nor
+// exchanges exceptions with them.
 #pragma once
 
 #include <condition_variable>
@@ -49,9 +51,11 @@ class ThreadPool {
   void Wait();
 
   /// Splits [begin, end) into chunks of at most `grain` items and runs
-  /// `fn(chunk_begin, chunk_end)` across the pool. Blocks until done.
-  /// With a single worker (or a tiny range) runs inline — zero overhead.
-  /// Rethrows the first exception thrown by any chunk.
+  /// `fn(chunk_begin, chunk_end)` across the pool. Blocks until this call's
+  /// chunks are done (concurrently submitted unrelated tasks may still be
+  /// running). With a single worker (or a tiny range) runs inline — zero
+  /// overhead. Rethrows the first exception thrown by any of its own
+  /// chunks; exceptions from unrelated Submit() tasks stay with Wait().
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -114,6 +114,86 @@ TEST(SubBlockBuffer, ForEachEntryVisitsAll) {
   EXPECT_EQ(total_edges, 7u);
 }
 
+TEST(SubBlockBuffer, OversizedBlockRejectedBeforeAnyEviction) {
+  // Regression: an impossible insert used to flush colder residents before
+  // discovering the block could never fit.
+  SubBlockBuffer buffer(2 * 10 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 1));
+  ASSERT_TRUE(buffer.Put(2, 0, MakeBlock(10), 2));
+  const std::uint64_t used = buffer.size_bytes();
+  EXPECT_FALSE(buffer.Put(3, 0, MakeBlock(100), /*priority=*/1000));
+  // The cache is untouched: same residents, same bytes, no evictions.
+  EXPECT_NE(buffer.Get(1, 0), nullptr);
+  EXPECT_NE(buffer.Get(2, 0), nullptr);
+  EXPECT_EQ(buffer.size_bytes(), used);
+  EXPECT_EQ(buffer.entry_count(), 2u);
+  EXPECT_EQ(buffer.evictions(), 0u);
+  EXPECT_EQ(buffer.rejected_puts(), 1u);
+}
+
+TEST(SubBlockBuffer, InfeasibleInsertDoesNotPartiallyFlush) {
+  // Three residents; the incoming block is hotter than one of them but
+  // evicting that one alone cannot make room. Nothing may be evicted.
+  SubBlockBuffer buffer(3 * 10 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 2));   // colder than incoming
+  ASSERT_TRUE(buffer.Put(2, 0, MakeBlock(10), 50));  // hotter
+  ASSERT_TRUE(buffer.Put(3, 0, MakeBlock(10), 60));  // hotter
+  EXPECT_FALSE(buffer.Put(4, 0, MakeBlock(25), /*priority=*/10));
+  EXPECT_NE(buffer.Get(1, 0), nullptr);
+  EXPECT_NE(buffer.Get(2, 0), nullptr);
+  EXPECT_NE(buffer.Get(3, 0), nullptr);
+  EXPECT_EQ(buffer.evictions(), 0u);
+  EXPECT_EQ(buffer.rejected_puts(), 1u);
+}
+
+TEST(SubBlockBuffer, EqualPriorityEvictionIsDeterministic) {
+  // Two equal-priority victims: the smaller (i, j) key goes first, however
+  // the hash map happens to order them.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    SubBlockBuffer buffer(2 * 10 * sizeof(Edge));
+    // Vary insertion order across attempts; the victim must not change.
+    if (attempt % 2 == 0) {
+      ASSERT_TRUE(buffer.Put(7, 3, MakeBlock(10), 5));
+      ASSERT_TRUE(buffer.Put(2, 9, MakeBlock(10), 5));
+    } else {
+      ASSERT_TRUE(buffer.Put(2, 9, MakeBlock(10), 5));
+      ASSERT_TRUE(buffer.Put(7, 3, MakeBlock(10), 5));
+    }
+    ASSERT_TRUE(buffer.Put(1, 1, MakeBlock(10), /*priority=*/6));
+    EXPECT_EQ(buffer.Get(2, 9), nullptr) << "attempt " << attempt;
+    EXPECT_NE(buffer.Get(7, 3), nullptr) << "attempt " << attempt;
+    EXPECT_NE(buffer.Get(1, 1), nullptr) << "attempt " << attempt;
+    EXPECT_EQ(buffer.evictions(), 1u);
+  }
+}
+
+TEST(SubBlockBuffer, EvictionCounterTracksVictims) {
+  SubBlockBuffer buffer(2 * 10 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(10), 1));
+  ASSERT_TRUE(buffer.Put(2, 0, MakeBlock(10), 2));
+  EXPECT_EQ(buffer.evictions(), 0u);
+  // Needs both residents gone: two evictions in one Put.
+  ASSERT_TRUE(buffer.Put(3, 0, MakeBlock(20), /*priority=*/9));
+  EXPECT_EQ(buffer.evictions(), 2u);
+  EXPECT_EQ(buffer.entry_count(), 1u);
+}
+
+TEST(SubBlockBuffer, SameKeyReplacementIsNotAnEviction) {
+  SubBlockBuffer buffer(20 * sizeof(Edge));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(20), 5));
+  ASSERT_TRUE(buffer.Put(1, 0, MakeBlock(20), 5));
+  EXPECT_EQ(buffer.evictions(), 0u);
+  EXPECT_EQ(buffer.rejected_puts(), 0u);
+}
+
+TEST(SubBlockBuffer, DisabledBufferDoesNotCountRejections) {
+  // A disabled buffer refuses by design, not by capacity pressure; the
+  // rejected-put diagnostic stays quiet.
+  SubBlockBuffer buffer(0);
+  EXPECT_FALSE(buffer.Put(0, 1, MakeBlock(1), 100));
+  EXPECT_EQ(buffer.rejected_puts(), 0u);
+}
+
 TEST(SubBlockBuffer, WeightsCountTowardCapacity) {
   partition::SubBlock block;
   block.edges.resize(8);

@@ -4,6 +4,12 @@
 // same virtual-I/O bytes and ops, and handle injected faults exactly like
 // the synchronous path (retries absorbed, degradations taken on the same
 // round).
+//
+// The sweep doubles as the observability invariance proof: every
+// non-reference configuration runs with a TraceBuffer and MetricsRegistry
+// attached while the reference runs untraced, so any feedback from the
+// observability layer into bytes, scheduler decisions or values fails the
+// comparison.
 #include <algorithm>
 #include <cstdint>
 #include <optional>
@@ -13,6 +19,8 @@
 
 #include "engine_test_util.hpp"
 #include "io/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "partition/manifest.hpp"
 
 namespace graphsd {
@@ -108,19 +116,32 @@ void ExpectSameObservation(const RunObservation& got,
 }
 
 /// Runs `make_program()` under every prefetch configuration and checks each
-/// against the synchronous reference run.
+/// against the synchronous reference run. The reference runs untraced; all
+/// other configurations run with observability attached, so the comparison
+/// also proves tracing and metrics never feed back into the run.
 template <typename MakeProgram>
 void SweepConfigs(const TestDataset& t, const core::EngineOptions& base,
                   MakeProgram make_program) {
   std::optional<RunObservation> reference;
   for (const PrefetchConfig& config : kConfigs) {
     SCOPED_TRACE(config.name);
-    RunObservation obs =
-        Observe(t, WithConfig(base, config), make_program());
+    core::EngineOptions options = WithConfig(base, config);
+    obs::TraceBuffer trace;
+    obs::MetricsRegistry metrics;
+    if (reference.has_value()) {
+      options.trace = &trace;
+      options.metrics = &metrics;
+    }
+    RunObservation obs = Observe(t, options, make_program());
     if (!reference.has_value()) {
       reference = std::move(obs);
       continue;
     }
+    // Observability was on for this run: it must have recorded something
+    // (every run has at least a schedule-decision span per round) ...
+    EXPECT_GT(trace.event_count(), 0u);
+    EXPECT_GT(metrics.size(), 0u);
+    // ... and changed nothing the reference run can see.
     ExpectSameObservation(obs, *reference);
     // Modeled I/O time is virtual and must match the reference run (up to
     // summation rounding); compute time is wall clock and may not.

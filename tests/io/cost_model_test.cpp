@@ -1,5 +1,8 @@
 #include "io/cost_model.hpp"
 
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace graphsd::io {
@@ -66,6 +69,26 @@ TEST(IoCostModel, ToStringMentionsBandwidths) {
   const std::string s = IoCostModel::Hdd().ToString();
   EXPECT_NE(s.find("B_sr"), std::string::npos);
   EXPECT_NE(s.find("seek"), std::string::npos);
+}
+
+TEST(IoCostModel, ToStringNeverTruncatesExtremeFields) {
+  // Regression: the old 256-byte snprintf buffer silently cut off renderings
+  // with very large field values. Absurd-but-representable parameters must
+  // come back complete, down to the closing random-bandwidth unit.
+  IoCostModel m;
+  m.seq_read_bw = 1e300;
+  m.seq_write_bw = 1e300;
+  m.seek_seconds = 1e18;
+  m.random_request_bytes = std::numeric_limits<std::uint64_t>::max();
+  const std::string s = m.ToString();
+  EXPECT_GT(s.size(), 256u);  // would have been impossible pre-fix
+  EXPECT_NE(s.find("B_sr"), std::string::npos);
+  EXPECT_NE(s.find("B_sw"), std::string::npos);
+  // The rendering ends with the final field's unit, so nothing was dropped.
+  EXPECT_EQ(s.rfind(" MiB/s"), s.size() - 6);
+  const std::string kib =
+      std::to_string(std::numeric_limits<std::uint64_t>::max() / 1024);
+  EXPECT_NE(s.find("B_rr(" + kib + " KiB)"), std::string::npos);
 }
 
 }  // namespace

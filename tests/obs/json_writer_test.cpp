@@ -1,0 +1,115 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace graphsd::obs {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.EndObject();
+  EXPECT_EQ(json.Finish(), "{}");
+}
+
+TEST(JsonWriter, EmptyArray) {
+  JsonWriter json;
+  json.BeginArray();
+  json.EndArray();
+  EXPECT_EQ(json.Finish(), "[]");
+}
+
+TEST(JsonWriter, ObjectFieldsGetCommas) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("a", std::uint64_t{1});
+  json.Field("b", std::int64_t{-2});
+  json.Field("c", true);
+  json.Field("d", "text");
+  json.EndObject();
+  EXPECT_EQ(json.Finish(), R"({"a":1,"b":-2,"c":true,"d":"text"})");
+}
+
+TEST(JsonWriter, ArrayValuesGetCommas) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Uint(1);
+  json.Uint(2);
+  json.Null();
+  json.Bool(false);
+  json.EndArray();
+  EXPECT_EQ(json.Finish(), "[1,2,null,false]");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rows");
+  json.BeginArray();
+  json.BeginObject();
+  json.Field("id", std::uint64_t{7});
+  json.EndObject();
+  json.BeginObject();
+  json.Field("id", std::uint64_t{8});
+  json.EndObject();
+  json.EndArray();
+  json.Field("done", true);
+  json.EndObject();
+  EXPECT_EQ(json.Finish(), R"({"rows":[{"id":7},{"id":8}],"done":true})");
+}
+
+TEST(JsonWriter, EscapesStringsAndKeys) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("quote\"key", "back\\slash");
+  json.Field("ctl", std::string("a\nb\tc\x01"));
+  json.EndObject();
+  EXPECT_EQ(json.Finish(),
+            "{\"quote\\\"key\":\"back\\\\slash\","
+            "\"ctl\":\"a\\nb\\tc\\u0001\"}");
+}
+
+TEST(JsonWriter, JsonEscapePassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(JsonEscape("\b\f\r"), "\\b\\f\\r");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(0.1);
+  json.Double(-1234.5);
+  json.EndArray();
+  const std::string out = json.Finish();
+  // %.17g preserves the exact double: parsing the text back must recover it.
+  double a = 0;
+  double b = 0;
+  ASSERT_EQ(std::sscanf(out.c_str(), "[%lf,%lf]", &a, &b), 2);
+  EXPECT_EQ(a, 0.1);
+  EXPECT_EQ(b, -1234.5);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(-std::numeric_limits<double>::infinity());
+  json.EndArray();
+  EXPECT_EQ(json.Finish(), "[null,null,null]");
+}
+
+TEST(JsonWriter, BufferExposesPartialDocument) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("k", std::uint64_t{1});
+  EXPECT_EQ(json.buffer(), R"({"k":1)");
+}
+
+}  // namespace
+}  // namespace graphsd::obs

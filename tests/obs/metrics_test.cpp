@@ -1,0 +1,114 @@
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_writer.hpp"
+
+namespace graphsd::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("engine.runs");
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Metrics, GaugeKeepsLastWrite) {
+  MetricsRegistry registry;
+  Gauge& g = registry.GetGauge("buffer.used_bytes");
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(128.0);
+  g.Set(64.0);
+  EXPECT_EQ(g.value(), 64.0);
+}
+
+TEST(Metrics, HistogramBucketsValues) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("engine.round_read_bytes");
+  h.Record(1);
+  h.Record(1);
+  h.Record(1024);
+  const Log2Histogram snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.TotalCount(), 3u);
+}
+
+TEST(Metrics, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Metrics, HandlesStayStableAcrossInsertions) {
+  MetricsRegistry registry;
+  Counter& first = registry.GetCounter("aaa");
+  Gauge& gauge = registry.GetGauge("bbb");
+  // Flood the registry; the node-based map must not move earlier handles.
+  for (int i = 0; i < 256; ++i) {
+    registry.GetCounter("c" + std::to_string(i)).Add(1);
+  }
+  first.Add(7);
+  gauge.Set(3.5);
+  EXPECT_EQ(registry.GetCounter("aaa").value(), 7u);
+  EXPECT_EQ(registry.GetGauge("bbb").value(), 3.5);
+  EXPECT_EQ(registry.size(), 258u);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("shared");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.Add(1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsDeathTest, ReusingNameForDifferentKindAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.rounds");
+  EXPECT_DEATH(registry.GetGauge("engine.rounds"), "engine.rounds");
+  EXPECT_DEATH(registry.GetHistogram("engine.rounds"), "engine.rounds");
+}
+
+TEST(Metrics, WriteJsonIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.count").Add(3);
+  registry.GetCounter("a.count").Add(1);
+  registry.GetGauge("m.level").Set(0.5);
+  registry.GetHistogram("h.sizes").Record(8);
+  JsonWriter json;
+  registry.WriteJson(json);
+  const std::string out = json.Finish();
+  // Counters render name-sorted regardless of registration order.
+  EXPECT_NE(out.find(R"("counters":{"a.count":1,"z.count":3})"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("m.level":0.5)"), std::string::npos);
+  EXPECT_NE(out.find(R"("h.sizes":{"count":1,"buckets":)"), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryStillWritesValidShape) {
+  MetricsRegistry registry;
+  JsonWriter json;
+  registry.WriteJson(json);
+  EXPECT_EQ(json.Finish(),
+            R"({"counters":{},"gauges":{},"histograms":{}})");
+}
+
+}  // namespace
+}  // namespace graphsd::obs

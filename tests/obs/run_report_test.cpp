@@ -1,0 +1,104 @@
+#include "obs/run_report.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/file.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::obs {
+namespace {
+
+using testing::TempDir;
+
+core::ExecutionReport MakeReport() {
+  core::ExecutionReport report;
+  report.engine = "graphsd";
+  report.algorithm = "sssp";
+  report.dataset = "toy \"quoted\"";
+  report.iterations = 5;
+  report.rounds = 3;
+  report.degraded_rounds = 1;
+  report.compute_seconds = 0.25;
+  report.io_seconds = 1.5;
+  report.io.seq_read_bytes = 4096;
+  report.io.rand_read_bytes = 512;
+  report.buffer_hits = 3;
+  report.buffer_misses = 1;
+  report.buffer_bytes_saved = 768;
+
+  core::RoundStat sciu;
+  sciu.first_iteration = 0;
+  sciu.model = core::RoundModel::kSciu;
+  sciu.cost_on_demand = 0.4;
+  sciu.cost_full = 0.9;
+  sciu.seq_bytes = 1024;
+  sciu.rand_bytes = 512;
+  sciu.random_requests = 2;
+  report.per_round.push_back(sciu);
+
+  core::RoundStat fciu;
+  fciu.first_iteration = 1;
+  fciu.iterations_covered = 2;
+  fciu.model = core::RoundModel::kFciu;
+  report.per_round.push_back(fciu);
+  return report;
+}
+
+TEST(RunReport, DocumentCarriesScheduleInputsAndTotals) {
+  const std::string json =
+      ToRunReportJson(MakeReport(), io::IoCostModel::Hdd());
+  EXPECT_NE(json.find(R"("schema_version":1)"), std::string::npos);
+  EXPECT_NE(json.find(R"("engine":"graphsd")"), std::string::npos);
+  // Strings pass through the escaper on the way out.
+  EXPECT_NE(json.find(R"("dataset":"toy \"quoted\"")"), std::string::npos);
+  EXPECT_NE(json.find(R"("iterations":5)"), std::string::npos);
+  EXPECT_NE(json.find(R"("degraded_rounds":1)"), std::string::npos);
+  // Per-round schedule decisions and their cost-model inputs.
+  EXPECT_NE(json.find(R"("model":"S")"), std::string::npos);
+  EXPECT_NE(json.find(R"("model":"F")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cost_on_demand":0.4)"), std::string::npos);
+  EXPECT_NE(json.find(R"("seq_bytes":1024)"), std::string::npos);
+  EXPECT_NE(json.find(R"("rand_bytes":512)"), std::string::npos);
+  EXPECT_NE(json.find(R"("random_requests":2)"), std::string::npos);
+  // The C_r/C_s inputs of the device the run was modeled on.
+  EXPECT_NE(json.find(R"("cost_model":{"seq_read_bw":)"), std::string::npos);
+  EXPECT_NE(json.find(R"("random_request_bytes":)"), std::string::npos);
+  // hits / (hits + misses) with both recorded.
+  EXPECT_NE(json.find(R"("hit_rate":0.75)"), std::string::npos);
+  // No registry attached: the optional section is absent.
+  EXPECT_EQ(json.find(R"("metrics")"), std::string::npos);
+}
+
+TEST(RunReport, AttachedRegistryIsEmbedded) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("engine.runs").Add(1);
+  const std::string json =
+      ToRunReportJson(MakeReport(), io::IoCostModel::Hdd(), &metrics);
+  EXPECT_NE(json.find(R"("metrics":{"counters":{"engine.runs":1})"),
+            std::string::npos);
+}
+
+TEST(RunReport, EmptyReportStillRenders) {
+  const std::string json =
+      ToRunReportJson(core::ExecutionReport{}, io::IoCostModel::Hdd());
+  EXPECT_NE(json.find(R"("per_round":[])"), std::string::npos);
+  EXPECT_NE(json.find(R"("hit_rate":0)"), std::string::npos);
+}
+
+TEST(RunReport, WritesDocumentToDisk) {
+  TempDir dir;
+  const std::string path = dir.Sub("report.json");
+  ASSERT_OK(WriteRunReport(MakeReport(), io::IoCostModel::Hdd(), path));
+  EXPECT_TRUE(io::PathExists(path));
+}
+
+TEST(RunReport, WriteToUncreatablePathFails) {
+  const Status status = WriteRunReport(
+      MakeReport(), io::IoCostModel::Hdd(), "/nonexistent_dir/report.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace graphsd::obs

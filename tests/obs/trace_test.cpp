@@ -1,0 +1,98 @@
+#include "obs/trace.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace graphsd::obs {
+namespace {
+
+TEST(Trace, NullBufferSpanIsANoOp) {
+  // The disabled path must be safe without any buffer at all.
+  TraceSpan span(nullptr, "compute", 3);
+}
+
+TEST(Trace, SpanRecordsIntoBuffer) {
+  TraceBuffer buffer;
+  {
+    TraceSpan span(&buffer, "edge-read", 2);
+  }
+  {
+    TraceSpan span(&buffer, "compute", 2);
+  }
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "edge-read");
+  EXPECT_STREQ(events[1].name, "compute");
+  EXPECT_EQ(events[0].iteration, 2u);
+  EXPECT_GE(events[0].duration_us, 0.0);
+  // Spans from one thread share one dense tid and appear in append order.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_EQ(buffer.event_count(), 2u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(Trace, AppendsPastCapAreCountedNotStored) {
+  TraceBuffer buffer(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&buffer, "compute", 0);
+  }
+  EXPECT_EQ(buffer.event_count(), 2u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+}
+
+TEST(Trace, ThreadsGetDenseDistinctTids) {
+  TraceBuffer buffer;
+  buffer.Record("main", 0, 0.0, 1.0);
+  std::thread other([&buffer] { buffer.Record("worker", 0, 1.0, 1.0); });
+  other.join();
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tid, 0u);
+  EXPECT_EQ(events[1].tid, 1u);
+}
+
+TEST(Trace, ConcurrentRecordsAllLand) {
+  TraceBuffer buffer;
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&buffer] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan span(&buffer, "compute", static_cast<std::uint32_t>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(buffer.event_count(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(Trace, ChromeJsonHasCompleteEventsAndDropCount) {
+  TraceBuffer buffer(/*max_events=*/1);
+  buffer.Record("schedule-decision", 4, 10.0, 2.5);
+  buffer.Record("overflow", 4, 12.5, 1.0);  // dropped
+  const std::string json = ToChromeTraceJson(buffer);
+  EXPECT_NE(json.find(R"("traceEvents":[)"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"schedule-decision")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("cat":"graphsd")"), std::string::npos);
+  EXPECT_NE(json.find(R"("iteration":4)"), std::string::npos);
+  EXPECT_NE(json.find(R"("droppedEvents":1)"), std::string::npos);
+  EXPECT_EQ(json.find("overflow"), std::string::npos);
+}
+
+TEST(Trace, EmptyBufferStillExportsValidDocument) {
+  TraceBuffer buffer;
+  const std::string json = ToChromeTraceJson(buffer);
+  EXPECT_NE(json.find(R"("traceEvents":[])"), std::string::npos);
+  EXPECT_NE(json.find(R"("droppedEvents":0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphsd::obs

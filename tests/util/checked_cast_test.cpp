@@ -1,0 +1,62 @@
+#include "util/checked_cast.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(FitsIn, InRangeValues) {
+  EXPECT_TRUE(FitsIn<std::uint32_t>(std::size_t{0}));
+  EXPECT_TRUE(FitsIn<std::uint32_t>(std::size_t{0xFFFFFFFF}));
+  EXPECT_TRUE(FitsIn<std::int32_t>(std::int64_t{-1}));
+  EXPECT_TRUE(FitsIn<std::uint64_t>(std::uint32_t{7}));  // widening
+  EXPECT_TRUE(FitsIn<std::int8_t>(127));
+}
+
+TEST(FitsIn, NarrowingOverflow) {
+  EXPECT_FALSE(FitsIn<std::uint32_t>(std::uint64_t{1} << 32));
+  EXPECT_FALSE(FitsIn<std::uint32_t>(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_FALSE(FitsIn<std::int32_t>(std::int64_t{1} << 31));
+  EXPECT_FALSE(FitsIn<std::int8_t>(128));
+}
+
+TEST(FitsIn, SignedToUnsignedRejectsNegatives) {
+  EXPECT_FALSE(FitsIn<std::uint64_t>(std::int64_t{-1}));
+  EXPECT_FALSE(FitsIn<std::uint32_t>(-1));
+  EXPECT_TRUE(FitsIn<std::uint32_t>(std::int64_t{1}));
+}
+
+TEST(FitsIn, UnsignedToSignedRejectsSignFlips) {
+  // Same-width (and sign-extending cross-width) modular round-trips are the
+  // identity even though the value changes sign; FitsIn must still say no.
+  EXPECT_FALSE(FitsIn<std::int64_t>(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_FALSE(FitsIn<std::int64_t>(std::uint64_t{1} << 63));
+  EXPECT_FALSE(FitsIn<std::int32_t>(std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_FALSE(FitsIn<std::int32_t>(std::uint32_t{0x80000000}));
+  EXPECT_TRUE(FitsIn<std::int64_t>(std::uint64_t{1} << 62));
+  EXPECT_TRUE(FitsIn<std::int32_t>(std::uint32_t{0x7FFFFFFF}));
+}
+
+TEST(CheckedCast, PassesValuesThroughUnchanged) {
+  EXPECT_EQ(CheckedCast<std::uint32_t>(std::size_t{12345}), 12345u);
+  EXPECT_EQ(CheckedCast<std::int32_t>(std::int64_t{-42}), -42);
+  EXPECT_EQ(CheckedCast<std::uint64_t>(std::uint32_t{9}), 9u);
+}
+
+TEST(CheckedCast, IsUsableInConstantExpressions) {
+  static_assert(CheckedCast<std::uint32_t>(std::uint64_t{17}) == 17u);
+  static_assert(FitsIn<std::uint8_t>(255) && !FitsIn<std::uint8_t>(256));
+}
+
+TEST(CheckedCastDeathTest, AbortsOnOutOfRange) {
+  EXPECT_DEATH(CheckedCast<std::uint32_t>(std::uint64_t{1} << 32),
+               "narrowing out of range");
+  EXPECT_DEATH(CheckedCast<std::uint32_t>(std::int64_t{-1}),
+               "narrowing out of range");
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -1,0 +1,43 @@
+#include "util/str_format.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(StrPrintf("plain"), "plain");
+  EXPECT_EQ(StrPrintf("%s=%d (%.2f)", "k", 7, 1.5), "k=7 (1.50)");
+  EXPECT_EQ(StrPrintf("%llu", 18446744073709551615ull),
+            "18446744073709551615");
+}
+
+TEST(StrFormat, EmptyResult) { EXPECT_EQ(StrPrintf("%s", ""), ""); }
+
+TEST(StrFormat, NoTruncationPastFixedBufferSizes) {
+  // The snprintf idiom this replaced used 256-byte stack buffers; make sure
+  // arbitrarily long fields come back whole.
+  const std::string long_field(10000, 'x');
+  const std::string out = StrPrintf("name=%s!", long_field.c_str());
+  EXPECT_EQ(out.size(), long_field.size() + 6);
+  EXPECT_EQ(out, "name=" + long_field + "!");
+}
+
+TEST(StrFormat, AppendKeepsExistingContent) {
+  std::string out = "head:";
+  StrAppendf(&out, " %s", "tail");
+  StrAppendf(&out, " %d", 3);
+  EXPECT_EQ(out, "head: tail 3");
+}
+
+TEST(StrFormat, AppendLongContent) {
+  const std::string big(4096, 'y');
+  std::string out = "x";
+  StrAppendf(&out, "%s", big.c_str());
+  EXPECT_EQ(out.size(), 1 + big.size());
+}
+
+}  // namespace
+}  // namespace graphsd

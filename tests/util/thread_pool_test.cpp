@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -140,6 +141,78 @@ TEST(ThreadPool, ParallelForRethrowsChunkException) {
     total.fetch_add(static_cast<int>(e - b));
   });
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForDoesNotStealSubmitException) {
+  // Regression: ParallelFor used to share the pool-wide exception slot, so
+  // it could swallow a concurrent Submit() task's exception and leave the
+  // later Wait() reporting success.
+  ThreadPool pool(4);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] {
+    gate.wait();
+    throw std::runtime_error("submit failed");
+  });
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 256, 8, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });  // must not rethrow — its own chunks all succeeded
+  EXPECT_EQ(total.load(), 256);
+  release.set_value();
+  // The Submit task's failure still belongs to Wait().
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForExceptionNotDeliveredToLaterWait) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 256, 8,
+                                [](std::size_t b, std::size_t) {
+                                  if (b == 128) {
+                                    throw std::runtime_error("chunk failed");
+                                  }
+                                }),
+               std::runtime_error);
+  pool.Wait();  // the chunk exception was consumed by ParallelFor itself
+}
+
+TEST(ThreadPool, ParallelForCompletesWhileSubmitTaskStillRuns) {
+  // Batch-scoped completion: ParallelFor waits on its own chunks only, not
+  // on unrelated queued work.
+  ThreadPool pool(4);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> submit_done{false};
+  pool.Submit([gate, &submit_done] {
+    gate.wait();
+    submit_done.store(true);
+  });
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 512, 16, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 512);
+  EXPECT_FALSE(submit_done.load());  // the blocked task was not waited on
+  release.set_value();
+  pool.Wait();
+  EXPECT_TRUE(submit_done.load());
+}
+
+TEST(ThreadPool, InterleavedParallelForsKeepExceptionsSeparate) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ok{0};
+    pool.Submit([&ok] { ok.fetch_add(1); });
+    EXPECT_THROW(pool.ParallelFor(0, 64, 4,
+                                  [](std::size_t b, std::size_t) {
+                                    if (b == 32) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+                 std::runtime_error);
+    pool.Wait();  // only the healthy Submit task: no rethrow
+    EXPECT_EQ(ok.load(), 1);
+  }
 }
 
 TEST(ThreadPool, SingleWorkerParallelForPropagatesInlineException) {

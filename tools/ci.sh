@@ -18,6 +18,21 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$(nproc)"
 (cd "$ROOT/build" && ctest --output-on-failure -j "$(nproc)")
 
+echo "== tier 1: JSON export smoke (--trace-out / --report-json) =="
+OBS_DIR="$(mktemp -d /tmp/graphsd_obs_smoke_XXXXXX)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+CLI="$ROOT/build/tools/graphsd"
+"$CLI" generate --type web --vertices 2048 --avg-degree 8 --max-weight 9 \
+    --out "$OBS_DIR/g.bin" > /dev/null
+"$CLI" preprocess --input "$OBS_DIR/g.bin" --out "$OBS_DIR/ds" --p 4 \
+    > /dev/null
+"$CLI" run --dataset "$OBS_DIR/ds" --algo sssp --root 0 \
+    --trace-out "$OBS_DIR/trace.json" --report-json "$OBS_DIR/report.json" \
+    > /dev/null
+python3 -m json.tool "$OBS_DIR/trace.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/report.json" > /dev/null
+echo "json export smoke: OK"
+
 if [ "$1" = "--tier1-only" ]; then
   exit 0
 fi

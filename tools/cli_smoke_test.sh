@@ -31,6 +31,23 @@ grep -q "all checksums match" "$WORK/verify_ext"
 grep -q "GraphSD/sssp" "$WORK/run1"
 test "$(wc -l < "$WORK/dist.txt")" = "2048"
 
+# Observability exporters: both documents must parse as JSON and carry
+# their top-level structure. python3 -m json.tool is the authoritative
+# check when available; the grep structure probes run everywhere.
+"$CLI" run --dataset "$WORK/ds" --algo sssp --root 0 \
+    --trace-out "$WORK/trace.json" --report-json "$WORK/report.json" \
+    > "$WORK/run_obs" 2>&1
+grep -q "GraphSD/sssp" "$WORK/run_obs"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$WORK/trace.json" > /dev/null
+  python3 -m json.tool "$WORK/report.json" > /dev/null
+fi
+grep -q '"traceEvents"' "$WORK/trace.json"
+grep -q '"schedule-decision"' "$WORK/trace.json"
+grep -q '"schema_version"' "$WORK/report.json"
+grep -q '"per_round"' "$WORK/report.json"
+grep -q '"metrics"' "$WORK/report.json"
+
 # Both preprocessing paths must yield identical results.
 "$CLI" run --dataset "$WORK/ds_ext" --algo sssp --root 0 \
     --values-out "$WORK/dist_ext.txt" > "$WORK/run2" 2>&1

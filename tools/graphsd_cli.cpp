@@ -27,10 +27,14 @@
 #include "graph/generators.hpp"
 #include "graph/reference_algorithms.hpp"
 #include "io/profiler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "partition/baseline_preprocessors.hpp"
 #include "partition/dataset_verify.hpp"
 #include "partition/external_builder.hpp"
 #include "partition/grid_dataset.hpp"
+#include "util/checked_cast.hpp"
 #include "util/cli.hpp"
 
 namespace graphsd {
@@ -72,32 +76,32 @@ int CmdGenerate(int argc, const char* const* argv) {
 
   const std::string type = flags.GetString("type");
   const double max_weight = flags.GetDouble("max-weight");
-  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  const auto seed = CheckedCast<std::uint64_t>(flags.GetInt("seed"));
   EdgeList graph;
   if (type == "rmat") {
     RmatOptions o;
-    o.scale = static_cast<std::uint32_t>(flags.GetInt("scale"));
-    o.edge_factor = static_cast<std::uint32_t>(flags.GetInt("edge-factor"));
+    o.scale = CheckedCast<std::uint32_t>(flags.GetInt("scale"));
+    o.edge_factor = CheckedCast<std::uint32_t>(flags.GetInt("edge-factor"));
     o.max_weight = max_weight;
     o.seed = seed;
     graph = GenerateRmat(o);
   } else if (type == "er") {
     ErdosRenyiOptions o;
-    o.num_vertices = static_cast<VertexId>(flags.GetInt("vertices"));
-    o.num_edges = static_cast<std::uint64_t>(flags.GetInt("edges"));
+    o.num_vertices = CheckedCast<VertexId>(flags.GetInt("vertices"));
+    o.num_edges = CheckedCast<std::uint64_t>(flags.GetInt("edges"));
     o.max_weight = max_weight;
     o.seed = seed;
     graph = GenerateErdosRenyi(o);
   } else if (type == "web") {
     WebGraphOptions o;
-    o.num_vertices = static_cast<VertexId>(flags.GetInt("vertices"));
-    o.avg_degree = static_cast<std::uint32_t>(flags.GetInt("avg-degree"));
+    o.num_vertices = CheckedCast<VertexId>(flags.GetInt("vertices"));
+    o.avg_degree = CheckedCast<std::uint32_t>(flags.GetInt("avg-degree"));
     o.max_weight = max_weight;
     o.seed = seed;
     graph = GenerateWebGraph(o);
   } else if (type == "grid") {
-    graph = GenerateGrid2D(static_cast<VertexId>(flags.GetInt("rows")),
-                           static_cast<VertexId>(flags.GetInt("cols")), seed,
+    graph = GenerateGrid2D(CheckedCast<VertexId>(flags.GetInt("rows")),
+                           CheckedCast<VertexId>(flags.GetInt("cols")), seed,
                            max_weight);
   } else {
     std::fprintf(stderr, "unknown --type %s\n", type.c_str());
@@ -161,9 +165,9 @@ int CmdPreprocess(int argc, const char* const* argv) {
 
   auto device = MakeDevice(flags);
   partition::PreprocessOptions options;
-  options.num_intervals = static_cast<std::uint32_t>(flags.GetInt("p"));
+  options.num_intervals = CheckedCast<std::uint32_t>(flags.GetInt("p"));
   options.memory_budget_bytes =
-      static_cast<std::uint64_t>(flags.GetInt("memory-budget"));
+      CheckedCast<std::uint64_t>(flags.GetInt("memory-budget"));
   options.name = flags.GetString("name");
 
   if (flags.GetBool("external")) {
@@ -257,6 +261,11 @@ int CmdRun(int argc, const char* const* argv) {
   flags.Define("no-overlap-io", "false",
                "charge compute + io serially instead of max(compute, io)");
   flags.Define("values-out", "", "write per-vertex results to this file");
+  flags.Define("trace-out", "",
+               "write a chrome://tracing JSON of per-iteration phases "
+               "(graphsd engine only)");
+  flags.Define("report-json", "",
+               "write the machine-readable run report to this file");
   DefineDeviceFlag(flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
@@ -269,7 +278,7 @@ int CmdRun(int argc, const char* const* argv) {
   const std::string algo = flags.GetString("algo");
   if (algo == "pr") {
     program = std::make_unique<algos::PageRank>(
-        static_cast<std::uint32_t>(flags.GetInt("iterations")));
+        CheckedCast<std::uint32_t>(flags.GetInt("iterations")));
   } else if (algo == "prd") {
     program =
         std::make_unique<algos::PageRankDelta>(flags.GetDouble("epsilon"));
@@ -277,16 +286,16 @@ int CmdRun(int argc, const char* const* argv) {
     program = std::make_unique<algos::ConnectedComponents>();
   } else if (algo == "sssp") {
     program = std::make_unique<algos::Sssp>(
-        static_cast<VertexId>(flags.GetInt("root")));
+        CheckedCast<VertexId>(flags.GetInt("root")));
   } else if (algo == "bfs") {
     program = std::make_unique<algos::Bfs>(
-        static_cast<VertexId>(flags.GetInt("root")));
+        CheckedCast<VertexId>(flags.GetInt("root")));
   } else if (algo == "widest") {
     program = std::make_unique<algos::WidestPath>(
-        static_cast<VertexId>(flags.GetInt("root")));
+        CheckedCast<VertexId>(flags.GetInt("root")));
   } else if (algo == "ppr") {
     program = std::make_unique<algos::PersonalizedPageRank>(
-        static_cast<VertexId>(flags.GetInt("root")),
+        CheckedCast<VertexId>(flags.GetInt("root")),
         flags.GetDouble("epsilon"));
   } else {
     std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
@@ -298,31 +307,39 @@ int CmdRun(int argc, const char* const* argv) {
   const core::VertexState* state = nullptr;
   core::GraphSDEngine* graphsd_engine = nullptr;
 
+  const std::string trace_out = flags.GetString("trace-out");
+  const std::string report_json = flags.GetString("report-json");
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  const bool want_obs = !trace_out.empty() || !report_json.empty();
+
   std::unique_ptr<core::GraphSDEngine> gsd;
   std::unique_ptr<baselines::HusGraphEngine> hus;
   std::unique_ptr<baselines::LumosEngine> lumos;
   if (engine_kind == "graphsd") {
     core::EngineOptions options;
-    options.num_threads = static_cast<std::size_t>(flags.GetInt("threads"));
+    options.num_threads = CheckedCast<std::size_t>(flags.GetInt("threads"));
     options.enable_cross_iteration = !flags.GetBool("no-cross-iteration");
     options.enable_selective = !flags.GetBool("no-selective");
     options.enable_buffering = !flags.GetBool("no-buffer");
     options.prefetch_depth =
-        static_cast<std::size_t>(flags.GetInt("prefetch-depth"));
+        CheckedCast<std::size_t>(flags.GetInt("prefetch-depth"));
     options.overlap_io = !flags.GetBool("no-overlap-io");
+    if (!trace_out.empty()) options.trace = &trace;
+    if (want_obs) options.metrics = &metrics;
     gsd = std::make_unique<core::GraphSDEngine>(*dataset, options);
     graphsd_engine = gsd.get();
     report = gsd->Run(*program);
     state = gsd->state();
   } else if (engine_kind == "hus") {
     baselines::HusGraphEngine::Options options;
-    options.num_threads = static_cast<std::size_t>(flags.GetInt("threads"));
+    options.num_threads = CheckedCast<std::size_t>(flags.GetInt("threads"));
     hus = std::make_unique<baselines::HusGraphEngine>(*dataset, options);
     report = hus->Run(*program);
     state = hus->state();
   } else if (engine_kind == "lumos") {
     baselines::LumosEngine::Options options;
-    options.num_threads = static_cast<std::size_t>(flags.GetInt("threads"));
+    options.num_threads = CheckedCast<std::size_t>(flags.GetInt("threads"));
     lumos = std::make_unique<baselines::LumosEngine>(*dataset, options);
     report = lumos->Run(*program);
     state = lumos->state();
@@ -333,6 +350,23 @@ int CmdRun(int argc, const char* const* argv) {
   (void)graphsd_engine;
   if (!report.ok()) return Fail(report.status());
   std::printf("%s", report->Summary().c_str());
+
+  if (!trace_out.empty()) {
+    if (Status s = obs::WriteChromeTrace(trace, trace_out); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %zu trace events to %s\n", trace.event_count(),
+                trace_out.c_str());
+  }
+  if (!report_json.empty()) {
+    const io::IoCostModel& cost_model = device->options().cost_model;
+    if (Status s = obs::WriteRunReport(*report, cost_model, report_json,
+                                       metrics.size() > 0 ? &metrics : nullptr);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote run report to %s\n", report_json.c_str());
+  }
 
   const std::string values_out = flags.GetString("values-out");
   if (!values_out.empty() && state != nullptr) {
@@ -355,7 +389,7 @@ int CmdProfile(int argc, const char* const* argv) {
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
   io::ProfilerOptions options;
   options.file_bytes =
-      static_cast<std::uint64_t>(flags.GetInt("file-mb")) * 1024 * 1024;
+      CheckedCast<std::uint64_t>(flags.GetInt("file-mb")) * 1024 * 1024;
   auto result = io::ProfileDevice(flags.GetString("dir"), options);
   if (!result.ok()) return Fail(result.status());
   const io::IoCostModel model = result->ToCostModel(64 * 1024);
