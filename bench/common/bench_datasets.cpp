@@ -119,11 +119,13 @@ std::string BenchDataRoot() {
 }
 
 PreparedDataset Prepare(io::Device& device, const DatasetSpec& spec,
-                        std::uint32_t p) {
+                        std::uint32_t p, const std::string& codec) {
   PreparedDataset out;
   const std::string root = BenchDataRoot();
-  out.dir = root + "/" + spec.name;
-  out.sym_dir = root + "/" + spec.name + "_sym";
+  const std::string stem =
+      codec == "none" ? spec.name : spec.name + "_" + codec;
+  out.dir = root + "/" + stem;
+  out.sym_dir = root + "/" + stem + "_sym";
   out.raw_path = root + "/" + spec.name + ".bin";
 
   if (io::PathExists(partition::ManifestPath(out.dir)) &&
@@ -149,12 +151,13 @@ PreparedDataset Prepare(io::Device& device, const DatasetSpec& spec,
   }
   partition::GridBuildOptions build;
   build.num_intervals = p;
-  build.name = spec.name;
+  build.codec = codec;
+  build.name = stem;
   if (auto result = partition::BuildGrid(graph, device, out.dir, build);
       !result.ok()) {
     Fail(result.status());
   }
-  build.name = spec.name + "_sym";
+  build.name = stem + "_sym";
   const EdgeList sym = Symmetrize(graph);
   if (auto result = partition::BuildGrid(sym, device, out.sym_dir, build);
       !result.ok()) {

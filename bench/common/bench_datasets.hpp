@@ -43,9 +43,12 @@ struct PreparedDataset {
   std::uint64_t num_edges = 0;
 };
 
-/// Generates + preprocesses (or reuses a cached copy of) `spec`.
+/// Generates + preprocesses (or reuses a cached copy of) `spec`. A
+/// non-"none" `codec` lays the edge payloads out compressed and caches the
+/// grids under "<name>_<codec>" (the raw binary edge file is shared).
 PreparedDataset Prepare(io::Device& device, const DatasetSpec& spec,
-                        std::uint32_t p = 8);
+                        std::uint32_t p = 8,
+                        const std::string& codec = "none");
 
 /// The systems compared in §5.
 enum class System { kGraphSD, kHusGraph, kLumos };

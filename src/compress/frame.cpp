@@ -1,0 +1,112 @@
+#include "compress/frame.hpp"
+
+#include <cstring>
+
+#include "util/crc32c.hpp"
+
+namespace graphsd::compress {
+namespace {
+
+void PutU32(std::uint32_t v, std::uint8_t* out) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void PutU64(std::uint64_t v, std::uint8_t* out) noexcept {
+  PutU32(static_cast<std::uint32_t>(v), out);
+  PutU32(static_cast<std::uint32_t>(v >> 32), out + 4);
+}
+
+std::uint32_t GetU32(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+std::uint64_t GetU64(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint64_t>(GetU32(in)) |
+         static_cast<std::uint64_t>(GetU32(in + 4)) << 32;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> EncodeFrame(
+    const Codec& codec, std::span<const std::uint8_t> raw) {
+  std::vector<std::uint8_t> frame(kFrameHeaderBytes +
+                                  codec.MaxCompressedSize(raw.size()));
+  GRAPHSD_ASSIGN_OR_RETURN(
+      std::size_t compressed,
+      codec.Encode(raw, std::span(frame).subspan(kFrameHeaderBytes)));
+  const Codec* actual = &codec;
+  if (compressed >= raw.size() && codec.id() != CodecId::kNone) {
+    // Incompressible block: store raw inside the frame and record the
+    // fallback in the header, so decode never needs the manifest.
+    actual = &NoneCodec();
+    frame.resize(kFrameHeaderBytes + raw.size());
+    GRAPHSD_ASSIGN_OR_RETURN(
+        compressed,
+        actual->Encode(raw, std::span(frame).subspan(kFrameHeaderBytes)));
+  }
+  frame.resize(kFrameHeaderBytes + compressed);
+  std::memcpy(frame.data(), kFrameMagic, sizeof(kFrameMagic));
+  PutU32(static_cast<std::uint32_t>(actual->id()), frame.data() + 4);
+  PutU64(raw.size(), frame.data() + 8);
+  PutU64(compressed, frame.data() + 16);
+  PutU32(Crc32c(std::span(frame).subspan(kFrameHeaderBytes)),
+         frame.data() + 24);
+  PutU32(0, frame.data() + 28);
+  return frame;
+}
+
+Result<FrameHeader> ParseFrameHeader(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kFrameHeaderBytes) {
+    return CorruptDataError("frame truncated: no header");
+  }
+  if (std::memcmp(frame.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return CorruptDataError("bad frame magic");
+  }
+  FrameHeader h;
+  h.codec_id = GetU32(frame.data() + 4);
+  h.raw_bytes = GetU64(frame.data() + 8);
+  h.compressed_bytes = GetU64(frame.data() + 16);
+  h.payload_crc = GetU32(frame.data() + 24);
+  if (FindCodecById(h.codec_id) == nullptr) {
+    return CorruptDataError("unknown frame codec id " +
+                            std::to_string(h.codec_id));
+  }
+  if (frame.size() != kFrameHeaderBytes + h.compressed_bytes) {
+    return CorruptDataError("frame size mismatch: header declares " +
+                            std::to_string(h.compressed_bytes) +
+                            " payload bytes, file has " +
+                            std::to_string(frame.size() - kFrameHeaderBytes));
+  }
+  return h;
+}
+
+Status DecodeFrameInto(std::span<const std::uint8_t> frame,
+                       std::span<std::uint8_t> raw_out) {
+  GRAPHSD_ASSIGN_OR_RETURN(const FrameHeader h, ParseFrameHeader(frame));
+  if (raw_out.size() != h.raw_bytes) {
+    return CorruptDataError("frame raw size mismatch: header declares " +
+                            std::to_string(h.raw_bytes) + " bytes, expected " +
+                            std::to_string(raw_out.size()));
+  }
+  const auto payload = frame.subspan(kFrameHeaderBytes);
+  if (Crc32c(payload) != h.payload_crc) {
+    return CorruptDataError("frame payload CRC mismatch");
+  }
+  return FindCodecById(h.codec_id)->Decode(payload, raw_out);
+}
+
+Result<std::vector<std::uint8_t>> DecodeFrame(
+    std::span<const std::uint8_t> frame) {
+  GRAPHSD_ASSIGN_OR_RETURN(const FrameHeader h, ParseFrameHeader(frame));
+  std::vector<std::uint8_t> raw(h.raw_bytes);
+  GRAPHSD_RETURN_IF_ERROR(DecodeFrameInto(frame, raw));
+  return raw;
+}
+
+}  // namespace graphsd::compress

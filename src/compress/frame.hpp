@@ -1,0 +1,64 @@
+// Self-describing frame format for compressed sub-block payloads.
+//
+// Every compressed `.edges` file is one frame:
+//
+//   offset  size  field
+//        0     4  magic "GSDF"
+//        4     4  codec id (CodecId, little-endian u32)
+//        8     8  raw (decoded) payload bytes, little-endian u64
+//       16     8  compressed payload bytes, little-endian u64
+//       24     4  CRC32C over the compressed payload, little-endian u32
+//       28     4  reserved (zero)
+//       32     -  compressed payload
+//
+// The header makes frames independently verifiable (magic + CRC + declared
+// sizes) and self-describing: the codec that actually produced the payload
+// is recorded per file, so EncodeFrame can fall back to the `none` codec
+// for incompressible blocks without the manifest having to know. The
+// manifest's `codec=` field is the dataset-level negotiation ("frames may
+// use up to this codec"); the frame header is ground truth per file.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::compress {
+
+/// Frame header size in bytes.
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+
+/// Frame magic, "GSDF".
+inline constexpr std::uint8_t kFrameMagic[4] = {'G', 'S', 'D', 'F'};
+
+struct FrameHeader {
+  std::uint32_t codec_id = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t compressed_bytes = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Encodes `raw` with `codec` into a complete frame (header + payload).
+/// Falls back to the `none` codec inside the frame when the encoded payload
+/// would not be smaller than the raw bytes, so a frame is never larger than
+/// raw + header.
+Result<std::vector<std::uint8_t>> EncodeFrame(const Codec& codec,
+                                              std::span<const std::uint8_t> raw);
+
+/// Parses and validates a frame header (magic, known codec, sizes
+/// consistent with `frame.size()`). Does not touch the payload.
+Result<FrameHeader> ParseFrameHeader(std::span<const std::uint8_t> frame);
+
+/// Verifies a complete frame (header + payload CRC) and decodes it into
+/// `raw_out`, which must be exactly `header.raw_bytes` long.
+Status DecodeFrameInto(std::span<const std::uint8_t> frame,
+                       std::span<std::uint8_t> raw_out);
+
+/// Verifies and decodes a complete frame, allocating the output.
+Result<std::vector<std::uint8_t>> DecodeFrame(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace graphsd::compress

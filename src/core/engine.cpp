@@ -72,6 +72,10 @@ void PublishRunMetrics(obs::MetricsRegistry* metrics,
   metrics->GetCounter("engine.iterations").Add(report.iterations);
   metrics->GetCounter("engine.rounds").Add(report.rounds);
   metrics->GetCounter("engine.degraded_rounds").Add(report.degraded_rounds);
+  metrics->GetCounter("engine.frames_decoded").Add(report.frames_decoded);
+  metrics->GetCounter("engine.compressed_bytes_read")
+      .Add(report.compressed_bytes_read);
+  metrics->GetCounter("engine.decoded_bytes").Add(report.decoded_bytes);
   obs::Histogram& reads = metrics->GetHistogram("engine.round_read_bytes");
   obs::Histogram& writes = metrics->GetHistogram("engine.round_write_bytes");
   for (const RoundStat& stat : report.per_round) {
@@ -95,6 +99,23 @@ void PublishRunMetrics(obs::MetricsRegistry* metrics,
   device.PublishMetrics(*metrics);
   buffer.PublishMetrics(*metrics);
   prefetch.PublishMetrics(*metrics);
+}
+
+/// Folds this run's decode-side deltas (the dataset's counters are
+/// cumulative across runs) and the buffer's on-disk byte view into the
+/// report.
+void FinishCompressionReport(const partition::GridDataset& dataset,
+                             const partition::DecodeStats& before,
+                             const SubBlockBuffer& buffer,
+                             ExecutionReport& report) {
+  report.codec = dataset.codec_name();
+  const partition::DecodeStats after = dataset.decode_stats();
+  report.frames_decoded = after.frames_decoded - before.frames_decoded;
+  report.compressed_bytes_read =
+      after.compressed_bytes - before.compressed_bytes;
+  report.decoded_bytes = after.decoded_bytes - before.decoded_bytes;
+  report.decode_seconds = after.decode_seconds - before.decode_seconds;
+  report.buffer_disk_bytes_saved = buffer.disk_bytes_saved();
 }
 
 }  // namespace
@@ -158,6 +179,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   report.algorithm = program.name();
   report.dataset = manifest.name;
   report.overlap_io = overlap;
+  const partition::DecodeStats decode_before = dataset_->decode_stats();
 
   VertexState& state = *state_;
   Frontier active(n);
@@ -297,6 +319,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   report.buffer_hits = buffer.hits();
   report.buffer_misses = buffer.misses();
   report.buffer_bytes_saved = buffer.bytes_saved();
+  FinishCompressionReport(*dataset_, decode_before, buffer, report);
   PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
   return report;
 }
@@ -329,6 +352,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   report.algorithm = program.name();
   report.dataset = manifest.name;
   report.overlap_io = overlap;
+  const partition::DecodeStats decode_before = dataset_->decode_stats();
 
   VertexState& state = *state_;
   Frontier unused(manifest.num_vertices);
@@ -372,6 +396,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   report.buffer_hits = buffer.hits();
   report.buffer_misses = buffer.misses();
   report.buffer_bytes_saved = buffer.bytes_saved();
+  FinishCompressionReport(*dataset_, decode_before, buffer, report);
   PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
   return report;
 }

@@ -29,9 +29,9 @@ FciuExecutor::SubBlockStream::Unit FciuExecutor::FetchUnit(
   SubBlockStream::Unit unit;
   unit.skip = [buffer, i, j] { return buffer->Contains(i, j); };
   unit.fetch = [dataset, i, j, need_weights, trace = ctx_.trace,
-                iteration = trace_iteration_](partition::SubBlock& out) {
+                iteration = trace_iteration_](partition::SubBlockPayload& out) {
     obs::TraceSpan span(trace, "edge-read", iteration);
-    GRAPHSD_ASSIGN_OR_RETURN(out, dataset->LoadSubBlock(i, j, need_weights));
+    GRAPHSD_ASSIGN_OR_RETURN(out, dataset->FetchSubBlock(i, j, need_weights));
     return Status::Ok();
   };
   return unit;
@@ -50,7 +50,8 @@ Result<const partition::SubBlock*> FciuExecutor::Fetch(
     SubBlockStream& stream, std::uint32_t i, std::uint32_t j,
     bool need_weights, partition::SubBlock& local) {
   SubBlockStream::Item item = stream.Take();
-  if (const partition::SubBlock* cached = ctx_.buffer->Get(i, j);
+  if (const partition::SubBlock* cached =
+          ctx_.buffer->Get(i, j, need_weights);
       cached != nullptr) {
     // Blocks only ever enter the buffer when they themselves are consumed,
     // so a block absent at issue time cannot be resident at consume time —
@@ -60,7 +61,12 @@ Result<const partition::SubBlock*> FciuExecutor::Fetch(
   }
   if (item.fetched) {
     GRAPHSD_RETURN_IF_ERROR(item.status);
-    local = std::move(item.payload);
+    // Decode on the consuming thread: the loader stays an I/O-only stage.
+    if (ctx_.dataset->compressed()) {
+      obs::TraceSpan span(ctx_.trace, "decode", trace_iteration_);
+      GRAPHSD_RETURN_IF_ERROR(ctx_.dataset->DecodeSubBlock(i, j, item.payload));
+    }
+    local = std::move(item.payload.block);
     return static_cast<const partition::SubBlock*>(&local);
   }
   // Resident at issue time but evicted before consumption: fall back to a

@@ -57,10 +57,13 @@ class FciuExecutor {
                         double* update_seconds);
 
  private:
-  using SubBlockStream = io::PrefetchStream<partition::SubBlock>;
+  // The stream carries fetched-but-undecoded payloads: the loader thread
+  // only does I/O (FetchSubBlock); compressed frames decode on the
+  // consuming thread in Fetch(), charging decode to compute.
+  using SubBlockStream = io::PrefetchStream<partition::SubBlockPayload>;
 
   /// One planned fetch of sub-block (i, j): skip probe = buffer residency,
-  /// fetch = LoadSubBlock. Runs inline when the pipeline is disabled.
+  /// fetch = FetchSubBlock. Runs inline when the pipeline is disabled.
   SubBlockStream::Unit FetchUnit(std::uint32_t i, std::uint32_t j,
                                  bool need_weights) const;
 

@@ -29,6 +29,15 @@ std::string ExecutionReport::Summary() const {
                static_cast<unsigned long long>(buffer_misses),
                graphsd::FormatBytes(buffer_bytes_saved).c_str());
   }
+  if (codec != "none") {
+    StrAppendf(&out,
+               "  compression: codec %s, %llu frames decoded, %s on disk -> "
+               "%s decoded (decode %s)\n",
+               codec.c_str(), static_cast<unsigned long long>(frames_decoded),
+               graphsd::FormatBytes(compressed_bytes_read).c_str(),
+               graphsd::FormatBytes(decoded_bytes).c_str(),
+               graphsd::FormatSeconds(decode_seconds).c_str());
+  }
   if (io.retries > 0 || io.checksum_failures > 0 || degraded_rounds > 0) {
     StrAppendf(&out,
                "  resilience: %llu retries, %llu checksum failures, "

@@ -61,6 +61,20 @@ struct ExecutionReport {
   std::uint64_t buffer_hits = 0;    // sub-blocks served from the buffer
   std::uint64_t buffer_misses = 0;  // sub-blocks (re)loaded from disk
   std::uint64_t buffer_bytes_saved = 0;
+  // On-disk bytes buffer hits avoided re-reading (differs from
+  // buffer_bytes_saved exactly by the compression ratio of cached frames).
+  std::uint64_t buffer_disk_bytes_saved = 0;
+
+  // Edge-payload compression (codec negotiated from the dataset manifest;
+  // "none" = raw layout). The counters are this run's decode-side deltas:
+  // frames decoded on the compute side, on-disk frame bytes in, raw edge
+  // bytes out, and the wall time decode cost (already inside
+  // compute_seconds — decode runs on the consuming thread).
+  std::string codec = "none";
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t compressed_bytes_read = 0;
+  std::uint64_t decoded_bytes = 0;
+  double decode_seconds = 0;
 
   // Rounds that fell back from the on-demand to the full-streaming model
   // after an index read failed (missing file or checksum mismatch).

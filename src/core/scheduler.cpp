@@ -17,9 +17,15 @@ SchedulerDecision StateAwareScheduler::Evaluate(
 
   const auto& manifest = dataset_->manifest();
   const auto& degrees = dataset_->out_degrees();
-  const std::uint64_t bytes_per_edge =
-      kEdgeBytes +
-      (with_weights && manifest.weighted ? kWeightBytes : 0);
+  const bool compressed = manifest.compressed();
+  const std::uint64_t weight_bytes_per_edge =
+      with_weights && manifest.weighted ? kWeightBytes : 0;
+  const std::uint64_t bytes_per_edge = kEdgeBytes + weight_bytes_per_edge;
+  // Per-edge bytes a selective *ranged* read moves: compressed edge bytes
+  // arrive as whole frames (charged separately below), so runs only carry
+  // the raw weight file.
+  const std::uint64_t ranged_bytes_per_edge =
+      compressed ? weight_bytes_per_edge : bytes_per_edge;
   const std::uint64_t values_bytes =
       static_cast<std::uint64_t>(manifest.num_vertices) * vertex_record_bytes;
 
@@ -74,8 +80,12 @@ SchedulerDecision StateAwareScheduler::Evaluate(
   std::uint64_t run_bytes = 0;
   std::uint64_t run_edges = 0;
   std::uint64_t run_vertices = 0;
+  VertexId run_first = kInvalidVertex;
   std::uint64_t seeks = 0;
   std::uint64_t index_bytes = 0;
+  // Rows holding at least one edge-bearing run: a compressed selective pass
+  // fetches the whole frames of these rows' non-empty sub-blocks.
+  std::vector<char> rows_active(compressed ? manifest.p : 0, 0);
   VertexId prev_active = kInvalidVertex;
   bool gap_has_edges = false;
 
@@ -84,13 +94,22 @@ SchedulerDecision StateAwareScheduler::Evaluate(
   // run iff any vertex in it has out-degree > 0. We bound the scan per gap
   // by early exit on the first edge-bearing vertex.
   auto close_run = [&] {
-    if (run_bytes == 0) return;
+    if (run_edges == 0) return;
     ++d.random_requests;
     // A run's edges are split across the columns of its row; it costs at
     // most one request per non-empty column, and never more requests than
     // it has edges. Split seq/ran by the per-request transfer size.
     const std::uint32_t row =
         partition::IntervalOf(manifest.boundaries, prev_active);
+    if (compressed) {
+      // The run may span interval boundaries; every row it crosses has
+      // frames the on-demand model must fetch whole.
+      for (std::uint32_t r = partition::IntervalOf(manifest.boundaries,
+                                                   run_first);
+           r <= row; ++r) {
+        rows_active[r] = 1;
+      }
+    }
     const std::uint64_t requests = requests_for_run(row, run_edges);
     // Each touched sub-block costs one ranged index read (the run's offset
     // entries) plus one edge-range read.
@@ -105,6 +124,7 @@ SchedulerDecision StateAwareScheduler::Evaluate(
     run_bytes = 0;
     run_edges = 0;
     run_vertices = 0;
+    run_first = kInvalidVertex;
   };
 
   active.ForEachActive([&](std::size_t idx) {
@@ -123,52 +143,100 @@ SchedulerDecision StateAwareScheduler::Evaluate(
       }
       if (gap_has_edges) close_run();
     }
-    run_bytes += deg * bytes_per_edge;
+    run_bytes += deg * ranged_bytes_per_edge;
     run_edges += deg;
+    if (run_vertices == 0) run_first = v;
     ++run_vertices;
     prev_active = v;
   });
   close_run();
 
+  // --- compressed on-demand edge bytes -------------------------------------
+  // On-disk frames of the non-empty sub-blocks in every row a run touched:
+  // the CSR index addresses decoded offsets, so a selective pass fetches
+  // those frames whole (sequential, offset 0) and decodes them on the
+  // compute side.
+  std::uint64_t frame_bytes_on_demand = 0;
+  std::uint64_t decoded_bytes_on_demand = 0;
+  if (compressed) {
+    for (std::uint32_t i = 0; i < manifest.p; ++i) {
+      if (!rows_active[i]) continue;
+      for (std::uint32_t j = 0; j < manifest.p; ++j) {
+        const std::uint64_t edges = manifest.EdgesIn(i, j);
+        if (edges == 0) continue;
+        frame_bytes_on_demand += manifest.EdgeFileBytes(i, j);
+        decoded_bytes_on_demand += edges * kEdgeBytes;
+      }
+    }
+  }
+
   // --- the paper's two cost formulas ---------------------------------------
+  // Edge terms use on-disk bytes (frame files when compressed, raw edge
+  // arrays otherwise); for raw datasets the arithmetic below is identical
+  // to the original |E|·(M[+W]) formulas.
   if (fciu_round) {
     // FCIU reloads the secondary sub-blocks (i > j) and amortizes the round
     // over two BSP iterations.
     std::uint64_t secondary_edges = 0;
+    std::uint64_t secondary_file_bytes = 0;
     for (std::uint32_t i = 1; i < manifest.p; ++i) {
       for (std::uint32_t j = 0; j < i; ++j) {
         secondary_edges += manifest.EdgesIn(i, j);
+        secondary_file_bytes += manifest.EdgeFileBytes(i, j);
       }
     }
     const std::uint64_t round_read =
-        (manifest.num_edges + secondary_edges) * bytes_per_edge + values_bytes;
+        manifest.TotalEdgeFileBytes() + secondary_file_bytes +
+        (manifest.num_edges + secondary_edges) * weight_bytes_per_edge +
+        values_bytes;
     d.cost_full = 0.5 * (model_.SeqReadSeconds(round_read) +
                          model_.SeqWriteSeconds(values_bytes));
+    if (compressed) {
+      d.decode_seconds_full = 0.5 * model_.DecodeSeconds(
+          (manifest.num_edges + secondary_edges) * kEdgeBytes);
+    }
   } else {
-    d.cost_full = model_.SeqReadSeconds(manifest.num_edges * bytes_per_edge +
-                                        values_bytes) +
-                  model_.SeqWriteSeconds(values_bytes);
+    d.cost_full =
+        model_.SeqReadSeconds(manifest.TotalEdgeFileBytes() +
+                              manifest.num_edges * weight_bytes_per_edge +
+                              values_bytes) +
+        model_.SeqWriteSeconds(values_bytes);
+    if (compressed) {
+      d.decode_seconds_full =
+          model_.DecodeSeconds(manifest.num_edges * kEdgeBytes);
+    }
   }
 
   // Random requests are charged seek+transfer; the per-column request
-  // amplification was accumulated run by run in close_run.
+  // amplification was accumulated run by run in close_run. Compressed frame
+  // fetches stream sequentially and are recorded in S_seq so the decision
+  // log shows the bytes that actually move.
+  d.seq_bytes += frame_bytes_on_demand;
   d.cost_on_demand = model_.RandReadSeconds(d.rand_bytes, seeks) +
                      model_.SeqReadSeconds(d.seq_bytes) +
                      model_.SeqReadSeconds(index_bytes + values_bytes) +
                      model_.SeqWriteSeconds(values_bytes);
+  d.decode_seconds_on_demand = model_.DecodeSeconds(decoded_bytes_on_demand);
 
-  d.serial_cost_on_demand = d.cost_on_demand;
-  d.serial_cost_full = d.cost_full;
+  // Decode runs on the compute side: serially it adds to the model's cost,
+  // pipelined it raises the model's compute floor.
+  d.serial_cost_on_demand = d.cost_on_demand + d.decode_seconds_on_demand;
+  d.serial_cost_full = d.cost_full + d.decode_seconds_full;
+  d.cost_on_demand = d.serial_cost_on_demand;
+  d.cost_full = d.serial_cost_full;
   if (overlap_compute_seconds >= 0) {
     // Overlap-aware charging: the pipeline hides disk time behind the
     // round's compute, so each model costs its critical path. The compute
     // floor is common to both models; ties are broken on the raw costs so
-    // the decision matches serial charging exactly (see the header).
+    // for raw datasets the decision matches serial charging exactly (see
+    // the header).
     d.overlapped = true;
     d.cost_on_demand = io::IoCostModel::OverlapSeconds(
-        d.serial_cost_on_demand, overlap_compute_seconds);
-    d.cost_full = io::IoCostModel::OverlapSeconds(d.serial_cost_full,
-                                                  overlap_compute_seconds);
+        d.serial_cost_on_demand - d.decode_seconds_on_demand,
+        overlap_compute_seconds + d.decode_seconds_on_demand);
+    d.cost_full = io::IoCostModel::OverlapSeconds(
+        d.serial_cost_full - d.decode_seconds_full,
+        overlap_compute_seconds + d.decode_seconds_full);
   }
   d.on_demand = d.cost_on_demand != d.cost_full
                     ? d.cost_on_demand < d.cost_full

@@ -13,6 +13,14 @@
 // each of the P column sub-blocks it touches. The "2|V|·N" term is the
 // vertex values plus the per-sub-block source index the on-demand model
 // must consult; we charge the index at its true size.
+//
+// Compressed datasets are evaluated on *on-disk* bytes: C_s streams the
+// frame files (plus raw weights), and the on-demand model fetches the whole
+// frames of rows containing active runs (the CSR index addresses decoded
+// offsets, so edge bytes can only arrive frame-at-a-time) while weights
+// remain per-run ranged reads. Frame decode runs on the compute side of the
+// pipeline, so each model's decode estimate is folded into its compute
+// floor rather than its disk time.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +42,16 @@ struct SchedulerDecision {
   bool overlapped = false;  // costs were charged max(C_x, compute estimate)
   std::uint64_t active_vertices = 0;
   std::uint64_t active_edges = 0;
+  // Byte terms as they hit the disk: for compressed datasets these are
+  // on-disk (frame) bytes — the scheduler compares what actually moves,
+  // not the decoded view.
   std::uint64_t seq_bytes = 0;   // S_seq
   std::uint64_t rand_bytes = 0;  // S_ran
   std::uint64_t random_requests = 0;
+  // Estimated frame-decode seconds folded into each model's compute floor
+  // (zero for raw datasets).
+  double decode_seconds_on_demand = 0;
+  double decode_seconds_full = 0;
   double eval_seconds = 0;  // wall time of the evaluation itself (Fig 11)
 };
 

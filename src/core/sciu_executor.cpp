@@ -1,5 +1,7 @@
 #include "core/sciu_executor.hpp"
 
+#include <memory>
+
 #include "partition/dataset_verify.hpp"
 #include "util/clock.hpp"
 
@@ -26,8 +28,10 @@ Status SciuExecutor::EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
 
   const std::uint64_t edges = manifest.EdgesIn(i, j);
   const std::string& dir = dataset.dir();
+  // Compressed datasets store the edge payload as a GSDF frame; the
+  // manifest CRC covers the frame bytes, so that is what gets verified.
   Status status = partition::VerifyFileCrc(
-      partition::SubBlockEdgesPath(dir, i, j), edges * kEdgeBytes,
+      partition::SubBlockEdgesPath(dir, i, j), manifest.EdgeFileBytes(i, j),
       manifest.edge_crcs[slot]);
   if (status.ok() && need_weights) {
     status = partition::VerifyFileCrc(
@@ -53,14 +57,28 @@ Status SciuExecutor::EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
 
 Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
                                const IntervalActives& actives,
-                               bool need_weights, SciuPassPayload& out) {
+                               bool need_weights, bool resident,
+                               SciuPassPayload& out) {
   const auto& dataset = *ctx_.dataset;
   const auto& manifest = dataset.manifest();
+  const bool compressed = dataset.compressed();
   GRAPHSD_RETURN_IF_ERROR(EnsureSubBlockVerified(i, j, need_weights));
   GRAPHSD_ASSIGN_OR_RETURN(partition::IndexReader index_reader,
                            dataset.OpenIndexReader(i, j));
-  GRAPHSD_ASSIGN_OR_RETURN(partition::SubBlockReader reader,
-                           dataset.OpenSubBlockReader(i, j, need_weights));
+  // Compressed edge files cannot be range-read (they hold one GSDF frame),
+  // so only the raw weight file gets a ranged reader; the frame itself is
+  // fetched whole after the runs are known.
+  partition::SubBlockReader reader;
+  io::DeviceFile weights_file;
+  if (!compressed) {
+    GRAPHSD_ASSIGN_OR_RETURN(reader,
+                             dataset.OpenSubBlockReader(i, j, need_weights));
+  } else if (need_weights) {
+    GRAPHSD_ASSIGN_OR_RETURN(
+        weights_file,
+        dataset.device().Open(partition::SubBlockWeightsPath(dataset.dir(), i, j),
+                              io::OpenMode::kRead));
+  }
 
   std::vector<std::uint32_t> offsets;  // scratch for ranged index reads
   std::uint64_t pending_begin = 0;
@@ -68,6 +86,23 @@ Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
 
   auto flush = [&]() -> Status {
     if (pending_end == pending_begin) return Status::Ok();
+    if (compressed) {
+      // Runs stay in decoded-block coordinates for the consumer to copy
+      // out after decode; weights read now, run-aligned, from the raw file.
+      out.runs.emplace_back(pending_begin, pending_end);
+      if (need_weights) {
+        obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
+        const std::size_t base = out.weights.size();
+        const std::uint64_t count = pending_end - pending_begin;
+        out.weights.resize(base + count);
+        GRAPHSD_RETURN_IF_ERROR(weights_file.ReadAt(
+            pending_begin * sizeof(Weight),
+            {reinterpret_cast<std::uint8_t*>(out.weights.data() + base),
+             count * sizeof(Weight)}));
+      }
+      pending_begin = pending_end = 0;
+      return Status::Ok();
+    }
     obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
     const std::size_t base = out.edges.size();
     GRAPHSD_RETURN_IF_ERROR(
@@ -106,7 +141,66 @@ Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
       }
     }
   }
-  return flush();
+  GRAPHSD_RETURN_IF_ERROR(flush());
+  if (compressed && !out.runs.empty() && !resident) {
+    // The whole frame streams sequentially; decode happens on the consumer
+    // thread so the loader stays an I/O-only stage.
+    obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
+    GRAPHSD_ASSIGN_OR_RETURN(partition::SubBlockPayload fetched,
+                             dataset.FetchSubBlock(i, j, /*load_weights=*/false));
+    out.frame = std::move(fetched.frame);
+  }
+  return Status::Ok();
+}
+
+Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
+                                               SciuPassPayload& payload) {
+  const auto& dataset = *ctx_.dataset;
+  std::uint64_t active_edges = 0;
+  for (const auto& [run_begin, run_end] : payload.runs) {
+    active_edges += run_end - run_begin;
+  }
+
+  const partition::SubBlock* cached = nullptr;
+  partition::SubBlockPayload decoded;
+  if (payload.frame.empty()) {
+    // Resident at issue time: consume through the buffer. A miss means the
+    // entry was evicted between issue and consume — fall back to the same
+    // accounted frame read the loader would have performed.
+    cached = ctx_.buffer->Get(i, j);
+    if (cached == nullptr) {
+      obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
+      GRAPHSD_ASSIGN_OR_RETURN(decoded,
+                               dataset.FetchSubBlock(i, j, /*load_weights=*/false));
+    } else {
+      ctx_.buffer->UpdatePriority(i, j, active_edges);
+    }
+  } else {
+    decoded.frame = std::move(payload.frame);
+    decoded.block.disk_bytes = decoded.frame.size();
+  }
+  if (cached == nullptr) {
+    obs::TraceSpan span(ctx_.trace, "decode", trace_iteration_);
+    GRAPHSD_RETURN_IF_ERROR(dataset.DecodeSubBlock(i, j, decoded));
+  }
+
+  // Copy the active runs out of the decoded block, rebasing `runs` into
+  // payload-local coordinates. The weights were read run-aligned by the
+  // loader, so edges[k] and weights[k] line up as in the raw path.
+  const std::vector<Edge>& source =
+      cached != nullptr ? cached->edges : decoded.block.edges;
+  payload.edges.reserve(active_edges);
+  for (auto& run : payload.runs) {
+    const std::size_t base = payload.edges.size();
+    payload.edges.insert(payload.edges.end(),
+                         source.begin() + static_cast<std::ptrdiff_t>(run.first),
+                         source.begin() + static_cast<std::ptrdiff_t>(run.second));
+    run = {base, payload.edges.size()};
+  }
+  if (cached == nullptr) {
+    ctx_.buffer->Put(i, j, std::move(decoded.block), active_edges);
+  }
+  return Status::Ok();
 }
 
 Status SciuExecutor::RunIteration(const PushProgram& program,
@@ -148,8 +242,12 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
   // The per-interval active runs (and with them the whole read script) are
   // computed before the sweep starts; each (i, j) pass then streams through
   // the prefetch pipeline while earlier passes' edges are applied.
+  const bool compressed = dataset.compressed();
   std::vector<IntervalActives> intervals(manifest.p);
   std::vector<io::PrefetchStream<SciuPassPayload>::Unit> units;
+  // (i, j) of each planned pass, for the consumer-side decode of
+  // compressed frames.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> plan_coords;
   for (std::uint32_t i = 0; i < manifest.p; ++i) {
     const VertexId interval_begin = manifest.boundaries[i];
     const VertexId interval_end = manifest.boundaries[i + 1];
@@ -175,12 +273,32 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
     for (std::uint32_t j = 0; j < manifest.p; ++j) {
       if (manifest.EdgesIn(i, j) == 0) continue;
       io::PrefetchStream<SciuPassPayload>::Unit unit;
-      // `intervals` is fully sized up front, so the pointer stays valid.
-      unit.fetch = [this, i, j, actives = &ia,
-                    need_weights](SciuPassPayload& out) {
-        return FetchPass(i, j, *actives, need_weights, out);
-      };
+      if (compressed) {
+        // The pass must always run (index offsets and raw weight ranges are
+        // read regardless of frame residency), so the "skip" probe only
+        // records whether the decoded block is buffered at issue time; the
+        // fetch closure then elides the frame read. The probe runs on the
+        // consumer thread and the flag is published to the loader through
+        // the read queue's submission, so no race.
+        auto resident = std::make_shared<bool>(false);
+        unit.skip = [this, i, j, resident]() {
+          *resident = ctx_.buffer->Contains(i, j);
+          return false;
+        };
+        unit.fetch = [this, i, j, actives = &ia, need_weights,
+                      resident](SciuPassPayload& out) {
+          return FetchPass(i, j, *actives, need_weights, *resident, out);
+        };
+      } else {
+        // `intervals` is fully sized up front, so the pointer stays valid.
+        unit.fetch = [this, i, j, actives = &ia,
+                      need_weights](SciuPassPayload& out) {
+          return FetchPass(i, j, *actives, need_weights, /*resident=*/false,
+                           out);
+        };
+      }
       units.push_back(std::move(unit));
+      plan_coords.emplace_back(i, j);
     }
   }
 
@@ -188,7 +306,11 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
   for (std::size_t pass = 0; pass < stream.planned(); ++pass) {
     auto item = stream.Take();
     GRAPHSD_RETURN_IF_ERROR(item.status);
-    const SciuPassPayload& payload = item.payload;
+    SciuPassPayload& payload = item.payload;
+    if (compressed && !payload.runs.empty()) {
+      GRAPHSD_RETURN_IF_ERROR(MaterializeCompressedPass(
+          plan_coords[pass].first, plan_coords[pass].second, payload));
+    }
     obs::TraceSpan compute_span(ctx_.trace, "compute", trace_iteration_);
     for (const auto& [run_begin, run_end] : payload.runs) {
       ScopedWallAccumulator acc(update_seconds);

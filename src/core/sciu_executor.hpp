@@ -39,10 +39,19 @@ namespace graphsd::core {
 /// `runs` lists the coalesced ranges as [begin, end) into `edges`, in read
 /// order; the consumer applies them run by run, exactly as the synchronous
 /// path did.
+///
+/// Compressed datasets cannot range-read the edge file (the CSR index
+/// addresses decoded offsets, the file holds a GSDF frame), so the loader
+/// leaves `edges` empty, keeps `runs` in decoded-block coordinates, reads
+/// the weight ranges as usual (the weight file stays raw), and ships the
+/// whole frame — unless the decoded block was buffer-resident at issue
+/// time, in which case `frame` stays empty too. The consumer decodes,
+/// copies the active runs into `edges`, and rebases `runs` in place.
 struct SciuPassPayload {
   std::vector<Edge> edges;
   std::vector<Weight> weights;
   std::vector<std::pair<std::size_t, std::size_t>> runs;
+  std::vector<std::uint8_t> frame;
 };
 
 class SciuExecutor {
@@ -80,10 +89,20 @@ class SciuExecutor {
   /// Reads one pass: index offsets per group, then the coalesced edge runs,
   /// in exactly the synchronous order. Runs on the loader thread when
   /// prefetching (tasks are serialized, so `verified_` needs no lock),
-  /// inline otherwise.
+  /// inline otherwise. `resident` tells a compressed pass the decoded block
+  /// was cached at issue time, so the frame read is elided.
   Status FetchPass(std::uint32_t i, std::uint32_t j,
                    const IntervalActives& actives, bool need_weights,
-                   SciuPassPayload& out);
+                   bool resident, SciuPassPayload& out);
+
+  /// Compressed-pass compute half, on the consumer thread: obtains the
+  /// decoded block (decoding `payload.frame`, or through the buffer when
+  /// the frame was elided — with a synchronous re-read if the entry was
+  /// evicted between issue and consume), copies the active runs into
+  /// `payload.edges` rebasing `runs`, and offers the decoded block to the
+  /// buffer with priority = this pass's active edge count.
+  Status MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
+                                   SciuPassPayload& payload);
 
   ExecContext ctx_;
   std::vector<std::uint8_t> verified_;  // per sub-block, lazily sized p*p

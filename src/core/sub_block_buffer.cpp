@@ -5,15 +5,19 @@
 namespace graphsd::core {
 
 const partition::SubBlock* SubBlockBuffer::Get(std::uint32_t i,
-                                               std::uint32_t j) {
+                                               std::uint32_t j,
+                                               bool require_weights) {
   if (!enabled()) return nullptr;
   const auto it = entries_.find(Key(i, j));
-  if (it == entries_.end()) {
+  if (it == entries_.end() ||
+      (require_weights && !it->second.block.edges.empty() &&
+       it->second.block.weights.empty())) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
   bytes_saved_ += it->second.block.SizeBytes();
+  disk_bytes_saved_ += it->second.block.disk_bytes;
   return &it->second.block;
 }
 
@@ -95,6 +99,8 @@ void SubBlockBuffer::PublishMetrics(obs::MetricsRegistry& metrics) const {
   metrics.GetGauge("buffer.hits").Set(static_cast<double>(hits_));
   metrics.GetGauge("buffer.misses").Set(static_cast<double>(misses_));
   metrics.GetGauge("buffer.bytes_saved").Set(static_cast<double>(bytes_saved_));
+  metrics.GetGauge("buffer.disk_bytes_saved")
+      .Set(static_cast<double>(disk_bytes_saved_));
   metrics.GetGauge("buffer.evictions").Set(static_cast<double>(evictions_));
   metrics.GetGauge("buffer.rejected_puts").Set(static_cast<double>(rejected_));
 }

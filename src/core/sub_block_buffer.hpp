@@ -29,8 +29,12 @@ class SubBlockBuffer {
   std::uint64_t size_bytes() const noexcept { return used_; }
   std::size_t entry_count() const noexcept { return entries_.size(); }
 
-  /// Cached block (i, j), or nullptr. Bumps the hit/miss counters.
-  const partition::SubBlock* Get(std::uint32_t i, std::uint32_t j);
+  /// Cached block (i, j), or nullptr. Bumps the hit/miss counters. With
+  /// `require_weights`, an entry whose edges were cached without their
+  /// weights (a weightless SCIU decode meeting a weighted FCIU consumer)
+  /// counts as a miss, so the caller reloads instead of applying garbage.
+  const partition::SubBlock* Get(std::uint32_t i, std::uint32_t j,
+                                 bool require_weights = false);
 
   /// Issue-time residency probe for the prefetch pipeline. Deliberately
   /// bumps no counters: the consumer still calls Get() exactly once per
@@ -71,6 +75,11 @@ class SubBlockBuffer {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t bytes_saved() const noexcept { return bytes_saved_; }
+  /// On-disk bytes a hit avoided re-reading (frame + weight files for
+  /// compressed blocks; equals bytes_saved for raw datasets). The buffer
+  /// caches *decoded* blocks, so the two views differ exactly by the
+  /// compression savings.
+  std::uint64_t disk_bytes_saved() const noexcept { return disk_bytes_saved_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
   std::uint64_t rejected_puts() const noexcept { return rejected_; }
 
@@ -92,6 +101,7 @@ class SubBlockBuffer {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t bytes_saved_ = 0;
+  std::uint64_t disk_bytes_saved_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t rejected_ = 0;
   std::unordered_map<std::uint64_t, Entry> entries_;

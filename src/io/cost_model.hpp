@@ -23,6 +23,12 @@ struct IoCostModel {
   double seek_seconds = 8.0e-3;
   /// Request size at which the paper-style B_rr / B_rw constants are quoted.
   std::uint64_t random_request_bytes = 64 * 1024;
+  /// Edge-frame decode throughput (raw bytes produced per second). Decode
+  /// runs on the compute side of the overlap, so the scheduler folds
+  /// DecodeSeconds into the compute floor — not the disk time. ~1 GB/s
+  /// matches the software varint decoder. Ignored (zero cost) for raw
+  /// datasets; 0 is the "free" sentinel like the bandwidths above.
+  double decode_bw = 1024.0 * 1024 * 1024;
 
   /// An HDD-like profile matching the paper's testbed (two 500 GB HDDs).
   static IoCostModel Hdd() { return IoCostModel{}; }
@@ -66,6 +72,7 @@ struct IoCostModel {
     m.seq_read_bw = 0;  // sentinel: 0 bandwidth means "free" (see *Seconds)
     m.seq_write_bw = 0;
     m.seek_seconds = 0;
+    m.decode_bw = 0;
     return m;
   }
 
@@ -102,6 +109,11 @@ struct IoCostModel {
   double RandomWriteBandwidth() const noexcept {
     const double t = RandWriteSeconds(random_request_bytes, 1);
     return t <= 0 ? 0.0 : static_cast<double>(random_request_bytes) / t;
+  }
+
+  /// Modeled seconds to decode frames producing `raw_bytes` of edges.
+  double DecodeSeconds(std::uint64_t raw_bytes) const noexcept {
+    return decode_bw <= 0 ? 0.0 : static_cast<double>(raw_bytes) / decode_bw;
   }
 
   /// Pipelined charge for a stage whose `io_seconds` of modeled disk time

@@ -73,6 +73,7 @@ std::string ToRunReportJson(const core::ExecutionReport& report,
   json.Field("seek_seconds", cost_model.seek_seconds);
   json.Field("random_request_bytes", cost_model.random_request_bytes);
   json.Field("random_read_bw", cost_model.RandomReadBandwidth());
+  json.Field("decode_bw", cost_model.decode_bw);
   json.EndObject();
 
   json.Key("io");
@@ -88,6 +89,16 @@ std::string ToRunReportJson(const core::ExecutionReport& report,
                           : static_cast<double>(report.buffer_hits) /
                                 static_cast<double>(lookups));
   json.Field("bytes_saved", report.buffer_bytes_saved);
+  json.Field("disk_bytes_saved", report.buffer_disk_bytes_saved);
+  json.EndObject();
+
+  json.Key("compression");
+  json.BeginObject();
+  json.Field("codec", report.codec);
+  json.Field("frames_decoded", report.frames_decoded);
+  json.Field("compressed_bytes_read", report.compressed_bytes_read);
+  json.Field("decoded_bytes", report.decoded_bytes);
+  json.Field("decode_seconds", report.decode_seconds);
   json.EndObject();
 
   json.Key("per_round");

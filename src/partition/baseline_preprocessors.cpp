@@ -46,6 +46,7 @@ Result<PreprocessReport> PreprocessGraphSD(const std::string& raw_edges_path,
         build.sort_sub_blocks = true;
         build.build_index = true;
         build.name = options.name;
+        build.codec = options.codec;
         return BuildGrid(list, device, dir, build);
       });
 }

@@ -34,6 +34,10 @@ struct PreprocessOptions {
   std::uint32_t num_intervals = 0;  // 0 = derive from memory budget
   std::uint64_t memory_budget_bytes = 0;
   std::string name = "graph";
+  /// Edge-payload codec for the GraphSD pipeline ("none" = raw layout).
+  /// The baselines always write raw: neither comparison system stores
+  /// compressed sub-blocks, so their preprocessing byte counts stay honest.
+  std::string codec = "none";
 };
 
 /// GraphSD pipeline: read raw binary edges via `device`, build the sorted +

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,13 @@ struct FileCheck {
 
 struct DatasetVerifyReport {
   bool has_checksums = false;    // manifest records CRCs at all
+  std::string codec = "none";    // manifest-level edge codec
   std::uint64_t files_checked = 0;
+  std::uint64_t frames_checked = 0;  // compressed edge frames validated
+  /// Edge payload files per actual frame codec (frames self-describe; an
+  /// incompressible block falls back to "none" inside a compressed
+  /// dataset). Empty for raw datasets.
+  std::map<std::string, std::uint64_t> frame_codecs;
   std::vector<FileCheck> failures;
 
   bool ok() const noexcept { return failures.empty(); }

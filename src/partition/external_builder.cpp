@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "compress/frame.hpp"
 #include "graph/edge_io.hpp"
 #include "util/crc32c.hpp"
 #include "util/logging.hpp"
@@ -150,6 +151,10 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
   if (options.build_index && !options.sort_sub_blocks) {
     return InvalidArgumentError("the source index requires sorted sub-blocks");
   }
+  const compress::Codec* codec = compress::FindCodec(options.codec);
+  if (codec == nullptr) {
+    return InvalidArgumentError("unknown edge codec: " + options.codec);
+  }
   GRAPHSD_ASSIGN_OR_RETURN(const BinaryEdgeHeader header,
                            ReadBinaryEdgeHeader(device, raw_edges_path));
   if (header.num_vertices == 0) {
@@ -206,6 +211,11 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
   p = manifest.p;
   manifest.sub_block_edges.assign(static_cast<std::size_t>(p) * p, 0);
   manifest.has_checksums = true;
+  if (codec->id() != compress::CodecId::kNone) {
+    manifest.format_version = 2;
+    manifest.codec = std::string(codec->name());
+    manifest.edge_frame_bytes.assign(static_cast<std::size_t>(p) * p, 0);
+  }
   manifest.edge_crcs.assign(static_cast<std::size_t>(p) * p, 0);
   if (header.weighted) {
     manifest.weight_crcs.assign(static_cast<std::size_t>(p) * p, 0);
@@ -292,8 +302,17 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
         GRAPHSD_ASSIGN_OR_RETURN(
             io::DeviceFile file,
             device.Open(SubBlockEdgesPath(dir, i, j), io::OpenMode::kWrite));
-        GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(block_edges)));
-        manifest.edge_crcs[slot] = Crc32c(AsBytes(block_edges));
+        if (manifest.compressed()) {
+          GRAPHSD_ASSIGN_OR_RETURN(
+              const std::vector<std::uint8_t> frame,
+              compress::EncodeFrame(*codec, AsBytes(block_edges)));
+          GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, frame));
+          manifest.edge_frame_bytes[slot] = frame.size();
+          manifest.edge_crcs[slot] = Crc32c(frame);
+        } else {
+          GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(block_edges)));
+          manifest.edge_crcs[slot] = Crc32c(AsBytes(block_edges));
+        }
       }
       if (header.weighted) {
         GRAPHSD_ASSIGN_OR_RETURN(

@@ -34,6 +34,8 @@ struct ExternalBuildOptions {
   IntervalScheme scheme = IntervalScheme::kEqualVertices;
   bool sort_sub_blocks = true;
   bool build_index = true;
+  /// Edge-payload codec: "none" or "varint-delta" (see GridBuildOptions).
+  std::string codec = "none";
   std::string name = "graph";
   /// Per-sub-block spill write buffer. P² of these are live in pass 1.
   std::uint64_t spill_buffer_bytes = 64 * 1024;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "compress/frame.hpp"
 #include "util/crc32c.hpp"
 #include "util/logging.hpp"
 
@@ -26,6 +27,10 @@ Result<GridManifest> BuildGrid(const EdgeList& list, io::Device& device,
   }
   if (options.build_index && !options.sort_sub_blocks) {
     return InvalidArgumentError("the source index requires sorted sub-blocks");
+  }
+  const compress::Codec* codec = compress::FindCodec(options.codec);
+  if (codec == nullptr) {
+    return InvalidArgumentError("unknown edge codec: " + options.codec);
   }
   GRAPHSD_RETURN_IF_ERROR(io::RemoveTree(dir));
   GRAPHSD_RETURN_IF_ERROR(io::MakeDirectories(dir));
@@ -53,6 +58,11 @@ Result<GridManifest> BuildGrid(const EdgeList& list, io::Device& device,
   p = manifest.p;
   manifest.sub_block_edges.assign(static_cast<std::size_t>(p) * p, 0);
   manifest.has_checksums = true;
+  if (codec->id() != compress::CodecId::kNone) {
+    manifest.format_version = 2;
+    manifest.codec = std::string(codec->name());
+    manifest.edge_frame_bytes.assign(static_cast<std::size_t>(p) * p, 0);
+  }
   manifest.edge_crcs.assign(static_cast<std::size_t>(p) * p, 0);
   if (list.weighted()) {
     manifest.weight_crcs.assign(static_cast<std::size_t>(p) * p, 0);
@@ -110,8 +120,17 @@ Result<GridManifest> BuildGrid(const EdgeList& list, io::Device& device,
         GRAPHSD_ASSIGN_OR_RETURN(
             io::DeviceFile file,
             device.Open(SubBlockEdgesPath(dir, i, j), io::OpenMode::kWrite));
-        GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(bucket.edges)));
-        manifest.edge_crcs[slot] = Crc32c(AsBytes(bucket.edges));
+        if (manifest.compressed()) {
+          GRAPHSD_ASSIGN_OR_RETURN(
+              const std::vector<std::uint8_t> frame,
+              compress::EncodeFrame(*codec, AsBytes(bucket.edges)));
+          GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, frame));
+          manifest.edge_frame_bytes[slot] = frame.size();
+          manifest.edge_crcs[slot] = Crc32c(frame);
+        } else {
+          GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, AsBytes(bucket.edges)));
+          manifest.edge_crcs[slot] = Crc32c(AsBytes(bucket.edges));
+        }
       }
       if (list.weighted()) {
         GRAPHSD_ASSIGN_OR_RETURN(

@@ -27,6 +27,10 @@ struct GridBuildOptions {
   bool sort_sub_blocks = true;
   /// Build the per-sub-block source index (requires sorting).
   bool build_index = true;
+  /// Edge-payload codec: "none" (raw v1 layout) or "varint-delta"
+  /// (compressed GSDF frames, manifest format v2). Weights, index and
+  /// degrees files are always raw.
+  std::string codec = "none";
   /// Dataset name recorded in the manifest.
   std::string name = "graph";
 };

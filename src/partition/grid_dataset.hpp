@@ -9,10 +9,12 @@
 //     the paper's S_seq vs S_ran split.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "compress/codec.hpp"
 #include "graph/types.hpp"
 #include "io/device.hpp"
 #include "partition/manifest.hpp"
@@ -24,9 +26,36 @@ struct SubBlock {
   std::vector<Edge> edges;
   std::vector<Weight> weights;  // empty when unweighted or not requested
 
+  /// On-disk bytes this block was loaded from (frame + weight file when
+  /// compressed; equals SizeBytes() for raw datasets). Lets the
+  /// SubBlockBuffer report saved I/O in both byte views.
+  std::uint64_t disk_bytes = 0;
+
+  /// Decoded in-memory footprint (what buffer capacity is charged).
   std::uint64_t SizeBytes() const noexcept {
     return edges.size() * sizeof(Edge) + weights.size() * sizeof(Weight);
   }
+};
+
+/// A sub-block mid-load: the bytes read from disk before decode. For raw
+/// datasets `block` is already complete and `frame` stays empty; for
+/// compressed datasets `frame` holds the undecoded GSDF frame. Splitting
+/// fetch (I/O, runs on the prefetch loader thread) from decode (pure
+/// compute, runs on the consuming thread) keeps the loader busy with disk
+/// work while decode time is charged to the compute side of the overlap
+/// accounting.
+struct SubBlockPayload {
+  SubBlock block;
+  std::vector<std::uint8_t> frame;
+};
+
+/// Cumulative decode-side counters of one dataset (monotonic across runs;
+/// the engine reports per-run deltas).
+struct DecodeStats {
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t compressed_bytes = 0;  // on-disk frame bytes decoded
+  std::uint64_t decoded_bytes = 0;     // raw edge bytes produced
+  double decode_seconds = 0;
 };
 
 class GridDataset;
@@ -87,10 +116,32 @@ class GridDataset {
     return degrees_;
   }
 
+  /// True when edge payloads are stored as compressed frames.
+  bool compressed() const noexcept { return codec_ != nullptr; }
+
+  /// The dataset's negotiated edge codec name ("none" when raw).
+  const std::string& codec_name() const noexcept { return manifest_.codec; }
+
   /// Streams the whole sub-block (i, j). `load_weights` additionally streams
   /// the weight file (the M+W vs M distinction of the cost model).
+  /// Equivalent to FetchSubBlock + DecodeSubBlock.
   Result<SubBlock> LoadSubBlock(std::uint32_t i, std::uint32_t j,
                                 bool load_weights) const;
+
+  /// I/O half of LoadSubBlock: reads (and CRC-verifies) the sub-block's
+  /// files but leaves compressed frames undecoded. Safe to run on a loader
+  /// thread; no shared mutable state is touched.
+  Result<SubBlockPayload> FetchSubBlock(std::uint32_t i, std::uint32_t j,
+                                        bool load_weights) const;
+
+  /// Compute half: decodes `payload.frame` (if any) into `payload.block`
+  /// and releases the frame bytes. No-op for raw datasets. A decoded edge
+  /// count that disagrees with the manifest yields kCorruptData.
+  Status DecodeSubBlock(std::uint32_t i, std::uint32_t j,
+                        SubBlockPayload& payload) const;
+
+  /// Snapshot of the cumulative decode counters.
+  DecodeStats decode_stats() const noexcept;
 
   /// Loads the per-source-vertex CSR index of sub-block (i, j):
   /// IntervalSize(i)+1 offsets. Requires manifest().has_index.
@@ -104,7 +155,8 @@ class GridDataset {
   /// Opens a ranged reader over the index of sub-block (i, j).
   Result<IndexReader> OpenIndexReader(std::uint32_t i, std::uint32_t j) const;
 
-  /// Payload bytes of sub-block (i,j) counting weights when `with_weights`.
+  /// Decoded payload bytes of sub-block (i,j), counting weights when
+  /// `with_weights`.
   std::uint64_t SubBlockBytes(std::uint32_t i, std::uint32_t j,
                               bool with_weights) const noexcept {
     const std::uint64_t per_edge =
@@ -112,11 +164,35 @@ class GridDataset {
     return manifest_.EdgesIn(i, j) * per_edge;
   }
 
+  /// On-disk bytes a full load of sub-block (i,j) reads: the edge frame
+  /// size when compressed (raw edge bytes otherwise) plus the raw weight
+  /// file when `with_weights`. This is the byte count the scheduler charges
+  /// for sequential sub-block streams.
+  std::uint64_t SubBlockDiskBytes(std::uint32_t i, std::uint32_t j,
+                                  bool with_weights) const {
+    std::uint64_t bytes = manifest_.EdgeFileBytes(i, j);
+    if (with_weights && weighted()) {
+      bytes += manifest_.EdgesIn(i, j) * kWeightBytes;
+    }
+    return bytes;
+  }
+
  private:
+  // Decode counters live behind a shared_ptr: atomics are immovable and
+  // GridDataset is returned by value from Open().
+  struct AtomicDecodeStats {
+    std::atomic<std::uint64_t> frames_decoded{0};
+    std::atomic<std::uint64_t> compressed_bytes{0};
+    std::atomic<std::uint64_t> decoded_bytes{0};
+    std::atomic<std::uint64_t> decode_nanos{0};
+  };
+
   io::Device* device_ = nullptr;
   std::string dir_;
   GridManifest manifest_;
   std::vector<std::uint32_t> degrees_;
+  const compress::Codec* codec_ = nullptr;  // null = raw "none" layout
+  std::shared_ptr<AtomicDecodeStats> decode_stats_;
 };
 
 }  // namespace graphsd::partition

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "compress/frame.hpp"
+
 namespace graphsd::partition {
 namespace {
 
@@ -75,6 +77,15 @@ Result<std::uint32_t> ParseU32(const std::string& text) {
 }  // namespace
 
 Status GridManifest::Validate() const {
+  if (format_version == 0 || format_version > kMaxManifestFormatVersion) {
+    return CorruptDataError("manifest: bad format_version " +
+                            std::to_string(format_version));
+  }
+  if (codec.empty()) return CorruptDataError("manifest: empty codec");
+  if (compressed() && format_version < 2) {
+    return CorruptDataError("manifest: codec '" + codec +
+                            "' requires format_version >= 2");
+  }
   if (p == 0) return CorruptDataError("manifest: p == 0");
   // Caps p*p (and every per-sub-block allocation sized from it) well below
   // anything a corrupted manifest could use to exhaust memory.
@@ -111,6 +122,19 @@ Status GridManifest::Validate() const {
                             std::to_string(num_edges));
   }
   const std::size_t slots = static_cast<std::size_t>(p) * p;
+  if (compressed()) {
+    if (edge_frame_bytes.size() != slots) {
+      return CorruptDataError("manifest: edge_frame_bytes count != p*p");
+    }
+    for (const auto bytes : edge_frame_bytes) {
+      if (bytes < compress::kFrameHeaderBytes) {
+        return CorruptDataError(
+            "manifest: edge frame smaller than a frame header");
+      }
+    }
+  } else if (!edge_frame_bytes.empty()) {
+    return CorruptDataError("manifest: edge_frame_bytes without a codec");
+  }
   if (has_checksums) {
     if (edge_crcs.size() != slots) {
       return CorruptDataError("manifest: edge checksum count != p*p");
@@ -129,8 +153,16 @@ Status GridManifest::Validate() const {
 }
 
 std::string GridManifest::Serialize() const {
+  // Raw datasets keep emitting the original v1 text byte for byte (old
+  // readers and builder-equivalence fixtures depend on it); v2 adds the
+  // explicit version line and the codec fields.
+  const bool v2 = format_version >= 2;
   std::ostringstream out;
-  out << "graphsd_grid_manifest v1\n";
+  out << "graphsd_grid_manifest v" << (v2 ? 2 : 1) << "\n";
+  if (v2) {
+    out << "format_version=" << format_version << "\n";
+    out << "codec=" << codec << "\n";
+  }
   out << "name=" << name << "\n";
   out << "num_vertices=" << num_vertices << "\n";
   out << "num_edges=" << num_edges << "\n";
@@ -141,6 +173,9 @@ std::string GridManifest::Serialize() const {
   std::vector<std::uint64_t> bounds(boundaries.begin(), boundaries.end());
   out << "boundaries=" << JoinU64(bounds) << "\n";
   out << "sub_block_edges=" << JoinU64(sub_block_edges) << "\n";
+  if (compressed()) {
+    out << "edge_frame_bytes=" << JoinU64(edge_frame_bytes) << "\n";
+  }
   if (has_checksums) {
     out << "checksum_algo=crc32c\n";
     out << "degrees_crc=" << degrees_crc << "\n";
@@ -154,10 +189,23 @@ std::string GridManifest::Serialize() const {
 Result<GridManifest> GridManifest::Parse(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != "graphsd_grid_manifest v1") {
+  constexpr std::string_view kHeaderPrefix = "graphsd_grid_manifest v";
+  if (!std::getline(in, line) || !line.starts_with(kHeaderPrefix)) {
     return CorruptDataError("not a graphsd grid manifest");
   }
   GridManifest m;
+  GRAPHSD_ASSIGN_OR_RETURN(m.format_version,
+                           ParseU32(line.substr(kHeaderPrefix.size())));
+  if (m.format_version == 0) {
+    return CorruptDataError("manifest: bad format version line: " + line);
+  }
+  if (m.format_version > kMaxManifestFormatVersion) {
+    return UnimplementedError(
+        "dataset manifest format v" + std::to_string(m.format_version) +
+        " is newer than the supported v" +
+        std::to_string(kMaxManifestFormatVersion) +
+        "; rebuild the dataset or upgrade graphsd");
+  }
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto eq = line.find('=');
@@ -168,6 +216,18 @@ Result<GridManifest> GridManifest::Parse(const std::string& text) {
     const std::string value = line.substr(eq + 1);
     if (key == "name") {
       m.name = value;
+    } else if (key == "format_version") {
+      GRAPHSD_ASSIGN_OR_RETURN(const std::uint32_t body_version,
+                               ParseU32(value));
+      if (body_version != m.format_version) {
+        return CorruptDataError(
+            "manifest: format_version line disagrees with header");
+      }
+    } else if (key == "codec") {
+      if (value.empty()) return CorruptDataError("manifest: empty codec");
+      m.codec = value;
+    } else if (key == "edge_frame_bytes") {
+      GRAPHSD_ASSIGN_OR_RETURN(m.edge_frame_bytes, SplitU64(value));
     } else if (key == "num_vertices") {
       GRAPHSD_ASSIGN_OR_RETURN(m.num_vertices, ParseU32(value));
     } else if (key == "num_edges") {

@@ -15,7 +15,17 @@
 
 namespace graphsd::partition {
 
+// Newest manifest format this build can read. v1 is the original raw
+// layout; v2 adds an explicit `format_version` line, the dataset-level edge
+// codec and per-sub-block frame sizes. Parse rejects anything newer with a
+// clear kUnimplemented status instead of misparsing it.
+inline constexpr std::uint32_t kMaxManifestFormatVersion = 2;
+
 struct GridManifest {
+  // On-disk format version. Raw (codec "none") datasets serialize as the
+  // original v1 text, byte for byte, so old readers and old datasets keep
+  // working; compressed datasets require v2.
+  std::uint32_t format_version = 1;
   std::string name;            // dataset name (informational)
   VertexId num_vertices = 0;
   std::uint64_t num_edges = 0;
@@ -25,6 +35,15 @@ struct GridManifest {
   std::uint32_t p = 0;         // interval count
   IntervalBoundaries boundaries;           // p+1 entries
   std::vector<std::uint64_t> sub_block_edges;  // p*p entries, row-major (i*p+j)
+
+  // Edge-payload codec negotiated for the dataset ("none" = raw fixed-width
+  // edges, no frames). When compressed, every `.edges` file is a
+  // self-describing GSDF frame (see compress/frame.hpp) and
+  // `edge_frame_bytes` records each file's on-disk size (p*p, row-major) —
+  // the byte counts the scheduler charges for sequential sub-block reads.
+  // Weights, index and degrees files stay raw in either case.
+  std::string codec = "none";
+  std::vector<std::uint64_t> edge_frame_bytes;
 
   // CRC32C checksums of every payload file, recorded at build time and
   // verified on load (DESIGN.md "Failure model & recovery"). Datasets built
@@ -60,6 +79,24 @@ struct GridManifest {
   /// Total bytes of all edge (+weight) payload.
   std::uint64_t TotalEdgeBytes() const noexcept {
     return num_edges * BytesPerEdge();
+  }
+
+  /// True when edge payloads are stored as compressed frames.
+  bool compressed() const noexcept { return codec != "none"; }
+
+  /// On-disk bytes of sub-block (i, j)'s `.edges` file: the frame size when
+  /// compressed, the raw edge array size otherwise.
+  std::uint64_t EdgeFileBytes(std::uint32_t i, std::uint32_t j) const {
+    return compressed() ? edge_frame_bytes[SubBlockSlot(i, j)]
+                        : EdgesIn(i, j) * kEdgeBytes;
+  }
+
+  /// Total on-disk bytes of all `.edges` files.
+  std::uint64_t TotalEdgeFileBytes() const noexcept {
+    if (!compressed()) return num_edges * kEdgeBytes;
+    std::uint64_t total = 0;
+    for (const auto bytes : edge_frame_bytes) total += bytes;
+    return total;
   }
 
   /// Validates internal consistency.

@@ -1,0 +1,214 @@
+// Edge-payload codec unit tests: round-trips over the payload shapes the
+// grid produces (empty, single-edge, sorted, duplicates, extreme ids) and
+// strict rejection of malformed streams — the codec is the last line of
+// defence behind the frame CRC, so every truncation/overflow path must
+// surface as kCorruptData rather than garbage edges.
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compress/codec.hpp"
+#include "graph/types.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::compress {
+namespace {
+
+using testing::ValueOrDie;
+
+std::vector<std::uint8_t> PayloadOf(const std::vector<Edge>& edges) {
+  std::vector<std::uint8_t> raw(edges.size() * kEdgeBytes);
+  if (!raw.empty()) std::memcpy(raw.data(), edges.data(), raw.size());
+  return raw;
+}
+
+std::vector<std::uint8_t> EncodeOrDie(const Codec& codec,
+                                      const std::vector<std::uint8_t>& raw) {
+  std::vector<std::uint8_t> out(codec.MaxCompressedSize(raw.size()));
+  const std::size_t n = ValueOrDie(
+      codec.Encode(raw, std::span<std::uint8_t>(out)));
+  EXPECT_LE(n, out.size());
+  out.resize(n);
+  return out;
+}
+
+void ExpectRoundTrip(const Codec& codec, const std::vector<Edge>& edges) {
+  const std::vector<std::uint8_t> raw = PayloadOf(edges);
+  const std::vector<std::uint8_t> encoded = EncodeOrDie(codec, raw);
+  std::vector<std::uint8_t> decoded(raw.size());
+  ASSERT_OK(codec.Decode(encoded, decoded));
+  EXPECT_EQ(decoded, raw);
+}
+
+TEST(CodecRegistry, FindByNameAndId) {
+  ASSERT_NE(FindCodec("none"), nullptr);
+  EXPECT_EQ(FindCodec("none")->id(), CodecId::kNone);
+  ASSERT_NE(FindCodec("varint-delta"), nullptr);
+  EXPECT_EQ(FindCodec("varint-delta")->id(), CodecId::kVarintDelta);
+  EXPECT_EQ(FindCodec("zstd"), nullptr);
+  EXPECT_EQ(FindCodec(""), nullptr);
+
+  EXPECT_EQ(FindCodecById(0), &NoneCodec());
+  EXPECT_EQ(FindCodecById(1), &VarintDeltaCodec());
+  EXPECT_EQ(FindCodecById(2), nullptr);
+  EXPECT_EQ(FindCodecById(UINT32_MAX), nullptr);
+}
+
+TEST(NoneCodec, RoundTripsVerbatim) {
+  const Codec& codec = NoneCodec();
+  EXPECT_EQ(codec.name(), "none");
+  ExpectRoundTrip(codec, {});
+  ExpectRoundTrip(codec, {{3, 7}});
+  ExpectRoundTrip(codec, {{0, 1}, {0, 2}, {5, 0}});
+  const std::vector<std::uint8_t> raw = PayloadOf({{1, 2}, {3, 4}});
+  EXPECT_EQ(EncodeOrDie(codec, raw), raw);
+}
+
+TEST(NoneCodec, DecodeRejectsSizeMismatch) {
+  std::vector<std::uint8_t> encoded(16);
+  std::vector<std::uint8_t> out(8);
+  EXPECT_EQ(NoneCodec().Decode(encoded, out).code(),
+            StatusCode::kCorruptData);
+}
+
+TEST(VarintDelta, RoundTripsEmptyPayload) {
+  const std::vector<std::uint8_t> encoded =
+      EncodeOrDie(VarintDeltaCodec(), {});
+  EXPECT_TRUE(encoded.empty());
+  std::vector<std::uint8_t> out;
+  EXPECT_OK(VarintDeltaCodec().Decode(encoded, out));
+}
+
+TEST(VarintDelta, RoundTripsSingleEdge) {
+  ExpectRoundTrip(VarintDeltaCodec(), {{0, 0}});
+  ExpectRoundTrip(VarintDeltaCodec(), {{123456, 654321}});
+  ExpectRoundTrip(VarintDeltaCodec(), {{UINT32_MAX, UINT32_MAX}});
+}
+
+TEST(VarintDelta, RoundTripsDuplicateEdges) {
+  // Duplicate (src,dst) pairs produce zero deltas: one byte each.
+  const std::vector<Edge> edges(17, Edge{42, 99});
+  ExpectRoundTrip(VarintDeltaCodec(), edges);
+  const std::vector<std::uint8_t> encoded =
+      EncodeOrDie(VarintDeltaCodec(), PayloadOf(edges));
+  // First edge pays for the absolute values, the 16 duplicates are 2 bytes.
+  EXPECT_EQ(encoded.size(), 2u + 1u + 16u * 2u);
+}
+
+TEST(VarintDelta, RoundTripsMaxVertexIdSwings) {
+  // Worst-case deltas: 0 <-> UINT32_MAX swings in both columns. Each delta
+  // zigzags to just under 2^33, the 5-byte varint ceiling.
+  ExpectRoundTrip(VarintDeltaCodec(), {{0, UINT32_MAX},
+                                       {UINT32_MAX, 0},
+                                       {0, UINT32_MAX},
+                                       {UINT32_MAX, UINT32_MAX},
+                                       {0, 0}});
+}
+
+TEST(VarintDelta, RoundTripsUnsortedPayload) {
+  // The codec exploits sorted order but must round-trip any edge array.
+  ExpectRoundTrip(VarintDeltaCodec(), {{900, 3},
+                                       {2, 900000},
+                                       {2, 2},
+                                       {UINT32_MAX, 17},
+                                       {5, UINT32_MAX - 1}});
+}
+
+TEST(VarintDelta, SortedPayloadCompresses) {
+  // A (src,dst)-sorted run with small gaps — the shape grid sub-blocks
+  // have — must come out well under the raw 8 bytes/edge.
+  std::vector<Edge> edges;
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    for (std::uint32_t d = 0; d < 8; ++d) {
+      edges.push_back({1000 + s, 2000 + 3 * d});
+    }
+  }
+  const std::vector<std::uint8_t> raw = PayloadOf(edges);
+  const std::vector<std::uint8_t> encoded =
+      EncodeOrDie(VarintDeltaCodec(), raw);
+  EXPECT_LT(encoded.size() * 2, raw.size());  // at least 2x on this shape
+}
+
+TEST(VarintDelta, EncodeRejectsPartialEdge) {
+  std::vector<std::uint8_t> raw(kEdgeBytes + 3);
+  std::vector<std::uint8_t> out(64);
+  EXPECT_EQ(VarintDeltaCodec()
+                .Encode(raw, std::span<std::uint8_t>(out))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VarintDelta, DecodeRejectsTruncatedStream) {
+  const std::vector<std::uint8_t> encoded =
+      EncodeOrDie(VarintDeltaCodec(), PayloadOf({{7, 9}, {8, 11}}));
+  std::vector<std::uint8_t> out(2 * kEdgeBytes);
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    const std::span<const std::uint8_t> head(encoded.data(), cut);
+    EXPECT_EQ(VarintDeltaCodec().Decode(head, out).code(),
+              StatusCode::kCorruptData)
+        << "cut at " << cut;
+  }
+}
+
+TEST(VarintDelta, DecodeRejectsTrailingBytes) {
+  std::vector<std::uint8_t> encoded =
+      EncodeOrDie(VarintDeltaCodec(), PayloadOf({{7, 9}}));
+  encoded.push_back(0x00);
+  std::vector<std::uint8_t> out(kEdgeBytes);
+  EXPECT_EQ(VarintDeltaCodec().Decode(encoded, out).code(),
+            StatusCode::kCorruptData);
+}
+
+TEST(VarintDelta, DecodeRejectsOverlongVarint) {
+  // Six continuation bytes exceed the 5-byte ceiling for a 33-bit zigzag.
+  const std::vector<std::uint8_t> encoded = {0x80, 0x80, 0x80, 0x80,
+                                             0x80, 0x01, 0x00};
+  std::vector<std::uint8_t> out(kEdgeBytes);
+  EXPECT_EQ(VarintDeltaCodec().Decode(encoded, out).code(),
+            StatusCode::kCorruptData);
+}
+
+TEST(VarintDelta, DecodeRejectsNegativeFirstId) {
+  // zigzag(1) = -1: src would step below 0 from the implicit origin.
+  const std::vector<std::uint8_t> encoded = {0x01, 0x00};
+  std::vector<std::uint8_t> out(kEdgeBytes);
+  EXPECT_EQ(VarintDeltaCodec().Decode(encoded, out).code(),
+            StatusCode::kCorruptData);
+}
+
+TEST(VarintDelta, DecodeRejectsDeltaAboveIdRange) {
+  // zigzag value 2^33 decodes to delta +2^32: one past the largest step a
+  // 32-bit vertex id can take from the implicit origin 0.
+  const std::vector<std::uint8_t> encoded = {0x80, 0x80, 0x80, 0x80,
+                                             0x20, 0x00};
+  std::vector<std::uint8_t> out(kEdgeBytes);
+  EXPECT_EQ(VarintDeltaCodec().Decode(encoded, out).code(),
+            StatusCode::kCorruptData);
+}
+
+TEST(VarintDelta, DecodeRejectsRaggedOutputSize) {
+  const std::vector<std::uint8_t> encoded =
+      EncodeOrDie(VarintDeltaCodec(), PayloadOf({{7, 9}}));
+  std::vector<std::uint8_t> out(kEdgeBytes + 1);
+  EXPECT_EQ(VarintDeltaCodec().Decode(encoded, out).code(),
+            StatusCode::kCorruptData);
+}
+
+TEST(VarintDelta, MaxCompressedSizeBoundsWorstCase) {
+  // The 0 <-> UINT32_MAX swing payload is the documented worst case; its
+  // encoding must respect MaxCompressedSize.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 32; ++i) {
+    edges.push_back(i % 2 == 0 ? Edge{0, UINT32_MAX} : Edge{UINT32_MAX, 0});
+  }
+  const std::vector<std::uint8_t> raw = PayloadOf(edges);
+  const std::vector<std::uint8_t> encoded =
+      EncodeOrDie(VarintDeltaCodec(), raw);
+  EXPECT_LE(encoded.size(), VarintDeltaCodec().MaxCompressedSize(raw.size()));
+}
+
+}  // namespace
+}  // namespace graphsd::compress

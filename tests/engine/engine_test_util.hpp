@@ -26,12 +26,13 @@ struct TestDataset {
 };
 
 inline TestDataset MakeDataset(EdgeList graph, const std::string& dir,
-                               std::uint32_t p) {
+                               std::uint32_t p,
+                               const std::string& codec = "none") {
   TestDataset out;
   // Scaled HDD profile: test graphs are tiny, so the seek cost is scaled to
   // keep the scheduler's on-demand/full crossover where the paper's is.
   out.device = io::MakeSimulatedDevice(io::IoCostModel::ScaledHdd());
-  BuildTestGrid(graph, *out.device, dir, p);
+  BuildTestGrid(graph, *out.device, dir, p, "test", codec);
   out.dataset = std::make_unique<partition::GridDataset>(
       ValueOrDie(partition::GridDataset::Open(*out.device, dir)));
   out.graph = std::move(graph);

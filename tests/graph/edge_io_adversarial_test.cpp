@@ -1,0 +1,133 @@
+// Adversarial GSDE binary edge-file cases: degenerate payloads that must
+// round-trip exactly (empty, single edge, duplicates) and damaged files
+// that must be rejected instead of yielding garbage edges. Transient I/O
+// faults are absorbed by the device retry layer.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_io.hpp"
+#include "io/fault_injector.hpp"
+#include "io/file.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd {
+namespace {
+
+using testing::TempDir;
+using testing::ValueOrDie;
+
+std::uint64_t FileSize(const std::string& path) {
+  io::File file = ValueOrDie(io::File::Open(path, io::OpenMode::kRead));
+  return ValueOrDie(file.Size());
+}
+
+void TruncateTo(const std::string& path, std::uint64_t size) {
+  io::File file =
+      ValueOrDie(io::File::Open(path, io::OpenMode::kReadWrite));
+  ASSERT_OK(file.Truncate(size));
+}
+
+TEST(BinaryEdgeListAdversarial, EmptyEdgeListRoundTrips) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  const EdgeList empty(5);
+  ASSERT_OK(WriteBinaryEdgeList(empty, *device, dir.Sub("g.bin")));
+  const EdgeList read =
+      ValueOrDie(ReadBinaryEdgeList(*device, dir.Sub("g.bin")));
+  EXPECT_EQ(read.num_vertices(), 5u);
+  EXPECT_EQ(read.num_edges(), 0u);
+}
+
+TEST(BinaryEdgeListAdversarial, SingleEdgeRoundTrips) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList list(2);
+  list.AddEdge(1, 0, 3.5f);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  const EdgeList read =
+      ValueOrDie(ReadBinaryEdgeList(*device, dir.Sub("g.bin")));
+  EXPECT_EQ(read.edges(), list.edges());
+  EXPECT_EQ(read.weights(), list.weights());
+}
+
+TEST(BinaryEdgeListAdversarial, DuplicateEdgesPreservedVerbatim) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList list(3);
+  for (int i = 0; i < 4; ++i) list.AddEdge(1, 2);
+  list.AddEdge(0, 2);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  const EdgeList read =
+      ValueOrDie(ReadBinaryEdgeList(*device, dir.Sub("g.bin")));
+  EXPECT_EQ(read.num_edges(), 5u);
+  EXPECT_EQ(read.edges(), list.edges());
+}
+
+TEST(BinaryEdgeListAdversarial, TruncatedHeaderRejected) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList list(4);
+  list.AddEdge(0, 1);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  TruncateTo(dir.Sub("g.bin"), 7);
+  EXPECT_FALSE(ReadBinaryEdgeList(*device, dir.Sub("g.bin")).ok());
+  EXPECT_FALSE(ReadBinaryEdgeHeader(*device, dir.Sub("g.bin")).ok());
+}
+
+TEST(BinaryEdgeListAdversarial, TruncatedBodyRejected) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList list(8);
+  for (std::uint32_t v = 0; v + 1 < 8; ++v) list.AddEdge(v, v + 1);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  // Drop half an edge off the end: the header's edge count no longer fits.
+  TruncateTo(dir.Sub("g.bin"), FileSize(dir.Sub("g.bin")) - kEdgeBytes / 2);
+  EXPECT_FALSE(ReadBinaryEdgeList(*device, dir.Sub("g.bin")).ok());
+}
+
+TEST(BinaryEdgeListAdversarial, HeaderWithoutBodyRejected) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList list(4);
+  list.AddEdge(0, 1);
+  list.AddEdge(1, 2);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+  // A valid header whose declared edges are gone entirely.
+  const auto header =
+      ValueOrDie(ReadBinaryEdgeHeader(*device, dir.Sub("g.bin")));
+  ASSERT_GT(header.edges_offset, 0u);
+  TruncateTo(dir.Sub("g.bin"), header.edges_offset);
+  EXPECT_FALSE(ReadBinaryEdgeList(*device, dir.Sub("g.bin")).ok());
+}
+
+TEST(BinaryEdgeListAdversarial, TransientEioIsRetried) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList list(16);
+  for (std::uint32_t v = 0; v + 1 < 16; ++v) list.AddEdge(v, v + 1, 1.0f);
+  ASSERT_OK(WriteBinaryEdgeList(list, *device, dir.Sub("g.bin")));
+
+  io::FaultInjector injector(/*seed=*/3);
+  io::FaultRule rule;
+  rule.kind = io::FaultKind::kEio;
+  rule.op = io::FaultOp::kRead;
+  rule.path_substring = "g.bin";
+  rule.nth = 1;
+  rule.max_fires = 1;
+  injector.AddRule(rule);
+  device->set_fault_injector(&injector);
+  const auto before = device->stats().Snapshot();
+  const EdgeList read =
+      ValueOrDie(ReadBinaryEdgeList(*device, dir.Sub("g.bin")));
+  device->set_fault_injector(nullptr);
+
+  EXPECT_EQ(read.edges(), list.edges());
+  EXPECT_EQ(read.weights(), list.weights());
+  EXPECT_EQ(injector.faults_injected(), 1u);
+  EXPECT_GE((device->stats().Snapshot() - before).retries, 1u);
+}
+
+}  // namespace
+}  // namespace graphsd

@@ -43,6 +43,12 @@ core::ExecutionReport MakeReport() {
   fciu.iterations_covered = 2;
   fciu.model = core::RoundModel::kFciu;
   report.per_round.push_back(fciu);
+
+  report.codec = "varint-delta";
+  report.frames_decoded = 7;
+  report.compressed_bytes_read = 900;
+  report.decoded_bytes = 2048;
+  report.decode_seconds = 0.125;
   return report;
 }
 
@@ -67,6 +73,12 @@ TEST(RunReport, DocumentCarriesScheduleInputsAndTotals) {
   EXPECT_NE(json.find(R"("random_request_bytes":)"), std::string::npos);
   // hits / (hits + misses) with both recorded.
   EXPECT_NE(json.find(R"("hit_rate":0.75)"), std::string::npos);
+  // Compressed-vs-decoded byte counters ride along in one section.
+  EXPECT_NE(json.find(R"("compression":{"codec":"varint-delta")"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("frames_decoded":7)"), std::string::npos);
+  EXPECT_NE(json.find(R"("compressed_bytes_read":900)"), std::string::npos);
+  EXPECT_NE(json.find(R"("decoded_bytes":2048)"), std::string::npos);
   // No registry attached: the optional section is absent.
   EXPECT_EQ(json.find(R"("metrics")"), std::string::npos);
 }

@@ -62,10 +62,12 @@ inline partition::GridManifest BuildTestGrid(const EdgeList& list,
                                              io::Device& device,
                                              const std::string& dir,
                                              std::uint32_t p,
-                                             const std::string& name = "test") {
+                                             const std::string& name = "test",
+                                             const std::string& codec = "none") {
   partition::GridBuildOptions options;
   options.num_intervals = p;
   options.name = name;
+  options.codec = codec;
   return ValueOrDie(partition::BuildGrid(list, device, dir, options));
 }
 

@@ -33,6 +33,22 @@ python3 -m json.tool "$OBS_DIR/trace.json" > /dev/null
 python3 -m json.tool "$OBS_DIR/report.json" > /dev/null
 echo "json export smoke: OK"
 
+echo "== tier 1: compressed layout smoke (--codec varint-delta) =="
+"$CLI" preprocess --input "$OBS_DIR/g.bin" --out "$OBS_DIR/ds_vd" --p 4 \
+    --codec varint-delta > /dev/null
+"$CLI" verify --dataset "$OBS_DIR/ds_vd" > /dev/null
+"$CLI" run --dataset "$OBS_DIR/ds_vd" --algo sssp --root 0 \
+    --report-json "$OBS_DIR/report_vd.json" > /dev/null
+python3 - "$OBS_DIR/report_vd.json" <<'PYEOF'
+import json, sys
+comp = json.load(open(sys.argv[1]))["compression"]
+assert comp["codec"] == "varint-delta", comp
+assert comp["frames_decoded"] > 0, comp
+assert comp["compressed_bytes_read"] > 0, comp
+assert comp["decoded_bytes"] > 0, comp
+PYEOF
+echo "compressed smoke: OK"
+
 if [ "$1" = "--tier1-only" ]; then
   exit 0
 fi

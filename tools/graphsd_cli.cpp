@@ -160,6 +160,9 @@ int CmdPreprocess(int argc, const char* const* argv) {
   flags.Define("external", "false",
                "stream out of core (bounded memory; graphsd layout only)");
   flags.Define("name", "graph", "dataset name stored in the manifest");
+  flags.Define("codec", "none",
+               "edge-payload codec: none | varint-delta (graphsd layout "
+               "only; baselines always write raw)");
   DefineDeviceFlag(flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
@@ -169,12 +172,14 @@ int CmdPreprocess(int argc, const char* const* argv) {
   options.memory_budget_bytes =
       CheckedCast<std::uint64_t>(flags.GetInt("memory-budget"));
   options.name = flags.GetString("name");
+  options.codec = flags.GetString("codec");
 
   if (flags.GetBool("external")) {
     partition::ExternalBuildOptions external;
     external.num_intervals = options.num_intervals;
     external.memory_budget_bytes = options.memory_budget_bytes;
     external.name = options.name;
+    external.codec = options.codec;
     auto manifest = partition::BuildGridExternal(
         flags.GetString("input"), *device, flags.GetString("out"), external);
     if (!manifest.ok()) return Fail(manifest.status());
@@ -223,6 +228,13 @@ int CmdInfo(int argc, const char* const* argv) {
               m.has_index ? "indexed" : "no index");
   std::printf("  payload:   %llu bytes\n",
               static_cast<unsigned long long>(m.TotalEdgeBytes()));
+  if (m.compressed()) {
+    std::printf("  codec:     %s (manifest v%u), edge frames %llu bytes on "
+                "disk (%llu raw)\n",
+                m.codec.c_str(), m.format_version,
+                static_cast<unsigned long long>(m.TotalEdgeFileBytes()),
+                static_cast<unsigned long long>(m.num_edges * kEdgeBytes));
+  }
   std::printf("  sub-block edge counts:\n");
   for (std::uint32_t i = 0; i < m.p; ++i) {
     std::printf("   ");
