@@ -1,5 +1,6 @@
 #include "algos/sssp.hpp"
 
+#include <cmath>
 #include <limits>
 
 #include "core/slot.hpp"
@@ -27,8 +28,12 @@ bool Sssp::Apply(core::VertexState& state, VertexId src, VertexId dst,
                  Weight w, core::ContribSlot slot) const {
   const double src_dist = SlotToDouble(state.contrib(slot)[src]);
   if (src_dist == std::numeric_limits<double>::infinity()) return false;
-  return core::AtomicMinDouble(&state.array(0)[dst],
-                               src_dist + static_cast<double>(w));
+  // Saturate explicitly: a sum that overflows to inf (or passes through a
+  // NaN on a corrupted dataset) must never win a relaxation against an
+  // unreached (inf) destination or activate it.
+  const double candidate = src_dist + static_cast<double>(w);
+  if (!std::isfinite(candidate)) return false;
+  return core::AtomicMinDouble(&state.array(0)[dst], candidate);
 }
 
 double Sssp::ValueOf(const core::VertexState& state, VertexId v) const {

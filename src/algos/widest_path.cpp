@@ -1,5 +1,7 @@
 #include "algos/widest_path.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/slot.hpp"
@@ -44,7 +46,11 @@ bool WidestPath::Apply(core::VertexState& state, VertexId src, VertexId dst,
                        Weight w, core::ContribSlot slot) const {
   const double src_width = SlotToDouble(state.contrib(slot)[src]);
   if (src_width <= 0.0) return false;
+  // The root's width is +inf, so the bottleneck is finite whenever the
+  // weight is; an inf/NaN weight on a corrupted dataset must not install a
+  // non-finite width that would then dominate every later max.
   const double bottleneck = std::min(src_width, static_cast<double>(w));
+  if (!std::isfinite(bottleneck) || bottleneck <= 0.0) return false;
   return AtomicMaxDouble(&state.array(0)[dst], bottleneck);
 }
 

@@ -187,6 +187,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   Frontier out_ni(n);
   Frontier preact(n);
   program.Init(state, active);
+  if (options_.frontier_probe) options_.frontier_probe(0, active);
 
   const std::string values_path = ValuesPath(program);
   GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
@@ -212,14 +213,24 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       ++iterations;
       ++report.rounds;
       if (options_.record_per_round) report.per_round.push_back(stat);
+      if (options_.frontier_probe) options_.frontier_probe(iterations, active);
       continue;
     }
 
     RoundStat stat;
     stat.first_iteration = iterations;
     bool on_demand = false;
-    if (selective_healthy &&
-        (options_.force_on_demand || options_.enable_selective)) {
+    const RoundModelChoice choice = options_.model_override
+                                        ? options_.model_override(iterations)
+                                        : RoundModelChoice::kAuto;
+    if (choice != RoundModelChoice::kAuto) {
+      // Forced model (differential testing): skip the cost evaluation. The
+      // on-demand directive still requires a usable selective path.
+      on_demand = choice == RoundModelChoice::kOnDemand && selective_healthy &&
+                  options_.enable_selective;
+      stat.active_vertices = active.Count();
+    } else if (selective_healthy &&
+               (options_.force_on_demand || options_.enable_selective)) {
       // Under overlap charging the scheduler floors both model costs at the
       // run's observed per-round compute (0 before the first round commits,
       // i.e. the first evaluation is effectively serial).
@@ -281,7 +292,13 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
         on_demand = false;
       } else {
         GRAPHSD_RETURN_IF_ERROR(status);
-        iterations += 1;
+        // The round may have fully pre-executed the following BSP iteration
+        // (terminal cross-iteration step, see SciuExecutor); keep the
+        // accounted span within the iteration budget.
+        if (stat.first_iteration + stat.iterations_covered > max_iterations) {
+          stat.iterations_covered = max_iterations - stat.first_iteration;
+        }
+        iterations += stat.iterations_covered;
         preact.Clear();
         active.Swap(out);
         preact.Swap(out_ni);
@@ -294,8 +311,8 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
                                                 out_ni, two, stat,
                                                 &report.update_seconds));
       preact.Clear();
-      if (two) {
-        iterations += 2;
+      iterations += stat.iterations_covered;
+      if (stat.iterations_covered == 2) {
         active.Swap(out_ni);  // `out` was fully consumed inside the round
         if (options_.model_lumos_propagation) {
           GRAPHSD_RETURN_IF_ERROR(
@@ -303,7 +320,6 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
           GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path + ".prop"));
         }
       } else {
-        iterations += 1;
         active.Swap(out);
       }
     }
@@ -313,6 +329,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
     }
     accounting.Commit(options_.record_per_round);
+    if (options_.frontier_probe) options_.frontier_probe(iterations, active);
   }
 
   report.iterations = iterations;
@@ -380,7 +397,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
                      iterations + 2 <= max_iterations;
     GRAPHSD_RETURN_IF_ERROR(fciu.RunGatherRound(program, state, two, stat,
                                                 &report.update_seconds));
-    iterations += two ? 2 : 1;
+    iterations += stat.iterations_covered;
     if (two && options_.model_lumos_propagation) {
       GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path + ".prop"));
       GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path + ".prop"));

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,13 @@ class TraceBuffer;
 }  // namespace graphsd::obs
 
 namespace graphsd::core {
+
+/// Per-round I/O-model directive for EngineOptions::model_override.
+/// kAuto defers to the state-aware scheduler (or the force_on_demand /
+/// enable_selective switches); kOnDemand and kFull pin the round to the
+/// SCIU and full-streaming models respectively, skipping the cost
+/// evaluation entirely.
+enum class RoundModelChoice : std::uint8_t { kAuto, kOnDemand, kFull };
 
 struct EngineOptions {
   /// Worker threads (0 = hardware concurrency).
@@ -79,6 +87,22 @@ struct EngineOptions {
   /// levels are published as end-of-run gauge snapshots. Passive, like
   /// `trace`.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Differential-testing hook (DESIGN.md §11): consulted with each push
+  /// round's first iteration before the scheduler. Null means kAuto for
+  /// every round. A kOnDemand directive still honors index availability
+  /// and on-demand degradation (the round falls back to full streaming
+  /// when the selective path is unusable).
+  std::function<RoundModelChoice(std::uint32_t first_iteration)>
+      model_override;
+  /// Differential-testing hook (DESIGN.md §11): invoked after Init with
+  /// (0, initial frontier) and after every committed push round with the
+  /// next iteration number and the frontier entering it. Only reflects
+  /// plain-BSP iteration boundaries when enable_cross_iteration is false
+  /// (cross-iteration rounds pre-execute future work, splitting the next
+  /// frontier across the active and pre-activated sets). Must not mutate
+  /// engine state.
+  std::function<void(std::uint32_t next_iteration, const Frontier& active)>
+      frontier_probe;
 };
 
 class GraphSDEngine {

@@ -247,7 +247,10 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
   }
 
   stat.model = RoundModel::kFciu;
-  stat.iterations_covered = 2;
+  // The round only spans two BSP iterations when iteration t actually
+  // produced a t+1 frontier; with `out` empty the second half was vacuous
+  // and the round degenerates to a single iteration.
+  stat.iterations_covered = out.Empty() ? 1 : 2;
   return Status::Ok();
 }
 

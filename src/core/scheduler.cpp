@@ -8,6 +8,22 @@
 
 namespace graphsd::core {
 
+double InterpolateExpectedColumns(std::span<const std::uint64_t> anchors,
+                                  std::span<const double> expected,
+                                  std::uint64_t edges) {
+  if (edges <= anchors.front()) return expected.front();
+  if (edges >= anchors.back()) return expected.back();
+  std::size_t hi = 1;
+  while (anchors[hi] < edges) ++hi;
+  if (anchors[hi] == edges) return expected[hi];
+  const std::size_t lo = hi - 1;
+  const double t = (std::log2(static_cast<double>(edges)) -
+                    std::log2(static_cast<double>(anchors[lo]))) /
+                   (std::log2(static_cast<double>(anchors[hi])) -
+                    std::log2(static_cast<double>(anchors[lo])));
+  return expected[lo] + t * (expected[hi] - expected[lo]);
+}
+
 SchedulerDecision StateAwareScheduler::Evaluate(
     const Frontier& active, std::uint64_t vertex_record_bytes,
     bool with_weights, bool fciu_round,
@@ -65,9 +81,11 @@ SchedulerDecision StateAwareScheduler::Evaluate(
     }
   }
   auto requests_for_run = [&](std::uint32_t row, std::uint64_t edges) {
-    std::size_t a = 0;
-    while (a + 1 < kNumAnchors && kAnchors[a] < edges) ++a;
-    const double expected = expected_cols[row * kNumAnchors + a];
+    const double expected = InterpolateExpectedColumns(
+        kAnchors,
+        std::span<const double>(expected_cols.data() + row * kNumAnchors,
+                                kNumAnchors),
+        edges);
     return std::max<std::uint64_t>(
         1, std::min<std::uint64_t>(
                edges, static_cast<std::uint64_t>(expected + 0.5)));
@@ -79,12 +97,22 @@ SchedulerDecision StateAwareScheduler::Evaluate(
   // not break a run.
   std::uint64_t run_bytes = 0;
   std::uint64_t run_edges = 0;
-  std::uint64_t run_vertices = 0;
-  VertexId run_first = kInvalidVertex;
+  // A run may span interval boundaries, and each crossed row serves its
+  // share of the run's edges from its own sub-blocks, so requests are
+  // accumulated per (row, edges, vertices) segment rather than attributed
+  // to a single row.
+  struct RunSegment {
+    std::uint32_t row;
+    std::uint64_t edges;
+    std::uint64_t vertices;
+  };
+  std::vector<RunSegment> run_segments;
+  std::uint32_t cursor_row = 0;  // actives ascend, so the row is monotone
   std::uint64_t seeks = 0;
   std::uint64_t index_bytes = 0;
-  // Rows holding at least one edge-bearing run: a compressed selective pass
-  // fetches the whole frames of these rows' non-empty sub-blocks.
+  // Rows holding at least one edge-bearing run segment: a compressed
+  // selective pass fetches the whole frames of these rows' non-empty
+  // sub-blocks.
   std::vector<char> rows_active(compressed ? manifest.p : 0, 0);
   VertexId prev_active = kInvalidVertex;
   bool gap_has_edges = false;
@@ -94,28 +122,29 @@ SchedulerDecision StateAwareScheduler::Evaluate(
   // run iff any vertex in it has out-degree > 0. We bound the scan per gap
   // by early exit on the first edge-bearing vertex.
   auto close_run = [&] {
-    if (run_edges == 0) return;
-    ++d.random_requests;
-    // A run's edges are split across the columns of its row; it costs at
-    // most one request per non-empty column, and never more requests than
-    // it has edges. Split seq/ran by the per-request transfer size.
-    const std::uint32_t row =
-        partition::IntervalOf(manifest.boundaries, prev_active);
-    if (compressed) {
-      // The run may span interval boundaries; every row it crosses has
-      // frames the on-demand model must fetch whole.
-      for (std::uint32_t r = partition::IntervalOf(manifest.boundaries,
-                                                   run_first);
-           r <= row; ++r) {
-        rows_active[r] = 1;
-      }
+    if (run_edges == 0) {
+      run_segments.clear();
+      return;
     }
-    const std::uint64_t requests = requests_for_run(row, run_edges);
-    // Each touched sub-block costs one ranged index read (the run's offset
-    // entries) plus one edge-range read.
+    ++d.random_requests;
+    // A segment's edges are split across the columns of its row; it costs
+    // at most one request per non-empty column, and never more requests
+    // than it has edges. Each request is one ranged index read (the
+    // segment's offset entries) plus one edge-range read.
+    std::uint64_t requests = 0;
+    for (const RunSegment& seg : run_segments) {
+      if (seg.edges == 0) continue;  // zero-degree actives move no bytes
+      const std::uint64_t seg_requests = requests_for_run(seg.row, seg.edges);
+      requests += seg_requests;
+      index_bytes += (seg.vertices + 1) * sizeof(std::uint32_t) * seg_requests;
+      if (compressed) rows_active[seg.row] = 1;
+    }
     seeks += 2 * requests;
-    index_bytes += (run_vertices + 1) * sizeof(std::uint32_t) * requests;
-    const std::uint64_t per_request = run_bytes / requests;
+    // Split seq/ran by the per-request transfer size; round the division up
+    // so remainder bytes are not dropped from the split (a run with fewer
+    // bytes than requests must classify as small random requests, not as
+    // zero-byte ones).
+    const std::uint64_t per_request = (run_bytes + requests - 1) / requests;
     if (per_request >= model_.random_request_bytes) {
       d.seq_bytes += run_bytes;
     } else {
@@ -123,8 +152,7 @@ SchedulerDecision StateAwareScheduler::Evaluate(
     }
     run_bytes = 0;
     run_edges = 0;
-    run_vertices = 0;
-    run_first = kInvalidVertex;
+    run_segments.clear();
   };
 
   active.ForEachActive([&](std::size_t idx) {
@@ -143,13 +171,22 @@ SchedulerDecision StateAwareScheduler::Evaluate(
       }
       if (gap_has_edges) close_run();
     }
+    while (cursor_row + 1 < manifest.p &&
+           v >= manifest.boundaries[cursor_row + 1]) {
+      ++cursor_row;
+    }
+    if (run_segments.empty() || run_segments.back().row != cursor_row) {
+      run_segments.push_back({cursor_row, 0, 0});
+    }
+    run_segments.back().edges += deg;
+    run_segments.back().vertices += 1;
     run_bytes += deg * ranged_bytes_per_edge;
     run_edges += deg;
-    if (run_vertices == 0) run_first = v;
-    ++run_vertices;
     prev_active = v;
   });
   close_run();
+  d.seeks = seeks;
+  d.index_bytes = index_bytes;
 
   // --- compressed on-demand edge bytes -------------------------------------
   // On-disk frames of the non-empty sub-blocks in every row a run touched:

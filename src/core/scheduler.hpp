@@ -24,12 +24,23 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/frontier.hpp"
 #include "io/cost_model.hpp"
 #include "partition/grid_dataset.hpp"
 
 namespace graphsd::core {
+
+/// Log-linear interpolation of a per-row expected-distinct-columns curve
+/// sampled at `anchors` (strictly increasing run sizes, in edges). Run
+/// sizes below the first / above the last anchor clamp to the end values;
+/// between anchors the estimate is linear in log2(edges), matching the
+/// roughly logarithmic growth of E[distinct cols] = sum_j 1 - (1-p_ij)^E.
+/// Exposed for regression testing of the scheduler's request estimator.
+double InterpolateExpectedColumns(std::span<const std::uint64_t> anchors,
+                                  std::span<const double> expected,
+                                  std::uint64_t edges);
 
 struct SchedulerDecision {
   bool on_demand = false;
@@ -48,6 +59,13 @@ struct SchedulerDecision {
   std::uint64_t seq_bytes = 0;   // S_seq
   std::uint64_t rand_bytes = 0;  // S_ran
   std::uint64_t random_requests = 0;
+  // On-demand request shape behind the byte terms: total per-sub-block
+  // ranged requests (each charged one index seek + one edge seek) and the
+  // index bytes those requests read. Charged per (row, edges) segment of
+  // each run, so a run spanning interval boundaries pays every row it has
+  // edges in.
+  std::uint64_t seeks = 0;
+  std::uint64_t index_bytes = 0;
   // Estimated frame-decode seconds folded into each model's compute floor
   // (zero for raw datasets).
   double decode_seconds_on_demand = 0;

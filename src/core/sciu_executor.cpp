@@ -338,6 +338,7 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
   }
 
   // --- cross-iteration step (Algorithm 2, lines 15-23) ---------------------
+  bool cross_step_ran = false;
   if (retain) {
     Frontier qualifying(active.size());
     std::uint64_t qualify_count = 0;
@@ -348,6 +349,7 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
       }
     });
     if (qualify_count > 0) {
+      cross_step_ran = true;
       obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
       ScopedWallAccumulator acc(update_seconds);
       // Seal the re-activated vertices' fresh values, then push them into
@@ -375,7 +377,12 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
   }
 
   stat.model = RoundModel::kSciu;
-  stat.iterations_covered = 1;
+  // When the cross-iteration step consumed every activation (the t+1
+  // frontier was exactly the re-activated set, whose retained edges were
+  // all pushed) and produced no further activations, BSP iteration t+1 ran
+  // to completion inside this round.
+  stat.iterations_covered =
+      cross_step_ran && out.Empty() && out_ni.Empty() ? 2 : 1;
   return Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #include "graph/edge_list.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace graphsd {
@@ -41,6 +42,20 @@ Status EdgeList::Validate() const {
       return CorruptDataError("edge (" + std::to_string(e.src) + "," +
                               std::to_string(e.dst) + ") out of range " +
                               std::to_string(num_vertices_));
+    }
+  }
+  // Every engine algorithm assumes finite, nonnegative weights (Bellman-
+  // Ford relaxation diverges on negative cycles; non-finite weights poison
+  // min/max combines), so malformed weights are rejected at build/load
+  // rather than silently accepted.
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    const Weight w = weights_[k];
+    if (!std::isfinite(w) || w < 0.0f) {
+      return InvalidArgumentError(
+          "edge (" + std::to_string(edges_[k].src) + "," +
+          std::to_string(edges_[k].dst) + ") has " +
+          (std::isfinite(w) ? "negative" : "non-finite") + " weight " +
+          std::to_string(w) + "; weights must be finite and >= 0");
     }
   }
   return Status::Ok();

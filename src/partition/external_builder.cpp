@@ -1,6 +1,7 @@
 #include "partition/external_builder.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "compress/frame.hpp"
@@ -180,6 +181,19 @@ Result<GridManifest> BuildGridExternal(const std::string& raw_edges_path,
         return CorruptDataError(raw_edges_path + ": edge out of range");
       }
       ++degrees[e.src];
+    }
+    // Same weight contract as EdgeList::Validate (which in-memory builds go
+    // through): finite and nonnegative, checked before any dataset bytes
+    // are committed.
+    for (const Weight w : weights) {
+      if (!std::isfinite(w) || w < 0.0f) {
+        return InvalidArgumentError(
+            raw_edges_path + ": " +
+            (std::isfinite(w) ? std::string("negative") :
+                                std::string("non-finite")) +
+            " edge weight " + std::to_string(w) +
+            "; weights must be finite and >= 0");
+      }
     }
   }
 

@@ -1,0 +1,553 @@
+#include "testing/difftest.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "partition/grid_builder.hpp"
+#include "testing/graph_cases.hpp"
+#include "testing/program_factory.hpp"
+#include "testing/reference_engine.hpp"
+#include "testing/temp_dir.hpp"
+#include "util/rng.hpp"
+
+namespace graphsd::testing {
+namespace {
+
+using core::ContribSlot;
+using core::EngineOptions;
+using core::Frontier;
+using core::GraphSDEngine;
+using core::Program;
+using core::PushProgram;
+using core::RoundModelChoice;
+using core::VertexState;
+
+// Fixed-iteration gather (PageRank at N threads): only floating-point
+// reassociation separates engine from oracle — tight tolerance.
+constexpr double kRelTol = 1e-9;
+constexpr double kAbsTol = 1e-12;
+// Sum-threshold push (PR-Delta, PPR) in non-bitwise configs: execution
+// order decides *which* sub-epsilon residuals are abandoned unpushed, so
+// final values differ by up to ~n·ε/(1-d) ≈ 1e-6 at the harness's graph
+// sizes; a real bug (lost edge, bad accumulate) shifts values by orders of
+// magnitude more.
+constexpr double kRelTolThreshold = 1e-6;
+constexpr double kAbsTolThreshold = 2e-6;
+
+// Engine-side fault injector: suppresses Apply for every copy of the
+// lexicographically largest (src, dst) pair. Defined over edge *values*
+// (not positions) so the dropped set is identical no matter how the grid
+// reorders edges — the oracle, which runs the unwrapped program, then
+// disagrees deterministically.
+class DropEdgePushProgram final : public PushProgram {
+ public:
+  DropEdgePushProgram(std::unique_ptr<PushProgram> inner, Edge target)
+      : inner_(std::move(inner)), target_(target) {}
+
+  std::string name() const override { return inner_->name(); }
+  bool needs_weights() const override { return inner_->needs_weights(); }
+  std::uint32_t num_value_arrays() const override {
+    return inner_->num_value_arrays();
+  }
+  void Bind(const std::vector<std::uint32_t>& out_degrees) override {
+    inner_->Bind(out_degrees);
+  }
+  void Init(VertexState& state, Frontier& initial) override {
+    inner_->Init(state, initial);
+  }
+  std::uint32_t max_iterations() const override {
+    return inner_->max_iterations();
+  }
+  double ValueOf(const VertexState& state, VertexId v) const override {
+    return inner_->ValueOf(state, v);
+  }
+  void MakeContribution(VertexState& state, VertexId v,
+                        ContribSlot slot) const override {
+    inner_->MakeContribution(state, v, slot);
+  }
+  bool Apply(VertexState& state, VertexId src, VertexId dst, Weight w,
+             ContribSlot slot) const override {
+    if (src == target_.src && dst == target_.dst) return false;
+    return inner_->Apply(state, src, dst, w, slot);
+  }
+
+ private:
+  std::unique_ptr<PushProgram> inner_;
+  Edge target_;
+};
+
+Edge MaxEdge(const EdgeList& graph) {
+  Edge best{0, 0};
+  bool any = false;
+  for (const Edge& e : graph.edges()) {
+    if (!any || e.src > best.src || (e.src == best.src && e.dst > best.dst)) {
+      best = e;
+      any = true;
+    }
+  }
+  return best;
+}
+
+bool BitwiseEqual(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool WithinTolerance(double a, double b, double rel, double abs) {
+  if (BitwiseEqual(a, b)) return true;
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= abs + rel * scale;
+}
+
+std::vector<VertexId> SortedFrontier(const Frontier& frontier) {
+  std::vector<VertexId> ids;
+  frontier.ForEachActive(
+      [&](std::size_t v) { ids.push_back(static_cast<VertexId>(v)); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Divergence MakeStatusDivergence(const Status& status) {
+  Divergence d;
+  d.invariant = "status";
+  d.detail = "engine run failed on valid input: " + status.ToString();
+  return d;
+}
+
+}  // namespace
+
+std::string DescribeDivergence(const Divergence& d) {
+  std::ostringstream out;
+  out << "invariant=" << d.invariant;
+  if (d.invariant == "value") {
+    char oracle_buf[48], engine_buf[48];
+    std::snprintf(oracle_buf, sizeof oracle_buf, "%.17g", d.oracle_value);
+    std::snprintf(engine_buf, sizeof engine_buf, "%.17g", d.engine_value);
+    out << " vertex=" << d.vertex << " oracle=" << oracle_buf
+        << " engine=" << engine_buf;
+  } else if (d.invariant == "iterations") {
+    out << " oracle_iterations=" << d.oracle_iterations
+        << " engine_iterations=" << d.engine_iterations;
+  } else if (d.invariant == "frontier") {
+    out << " iteration=" << d.iteration << " vertex=" << d.vertex;
+  }
+  if (!d.detail.empty()) out << " detail=\"" << d.detail << "\"";
+  return out.str();
+}
+
+Result<BuiltDataset> BuildCaseDataset(const EdgeList& graph,
+                                      const std::string& codec,
+                                      std::uint32_t p, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return InternalError("cannot create " + dir + ": " + ec.message());
+
+  BuiltDataset built;
+  built.device = io::MakeSimulatedDevice();
+  built.codec = codec;
+
+  partition::GridBuildOptions options;
+  options.num_intervals = p;
+  options.codec = codec;
+  options.name = "difftest";
+  auto manifest = partition::BuildGrid(graph, *built.device, dir, options);
+  GRAPHSD_RETURN_IF_ERROR(manifest.status());
+
+  auto dataset = partition::GridDataset::Open(*built.device, dir);
+  GRAPHSD_RETURN_IF_ERROR(dataset.status());
+  built.dataset =
+      std::make_unique<partition::GridDataset>(std::move(dataset).value());
+  built.p = built.dataset->manifest().p;
+  return built;
+}
+
+Result<std::optional<Divergence>> RunTrial(
+    const EdgeList& graph, VertexId root,
+    const partition::GridDataset& dataset, const TrialConfig& config) {
+  auto spec = AlgoSpecFor(config.algo);
+  GRAPHSD_RETURN_IF_ERROR(spec.status());
+  if (config.model != "auto" && config.model != "on_demand" &&
+      config.model != "full") {
+    return InvalidArgumentError("bad trial model: " + config.model);
+  }
+  if (config.threads == 0) {
+    return InvalidArgumentError("trial threads must be >= 1");
+  }
+
+  // Oracle: the unwrapped program under textbook BSP.
+  auto oracle_program = MakeProgram(config.algo, root);
+  GRAPHSD_RETURN_IF_ERROR(oracle_program.status());
+  const bool push = (*oracle_program)->kind() == core::ProgramKind::kPush;
+
+  ReferenceOptions ref_options;
+  ref_options.record_frontiers = push;
+  auto oracle = RunReferenceBsp(**oracle_program, graph, ref_options);
+  GRAPHSD_RETURN_IF_ERROR(oracle.status());
+
+  // Engine-side program, optionally fault-wrapped.
+  auto engine_inner = MakeProgram(config.algo, root);
+  GRAPHSD_RETURN_IF_ERROR(engine_inner.status());
+  std::unique_ptr<Program> engine_program = std::move(engine_inner).value();
+  if (config.fault == EngineFault::kDropMaxEdge) {
+    if (!push) {
+      return InvalidArgumentError(
+          "drop_max_edge fault requires a push algorithm");
+    }
+    engine_program = std::make_unique<DropEdgePushProgram>(
+        std::unique_ptr<PushProgram>(
+            static_cast<PushProgram*>(engine_program.release())),
+        MaxEdge(graph));
+  }
+
+  EngineOptions options;
+  options.num_threads = config.threads;
+  options.enable_cross_iteration = config.cross_iteration;
+  options.prefetch_depth = config.prefetch_depth;
+  options.record_per_round = false;
+  // Bound a diverging engine instead of letting a convergence bug spin: a
+  // correct engine needs at most 2*oracle+1 waves (cross-iteration
+  // activation stealing; see the iteration invariant below) plus slack for
+  // tolerance-class threshold wobble.
+  options.max_iterations = 2 * oracle->iterations + 17;
+  if (config.model != "auto") {
+    const RoundModelChoice forced = config.model == "on_demand"
+                                        ? RoundModelChoice::kOnDemand
+                                        : RoundModelChoice::kFull;
+    options.model_override = [forced](std::uint32_t) { return forced; };
+  }
+
+  // Frontier probe: only meaningful at plain-BSP boundaries.
+  const AlgoSpec& algo = *spec;
+  const bool compare_frontiers =
+      push && !config.cross_iteration &&
+      (algo.cls == AlgoClass::kMonotone || config.threads == 1);
+  std::map<std::uint32_t, std::vector<VertexId>> engine_frontiers;
+  if (compare_frontiers) {
+    options.frontier_probe = [&engine_frontiers](std::uint32_t next_iteration,
+                                                 const Frontier& active) {
+      engine_frontiers[next_iteration] = SortedFrontier(active);
+    };
+  }
+
+  GraphSDEngine engine(dataset, options);
+  auto report = engine.Run(*engine_program);
+  if (!report.ok()) {
+    return std::optional<Divergence>(MakeStatusDivergence(report.status()));
+  }
+
+  Divergence d;
+  d.oracle_iterations = oracle->iterations;
+  d.engine_iterations = report->iterations;
+
+  // Iteration-count invariant.
+  bool iterations_equal = false;
+  bool iterations_bounded = false;
+  switch (algo.cls) {
+    case AlgoClass::kMonotone:
+      iterations_equal = !config.cross_iteration;
+      iterations_bounded = config.cross_iteration;
+      break;
+    case AlgoClass::kSumThreshold:
+      iterations_equal = config.threads == 1 && !config.cross_iteration;
+      break;
+    case AlgoClass::kFixedIteration:
+      iterations_equal = true;
+      break;
+  }
+  if (iterations_equal && report->iterations != oracle->iterations) {
+    d.invariant = "iterations";
+    d.detail = "expected iteration count equal to oracle";
+    return std::optional<Divergence>(d);
+  }
+  // Cross-iteration pre-execution is value-exact but not wave-count
+  // preserving, in both directions. Delay: a cross apply can deliver a
+  // vertex's wave-(t+1) value before its wave-t apply lands, stealing the
+  // wave-t activation (equal value, Apply returns false) and pushing the
+  // vertex's own propagation one wave later — at most one extra wave per
+  // hop, so <= 2*oracle + 1 total. Acceleration: contributions seal at
+  // column end, after the interval has already absorbed early cross
+  // applies from lower intervals, so one round can chain a value through
+  // several ascending intervals Gauss-Seidel-style — the engine may
+  // converge in fewer counted waves than BSP.
+  if (iterations_bounded &&
+      report->iterations > 2 * oracle->iterations + 1) {
+    d.invariant = "iterations";
+    d.detail = "cross-iteration engine iterations above 2*oracle+1";
+    return std::optional<Divergence>(d);
+  }
+
+  // Value invariant.
+  const bool bitwise =
+      algo.cls == AlgoClass::kMonotone ||
+      (algo.cls == AlgoClass::kSumThreshold && config.threads == 1 &&
+       !config.cross_iteration) ||
+      (algo.cls == AlgoClass::kFixedIteration && config.threads == 1);
+  const double rel_tol =
+      algo.cls == AlgoClass::kSumThreshold ? kRelTolThreshold : kRelTol;
+  const double abs_tol =
+      algo.cls == AlgoClass::kSumThreshold ? kAbsTolThreshold : kAbsTol;
+  const VertexState* state = engine.state();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const double oracle_value = oracle->values[v];
+    const double engine_value = engine_program->ValueOf(*state, v);
+    const bool same =
+        bitwise ? BitwiseEqual(oracle_value, engine_value)
+                : WithinTolerance(oracle_value, engine_value, rel_tol, abs_tol);
+    if (!same) {
+      d.invariant = "value";
+      d.vertex = v;
+      d.iteration = report->iterations;
+      d.oracle_value = oracle_value;
+      d.engine_value = engine_value;
+      d.detail = bitwise ? "bitwise value mismatch" : "tolerance exceeded";
+      return std::optional<Divergence>(d);
+    }
+  }
+
+  // Frontier invariant at BSP boundaries.
+  if (compare_frontiers) {
+    for (std::uint32_t k = 0; k <= oracle->iterations; ++k) {
+      const auto it = engine_frontiers.find(k);
+      if (it == engine_frontiers.end()) continue;  // round not committed yet
+      const auto& expect = oracle->frontiers[k];
+      if (it->second != expect) {
+        d.invariant = "frontier";
+        d.iteration = k;
+        // First differing vertex, for the report.
+        for (std::size_t i = 0; i < std::max(expect.size(), it->second.size());
+             ++i) {
+          const bool in_oracle = i < expect.size();
+          const bool in_engine = i < it->second.size();
+          if (!in_oracle || !in_engine || expect[i] != it->second[i]) {
+            d.vertex = in_oracle ? expect[i] : it->second[i];
+            break;
+          }
+        }
+        d.detail = "frontier set mismatch entering iteration " +
+                   std::to_string(k);
+        return std::optional<Divergence>(d);
+      }
+    }
+  }
+
+  return std::optional<Divergence>();
+}
+
+namespace {
+
+// One trial attempt for the minimizer: does `graph` still diverge?
+Result<bool> StillDiverges(const ReproArtifact& artifact, const EdgeList& graph,
+                           VertexId root, const std::string& dir) {
+  auto built = BuildCaseDataset(graph, artifact.codec, artifact.p, dir);
+  GRAPHSD_RETURN_IF_ERROR(built.status());
+  TrialConfig config;
+  config.algo = artifact.algo;
+  config.model = artifact.model;
+  config.cross_iteration = artifact.cross_iteration;
+  config.prefetch_depth = artifact.prefetch_depth;
+  config.threads = artifact.threads;
+  config.fault = artifact.fault;
+  auto divergence = RunTrial(graph, root, *built->dataset, config);
+  GRAPHSD_RETURN_IF_ERROR(divergence.status());
+  return divergence->has_value();
+}
+
+EdgeList RebuildGraph(const EdgeList& source,
+                      const std::vector<std::size_t>& keep, VertexId n) {
+  EdgeList out(n);
+  for (const std::size_t k : keep) {
+    const Edge& e = source.edges()[k];
+    if (source.weighted()) {
+      out.AddEdge(e.src, e.dst, source.weights()[k]);
+    } else {
+      out.AddEdge(e.src, e.dst);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status MinimizeArtifact(ReproArtifact& artifact, const std::string& scratch_dir,
+                        std::uint32_t budget) {
+  std::uint32_t trials = 0;
+  std::uint32_t dir_counter = 0;
+  const auto try_graph = [&](const EdgeList& candidate) -> Result<bool> {
+    if (trials >= budget) return false;
+    ++trials;
+    return StillDiverges(artifact, candidate, artifact.root,
+                         scratch_dir + "/min_" + std::to_string(dir_counter++));
+  };
+
+  // ddmin over edges: drop chunks while the divergence persists.
+  std::vector<std::size_t> keep(artifact.graph.num_edges());
+  for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+  std::size_t chunk = (keep.size() + 1) / 2;
+  while (chunk >= 1 && !keep.empty() && trials < budget) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < keep.size() && trials < budget;) {
+      std::vector<std::size_t> candidate_keep;
+      candidate_keep.reserve(keep.size());
+      const std::size_t end = std::min(start + chunk, keep.size());
+      for (std::size_t i = 0; i < keep.size(); ++i) {
+        if (i < start || i >= end) candidate_keep.push_back(keep[i]);
+      }
+      auto diverges = try_graph(RebuildGraph(artifact.graph, candidate_keep,
+                                             artifact.graph.num_vertices()));
+      GRAPHSD_RETURN_IF_ERROR(diverges.status());
+      if (*diverges) {
+        keep = std::move(candidate_keep);
+        removed_any = true;
+        // re-test from the same start against the shrunken list
+      } else {
+        start = end;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+
+  // Vertex-range shrink: cut the id space down to what the kept edges and
+  // the root actually reference.
+  VertexId max_ref = artifact.root;
+  for (const std::size_t k : keep) {
+    const Edge& e = artifact.graph.edges()[k];
+    max_ref = std::max({max_ref, e.src, e.dst});
+  }
+  const VertexId shrunk_n = max_ref + 1;
+  if (shrunk_n < artifact.graph.num_vertices() && trials < budget) {
+    EdgeList candidate = RebuildGraph(artifact.graph, keep, shrunk_n);
+    auto diverges = try_graph(candidate);
+    GRAPHSD_RETURN_IF_ERROR(diverges.status());
+    if (*diverges) {
+      artifact.graph = std::move(candidate);
+      return Status::Ok();
+    }
+  }
+  artifact.graph =
+      RebuildGraph(artifact.graph, keep, artifact.graph.num_vertices());
+  return Status::Ok();
+}
+
+Result<std::optional<Divergence>> ReplayArtifact(
+    const ReproArtifact& artifact, const std::string& scratch_dir) {
+  auto built = BuildCaseDataset(artifact.graph, artifact.codec, artifact.p,
+                                scratch_dir + "/replay");
+  GRAPHSD_RETURN_IF_ERROR(built.status());
+  TrialConfig config;
+  config.algo = artifact.algo;
+  config.model = artifact.model;
+  config.cross_iteration = artifact.cross_iteration;
+  config.prefetch_depth = artifact.prefetch_depth;
+  config.threads = artifact.threads;
+  config.fault = artifact.fault;
+  return RunTrial(artifact.graph, artifact.root, *built->dataset, config);
+}
+
+Result<SweepSummary> RunSweep(const SweepOptions& options) {
+  auto scratch = ScratchDir::Create();
+  GRAPHSD_RETURN_IF_ERROR(scratch.status());
+
+  if (!options.artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.artifact_dir, ec);
+    if (ec) {
+      return InternalError("cannot create artifact dir " +
+                           options.artifact_dir + ": " + ec.message());
+    }
+  }
+
+  constexpr std::uint32_t kDepths[] = {0, 1, 4};
+  constexpr std::uint32_t kThreads[] = {1, 4};
+  constexpr std::uint32_t kIntervals[] = {1, 2, 4, 8};
+  const char* kModels[] = {"on_demand", "full", "auto"};
+
+  SweepSummary summary;
+  std::uint64_t rotation = 0;  // spreads depth/threads/cross across combos
+
+  for (std::uint32_t s = 0; s < options.num_seeds; ++s) {
+    const std::uint64_t seed = options.seed0 + s;
+    const GraphCase graph_case = GenerateGraphCase(seed);
+    ++summary.graphs;
+    if (options.progress) {
+      options.progress("seed " + std::to_string(seed) + ": " +
+                       graph_case.family + " (" +
+                       std::to_string(graph_case.list.num_vertices()) + " v, " +
+                       std::to_string(graph_case.list.num_edges()) + " e)");
+    }
+
+    // Two datasets per case: raw and varint-delta, each with its own P.
+    SplitMix64 pick(seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::string seed_dir =
+        scratch->path() + "/seed_" + std::to_string(seed);
+    std::vector<BuiltDataset> datasets;
+    for (const char* codec : {"none", "varint-delta"}) {
+      const std::uint32_t p = kIntervals[pick.Next() % 4];
+      auto built = BuildCaseDataset(graph_case.list, codec, p,
+                                    seed_dir + "/" + codec);
+      GRAPHSD_RETURN_IF_ERROR(built.status());
+      datasets.push_back(std::move(built).value());
+      ++summary.datasets_built;
+    }
+
+    for (const AlgoSpec& algo : RegisteredAlgos()) {
+      for (const BuiltDataset& ds : datasets) {
+        for (const char* model : kModels) {
+          TrialConfig config;
+          config.algo = algo.name;
+          config.model = model;
+          config.prefetch_depth = kDepths[rotation % 3];
+          config.threads = kThreads[(rotation / 3) % 2];
+          config.cross_iteration = ((rotation / 6) % 2) == 1;
+          if (options.fault != EngineFault::kNone && algo.push) {
+            config.fault = options.fault;
+          }
+          ++rotation;
+
+          auto divergence =
+              RunTrial(graph_case.list, graph_case.root, *ds.dataset, config);
+          GRAPHSD_RETURN_IF_ERROR(divergence.status());
+          ++summary.combos_run;
+          if (!divergence->has_value()) continue;
+
+          summary.divergences.push_back(**divergence);
+          ReproArtifact artifact;
+          artifact.seed = seed;
+          artifact.family = graph_case.family;
+          artifact.invariant = (*divergence)->invariant;
+          artifact.algo = config.algo;
+          artifact.root = graph_case.root;
+          artifact.codec = ds.codec;
+          artifact.p = ds.p;
+          artifact.model = config.model;
+          artifact.cross_iteration = config.cross_iteration;
+          artifact.prefetch_depth = config.prefetch_depth;
+          artifact.threads = config.threads;
+          artifact.fault = config.fault;
+          artifact.graph = graph_case.list;
+          GRAPHSD_RETURN_IF_ERROR(MinimizeArtifact(
+              artifact, seed_dir + "/minimize", options.minimize_budget));
+          if (!options.artifact_dir.empty()) {
+            const std::string path = options.artifact_dir + "/repro_seed" +
+                                     std::to_string(seed) + "_" + config.algo +
+                                     "_" + (*divergence)->invariant + ".txt";
+            GRAPHSD_RETURN_IF_ERROR(WriteArtifact(artifact, path));
+            summary.artifact_paths.push_back(path);
+          }
+          if (options.stop_on_divergence) return summary;
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace graphsd::testing

@@ -1,0 +1,189 @@
+#include "testing/graph_cases.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace graphsd::testing {
+namespace {
+
+struct RawCase {
+  std::string family;
+  VertexId n = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+};
+
+// Zipf-ish degree skew: vertex ids are drawn as n * u^3, concentrating
+// endpoints on low ids the way a power-law graph concentrates on hubs.
+VertexId SkewedVertex(Xoshiro256& rng, VertexId n) {
+  const double u = rng.NextDouble();
+  return static_cast<VertexId>(static_cast<double>(n) * u * u * u);
+}
+
+RawCase GeneratePowerLaw(Xoshiro256& rng) {
+  RawCase c;
+  c.family = "power_law";
+  c.n = static_cast<VertexId>(8 + rng.NextBounded(120));
+  const std::uint64_t m = 1 + rng.NextBounded(static_cast<std::uint64_t>(c.n) * 6);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    c.edges.emplace_back(SkewedVertex(rng, c.n), SkewedVertex(rng, c.n));
+  }
+  return c;
+}
+
+RawCase GenerateUniform(Xoshiro256& rng) {
+  RawCase c;
+  c.family = "uniform";
+  c.n = static_cast<VertexId>(4 + rng.NextBounded(140));
+  const std::uint64_t m = rng.NextBounded(static_cast<std::uint64_t>(c.n) * 4);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    c.edges.emplace_back(static_cast<VertexId>(rng.NextBounded(c.n)),
+                         static_cast<VertexId>(rng.NextBounded(c.n)));
+  }
+  return c;
+}
+
+RawCase GeneratePath(Xoshiro256& rng) {
+  RawCase c;
+  c.family = "path";
+  c.n = static_cast<VertexId>(2 + rng.NextBounded(120));
+  for (VertexId v = 0; v + 1 < c.n; ++v) c.edges.emplace_back(v, v + 1);
+  return c;
+}
+
+RawCase GenerateStar(Xoshiro256& rng) {
+  RawCase c;
+  c.family = "star";
+  c.n = static_cast<VertexId>(2 + rng.NextBounded(120));
+  const bool inward = rng.NextBounded(2) == 0;
+  for (VertexId v = 1; v < c.n; ++v) {
+    if (inward) {
+      c.edges.emplace_back(v, 0);
+    } else {
+      c.edges.emplace_back(0, v);
+    }
+  }
+  if (inward) c.family = "star_in";
+  return c;
+}
+
+RawCase GenerateCycle(Xoshiro256& rng) {
+  RawCase c;
+  c.family = "cycle";
+  c.n = static_cast<VertexId>(2 + rng.NextBounded(100));
+  for (VertexId v = 0; v < c.n; ++v) c.edges.emplace_back(v, (v + 1) % c.n);
+  return c;
+}
+
+RawCase GenerateBipartiteBurst(Xoshiro256& rng) {
+  // Dense many-to-many block: stresses duplicate (src, dst) contributions
+  // into one destination within a single iteration.
+  RawCase c;
+  c.family = "bipartite_burst";
+  const VertexId left = static_cast<VertexId>(2 + rng.NextBounded(12));
+  const VertexId right = static_cast<VertexId>(2 + rng.NextBounded(12));
+  c.n = left + right;
+  for (VertexId a = 0; a < left; ++a) {
+    for (VertexId b = 0; b < right; ++b) {
+      if (rng.NextDouble() < 0.7) c.edges.emplace_back(a, left + b);
+    }
+  }
+  return c;
+}
+
+RawCase GenerateSingleVertex(Xoshiro256& rng) {
+  RawCase c;
+  c.family = "single_vertex";
+  c.n = 1;
+  // Optionally a self-loop — the smallest possible non-empty dataset.
+  if (rng.NextBounded(2) == 0) c.edges.emplace_back(0, 0);
+  return c;
+}
+
+RawCase GenerateEdgeless(Xoshiro256& rng) {
+  RawCase c;
+  c.family = "edgeless";
+  c.n = static_cast<VertexId>(1 + rng.NextBounded(40));
+  return c;
+}
+
+void MutateSelfLoops(Xoshiro256& rng, RawCase& c) {
+  const std::uint64_t k = 1 + rng.NextBounded(4);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(c.n));
+    c.edges.emplace_back(v, v);
+  }
+  c.family += "+self_loops";
+}
+
+void MutateDuplicates(Xoshiro256& rng, RawCase& c) {
+  if (c.edges.empty()) return;
+  const std::uint64_t k = 1 + rng.NextBounded(6);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    c.edges.push_back(c.edges[rng.NextBounded(c.edges.size())]);
+  }
+  c.family += "+dup_edges";
+}
+
+void MutateIsolatedTail(Xoshiro256& rng, RawCase& c) {
+  // High-id vertices with no edges: the last grid rows/columns are empty,
+  // and every frontier/value array has a silent tail.
+  c.n += static_cast<VertexId>(1 + rng.NextBounded(20));
+  c.family += "+isolated_tail";
+}
+
+void MutateDisconnect(Xoshiro256& rng, RawCase& c) {
+  // Append a second component the root can never reach.
+  const VertexId base = c.n;
+  const VertexId extra = static_cast<VertexId>(2 + rng.NextBounded(10));
+  c.n += extra;
+  for (VertexId v = 0; v + 1 < extra; ++v) {
+    c.edges.emplace_back(base + v, base + v + 1);
+  }
+  if (rng.NextBounded(2) == 0) c.edges.emplace_back(base + extra - 1, base);
+  c.family += "+disconnected";
+}
+
+}  // namespace
+
+GraphCase GenerateGraphCase(std::uint64_t seed) {
+  SplitMix64 seeder(seed);
+  Xoshiro256 rng(seeder.Next());
+
+  RawCase raw;
+  switch (rng.NextBounded(8)) {
+    case 0: raw = GeneratePowerLaw(rng); break;
+    case 1: raw = GenerateUniform(rng); break;
+    case 2: raw = GeneratePath(rng); break;
+    case 3: raw = GenerateStar(rng); break;
+    case 4: raw = GenerateCycle(rng); break;
+    case 5: raw = GenerateBipartiteBurst(rng); break;
+    case 6: raw = GenerateSingleVertex(rng); break;
+    default: raw = GenerateEdgeless(rng); break;
+  }
+
+  if (raw.n > 1 && rng.NextDouble() < 0.25) MutateSelfLoops(rng, raw);
+  if (rng.NextDouble() < 0.25) MutateDuplicates(rng, raw);
+  if (rng.NextDouble() < 0.25) MutateIsolatedTail(rng, raw);
+  if (raw.n > 1 && rng.NextDouble() < 0.2) MutateDisconnect(rng, raw);
+
+  // ~30% of cases are unweighted; weighted cases draw floats in [0, 8) so
+  // SSSP/widest-path see zero-weight and near-equal-weight ties.
+  const bool weighted = rng.NextDouble() >= 0.3;
+
+  GraphCase out{std::move(raw.family), EdgeList(raw.n), 0};
+  for (const auto& [src, dst] : raw.edges) {
+    if (weighted) {
+      out.list.AddEdge(src, dst, rng.NextFloat(0.0f, 8.0f));
+    } else {
+      out.list.AddEdge(src, dst);
+    }
+  }
+  out.root = static_cast<VertexId>(rng.NextBounded(raw.n));
+  return out;
+}
+
+}  // namespace graphsd::testing

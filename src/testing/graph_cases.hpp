@@ -1,0 +1,31 @@
+// Seeded random graph generation for the differential harness.
+//
+// Every case is derived deterministically from a single 64-bit seed: the
+// family, the size, the weights, the root, and any pathological mutations
+// (self-loops, duplicate edges, isolated high-id tails, disconnection) all
+// come from one SplitMix64 stream, so a seed alone reproduces the graph
+// bit-for-bit on any machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace graphsd::testing {
+
+struct GraphCase {
+  /// Human-readable family tag recorded in repro artifacts
+  /// (e.g. "power_law+self_loops+dup_edges").
+  std::string family;
+  EdgeList list;
+  /// Root for rooted algorithms; always a valid vertex id.
+  VertexId root = 0;
+};
+
+/// Deterministically generates the graph case for `seed`. Sizes are kept
+/// small (≤ ~160 vertices, ≤ ~1000 edges) so a full oracle-vs-engine sweep
+/// over one case takes milliseconds.
+GraphCase GenerateGraphCase(std::uint64_t seed);
+
+}  // namespace graphsd::testing

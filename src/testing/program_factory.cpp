@@ -1,0 +1,67 @@
+#include "testing/program_factory.hpp"
+
+#include <array>
+
+#include "algos/bfs.hpp"
+#include "algos/connected_components.hpp"
+#include "algos/pagerank.hpp"
+#include "algos/pagerank_delta.hpp"
+#include "algos/personalized_pagerank.hpp"
+#include "algos/sssp.hpp"
+#include "algos/widest_path.hpp"
+
+namespace graphsd::testing {
+namespace {
+
+constexpr std::array<AlgoSpec, 7> kAlgos = {{
+    {"bfs", /*needs_root=*/true, /*needs_weights=*/false, /*push=*/true,
+     AlgoClass::kMonotone},
+    {"cc", false, false, true, AlgoClass::kMonotone},
+    {"sssp", true, true, true, AlgoClass::kMonotone},
+    {"widest_path", true, true, true, AlgoClass::kMonotone},
+    {"pagerank_delta", false, false, true, AlgoClass::kSumThreshold},
+    {"ppr", true, false, true, AlgoClass::kSumThreshold},
+    {"pagerank", false, false, false, AlgoClass::kFixedIteration},
+}};
+
+// Keep the randomized sweep fast: PageRank's default budget would dominate
+// every trial, and ten iterations exercise the same accumulator paths.
+constexpr std::uint32_t kPageRankIterations = 10;
+
+}  // namespace
+
+std::span<const AlgoSpec> RegisteredAlgos() { return kAlgos; }
+
+Result<AlgoSpec> AlgoSpecFor(const std::string& name) {
+  for (const AlgoSpec& spec : kAlgos) {
+    if (name == spec.name) return spec;
+  }
+  return NotFoundError("unknown difftest algorithm: " + name);
+}
+
+Result<std::unique_ptr<core::Program>> MakeProgram(const std::string& name,
+                                                   VertexId root) {
+  if (name == "bfs") return std::unique_ptr<core::Program>(new algos::Bfs(root));
+  if (name == "cc") {
+    return std::unique_ptr<core::Program>(new algos::ConnectedComponents());
+  }
+  if (name == "sssp") {
+    return std::unique_ptr<core::Program>(new algos::Sssp(root));
+  }
+  if (name == "widest_path") {
+    return std::unique_ptr<core::Program>(new algos::WidestPath(root));
+  }
+  if (name == "pagerank_delta") {
+    return std::unique_ptr<core::Program>(new algos::PageRankDelta());
+  }
+  if (name == "ppr") {
+    return std::unique_ptr<core::Program>(new algos::PersonalizedPageRank(root));
+  }
+  if (name == "pagerank") {
+    return std::unique_ptr<core::Program>(
+        new algos::PageRank(kPageRankIterations));
+  }
+  return NotFoundError("unknown difftest algorithm: " + name);
+}
+
+}  // namespace graphsd::testing

@@ -1,0 +1,139 @@
+#include "testing/reference_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/frontier.hpp"
+#include "core/vertex_state.hpp"
+
+namespace graphsd::testing {
+namespace {
+
+using core::AccumSlot;
+using core::ContribSlot;
+using core::Frontier;
+using core::GatherProgram;
+using core::Program;
+using core::ProgramKind;
+using core::PushProgram;
+using core::VertexState;
+
+std::vector<VertexId> FrontierIds(const Frontier& frontier) {
+  std::vector<VertexId> ids;
+  frontier.ForEachActive(
+      [&](std::size_t v) { ids.push_back(static_cast<VertexId>(v)); });
+  return ids;
+}
+
+Result<ReferenceResult> RunPush(PushProgram& program, const EdgeList& graph,
+                                VertexState& state,
+                                const ReferenceOptions& options) {
+  const VertexId n = graph.num_vertices();
+  const auto& edges = graph.edges();
+  const auto& weights = graph.weights();
+  // Mirror the engine: weights are streamed only when the program asks for
+  // them on a weighted dataset; everything else applies with weight 1.
+  const bool weighted = graph.weighted() && program.needs_weights();
+
+  ReferenceResult result;
+  Frontier frontier(n);
+  Frontier next(n);
+  program.Init(state, frontier);
+  if (options.record_frontiers) result.frontiers.push_back(FrontierIds(frontier));
+
+  const std::uint32_t budget =
+      std::min(program.max_iterations(), options.max_iterations);
+  while (!frontier.Empty()) {
+    if (result.iterations >= budget) {
+      if (result.iterations >= options.max_iterations) {
+        return InternalError("reference BSP did not converge within " +
+                             std::to_string(options.max_iterations) +
+                             " iterations (algorithm: " + program.name() +
+                             ")");
+      }
+      break;  // the program's own iteration budget ended the run
+    }
+    frontier.ForEachActive([&](std::size_t v) {
+      program.MakeContribution(state, static_cast<VertexId>(v),
+                               ContribSlot::kPrimary);
+    });
+    next.Clear();
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      const Edge& e = edges[k];
+      if (!frontier.IsActive(e.src)) continue;
+      const Weight w = weighted ? weights[k] : Weight{1};
+      if (program.Apply(state, e.src, e.dst, w, ContribSlot::kPrimary)) {
+        next.Activate(e.dst);
+      }
+    }
+    frontier.Swap(next);
+    ++result.iterations;
+    if (options.record_frontiers) {
+      result.frontiers.push_back(FrontierIds(frontier));
+    }
+  }
+  return result;
+}
+
+Result<ReferenceResult> RunGather(GatherProgram& program,
+                                  const EdgeList& graph, VertexState& state,
+                                  const ReferenceOptions& options) {
+  const VertexId n = graph.num_vertices();
+  const auto& edges = graph.edges();
+  const auto& weights = graph.weights();
+  const bool weighted = graph.weighted() && program.needs_weights();
+
+  ReferenceResult result;
+  Frontier unused(n);
+  program.Init(state, unused);
+
+  const std::uint32_t budget =
+      std::min(program.max_iterations(), options.max_iterations);
+  while (result.iterations < budget) {
+    for (VertexId v = 0; v < n; ++v) {
+      program.MakeContribution(state, v, ContribSlot::kPrimary);
+    }
+    program.ResetAccum(state, AccumSlot::kA);
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      const Edge& e = edges[k];
+      const Weight w = weighted ? weights[k] : Weight{1};
+      program.Accumulate(state, e.src, e.dst, w, ContribSlot::kPrimary,
+                         AccumSlot::kA);
+    }
+    program.Finalize(state, 0, n, AccumSlot::kA);
+    ++result.iterations;
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<ReferenceResult> RunReferenceBsp(Program& program,
+                                        const EdgeList& graph,
+                                        const ReferenceOptions& options) {
+  GRAPHSD_RETURN_IF_ERROR(graph.Validate());
+
+  // The oracle's apply order is the sub-block sort order: (src, dst)
+  // lexicographic, weights carried along.
+  EdgeList sorted = graph;
+  sorted.SortBySource();
+
+  const std::vector<std::uint32_t> degrees = sorted.OutDegrees();
+  program.Bind(degrees);
+  VertexState state(sorted.num_vertices(), program.num_value_arrays(),
+                    program.kind() == ProgramKind::kGather);
+
+  Result<ReferenceResult> result =
+      program.kind() == ProgramKind::kPush
+          ? RunPush(static_cast<PushProgram&>(program), sorted, state, options)
+          : RunGather(static_cast<GatherProgram&>(program), sorted, state,
+                      options);
+  GRAPHSD_RETURN_IF_ERROR(result.status());
+  result->values.resize(sorted.num_vertices());
+  for (VertexId v = 0; v < sorted.num_vertices(); ++v) {
+    result->values[v] = program.ValueOf(state, v);
+  }
+  return result;
+}
+
+}  // namespace graphsd::testing

@@ -1,0 +1,31 @@
+#include "testing/temp_dir.hpp"
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <vector>
+
+namespace graphsd::testing {
+
+Result<ScratchDir> ScratchDir::Create(const std::string& base) {
+  std::vector<char> tmpl(base.begin(), base.end());
+  const char kSuffix[] = "XXXXXX";
+  tmpl.insert(tmpl.end(), kSuffix, kSuffix + sizeof(kSuffix));
+  if (mkdtemp(tmpl.data()) == nullptr) {
+    return ErrnoError("mkdtemp " + base, errno);
+  }
+  ScratchDir dir;
+  dir.path_.assign(tmpl.data());
+  return dir;
+}
+
+void ScratchDir::Remove() {
+  if (path_.empty()) return;
+  std::error_code ec;  // best effort; nothing useful to do on failure
+  std::filesystem::remove_all(path_, ec);
+  path_.clear();
+}
+
+}  // namespace graphsd::testing

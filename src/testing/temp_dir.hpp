@@ -1,0 +1,47 @@
+// Owned scratch directory for differential-test runs.
+//
+// The difftest harness builds many small datasets per sweep; each lives in
+// a subdirectory of one mkdtemp-owned root that is removed when the sweep
+// finishes (CLI runs and ctest runs alike must not leak /tmp entries).
+#pragma once
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace graphsd::testing {
+
+class ScratchDir {
+ public:
+  /// Creates `<base>XXXXXX` via mkdtemp. `base` defaults to a /tmp prefix.
+  static Result<ScratchDir> Create(
+      const std::string& base = "/tmp/graphsd_difftest_");
+
+  ScratchDir(ScratchDir&& other) noexcept { *this = std::move(other); }
+  ScratchDir& operator=(ScratchDir&& other) noexcept {
+    Remove();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+    return *this;
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+  ~ScratchDir() { Remove(); }
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Releases ownership: the directory is kept on disk.
+  std::string Release() {
+    std::string p = std::move(path_);
+    path_.clear();
+    return p;
+  }
+
+ private:
+  ScratchDir() = default;
+  void Remove();
+
+  std::string path_;
+};
+
+}  // namespace graphsd::testing

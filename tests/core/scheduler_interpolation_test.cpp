@@ -1,0 +1,248 @@
+// Regression tests for the scheduler's on-demand request estimator: the
+// log-linear anchor interpolation (InterpolateExpectedColumns), the
+// per-crossed-row attribution of a run's requests, and the ceiling
+// division that splits a run's bytes into seq/ran classes.
+#include <cmath>
+#include <iterator>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "graph/edge_list.hpp"
+#include "partition/grid_dataset.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::core {
+namespace {
+
+using graphsd::testing::BuildTestGrid;
+using graphsd::testing::TempDir;
+using graphsd::testing::ValueOrDie;
+
+// --- InterpolateExpectedColumns (unit) ------------------------------------
+
+TEST(InterpolateExpectedColumns, ClampsOutsideAnchorRange) {
+  const std::uint64_t anchors[] = {2, 4, 8};
+  const double expected[] = {1.5, 2.5, 3.0};
+  EXPECT_DOUBLE_EQ(InterpolateExpectedColumns(anchors, expected, 1), 1.5);
+  EXPECT_DOUBLE_EQ(InterpolateExpectedColumns(anchors, expected, 2), 1.5);
+  EXPECT_DOUBLE_EQ(InterpolateExpectedColumns(anchors, expected, 8), 3.0);
+  EXPECT_DOUBLE_EQ(InterpolateExpectedColumns(anchors, expected, 100), 3.0);
+}
+
+TEST(InterpolateExpectedColumns, ExactAtInteriorAnchors) {
+  const std::uint64_t anchors[] = {1, 2, 4, 8, 16};
+  const double expected[] = {1.0, 1.9, 3.4, 5.0, 6.1};
+  for (std::size_t a = 0; a < std::size(anchors); ++a) {
+    EXPECT_DOUBLE_EQ(InterpolateExpectedColumns(anchors, expected, anchors[a]),
+                     expected[a])
+        << "anchor " << anchors[a];
+  }
+}
+
+TEST(InterpolateExpectedColumns, LinearInLog2BetweenAnchors) {
+  const std::uint64_t anchors[] = {1, 2, 4, 8};
+  const double expected[] = {1.0, 2.0, 3.0, 4.0};
+  // edges = 3 sits between anchors 2 and 4 at t = log2(3) - 1.
+  EXPECT_DOUBLE_EQ(InterpolateExpectedColumns(anchors, expected, 3),
+                   2.0 + (std::log2(3.0) - 1.0));
+  // edges = 6 between anchors 4 and 8 at t = log2(6) - 2 = log2(3) - 1.
+  EXPECT_DOUBLE_EQ(InterpolateExpectedColumns(anchors, expected, 6),
+                   3.0 + (std::log2(6.0) - 2.0));
+}
+
+TEST(InterpolateExpectedColumns, MonotoneOverOffAnchorSizes) {
+  // The scheduler's own anchor set with a monotone curve: the estimate must
+  // be non-decreasing in run size everywhere, including off-anchor sizes.
+  const std::uint64_t anchors[] = {1, 2, 4, 8, 16, 64, 256, 4096};
+  const double expected[] = {1.0, 1.8, 2.9, 4.1, 5.6, 6.9, 7.6, 8.0};
+  double prev = 0.0;
+  for (std::uint64_t edges = 1; edges <= 5000; ++edges) {
+    const double e = InterpolateExpectedColumns(anchors, expected, edges);
+    EXPECT_GE(e, prev) << "edges " << edges;
+    prev = e;
+  }
+}
+
+// --- Evaluate-level pinning ------------------------------------------------
+
+// Mirrors Evaluate's per-row anchor table: E[distinct cols at a edges] =
+// sum_j 1 - (1 - p_ij)^a, floored at one column.
+std::vector<double> AnchorCurve(const partition::GridManifest& manifest,
+                                std::uint32_t row,
+                                std::span<const std::uint64_t> anchors) {
+  std::uint64_t row_total = 0;
+  for (std::uint32_t j = 0; j < manifest.p; ++j) {
+    row_total += manifest.EdgesIn(row, j);
+  }
+  std::vector<double> curve(anchors.size(), 1.0);
+  for (std::size_t a = 0; a < anchors.size(); ++a) {
+    double expected = 0.0;
+    for (std::uint32_t j = 0; j < manifest.p; ++j) {
+      const double p_ij = static_cast<double>(manifest.EdgesIn(row, j)) /
+                          static_cast<double>(row_total);
+      expected +=
+          1.0 - std::pow(1.0 - p_ij, static_cast<double>(anchors[a]));
+    }
+    curve[a] = std::max(1.0, expected);
+  }
+  return curve;
+}
+
+// The anchor sizes Evaluate precomputes the curve at.
+constexpr std::uint64_t kAnchors[] = {1, 2, 4, 8, 16, 64, 256, 4096};
+
+std::uint64_t ExpectedRequests(const partition::GridManifest& manifest,
+                               std::uint32_t row, std::uint64_t edges) {
+  const double expected = InterpolateExpectedColumns(
+      kAnchors, AnchorCurve(manifest, row, kAnchors), edges);
+  return std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(
+             edges, static_cast<std::uint64_t>(expected + 0.5)));
+}
+
+struct BuiltCase {
+  std::unique_ptr<io::Device> device;
+  std::unique_ptr<partition::GridDataset> dataset;
+};
+
+BuiltCase Build(const EdgeList& graph, const std::string& dir, std::uint32_t p,
+                const std::string& codec = "none") {
+  BuiltCase out;
+  out.device = io::MakeSimulatedDevice();
+  BuildTestGrid(graph, *out.device, dir, p, "test", codec);
+  out.dataset = std::make_unique<partition::GridDataset>(
+      ValueOrDie(partition::GridDataset::Open(*out.device, dir)));
+  return out;
+}
+
+Frontier ActiveSet(VertexId n, std::initializer_list<VertexId> vertices) {
+  Frontier f(n);
+  for (VertexId v : vertices) f.Activate(v);
+  return f;
+}
+
+// An off-anchor run size must use the *interpolated* estimate, not snap to
+// the covering anchor. Vertex 1 has 17 out-edges (between anchors 16 and
+// 64) spread over all 8 columns; just above the lower anchor the
+// interpolated curve rounds to one fewer request than the anchor-64 value,
+// so snapping is distinguishable from interpolating.
+TEST(SchedulerRequestEstimate, OffAnchorRunSizeUsesInterpolatedCurve) {
+  EdgeList graph(16);
+  // Column j of an 8-way split of 16 vertices is [2j, 2j + 2): three edges
+  // into column 0, two into each of the other seven (17 total).
+  graph.AddEdge(1, 0);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(1, 1);
+  for (VertexId j = 1; j < 8; ++j) {
+    graph.AddEdge(1, 2 * j);
+    graph.AddEdge(1, 2 * j + 1);
+  }
+  TempDir dir;
+  const BuiltCase built = Build(graph, dir.Sub("ds"), 8);
+  const auto& manifest = built.dataset->manifest();
+  ASSERT_EQ(manifest.p, 8u);
+
+  const std::uint64_t requests = ExpectedRequests(manifest, 0, 17);
+  // Precondition for the regression: interpolation and anchor-snapping
+  // disagree here (7 vs 8 requests).
+  ASSERT_EQ(requests, 7u);
+  const std::vector<double> curve = AnchorCurve(manifest, 0, kAnchors);
+  ASSERT_EQ(static_cast<std::uint64_t>(curve[5] + 0.5), 8u)
+      << "anchor-64 value no longer rounds to 8; rebuild the fixture";
+
+  StateAwareScheduler scheduler(*built.dataset, io::IoCostModel::Hdd());
+  const SchedulerDecision d =
+      scheduler.Evaluate(ActiveSet(16, {1}), 8, false);
+  EXPECT_EQ(d.random_requests, 1u);
+  EXPECT_EQ(d.seeks, 2 * requests);
+  // One source vertex in the run's single segment: (1 + 1) offsets per
+  // index read.
+  EXPECT_EQ(d.index_bytes, (1 + 1) * sizeof(std::uint32_t) * requests);
+}
+
+// A run that crosses an interval boundary has edges served from two rows'
+// sub-blocks; each crossed row must be charged its own requests (the old
+// accounting attributed the whole run to the final row).
+TEST(SchedulerRequestEstimate, RunSpanningIntervalBoundaryChargesEachRow) {
+  EdgeList graph(16);
+  graph.AddEdge(3, 0);  // last vertex of interval [0, 4)
+  graph.AddEdge(4, 0);  // first vertex of interval [4, 8)
+  TempDir dir;
+  const BuiltCase built = Build(graph, dir.Sub("ds"), 4);
+  ASSERT_EQ(built.dataset->manifest().boundaries[1], 4u);
+
+  StateAwareScheduler scheduler(*built.dataset, io::IoCostModel::Hdd());
+  const SchedulerDecision d =
+      scheduler.Evaluate(ActiveSet(16, {3, 4}), 8, false);
+  // 3 and 4 are adjacent, so this is one run (one coalesced range)...
+  EXPECT_EQ(d.random_requests, 1u);
+  // ...but it spans rows 0 and 1: one single-edge segment each, so two
+  // requests (a single-row run of one edge would clamp to one).
+  EXPECT_EQ(d.seeks, 2u * 2u);
+  EXPECT_EQ(d.index_bytes, 2u * (1 + 1) * sizeof(std::uint32_t));
+}
+
+// Zero-degree actives inside a run occupy no sub-block bytes in their row:
+// a row crossed only by such vertices must not be charged a request.
+TEST(SchedulerRequestEstimate, ZeroDegreeSegmentCostsNoRequests) {
+  EdgeList graph(16);
+  graph.AddEdge(3, 0);
+  TempDir dir;
+  const BuiltCase built = Build(graph, dir.Sub("ds"), 4);
+
+  StateAwareScheduler scheduler(*built.dataset, io::IoCostModel::Hdd());
+  // Vertex 4 (row 1) is active but has no out-edges; the run is still one
+  // coalesced range, and only row 0's single-edge segment costs a request.
+  const SchedulerDecision d =
+      scheduler.Evaluate(ActiveSet(16, {3, 4}), 8, false);
+  EXPECT_EQ(d.random_requests, 1u);
+  EXPECT_EQ(d.seeks, 2u);
+  EXPECT_EQ(d.index_bytes, (1 + 1) * sizeof(std::uint32_t));
+}
+
+// The seq/ran split divides a run's bytes by its request count *rounding
+// up*: a 5-edge run (40 bytes) over 3 requests moves ceil(40/3) = 14 bytes
+// per request, so it stays sequential at a 14-byte threshold. Truncating
+// division (13) would misclassify it as random.
+TEST(SchedulerRequestEstimate, ByteSplitRoundsPerRequestTransferUp) {
+  EdgeList graph(16);
+  // Five edges from vertex 1 across four columns of a 4-way split
+  // ([0,4), [4,8), [8,12), [12,16)): two into column 0, one into each
+  // other column.
+  graph.AddEdge(1, 0);
+  graph.AddEdge(1, 1);
+  graph.AddEdge(1, 4);
+  graph.AddEdge(1, 8);
+  graph.AddEdge(1, 12);
+  TempDir dir;
+  const BuiltCase built = Build(graph, dir.Sub("ds"), 4);
+  const auto& manifest = built.dataset->manifest();
+
+  // Preconditions: 3 requests for the 5-edge run, 8 raw bytes per
+  // unweighted edge -> 40 run bytes, ceil(40/3) = 14 but 40/3 = 13.
+  ASSERT_EQ(ExpectedRequests(manifest, 0, 5), 3u);
+  ASSERT_EQ(kEdgeBytes, 8u);
+
+  io::IoCostModel at_threshold = io::IoCostModel::Hdd();
+  at_threshold.random_request_bytes = 14;
+  const SchedulerDecision seq =
+      StateAwareScheduler(*built.dataset, at_threshold)
+          .Evaluate(ActiveSet(16, {1}), 8, false);
+  EXPECT_EQ(seq.seq_bytes, 40u);
+  EXPECT_EQ(seq.rand_bytes, 0u);
+
+  io::IoCostModel above_threshold = io::IoCostModel::Hdd();
+  above_threshold.random_request_bytes = 15;
+  const SchedulerDecision ran =
+      StateAwareScheduler(*built.dataset, above_threshold)
+          .Evaluate(ActiveSet(16, {1}), 8, false);
+  EXPECT_EQ(ran.seq_bytes, 0u);
+  EXPECT_EQ(ran.rand_bytes, 40u);
+}
+
+}  // namespace
+}  // namespace graphsd::core

@@ -1,5 +1,7 @@
 #include "graph/edge_list.hpp"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace graphsd {
@@ -44,6 +46,30 @@ TEST(EdgeList, ValidateCatchesOutOfRange) {
   EdgeList list(3);
   list.edges().push_back(Edge{0, 9});  // bypass AddEdge's auto-grow
   EXPECT_FALSE(list.Validate().ok());
+}
+
+TEST(EdgeList, ValidateRejectsNegativeWeight) {
+  EdgeList list(3);
+  list.AddEdge(0, 1, 1.0f);
+  list.AddEdge(1, 2, -0.5f);
+  const Status status = list.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeList, ValidateRejectsNonFiniteWeights) {
+  EdgeList nan_list(2);
+  nan_list.AddEdge(0, 1, std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(nan_list.Validate().code(), StatusCode::kInvalidArgument);
+
+  EdgeList inf_list(2);
+  inf_list.AddEdge(0, 1, std::numeric_limits<float>::infinity());
+  EXPECT_EQ(inf_list.Validate().code(), StatusCode::kInvalidArgument);
+
+  // The largest finite weight is valid: saturating paths are supported.
+  EdgeList max_list(2);
+  max_list.AddEdge(0, 1, std::numeric_limits<float>::max());
+  EXPECT_TRUE(max_list.Validate().ok());
 }
 
 TEST(EdgeList, SortBySourceOrdersLexicographically) {

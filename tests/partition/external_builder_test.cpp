@@ -1,12 +1,14 @@
 // The out-of-core builder must produce a dataset byte-equivalent to the
 // in-memory builder's under bounded memory.
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "algos/sssp.hpp"
 #include "core/engine.hpp"
 #include "graph/edge_io.hpp"
+#include "io/file.hpp"
 #include "graph/reference_algorithms.hpp"
 #include "graph/generators.hpp"
 #include "partition/external_builder.hpp"
@@ -112,6 +114,37 @@ TEST(ExternalBuilder, CorruptInputFails) {
       BuildGridExternal(dir.Sub("bad.bin"), *device, dir.Sub("out"), {});
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruptData);
+}
+
+// Weight validation at load: the raw file passed the writer's checks, then
+// a weight was corrupted on disk. The builder must reject it before
+// committing any dataset bytes, with the same contract as
+// EdgeList::Validate (finite, nonnegative).
+TEST(ExternalBuilder, CorruptedWeightOnDiskIsRejected) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList g(3);
+  g.AddEdge(0, 1, 1.0f);
+  g.AddEdge(1, 2, 2.0f);
+  g.AddEdge(2, 0, 3.0f);
+  const std::string raw = dir.Sub("raw.bin");
+  ASSERT_OK(graphsd::WriteBinaryEdgeList(g, *device, raw));
+
+  // Weights are the trailing num_edges * sizeof(Weight) bytes; overwrite
+  // the last one with -1.0f.
+  std::string bytes = ValueOrDie(io::ReadFileToString(raw));
+  const float negative = -1.0f;
+  std::memcpy(bytes.data() + bytes.size() - sizeof(float), &negative,
+              sizeof(float));
+  ASSERT_OK(io::WriteStringToFile(raw, bytes));
+
+  ExternalBuildOptions external;
+  external.num_intervals = 2;
+  const auto result =
+      BuildGridExternal(raw, *device, dir.Sub("out"), external);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("negative"), std::string::npos);
 }
 
 TEST(ExternalBuilder, AutoChoosesIntervalCount) {

@@ -183,6 +183,17 @@ TEST(GridBuilder, EmptyGraphIsRejected) {
   EXPECT_FALSE(BuildGrid(g, *device, dir.Sub("ds"), {}).ok());
 }
 
+TEST(GridBuilder, NegativeWeightGraphIsRejected) {
+  TempDir dir;
+  auto device = io::MakePosixDevice();
+  EdgeList g(3);
+  g.AddEdge(0, 1, 1.0f);
+  g.AddEdge(1, 2, -3.0f);
+  const auto result = BuildGrid(g, *device, dir.Sub("ds"), {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(GridBuilder, RebuildOverwritesPreviousDataset) {
   TempDir dir;
   auto device = io::MakePosixDevice();

@@ -1,0 +1,137 @@
+// The oracle must itself be correct before it can judge the engine: check
+// RunReferenceBsp against the independent analytic references in
+// graph/reference_algorithms.hpp (Dijkstra, label propagation, closed-form
+// PageRank) on structured graphs.
+#include "testing/reference_engine.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/reference_algorithms.hpp"
+#include "testing/graph_cases.hpp"
+#include "testing/program_factory.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::testing {
+namespace {
+
+ReferenceResult RunOracle(const std::string& algo, const EdgeList& graph,
+                          VertexId root = 0) {
+  auto program = ValueOrDie(MakeProgram(algo, root));
+  return ValueOrDie(RunReferenceBsp(*program, graph));
+}
+
+TEST(ReferenceEngine, BfsMatchesHopCountsOnPath) {
+  const EdgeList graph = GeneratePath(16);
+  const ReferenceResult result = RunOracle("bfs", graph, 0);
+  ASSERT_EQ(result.values.size(), 16u);
+  for (VertexId v = 0; v < 16; ++v) {
+    EXPECT_EQ(result.values[v], static_cast<double>(v)) << "vertex " << v;
+  }
+  // One wave per non-empty frontier, including the final {15} wave that
+  // discovers the frontier has drained — matching the engine's count.
+  EXPECT_EQ(result.iterations, 16u);
+}
+
+TEST(ReferenceEngine, SsspMatchesDijkstra) {
+  const EdgeList graph = GenerateGrid2D(6, 7, /*seed=*/3, /*max_weight=*/9.0);
+  const std::vector<double> expect = ReferenceSssp(graph, 0);
+  const ReferenceResult result = RunOracle("sssp", graph, 0);
+  ASSERT_EQ(result.values.size(), expect.size());
+  for (std::size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_DOUBLE_EQ(result.values[v], expect[v]) << "vertex " << v;
+  }
+}
+
+TEST(ReferenceEngine, WidestPathMatchesBottleneckDijkstra) {
+  const EdgeList graph = GenerateGrid2D(5, 5, /*seed=*/11, /*max_weight=*/7.0);
+  const std::vector<double> expect = ReferenceWidestPath(graph, 2);
+  const ReferenceResult result = RunOracle("widest_path", graph, 2);
+  ASSERT_EQ(result.values.size(), expect.size());
+  for (std::size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_DOUBLE_EQ(result.values[v], expect[v]) << "vertex " << v;
+  }
+}
+
+TEST(ReferenceEngine, ConnectedComponentsMatchesLabelPropagation) {
+  EdgeList graph = Symmetrize(GeneratePath(9));
+  // A second component.
+  graph.EnsureVertices(14);
+  graph.AddEdge(10, 12);
+  graph.AddEdge(12, 10);
+  const std::vector<VertexId> expect = ReferenceConnectedComponents(graph);
+  const ReferenceResult result = RunOracle("cc", graph);
+  ASSERT_EQ(result.values.size(), expect.size());
+  for (std::size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_EQ(result.values[v], static_cast<double>(expect[v]))
+        << "vertex " << v;
+  }
+}
+
+TEST(ReferenceEngine, PageRankMatchesSynchronousReference) {
+  const GraphCase gc = GenerateGraphCase(77);
+  const std::vector<double> expect = ReferencePageRank(gc.list, 10);
+  const ReferenceResult result = RunOracle("pagerank", gc.list);
+  EXPECT_EQ(result.iterations, 10u);
+  ASSERT_EQ(result.values.size(), expect.size());
+  for (std::size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR(result.values[v], expect[v], 1e-12) << "vertex " << v;
+  }
+}
+
+TEST(ReferenceEngine, PageRankDeltaConvergesToPageRankFixpoint) {
+  const EdgeList graph = GenerateComplete(8);
+  const std::vector<double> expect = ReferencePageRank(graph, 60);
+  const ReferenceResult result = RunOracle("pagerank_delta", graph);
+  ASSERT_EQ(result.values.size(), expect.size());
+  for (std::size_t v = 0; v < expect.size(); ++v) {
+    EXPECT_NEAR(result.values[v], expect[v], 1e-6) << "vertex " << v;
+  }
+}
+
+TEST(ReferenceEngine, FrontiersRecordBspWaves) {
+  const EdgeList graph = GeneratePath(5);
+  const ReferenceResult result = RunOracle("bfs", graph, 0);
+  // Frontier entering iteration k is exactly {k} on a path rooted at 0,
+  // and the final recorded frontier is empty.
+  ASSERT_EQ(result.frontiers.size(), result.iterations + 1);
+  EXPECT_EQ(result.frontiers[0], std::vector<VertexId>{0});
+  EXPECT_EQ(result.frontiers[2], std::vector<VertexId>{2});
+  EXPECT_TRUE(result.frontiers.back().empty());
+}
+
+TEST(ReferenceEngine, RejectsInvalidGraph) {
+  EdgeList graph(4);
+  graph.AddEdge(0, 1, -2.0f);  // negative weight
+  auto program = ValueOrDie(MakeProgram("sssp", 0));
+  auto result = RunReferenceBsp(*program, graph);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphCases, DeterministicForSeed) {
+  const GraphCase a = GenerateGraphCase(42);
+  const GraphCase b = GenerateGraphCase(42);
+  EXPECT_EQ(a.family, b.family);
+  EXPECT_EQ(a.root, b.root);
+  ASSERT_EQ(a.list.num_edges(), b.list.num_edges());
+  ASSERT_EQ(a.list.num_vertices(), b.list.num_vertices());
+  for (std::size_t k = 0; k < a.list.num_edges(); ++k) {
+    EXPECT_EQ(a.list.edges()[k].src, b.list.edges()[k].src);
+    EXPECT_EQ(a.list.edges()[k].dst, b.list.edges()[k].dst);
+  }
+}
+
+TEST(GraphCases, ValidAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const GraphCase gc = GenerateGraphCase(seed);
+    EXPECT_TRUE(gc.list.Validate().ok()) << "seed " << seed;
+    ASSERT_GT(gc.list.num_vertices(), 0u) << "seed " << seed;
+    EXPECT_LT(gc.root, gc.list.num_vertices()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace graphsd::testing

@@ -49,6 +49,15 @@ assert comp["decoded_bytes"] > 0, comp
 PYEOF
 echo "compressed smoke: OK"
 
+echo "== tier 1: differential harness smoke (graphsd difftest) =="
+# A bounded randomized sweep: every registered algorithm against the
+# in-memory oracle, across raw + varint-delta datasets and forced-model /
+# prefetch / thread / cross-iteration configurations. Nonzero exit on any
+# divergence; the minimized repro artifact lands in the artifact dir.
+"$CLI" difftest --seeds 6 --seed0 211 --artifact-dir "$OBS_DIR/repro" \
+    > /dev/null
+echo "difftest smoke: OK"
+
 if [ "$1" = "--tier1-only" ]; then
   exit 0
 fi

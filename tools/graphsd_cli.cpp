@@ -7,6 +7,8 @@
 //   graphsd verify     --dataset dataset_dir
 //   graphsd run        --dataset dataset_dir --algo pr|prd|cc|sssp|bfs [...]
 //   graphsd profile    --dir /path/on/target/disk
+//   graphsd difftest   [--seeds N] [--seed0 S] [--artifact-dir DIR]
+//                      [--replay artifact.txt]
 //
 // `run` prints the execution report and optionally dumps per-vertex values.
 #include <cstdio>
@@ -34,6 +36,9 @@
 #include "partition/dataset_verify.hpp"
 #include "partition/external_builder.hpp"
 #include "partition/grid_dataset.hpp"
+#include "testing/artifact.hpp"
+#include "testing/difftest.hpp"
+#include "testing/temp_dir.hpp"
 #include "util/checked_cast.hpp"
 #include "util/cli.hpp"
 
@@ -415,11 +420,82 @@ int CmdProfile(int argc, const char* const* argv) {
   return 0;
 }
 
+// Differential correctness harness (DESIGN.md §11): randomized
+// engine-vs-oracle sweep, or deterministic replay of a repro artifact.
+// Exits nonzero when any divergence is found (replay included), printing a
+// value-level first-divergence report.
+int CmdDifftest(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("replay", "", "re-execute a repro artifact instead of sweeping");
+  flags.Define("seeds", "8", "sweep: number of random seeds");
+  flags.Define("seed0", "1", "sweep: first seed");
+  flags.Define("artifact-dir", "",
+               "sweep: where minimized repro artifacts are written");
+  flags.Define("inject-fault", "none",
+               "deliberate engine fault for harness self-tests: "
+               "none | drop_max_edge");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  const std::string replay = flags.GetString("replay");
+  if (!replay.empty()) {
+    auto artifact = testing::ReadArtifact(replay);
+    if (!artifact.ok()) return Fail(artifact.status());
+    auto scratch = testing::ScratchDir::Create();
+    if (!scratch.ok()) return Fail(scratch.status());
+    auto divergence = testing::ReplayArtifact(*artifact, scratch->path());
+    if (!divergence.ok()) return Fail(divergence.status());
+    std::printf("replay %s: algo=%s model=%s p=%u codec=%s threads=%u "
+                "cross=%d depth=%u fault=%s (%u vertices, %llu edges)\n",
+                replay.c_str(), artifact->algo.c_str(),
+                artifact->model.c_str(), artifact->p, artifact->codec.c_str(),
+                artifact->threads, artifact->cross_iteration ? 1 : 0,
+                artifact->prefetch_depth, testing::FaultName(artifact->fault),
+                artifact->graph.num_vertices(),
+                static_cast<unsigned long long>(artifact->graph.num_edges()));
+    if (!divergence->has_value()) {
+      std::printf("no divergence: engine matches the oracle\n");
+      return 0;
+    }
+    std::fprintf(stderr, "DIVERGENCE %s\n",
+                 testing::DescribeDivergence(**divergence).c_str());
+    return 1;
+  }
+
+  testing::SweepOptions options;
+  options.num_seeds =
+      CheckedCast<std::uint32_t>(flags.GetInt("seeds"));
+  options.seed0 = CheckedCast<std::uint64_t>(flags.GetInt("seed0"));
+  options.artifact_dir = flags.GetString("artifact-dir");
+  if (flags.GetString("inject-fault") == "drop_max_edge") {
+    options.fault = testing::EngineFault::kDropMaxEdge;
+  }
+  options.progress = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+  };
+  auto summary = testing::RunSweep(options);
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf("difftest: %llu combos over %llu graphs (%llu datasets), "
+              "%zu divergence(s)\n",
+              static_cast<unsigned long long>(summary->combos_run),
+              static_cast<unsigned long long>(summary->graphs),
+              static_cast<unsigned long long>(summary->datasets_built),
+              summary->divergences.size());
+  for (const std::string& path : summary->artifact_paths) {
+    std::printf("repro artifact: %s\n", path.c_str());
+  }
+  if (!summary->divergences.empty()) {
+    std::fprintf(stderr, "DIVERGENCE %s\n",
+                 testing::DescribeDivergence(summary->divergences[0]).c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: graphsd <command> [flags]\n"
                "commands: generate convert preprocess info verify run "
-               "profile\n"
+               "profile difftest\n"
                "run `graphsd <command> --help=true` is not supported; see\n"
                "tools/graphsd_cli.cpp for every flag.\n");
   return 1;
@@ -443,5 +519,6 @@ int main(int argc, char** argv) {
   if (command == "verify") return graphsd::CmdVerify(sub_argc, sub_argv);
   if (command == "run") return graphsd::CmdRun(sub_argc, sub_argv);
   if (command == "profile") return graphsd::CmdProfile(sub_argc, sub_argv);
+  if (command == "difftest") return graphsd::CmdDifftest(sub_argc, sub_argv);
   return graphsd::Usage();
 }
