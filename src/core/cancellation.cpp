@@ -1,0 +1,53 @@
+#include "core/cancellation.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+#include "util/status.hpp"
+
+namespace graphsd::core {
+namespace {
+
+// Signal handlers can only touch lock-free globals, so the live scope's
+// token is published through a plain atomic pointer.
+std::atomic<CancellationToken*> g_signal_token{nullptr};
+
+struct sigaction g_prev_sigint;
+struct sigaction g_prev_sigterm;
+
+void HandleSignal(int signum) {
+  CancellationToken* token = g_signal_token.load(std::memory_order_acquire);
+  if (token == nullptr) return;
+  if (token->cancelled()) {
+    // Second Ctrl-C: the user has waited long enough. 128+signum matches
+    // shell convention for death-by-signal.
+    std::_Exit(128 + signum);
+  }
+  token->Cancel(signum == SIGINT ? "interrupted (SIGINT)"
+                                 : "terminated (SIGTERM)");
+}
+
+}  // namespace
+
+SignalCancellationScope::SignalCancellationScope(CancellationToken* token) {
+  CancellationToken* expected = nullptr;
+  GRAPHSD_CHECK_MSG(
+      g_signal_token.compare_exchange_strong(expected, token),
+      "only one SignalCancellationScope may be live per process");
+  struct sigaction action = {};
+  action.sa_handler = &HandleSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking syscalls must return EINTR so in-flight I/O
+  // reaches a poll point promptly; io::File retries EINTR transparently.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, &g_prev_sigint);
+  sigaction(SIGTERM, &action, &g_prev_sigterm);
+}
+
+SignalCancellationScope::~SignalCancellationScope() {
+  sigaction(SIGINT, &g_prev_sigint, nullptr);
+  sigaction(SIGTERM, &g_prev_sigterm, nullptr);
+  g_signal_token.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace graphsd::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.hpp"
 #include "core/fciu_executor.hpp"
 #include "core/scheduler.hpp"
 #include "core/sciu_executor.hpp"
@@ -10,6 +11,7 @@
 #include "obs/trace.hpp"
 #include "util/clock.hpp"
 #include "util/logging.hpp"
+#include "util/str_format.hpp"
 #include "util/thread_pool.hpp"
 
 namespace graphsd::core {
@@ -118,6 +120,144 @@ void FinishCompressionReport(const partition::GridDataset& dataset,
   report.buffer_disk_bytes_saved = buffer.disk_bytes_saved();
 }
 
+/// Snapshots the run's committed boundary into a Checkpoint. `base` carries
+/// the cumulative totals of the checkpoint this run resumed from (all-zero
+/// on a fresh run) so persisted counters always cover the whole logical
+/// run; buffer/decode counters are this run's deltas added on top of it.
+Checkpoint MakeCheckpoint(std::uint32_t fingerprint, const Program& program,
+                          bool gather, std::uint32_t iteration,
+                          const VertexState& state, const Frontier* active,
+                          const Frontier* preact,
+                          const ExecutionReport& report,
+                          const Checkpoint& base, const SubBlockBuffer& buffer,
+                          const partition::GridDataset& dataset,
+                          const partition::DecodeStats& decode_before) {
+  Checkpoint cp;
+  cp.fingerprint = fingerprint;
+  cp.algorithm = program.name();
+  cp.gather = gather;
+  cp.iteration = iteration;
+  cp.num_vertices = state.num_vertices();
+  cp.arrays.resize(state.num_program_arrays());
+  for (std::uint32_t a = 0; a < state.num_program_arrays(); ++a) {
+    const auto src = state.array(a);
+    cp.arrays[a].assign(src.begin(), src.end());
+  }
+  if (active != nullptr) {
+    active->ForEachActive([&](std::size_t v) {
+      cp.active.push_back(static_cast<VertexId>(v));
+    });
+  }
+  if (preact != nullptr) {
+    preact->ForEachActive([&](std::size_t v) {
+      cp.preact.push_back(static_cast<VertexId>(v));
+    });
+  }
+  cp.rounds = report.rounds;
+  cp.degraded_rounds = report.degraded_rounds;
+  cp.compute_seconds = report.compute_seconds;
+  cp.update_seconds = report.update_seconds;
+  cp.io_seconds = report.io_seconds;
+  cp.scheduler_seconds = report.scheduler_seconds;
+  cp.overlapped_seconds = report.overlapped_seconds;
+  cp.io = report.io;
+  cp.buffer_hits = base.buffer_hits + buffer.hits();
+  cp.buffer_misses = base.buffer_misses + buffer.misses();
+  cp.buffer_bytes_saved = base.buffer_bytes_saved + buffer.bytes_saved();
+  cp.buffer_disk_bytes_saved =
+      base.buffer_disk_bytes_saved + buffer.disk_bytes_saved();
+  const partition::DecodeStats now = dataset.decode_stats();
+  cp.frames_decoded =
+      base.frames_decoded + (now.frames_decoded - decode_before.frames_decoded);
+  cp.compressed_bytes_read =
+      base.compressed_bytes_read +
+      (now.compressed_bytes - decode_before.compressed_bytes);
+  cp.decoded_bytes =
+      base.decoded_bytes + (now.decoded_bytes - decode_before.decoded_bytes);
+  cp.decode_seconds =
+      base.decode_seconds + (now.decode_seconds - decode_before.decode_seconds);
+  cp.checkpoints_written = report.checkpoints_written;
+  cp.checkpoint_bytes = report.checkpoint_bytes;
+  cp.checkpoint_seconds = report.checkpoint_seconds;
+  return cp;
+}
+
+/// Validates the resume preconditions and restores `cp` into the run:
+/// vertex arrays, frontiers (push only) and the report's cumulative
+/// baseline. kFailedPrecondition on any shape/identity mismatch — resuming
+/// a checkpoint against a different dataset build or program would silently
+/// corrupt results.
+Status RestoreCheckpoint(const Checkpoint& cp, std::uint32_t fingerprint,
+                         const Program& program, bool gather,
+                         VertexState& state, Frontier* active,
+                         Frontier* preact, ExecutionReport& report) {
+  if (cp.fingerprint != fingerprint) {
+    return FailedPreconditionError(StrPrintf(
+        "checkpoint fingerprint %08x does not match dataset fingerprint "
+        "%08x — refusing to resume on a different or rebuilt dataset",
+        cp.fingerprint, fingerprint));
+  }
+  if (cp.algorithm != program.name()) {
+    return FailedPreconditionError(StrPrintf(
+        "checkpoint was written by algorithm '%s', not '%s'",
+        cp.algorithm.c_str(), program.name().c_str()));
+  }
+  if (cp.gather != gather) {
+    return FailedPreconditionError(
+        "checkpoint program kind (push/gather) does not match");
+  }
+  if (cp.num_vertices != state.num_vertices() ||
+      cp.arrays.size() != state.num_program_arrays()) {
+    return FailedPreconditionError(StrPrintf(
+        "checkpoint shape (%u vertices, %zu arrays) does not match the run "
+        "(%u vertices, %u arrays)",
+        cp.num_vertices, cp.arrays.size(), state.num_vertices(),
+        state.num_program_arrays()));
+  }
+  for (std::uint32_t a = 0; a < state.num_program_arrays(); ++a) {
+    const auto dst = state.array(a);
+    std::copy(cp.arrays[a].begin(), cp.arrays[a].end(), dst.begin());
+  }
+  if (active != nullptr) {
+    active->Clear();
+    for (const VertexId v : cp.active) active->Activate(v);
+  }
+  if (preact != nullptr) {
+    preact->Clear();
+    for (const VertexId v : cp.preact) preact->Activate(v);
+  }
+  report.rounds = cp.rounds;
+  report.degraded_rounds = cp.degraded_rounds;
+  report.compute_seconds = cp.compute_seconds;
+  report.update_seconds = cp.update_seconds;
+  report.io_seconds = cp.io_seconds;
+  report.scheduler_seconds = cp.scheduler_seconds;
+  report.overlapped_seconds = cp.overlapped_seconds;
+  report.io = cp.io;
+  report.checkpoints_written = cp.checkpoints_written;
+  report.checkpoint_bytes = cp.checkpoint_bytes;
+  report.checkpoint_seconds = cp.checkpoint_seconds;
+  report.resumed = true;
+  report.resume_iteration = cp.iteration;
+  return Status::Ok();
+}
+
+/// Lifecycle counters (`checkpoint.*`, `engine.cancelled_runs`). Deltas vs
+/// the resumed baseline so counters reflect this process's work only.
+void PublishLifecycleMetrics(obs::MetricsRegistry* metrics,
+                             const ExecutionReport& report,
+                             const Checkpoint& base) {
+  if (metrics == nullptr) return;
+  if (report.cancelled) metrics->GetCounter("engine.cancelled_runs").Add(1);
+  if (report.resumed) metrics->GetCounter("checkpoint.resumes").Add(1);
+  if (report.checkpoints_written > base.checkpoints_written) {
+    metrics->GetCounter("checkpoint.written")
+        .Add(report.checkpoints_written - base.checkpoints_written);
+    metrics->GetCounter("checkpoint.bytes")
+        .Add(report.checkpoint_bytes - base.checkpoint_bytes);
+  }
+}
+
 }  // namespace
 
 GraphSDEngine::GraphSDEngine(const partition::GridDataset& dataset,
@@ -167,9 +307,29 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   io::PrefetchPipeline prefetch(options_.prefetch_depth);
   ctx.prefetch = &prefetch;
   ctx.trace = options_.trace;
+  // Run-local cancellation: chains the caller's token (signal handlers trip
+  // that one) and arms the optional deadline. Executors poll it at fetch
+  // boundaries; the prefetch loader drains queued reads when it trips.
+  CancellationToken run_token;
+  run_token.set_parent(options_.cancel);
+  if (options_.deadline_seconds > 0) {
+    run_token.SetDeadline(options_.deadline_seconds);
+  }
+  ctx.cancel = &run_token;
+  prefetch.set_cancellation(&run_token);
   SciuExecutor sciu(ctx);
   FciuExecutor fciu(ctx);
   StateAwareScheduler scheduler(*dataset_, device.options().cost_model);
+
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  CheckpointStore store(options_.checkpoint_dir);
+  // Slot writes are fdatasync-bound; the async writer keeps them off the
+  // round critical path (its thread starts lazily on the first submit).
+  AsyncCheckpointWriter checkpoint_writer(&store);
+  const std::uint32_t checkpoint_every =
+      std::max<std::uint32_t>(1, options_.checkpoint_every);
+  const std::uint32_t fingerprint =
+      checkpointing ? DatasetFingerprint(manifest) : 0;
 
   // Overlap charging is only honest when the pipeline actually overlaps.
   const bool overlap = options_.overlap_io && prefetch.enabled();
@@ -187,20 +347,67 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   Frontier out_ni(n);
   Frontier preact(n);
   program.Init(state, active);
-  if (options_.frontier_probe) options_.frontier_probe(0, active);
+
+  std::uint32_t iterations = 0;
+  std::uint32_t last_checkpoint_iteration = 0;
+  // Cumulative totals of the checkpoint this run resumed from (all-zero on
+  // a fresh run); buffer/decode report fields are this run's deltas added
+  // on top of it.
+  Checkpoint base;
+  if (checkpointing && options_.resume) {
+    obs::TraceSpan span(options_.trace, "resume", 0);
+    auto loaded = store.LoadLatest();
+    if (loaded.ok()) {
+      GRAPHSD_RETURN_IF_ERROR(RestoreCheckpoint(
+          loaded.value(), fingerprint, program, /*gather=*/false, state,
+          &active, &preact, report));
+      iterations = loaded.value().iteration;
+      last_checkpoint_iteration = iterations;
+      base = std::move(loaded).value();
+      base.arrays.clear();
+      base.active.clear();
+      base.preact.clear();
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      // Slots exist but none is valid (all torn/corrupt) — surface it
+      // rather than silently recomputing from scratch.
+      return loaded.status();
+    }
+  }
+  if (options_.frontier_probe) options_.frontier_probe(iterations, active);
 
   const std::string values_path = ValuesPath(program);
   GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
 
   const std::uint32_t max_iterations =
       std::min(program.max_iterations(), options_.max_iterations);
-  std::uint32_t iterations = 0;
   // Cleared when the on-demand model hits unusable inputs (missing index,
   // checksum mismatch); the full-streaming model needs neither the index
   // nor ranged reads, so the run degrades instead of failing.
   bool selective_healthy = true;
 
+  // Writes the committed boundary (in-memory arrays + frontiers are in sync
+  // with the persisted values file whenever this is called).
+  auto write_checkpoint = [&](std::uint32_t boundary) -> Status {
+    obs::TraceSpan span(options_.trace, "checkpoint", boundary);
+    WallTimer timer;
+    const Checkpoint cp = MakeCheckpoint(
+        fingerprint, program, /*gather=*/false, boundary, state, &active,
+        &preact, report, base, buffer, *dataset_, decode_before);
+    GRAPHSD_RETURN_IF_ERROR(checkpoint_writer.Submit(cp).status());
+    ++report.checkpoints_written;
+    report.checkpoint_seconds += timer.Seconds();
+    last_checkpoint_iteration = boundary;
+    return Status::Ok();
+  };
+
   while (iterations < max_iterations) {
+    // Loop-top poll: everything here is committed (values file persisted,
+    // frontiers current), so cancellation just stops before the next round.
+    if (run_token.cancelled()) {
+      report.cancelled = true;
+      report.cancel_reason = run_token.reason();
+      break;
+    }
     if (active.Empty()) {
       if (preact.Empty()) break;
       // Iteration t has no regularly-active vertices; the pre-activated set
@@ -271,12 +478,15 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     out.CopyFrom(preact);
     out_ni.Clear();
 
+    bool cancelled_mid_round = false;
     if (on_demand) {
       Status status = sciu.RunIteration(program, state, active, out, out_ni,
                                         options_.enable_cross_iteration, stat,
                                         &report.update_seconds);
-      if (!status.ok() && (status.code() == StatusCode::kNotFound ||
-                           status.code() == StatusCode::kCorruptData)) {
+      if (status.code() == StatusCode::kCancelled) {
+        cancelled_mid_round = true;
+      } else if (!status.ok() && (status.code() == StatusCode::kNotFound ||
+                                  status.code() == StatusCode::kCorruptData)) {
         GRAPHSD_LOG_WARN(
             "iteration %u: on-demand model unusable (%s); degrading to "
             "full-streaming for the rest of the run",
@@ -304,24 +514,41 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
         preact.Swap(out_ni);
       }
     }
-    if (!on_demand) {
+    if (!on_demand && !cancelled_mid_round) {
       const bool two = options_.enable_cross_iteration &&
                        iterations + 2 <= max_iterations;
-      GRAPHSD_RETURN_IF_ERROR(fciu.RunPushRound(program, state, active, out,
-                                                out_ni, two, stat,
-                                                &report.update_seconds));
-      preact.Clear();
-      iterations += stat.iterations_covered;
-      if (stat.iterations_covered == 2) {
-        active.Swap(out_ni);  // `out` was fully consumed inside the round
-        if (options_.model_lumos_propagation) {
-          GRAPHSD_RETURN_IF_ERROR(
-              state.Persist(device, values_path + ".prop"));
-          GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path + ".prop"));
-        }
+      Status status = fciu.RunPushRound(program, state, active, out, out_ni,
+                                        two, stat, &report.update_seconds);
+      if (status.code() == StatusCode::kCancelled) {
+        cancelled_mid_round = true;
       } else {
-        active.Swap(out);
+        GRAPHSD_RETURN_IF_ERROR(status);
+        preact.Clear();
+        iterations += stat.iterations_covered;
+        if (stat.iterations_covered == 2) {
+          active.Swap(out_ni);  // `out` was fully consumed inside the round
+          if (options_.model_lumos_propagation) {
+            GRAPHSD_RETURN_IF_ERROR(
+                state.Persist(device, values_path + ".prop"));
+            GRAPHSD_RETURN_IF_ERROR(
+                state.Load(device, values_path + ".prop"));
+          }
+        } else {
+          active.Swap(out);
+        }
       }
+    }
+
+    if (cancelled_mid_round) {
+      // The round never committed: frontier swaps only happen after
+      // executor success, so `active`/`preact` still describe the last
+      // committed boundary — reload its values and stop there. The partial
+      // round's accounting is deliberately dropped (never Commit()ed).
+      obs::TraceSpan span(options_.trace, "state-load", iterations);
+      GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+      report.cancelled = true;
+      report.cancel_reason = run_token.reason();
+      break;
     }
 
     {
@@ -330,14 +557,43 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     }
     accounting.Commit(options_.record_per_round);
     if (options_.frontier_probe) options_.frontier_probe(iterations, active);
+    if (checkpointing &&
+        iterations - last_checkpoint_iteration >= checkpoint_every) {
+      GRAPHSD_RETURN_IF_ERROR(write_checkpoint(iterations));
+    }
+  }
+
+  if (report.cancelled) {
+    GRAPHSD_LOG_INFO("run cancelled at iteration %u (%s); partial report",
+                     iterations, report.cancel_reason.c_str());
+  }
+  // Final checkpoint: on cancellation this is what `--resume` picks up; on
+  // natural completion it makes a later resume a no-op re-run.
+  if (checkpointing && iterations != last_checkpoint_iteration) {
+    GRAPHSD_RETURN_IF_ERROR(write_checkpoint(iterations));
+  }
+  if (checkpointing) {
+    // Join the background writer: the final boundary must be durable
+    // before the report (cancelled or complete) is returned. Bytes are
+    // accounted here because superseded frames never reach disk.
+    WallTimer flush_timer;
+    GRAPHSD_RETURN_IF_ERROR(checkpoint_writer.Flush());
+    report.checkpoint_seconds += flush_timer.Seconds();
+    report.checkpoint_bytes += checkpoint_writer.bytes_written();
   }
 
   report.iterations = iterations;
-  report.buffer_hits = buffer.hits();
-  report.buffer_misses = buffer.misses();
-  report.buffer_bytes_saved = buffer.bytes_saved();
+  report.buffer_hits = base.buffer_hits + buffer.hits();
+  report.buffer_misses = base.buffer_misses + buffer.misses();
+  report.buffer_bytes_saved = base.buffer_bytes_saved + buffer.bytes_saved();
   FinishCompressionReport(*dataset_, decode_before, buffer, report);
+  report.frames_decoded += base.frames_decoded;
+  report.compressed_bytes_read += base.compressed_bytes_read;
+  report.decoded_bytes += base.decoded_bytes;
+  report.decode_seconds += base.decode_seconds;
+  report.buffer_disk_bytes_saved += base.buffer_disk_bytes_saved;
   PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
+  PublishLifecycleMetrics(options_.metrics, report, base);
   return report;
 }
 
@@ -360,7 +616,24 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   io::PrefetchPipeline prefetch(options_.prefetch_depth);
   ctx.prefetch = &prefetch;
   ctx.trace = options_.trace;
+  CancellationToken run_token;
+  run_token.set_parent(options_.cancel);
+  if (options_.deadline_seconds > 0) {
+    run_token.SetDeadline(options_.deadline_seconds);
+  }
+  ctx.cancel = &run_token;
+  prefetch.set_cancellation(&run_token);
   FciuExecutor fciu(ctx);
+
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  CheckpointStore store(options_.checkpoint_dir);
+  // Slot writes are fdatasync-bound; the async writer keeps them off the
+  // round critical path (its thread starts lazily on the first submit).
+  AsyncCheckpointWriter checkpoint_writer(&store);
+  const std::uint32_t checkpoint_every =
+      std::max<std::uint32_t>(1, options_.checkpoint_every);
+  const std::uint32_t fingerprint =
+      checkpointing ? DatasetFingerprint(manifest) : 0;
 
   const bool overlap = options_.overlap_io && prefetch.enabled();
 
@@ -375,14 +648,51 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   Frontier unused(manifest.num_vertices);
   program.Init(state, unused);
 
+  std::uint32_t iterations = 0;
+  std::uint32_t last_checkpoint_iteration = 0;
+  Checkpoint base;
+  if (checkpointing && options_.resume) {
+    obs::TraceSpan span(options_.trace, "resume", 0);
+    auto loaded = store.LoadLatest();
+    if (loaded.ok()) {
+      GRAPHSD_RETURN_IF_ERROR(RestoreCheckpoint(
+          loaded.value(), fingerprint, program, /*gather=*/true, state,
+          /*active=*/nullptr, /*preact=*/nullptr, report));
+      iterations = loaded.value().iteration;
+      last_checkpoint_iteration = iterations;
+      base = std::move(loaded).value();
+      base.arrays.clear();
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+
   const std::string values_path = ValuesPath(program);
   GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
 
   const std::uint32_t max_iterations =
       std::min(program.max_iterations(), options_.max_iterations);
-  std::uint32_t iterations = 0;
+
+  auto write_checkpoint = [&](std::uint32_t boundary) -> Status {
+    obs::TraceSpan span(options_.trace, "checkpoint", boundary);
+    WallTimer timer;
+    const Checkpoint cp = MakeCheckpoint(
+        fingerprint, program, /*gather=*/true, boundary, state,
+        /*active=*/nullptr, /*preact=*/nullptr, report, base, buffer,
+        *dataset_, decode_before);
+    GRAPHSD_RETURN_IF_ERROR(checkpoint_writer.Submit(cp).status());
+    ++report.checkpoints_written;
+    report.checkpoint_seconds += timer.Seconds();
+    last_checkpoint_iteration = boundary;
+    return Status::Ok();
+  };
 
   while (iterations < max_iterations) {
+    if (run_token.cancelled()) {
+      report.cancelled = true;
+      report.cancel_reason = run_token.reason();
+      break;
+    }
     RoundStat stat;
     stat.first_iteration = iterations;
     stat.active_vertices = manifest.num_vertices;
@@ -395,8 +705,19 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
     }
     const bool two = options_.enable_cross_iteration &&
                      iterations + 2 <= max_iterations;
-    GRAPHSD_RETURN_IF_ERROR(fciu.RunGatherRound(program, state, two, stat,
-                                                &report.update_seconds));
+    Status status = fciu.RunGatherRound(program, state, two, stat,
+                                        &report.update_seconds);
+    if (status.code() == StatusCode::kCancelled) {
+      // The round never committed: gather rounds mutate only the in-memory
+      // arrays, which the next state.Load would overwrite anyway — reload
+      // the committed values and stop there.
+      obs::TraceSpan span(options_.trace, "state-load", iterations);
+      GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+      report.cancelled = true;
+      report.cancel_reason = run_token.reason();
+      break;
+    }
+    GRAPHSD_RETURN_IF_ERROR(status);
     iterations += stat.iterations_covered;
     if (two && options_.model_lumos_propagation) {
       GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path + ".prop"));
@@ -407,14 +728,41 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
       GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
     }
     accounting.Commit(options_.record_per_round);
+    if (checkpointing &&
+        iterations - last_checkpoint_iteration >= checkpoint_every) {
+      GRAPHSD_RETURN_IF_ERROR(write_checkpoint(iterations));
+    }
+  }
+
+  if (report.cancelled) {
+    GRAPHSD_LOG_INFO("run cancelled at iteration %u (%s); partial report",
+                     iterations, report.cancel_reason.c_str());
+  }
+  if (checkpointing && iterations != last_checkpoint_iteration) {
+    GRAPHSD_RETURN_IF_ERROR(write_checkpoint(iterations));
+  }
+  if (checkpointing) {
+    // Join the background writer: the final boundary must be durable
+    // before the report (cancelled or complete) is returned. Bytes are
+    // accounted here because superseded frames never reach disk.
+    WallTimer flush_timer;
+    GRAPHSD_RETURN_IF_ERROR(checkpoint_writer.Flush());
+    report.checkpoint_seconds += flush_timer.Seconds();
+    report.checkpoint_bytes += checkpoint_writer.bytes_written();
   }
 
   report.iterations = iterations;
-  report.buffer_hits = buffer.hits();
-  report.buffer_misses = buffer.misses();
-  report.buffer_bytes_saved = buffer.bytes_saved();
+  report.buffer_hits = base.buffer_hits + buffer.hits();
+  report.buffer_misses = base.buffer_misses + buffer.misses();
+  report.buffer_bytes_saved = base.buffer_bytes_saved + buffer.bytes_saved();
   FinishCompressionReport(*dataset_, decode_before, buffer, report);
+  report.frames_decoded += base.frames_decoded;
+  report.compressed_bytes_read += base.compressed_bytes_read;
+  report.decoded_bytes += base.decoded_bytes;
+  report.decode_seconds += base.decode_seconds;
+  report.buffer_disk_bytes_saved += base.buffer_disk_bytes_saved;
   PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
+  PublishLifecycleMetrics(options_.metrics, report, base);
   return report;
 }
 

@@ -19,6 +19,7 @@
 #include "core/program.hpp"
 #include "core/report.hpp"
 #include "partition/grid_dataset.hpp"
+#include "util/cancellation.hpp"
 
 namespace graphsd::obs {
 class MetricsRegistry;
@@ -103,6 +104,32 @@ struct EngineOptions {
   /// engine state.
   std::function<void(std::uint32_t next_iteration, const Frontier& active)>
       frontier_probe;
+
+  // --- Run lifecycle (DESIGN.md §12) -------------------------------------
+  /// Non-empty enables crash-safe checkpointing: a GSCK checkpoint (vertex
+  /// arrays + frontiers + iteration + cumulative measurement baseline) is
+  /// written into this directory at committed iteration boundaries and once
+  /// more when the run finishes or is cancelled. Two slots are retained;
+  /// writes are atomic (write-temp -> fsync -> rename). Checkpoint I/O goes
+  /// through the plain filesystem, NOT the accounted device, so modeled
+  /// I/O, IoStats and scheduler decisions are unperturbed.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every N committed BSP iterations (clamped to >= 1).
+  std::uint32_t checkpoint_every = 1;
+  /// Resume from the latest valid checkpoint in `checkpoint_dir`. A
+  /// checkpoint from a different dataset build or algorithm is refused with
+  /// kFailedPrecondition; a directory with only torn/corrupt slots fails
+  /// with kCorruptData; an empty directory starts fresh.
+  bool resume = false;
+  /// External cooperative-cancellation token (non-owning; may be tripped
+  /// from a signal handler). A tripped token stops the run at the next
+  /// poll point, rolls back to the last committed iteration boundary,
+  /// writes a final checkpoint (when checkpointing), and returns a partial
+  /// report with `cancelled` set — never an error.
+  const CancellationToken* cancel = nullptr;
+  /// Cancel the run this many wall-clock seconds after it starts
+  /// (0 = no deadline). Cancels through the same mechanism as `cancel`.
+  double deadline_seconds = 0;
 };
 
 class GraphSDEngine {

@@ -8,6 +8,7 @@
 #include "io/prefetch.hpp"
 #include "obs/trace.hpp"
 #include "partition/grid_dataset.hpp"
+#include "util/cancellation.hpp"
 #include "util/thread_pool.hpp"
 
 namespace graphsd::core {
@@ -29,6 +30,12 @@ struct ExecContext {
   std::uint64_t memory_budget_bytes = 0;
   /// Edges per parallel task.
   std::size_t parallel_grain = 16384;
+  /// Cooperative-cancellation token polled at fetch boundaries (before each
+  /// sub-block / pass load, never per edge). Null = not cancellable. A
+  /// tripped token makes the executor return kCancelled without committing
+  /// the round; the engine then rolls back to the last committed iteration
+  /// boundary.
+  const CancellationToken* cancel = nullptr;
 };
 
 }  // namespace graphsd::core

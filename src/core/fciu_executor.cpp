@@ -49,6 +49,13 @@ FciuExecutor::SubBlockStream FciuExecutor::MakeStream(
 Result<const partition::SubBlock*> FciuExecutor::Fetch(
     SubBlockStream& stream, std::uint32_t i, std::uint32_t j,
     bool need_weights, partition::SubBlock& local) {
+  // Cooperative-cancellation poll point: every sub-block fetch (both round
+  // halves, push and gather) funnels through here, so a tripped token stops
+  // the round within one sub-block's worth of work. The stream destructor
+  // drains any tickets already in flight.
+  if (ctx_.cancel != nullptr) {
+    GRAPHSD_RETURN_IF_ERROR(ctx_.cancel->Check());
+  }
   SubBlockStream::Item item = stream.Take();
   if (const partition::SubBlock* cached =
           ctx_.buffer->Get(i, j, need_weights);

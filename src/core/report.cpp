@@ -46,6 +46,21 @@ std::string ExecutionReport::Summary() const {
                static_cast<unsigned long long>(io.checksum_failures),
                degraded_rounds);
   }
+  if (resumed) {
+    StrAppendf(&out, "  lifecycle: resumed from iteration %u\n",
+               resume_iteration);
+  }
+  if (checkpoints_written > 0) {
+    StrAppendf(&out, "  lifecycle: %u checkpoints written (%s, %s wall)\n",
+               checkpoints_written,
+               graphsd::FormatBytes(checkpoint_bytes).c_str(),
+               graphsd::FormatSeconds(checkpoint_seconds).c_str());
+  }
+  if (cancelled) {
+    StrAppendf(&out, "  lifecycle: CANCELLED (%s) — partial run up to "
+               "iteration %u\n",
+               cancel_reason.c_str(), iterations);
+  }
   return out;
 }
 

@@ -87,6 +87,22 @@ struct ExecutionReport {
   bool overlap_io = false;
   double overlapped_seconds = 0;  // sum of per-round pipelined charges
 
+  // --- Run lifecycle (DESIGN.md §12) -------------------------------------
+  // A cancelled run (Ctrl-C, deadline, external token) still returns a
+  // report: partial results up to the last committed iteration boundary.
+  bool cancelled = false;
+  std::string cancel_reason;
+  // Resumed from a checkpoint at `resume_iteration`; cumulative fields
+  // (iterations, rounds, seconds, io) cover the whole logical run, while
+  // per_round restarts at the resume point.
+  bool resumed = false;
+  std::uint32_t resume_iteration = 0;
+  // Checkpoint overhead (wall time; checkpoint I/O bypasses the modeled
+  // device on purpose, so it appears here and nowhere in `io`).
+  std::uint32_t checkpoints_written = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  double checkpoint_seconds = 0;
+
   std::vector<RoundStat> per_round;
 
   /// The serial charge: modeled I/O + measured compute, each paid in full.

@@ -304,6 +304,9 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
 
   io::PrefetchStream<SciuPassPayload> stream(ctx_.prefetch, std::move(units));
   for (std::size_t pass = 0; pass < stream.planned(); ++pass) {
+    if (ctx_.cancel != nullptr) {
+      GRAPHSD_RETURN_IF_ERROR(ctx_.cancel->Check());
+    }
     auto item = stream.Take();
     GRAPHSD_RETURN_IF_ERROR(item.status);
     SciuPassPayload& payload = item.payload;

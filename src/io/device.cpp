@@ -11,13 +11,15 @@ namespace graphsd::io {
 namespace {
 
 // How an injected fault surfaces to the retry loop. Transient kinds map to
-// kIoError (retryable); ENOSPC maps to kResourceExhausted (fatal).
+// kIoError (retryable); ENOSPC maps to kResourceExhausted (fatal). kEintr
+// never reaches this function on the normal path — it is absorbed inside
+// RunWithRetry — except when an EINTR storm exceeds the spin cap.
 Status FaultToStatus(FaultKind kind, const std::string& path) {
   switch (kind) {
     case FaultKind::kEio:
       return IoError("injected EIO on " + path);
     case FaultKind::kEintr:
-      return IoError("injected EINTR on " + path);
+      return IoError("injected EINTR storm on " + path);
     case FaultKind::kShortRead:
       return IoError("injected short transfer on " + path);
     case FaultKind::kEnospc:
@@ -25,6 +27,12 @@ Status FaultToStatus(FaultKind kind, const std::string& path) {
   }
   return InternalError("unknown injected fault kind");
 }
+
+// EINTR retries are free (no backoff, no retry-budget slot) but bounded:
+// past this many consecutive interruptions of one request the storm is
+// treated as a real transient failure so a misconfigured unlimited rule
+// cannot spin forever.
+constexpr int kMaxEintrSpins = 256;
 
 }  // namespace
 
@@ -68,8 +76,20 @@ Status Device::RunWithRetry(FaultOp op, const std::string& path,
     }
     status = Status::Ok();
     if (options_.fault_injector != nullptr) {
-      if (auto fault = options_.fault_injector->Evaluate(op, path)) {
+      // A signal interrupting a request (EINTR) is routine once SIGINT/
+      // SIGTERM handlers are installed, not a device failure: retry the
+      // injector immediately without charging backoff or consuming one of
+      // the max_io_attempts slots. (Real EINTR from syscalls is already
+      // absorbed inside io::File's pread/pwrite/open/fdatasync loops.)
+      int eintr_spins = 0;
+      while (auto fault = options_.fault_injector->Evaluate(op, path)) {
+        if (*fault == FaultKind::kEintr && eintr_spins < kMaxEintrSpins) {
+          ++eintr_spins;
+          stats_.RecordEintrAbsorbed();
+          continue;
+        }
         status = FaultToStatus(*fault, path);
+        break;
       }
     }
     if (status.ok()) status = attempt();
@@ -130,6 +150,7 @@ void Device::PublishMetrics(obs::MetricsRegistry& metrics) const {
   set("device.rand_write_ops", s.rand_write_ops);
   set("device.retries", s.retries);
   set("device.checksum_failures", s.checksum_failures);
+  set("device.eintr_absorbed", s.eintr_absorbed);
   metrics.GetGauge("device.clock_seconds").Set(clock_.Seconds());
 }
 

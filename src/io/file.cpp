@@ -10,6 +10,21 @@
 #include <utility>
 
 namespace graphsd::io {
+namespace {
+
+// Once a SignalCancellationScope is live, SIGINT/SIGTERM are delivered
+// without SA_RESTART and any syscall may fail with EINTR. That is a
+// routine wake-up, never an I/O failure: retry in place so it cannot
+// consume a Device retry-budget slot upstream.
+int OpenRetryingEintr(const char* path, int flags) {
+  int fd;
+  do {
+    fd = ::open(path, flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace
 
 File::~File() { Close(); }
 
@@ -38,14 +53,14 @@ Result<File> File::Open(const std::string& path, OpenMode mode, bool direct) {
 #ifdef O_DIRECT
   if (direct) flags |= O_DIRECT;
 #endif
-  int fd = ::open(path.c_str(), flags, 0644);
+  int fd = OpenRetryingEintr(path.c_str(), flags);
 #ifdef O_DIRECT
   if (fd < 0 && direct && errno == EINVAL) {
     // Filesystem does not support O_DIRECT (e.g. tmpfs); fall back to
     // buffered I/O — the virtual-time device still charges every byte.
     flags &= ~O_DIRECT;
     direct = false;
-    fd = ::open(path.c_str(), flags, 0644);
+    fd = OpenRetryingEintr(path.c_str(), flags);
   }
 #endif
   if (fd < 0) return ErrnoError("open " + path, errno);
@@ -113,7 +128,11 @@ Status File::Truncate(std::uint64_t size) const {
 
 Status File::Sync() const {
   GRAPHSD_CHECK(is_open());
-  if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync " + path_, errno);
+  int rc;
+  do {
+    rc = ::fdatasync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoError("fdatasync " + path_, errno);
   return Status::Ok();
 }
 
@@ -160,15 +179,34 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return out;
 }
 
-Status WriteStringToFile(const std::string& path, std::string_view contents) {
+Status SyncDirectory(const std::string& path) {
+  // Directory fds reject O_WRONLY; open read-only and fsync. Some
+  // filesystems refuse fsync on directories — treat EINVAL as "nothing to
+  // do" rather than failing the caller's otherwise-complete write.
+  int fd = OpenRetryingEintr(path.empty() ? "." : path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("open dir " + path, errno);
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0 && saved_errno != EINVAL && saved_errno != ENOTSUP) {
+    return ErrnoError("fsync dir " + path, saved_errno);
+  }
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path,
+                       std::span<const std::uint8_t> contents,
+                       bool sync_dir) {
   const std::string tmp = path + ".tmp";
   Status status = [&]() -> Status {
     {
       GRAPHSD_ASSIGN_OR_RETURN(File file, File::Open(tmp, OpenMode::kWrite));
-      GRAPHSD_RETURN_IF_ERROR(file.WriteAt(
-          0, std::span<const std::uint8_t>(
-                 reinterpret_cast<const std::uint8_t*>(contents.data()),
-                 contents.size())));
+      GRAPHSD_RETURN_IF_ERROR(file.WriteAt(0, contents));
+      // fsync BEFORE rename: without it a crash can promote an empty or
+      // partial temp file to the final name — the classic torn-replace.
       GRAPHSD_RETURN_IF_ERROR(file.Sync());
     }
     std::error_code ec;
@@ -176,12 +214,24 @@ Status WriteStringToFile(const std::string& path, std::string_view contents) {
     if (ec) {
       return IoError("rename " + tmp + " -> " + path + ": " + ec.message());
     }
-    return Status::Ok();
+    // And fsync the parent directory so the rename itself survives a
+    // crash; otherwise the new name may vanish on restart.
+    if (!sync_dir) return Status::Ok();
+    const std::string parent =
+        std::filesystem::path(path).parent_path().string();
+    return SyncDirectory(parent);
   }();
   // Never leave the temp file behind: a stale `.tmp` would shadow the next
   // atomic replace and leak scratch space.
   if (!status.ok()) (void)RemoveFile(tmp);
   return status;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  return WriteFileAtomic(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(contents.data()),
+                contents.size()));
 }
 
 }  // namespace graphsd::io

@@ -89,7 +89,25 @@ Status RemoveTree(const std::string& path);
 /// Reads an entire (small) file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Atomically replaces `path` with `contents` (write temp + rename).
+/// Flushes directory metadata so a completed rename survives a crash.
+/// Filesystems that cannot fsync directories are treated as a no-op.
+Status SyncDirectory(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: write `path + ".tmp"`,
+/// fdatasync, rename over `path`, fsync the parent directory. The shared
+/// helper behind every durable writer (manifests, checkpoints, run
+/// reports, traces) — a crash leaves either the old file or the new one,
+/// never a torn mix.
+/// `sync_dir = false` skips the parent-directory fsync: the rename is
+/// still atomic but may not survive a crash (the old file reappears).
+/// Only correct when the caller tolerates losing the *newest* version —
+/// e.g. the two-slot checkpoint store, whose reader falls back to the
+/// other slot anyway. Every other durable writer wants the default.
+Status WriteFileAtomic(const std::string& path,
+                       std::span<const std::uint8_t> contents,
+                       bool sync_dir = true);
+
+/// String-view convenience wrapper over `WriteFileAtomic`.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
 
 }  // namespace graphsd::io

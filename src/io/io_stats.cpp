@@ -17,6 +17,7 @@ IoStatsSnapshot IoStatsSnapshot::operator-(
   d.rand_write_ops = rand_write_ops - other.rand_write_ops;
   d.retries = retries - other.retries;
   d.checksum_failures = checksum_failures - other.checksum_failures;
+  d.eintr_absorbed = eintr_absorbed - other.eintr_absorbed;
   return d;
 }
 
@@ -32,6 +33,7 @@ IoStatsSnapshot& IoStatsSnapshot::operator+=(
   rand_write_ops += other.rand_write_ops;
   retries += other.retries;
   checksum_failures += other.checksum_failures;
+  eintr_absorbed += other.eintr_absorbed;
   return *this;
 }
 
@@ -45,6 +47,9 @@ std::string IoStatsSnapshot::ToString() const {
   if (retries > 0) out += ", retries " + std::to_string(retries);
   if (checksum_failures > 0) {
     out += ", checksum failures " + std::to_string(checksum_failures);
+  }
+  if (eintr_absorbed > 0) {
+    out += ", eintr absorbed " + std::to_string(eintr_absorbed);
   }
   return out;
 }
@@ -81,6 +86,7 @@ IoStatsSnapshot IoStats::Snapshot() const noexcept {
   s.rand_write_ops = rand_write_ops_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
+  s.eintr_absorbed = eintr_absorbed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -95,6 +101,7 @@ void IoStats::Reset() noexcept {
   rand_write_ops_.store(0, std::memory_order_relaxed);
   retries_.store(0, std::memory_order_relaxed);
   checksum_failures_.store(0, std::memory_order_relaxed);
+  eintr_absorbed_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace graphsd::io

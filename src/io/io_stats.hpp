@@ -28,6 +28,7 @@ struct IoStatsSnapshot {
   // Resilience counters (see DESIGN.md "Failure model & recovery").
   std::uint64_t retries = 0;            // transient errors absorbed by retry
   std::uint64_t checksum_failures = 0;  // CRC mismatches surfaced on load
+  std::uint64_t eintr_absorbed = 0;     // signal interruptions retried free
 
   std::uint64_t TotalReadBytes() const noexcept {
     return seq_read_bytes + rand_read_bytes;
@@ -70,6 +71,11 @@ class IoStats {
     checksum_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Records one EINTR absorbed without consuming a retry-budget slot.
+  void RecordEintrAbsorbed() noexcept {
+    eintr_absorbed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Copies the current counters.
   IoStatsSnapshot Snapshot() const noexcept;
 
@@ -87,6 +93,7 @@ class IoStats {
   std::atomic<std::uint64_t> rand_write_ops_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> checksum_failures_{0};
+  std::atomic<std::uint64_t> eintr_absorbed_{0};
 };
 
 }  // namespace graphsd::io

@@ -52,6 +52,13 @@ class PrefetchPipeline {
   /// The shared read queue. Valid only when enabled().
   ReadQueue& queue() noexcept { return *queue_; }
 
+  /// Forwards a cancellation token to the read queue (no-op when the
+  /// pipeline is disabled): a tripped token drains queued fetches as
+  /// kCancelled instead of performing their device I/O.
+  void set_cancellation(const CancellationToken* cancel) noexcept {
+    if (queue_ != nullptr) queue_->set_cancellation(cancel);
+  }
+
   /// Blocks until no loader task is in flight. Streams already drain their
   /// own tickets; engines call this at round boundaries so per-round I/O
   /// accounting snapshots see a quiesced device.

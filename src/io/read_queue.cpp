@@ -37,6 +37,12 @@ void ReadQueue::RunTask(Ticket ticket, const std::function<Status()>& task) {
       skip = true;
       status = poison_;
       ++skipped_;
+    } else if (cancel_ != nullptr && cancel_->cancelled()) {
+      // Cancellation drains the window without device I/O. Unlike poison
+      // it is not batch-scoped — once tripped, every later task is skipped.
+      skip = true;
+      status = CancelledError(cancel_->reason());
+      ++skipped_;
     }
   }
   if (!skip) status = task();

@@ -26,6 +26,7 @@
 #include <functional>
 #include <mutex>
 
+#include "util/cancellation.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,6 +60,15 @@ class ReadQueue {
 
   std::size_t depth() const noexcept { return depth_; }
 
+  /// Attaches a cooperative-cancellation token (null detaches). A tripped
+  /// token makes every not-yet-executed task resolve to kCancelled without
+  /// touching the device — prompt in-flight drain on Ctrl-C. Like the
+  /// poison, the cancelled status is surfaced through Wait; tasks already
+  /// executing finish normally. Set before the first Submit.
+  void set_cancellation(const CancellationToken* cancel) noexcept {
+    cancel_ = cancel;
+  }
+
   /// Tasks submitted over the queue's lifetime.
   std::uint64_t submitted() const;
 
@@ -79,6 +89,7 @@ class ReadQueue {
 
   ThreadPool* pool_;
   std::size_t depth_;
+  const CancellationToken* cancel_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable window_open_;  // in_flight_ < depth_

@@ -1,8 +1,6 @@
 #include "obs/run_report.hpp"
 
-#include <cerrno>
-#include <cstdio>
-
+#include "io/file.hpp"
 #include "obs/json_writer.hpp"
 
 namespace graphsd::obs {
@@ -101,6 +99,17 @@ std::string ToRunReportJson(const core::ExecutionReport& report,
   json.Field("decode_seconds", report.decode_seconds);
   json.EndObject();
 
+  json.Key("lifecycle");
+  json.BeginObject();
+  json.Field("cancelled", report.cancelled);
+  json.Field("cancel_reason", report.cancel_reason);
+  json.Field("resumed", report.resumed);
+  json.Field("resume_iteration", report.resume_iteration);
+  json.Field("checkpoints_written", report.checkpoints_written);
+  json.Field("checkpoint_bytes", report.checkpoint_bytes);
+  json.Field("checkpoint_seconds", report.checkpoint_seconds);
+  json.EndObject();
+
   json.Key("per_round");
   json.BeginArray();
   for (const core::RoundStat& stat : report.per_round) {
@@ -137,15 +146,10 @@ Status WriteRunReport(const core::ExecutionReport& report,
                       const io::IoCostModel& cost_model,
                       const std::string& path,
                       const MetricsRegistry* metrics) {
-  const std::string body = ToRunReportJson(report, cost_model, metrics);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return ErrnoError("fopen " + path, errno);
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != body.size() || close_rc != 0) {
-    return IoError("short write to " + path);
-  }
-  return Status::Ok();
+  // Atomic replace (write-temp → fsync → rename): a crash mid-export must
+  // not leave a truncated JSON document where a previous good report was.
+  return io::WriteStringToFile(path, ToRunReportJson(report, cost_model,
+                                                     metrics));
 }
 
 }  // namespace graphsd::obs

@@ -75,16 +75,4 @@ std::string ToChromeTraceJson(const TraceBuffer& buffer) {
   return json.Finish();
 }
 
-Status WriteChromeTrace(const TraceBuffer& buffer, const std::string& path) {
-  const std::string body = ToChromeTraceJson(buffer);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return ErrnoError("fopen " + path, errno);
-  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != body.size() || close_rc != 0) {
-    return IoError("short write to " + path);
-  }
-  return Status::Ok();
-}
-
 }  // namespace graphsd::obs

@@ -104,8 +104,10 @@ class TraceSpan {
 /// event per span plus a metadata record with the drop count.
 std::string ToChromeTraceJson(const TraceBuffer& buffer);
 
-/// Writes ToChromeTraceJson(buffer) to `path` (plain stdio; trace files are
-/// tooling output, not dataset payload, so no Device accounting).
+/// Atomically replaces `path` with ToChromeTraceJson(buffer) (tooling
+/// output, not dataset payload, so no Device accounting). Defined in
+/// trace_export.cpp / graphsd_obs_report — the io-layer atomic-write
+/// helper is not linkable from graphsd_obs itself.
 Status WriteChromeTrace(const TraceBuffer& buffer, const std::string& path);
 
 }  // namespace graphsd::obs

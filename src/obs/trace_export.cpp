@@ -1,0 +1,16 @@
+// Trace file exporter. Lives in graphsd_obs_report (not graphsd_obs)
+// because the atomic-replace helper is in the io layer, which sits above
+// obs in the link order.
+#include "obs/trace.hpp"
+
+#include "io/file.hpp"
+
+namespace graphsd::obs {
+
+Status WriteChromeTrace(const TraceBuffer& buffer, const std::string& path) {
+  // Atomic replace (write-temp → fsync → rename): a crash mid-export must
+  // not leave a truncated JSON document where a previous good trace was.
+  return io::WriteStringToFile(path, ToChromeTraceJson(buffer));
+}
+
+}  // namespace graphsd::obs

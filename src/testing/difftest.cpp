@@ -1,15 +1,19 @@
 #include "testing/difftest.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <span>
 #include <cstdio>
 #include <filesystem>
 #include <map>
 #include <sstream>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "core/engine.hpp"
+#include "io/file.hpp"
 #include "partition/grid_builder.hpp"
 #include "testing/graph_cases.hpp"
 #include "testing/program_factory.hpp"
@@ -450,6 +454,362 @@ Result<std::optional<Divergence>> ReplayArtifact(
   config.threads = artifact.threads;
   config.fault = artifact.fault;
   return RunTrial(artifact.graph, artifact.root, *built->dataset, config);
+}
+
+namespace {
+
+using core::GatherProgram;
+
+// Trips `token` after the N-th Apply call. Observes only: the partial round
+// it interrupts is rolled back by the engine, so forwarding every call is
+// safe (and required — the wrapper must not change the committed prefix).
+class TripPushProgram final : public PushProgram {
+ public:
+  TripPushProgram(std::unique_ptr<PushProgram> inner, CancellationToken* token,
+                  std::uint64_t trip_after)
+      : inner_(std::move(inner)), token_(token), trip_after_(trip_after) {}
+
+  std::string name() const override { return inner_->name(); }
+  bool needs_weights() const override { return inner_->needs_weights(); }
+  std::uint32_t num_value_arrays() const override {
+    return inner_->num_value_arrays();
+  }
+  void Bind(const std::vector<std::uint32_t>& out_degrees) override {
+    inner_->Bind(out_degrees);
+  }
+  void Init(VertexState& state, Frontier& initial) override {
+    inner_->Init(state, initial);
+  }
+  std::uint32_t max_iterations() const override {
+    return inner_->max_iterations();
+  }
+  double ValueOf(const VertexState& state, VertexId v) const override {
+    return inner_->ValueOf(state, v);
+  }
+  void MakeContribution(VertexState& state, VertexId v,
+                        ContribSlot slot) const override {
+    inner_->MakeContribution(state, v, slot);
+  }
+  bool Apply(VertexState& state, VertexId src, VertexId dst, Weight w,
+             ContribSlot slot) const override {
+    if (calls_.fetch_add(1, std::memory_order_relaxed) + 1 == trip_after_) {
+      token_->Cancel("difftest kill");
+    }
+    return inner_->Apply(state, src, dst, w, slot);
+  }
+
+ private:
+  std::unique_ptr<PushProgram> inner_;
+  CancellationToken* token_;
+  std::uint64_t trip_after_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+// Gather counterpart: trips after the N-th MakeContribution call. Gather
+// runs have no frontier probe, so this is the deterministic kill mechanism
+// for them (at one thread the call sequence is fixed).
+class TripGatherProgram final : public GatherProgram {
+ public:
+  TripGatherProgram(std::unique_ptr<GatherProgram> inner,
+                    CancellationToken* token, std::uint64_t trip_after)
+      : inner_(std::move(inner)), token_(token), trip_after_(trip_after) {}
+
+  std::string name() const override { return inner_->name(); }
+  bool needs_weights() const override { return inner_->needs_weights(); }
+  std::uint32_t num_value_arrays() const override {
+    return inner_->num_value_arrays();
+  }
+  void Bind(const std::vector<std::uint32_t>& out_degrees) override {
+    inner_->Bind(out_degrees);
+  }
+  void Init(VertexState& state, Frontier& initial) override {
+    inner_->Init(state, initial);
+  }
+  std::uint32_t max_iterations() const override {
+    return inner_->max_iterations();
+  }
+  double ValueOf(const VertexState& state, VertexId v) const override {
+    return inner_->ValueOf(state, v);
+  }
+  void MakeContribution(VertexState& state, VertexId v,
+                        core::ContribSlot slot) const override {
+    if (calls_.fetch_add(1, std::memory_order_relaxed) + 1 == trip_after_) {
+      token_->Cancel("difftest kill");
+    }
+    inner_->MakeContribution(state, v, slot);
+  }
+  void ResetAccum(VertexState& state, core::AccumSlot a) const override {
+    inner_->ResetAccum(state, a);
+  }
+  void Accumulate(VertexState& state, VertexId src, VertexId dst, Weight w,
+                  core::ContribSlot c, core::AccumSlot a) const override {
+    inner_->Accumulate(state, src, dst, w, c, a);
+  }
+  void Finalize(VertexState& state, VertexId begin, VertexId end,
+                core::AccumSlot a) const override {
+    inner_->Finalize(state, begin, end, a);
+  }
+
+ private:
+  std::unique_ptr<GatherProgram> inner_;
+  CancellationToken* token_;
+  std::uint64_t trip_after_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+// Damages the newest checkpoint slot (bit flip or truncation). Applied only
+// when BOTH slots decode valid so the older slot remains as the recovery
+// path; returns whether damage was actually applied.
+Result<bool> DamageNewestSlot(const std::string& checkpoint_dir, int mode) {
+  core::CheckpointStore store(checkpoint_dir);
+  int newest = -1;
+  std::uint32_t newest_iteration = 0;
+  for (int slot = 0; slot < 2; ++slot) {
+    auto data = io::ReadFileToString(store.SlotPath(slot));
+    if (!data.ok()) return false;
+    auto checkpoint = core::DecodeCheckpoint(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data->data()), data->size()));
+    if (!checkpoint.ok()) return false;
+    if (newest == -1 || checkpoint->iteration > newest_iteration) {
+      newest = slot;
+      newest_iteration = checkpoint->iteration;
+    }
+  }
+  const std::string path = store.SlotPath(newest);
+  auto data = io::ReadFileToString(path);
+  GRAPHSD_RETURN_IF_ERROR(data.status());
+  std::string damaged = std::move(data).value();
+  if (mode == 2) {
+    damaged.resize(damaged.size() / 2);  // torn write
+  } else {
+    damaged[damaged.size() / 2] ^= 0x20;  // silent media corruption
+  }
+  GRAPHSD_RETURN_IF_ERROR(io::WriteStringToFile(path, damaged));
+  return true;
+}
+
+}  // namespace
+
+Result<std::optional<Divergence>> RunKillResumeTrial(
+    const EdgeList& graph, VertexId root,
+    const partition::GridDataset& dataset, const std::string& scratch_dir,
+    const KillResumeConfig& config) {
+  auto spec = AlgoSpecFor(config.algo);
+  GRAPHSD_RETURN_IF_ERROR(spec.status());
+  if (config.model != "auto" && config.model != "on_demand" &&
+      config.model != "full") {
+    return InvalidArgumentError("bad trial model: " + config.model);
+  }
+  if (config.kill_iteration == 0) {
+    return InvalidArgumentError("kill_iteration must be >= 1");
+  }
+
+  const std::string checkpoint_dir = scratch_dir + "/ck";
+  (void)io::RemoveTree(checkpoint_dir);  // stale slots from a prior trial
+
+  // One thread, overlap off: the scheduler sees only modeled (deterministic)
+  // costs, so the killed and resumed segments replay the uninterrupted run
+  // exactly and every algorithm class is bitwise-comparable.
+  const auto make_options = [&config]() {
+    EngineOptions options;
+    options.num_threads = 1;
+    options.enable_cross_iteration = config.cross_iteration;
+    options.prefetch_depth = config.prefetch_depth;
+    options.record_per_round = false;
+    options.overlap_io = false;
+    options.max_iterations = 1000;
+    if (config.model != "auto") {
+      const RoundModelChoice forced = config.model == "on_demand"
+                                          ? RoundModelChoice::kOnDemand
+                                          : RoundModelChoice::kFull;
+      options.model_override = [forced](std::uint32_t) { return forced; };
+    }
+    return options;
+  };
+
+  // 1. Uninterrupted baseline.
+  auto base_program = MakeProgram(config.algo, root);
+  GRAPHSD_RETURN_IF_ERROR(base_program.status());
+  GraphSDEngine base_engine(dataset, make_options());
+  auto base_report = base_engine.Run(**base_program);
+  if (!base_report.ok()) {
+    return std::optional<Divergence>(MakeStatusDivergence(base_report.status()));
+  }
+  std::vector<double> expect(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    expect[v] = (*base_program)->ValueOf(*base_engine.state(), v);
+  }
+
+  // 2. Checkpointed run, cooperatively killed.
+  CancellationToken token;
+  auto killed_inner = MakeProgram(config.algo, root);
+  GRAPHSD_RETURN_IF_ERROR(killed_inner.status());
+  std::unique_ptr<Program> killed_program = std::move(killed_inner).value();
+  EngineOptions killed_options = make_options();
+  killed_options.checkpoint_dir = checkpoint_dir;
+  killed_options.checkpoint_every = 1;
+  killed_options.cancel = &token;
+  if (spec->push) {
+    if (config.midround_kill) {
+      killed_program = std::make_unique<TripPushProgram>(
+          std::unique_ptr<PushProgram>(
+              static_cast<PushProgram*>(killed_program.release())),
+          &token, std::uint64_t{config.kill_iteration} * 29 + 7);
+    } else {
+      killed_options.frontier_probe =
+          [&token, kill = config.kill_iteration](std::uint32_t next_iteration,
+                                                 const Frontier&) {
+            if (next_iteration >= kill) token.Cancel("difftest kill");
+          };
+    }
+  } else {
+    // Aim mid-round near iteration kill/2: gather contributes every vertex
+    // each iteration, so vertex-count scaling spreads kills across rounds.
+    const std::uint64_t trip_after =
+        std::uint64_t{config.kill_iteration} * graph.num_vertices() / 2 + 3;
+    killed_program = std::make_unique<TripGatherProgram>(
+        std::unique_ptr<GatherProgram>(
+            static_cast<GatherProgram*>(killed_program.release())),
+        &token, trip_after);
+  }
+  GraphSDEngine killed_engine(dataset, killed_options);
+  auto killed_report = killed_engine.Run(*killed_program);
+  if (!killed_report.ok()) {
+    return std::optional<Divergence>(
+        MakeStatusDivergence(killed_report.status()));
+  }
+  const bool was_killed = killed_report->cancelled;
+
+  // 3. Optional slot damage (torn write / bit rot) before the resume.
+  if (config.corrupt_newest != 0) {
+    auto damaged = DamageNewestSlot(checkpoint_dir, config.corrupt_newest);
+    GRAPHSD_RETURN_IF_ERROR(damaged.status());
+  }
+
+  // 4. Resume to completion and compare against the uninterrupted run.
+  auto resume_program = MakeProgram(config.algo, root);
+  GRAPHSD_RETURN_IF_ERROR(resume_program.status());
+  EngineOptions resume_options = make_options();
+  resume_options.checkpoint_dir = checkpoint_dir;
+  resume_options.resume = true;
+  GraphSDEngine resume_engine(dataset, resume_options);
+  auto resume_report = resume_engine.Run(**resume_program);
+  if (!resume_report.ok()) {
+    Divergence d = MakeStatusDivergence(resume_report.status());
+    d.detail = "resume failed: " + resume_report.status().ToString();
+    return std::optional<Divergence>(d);
+  }
+
+  Divergence d;
+  d.oracle_iterations = base_report->iterations;
+  d.engine_iterations = resume_report->iterations;
+  if (resume_report->cancelled) {
+    d.invariant = "status";
+    d.detail = "resumed run reported cancelled without a kill";
+    return std::optional<Divergence>(d);
+  }
+  // A kill after at least one committed boundary must leave a checkpoint the
+  // resume actually picks up (corruption only ever damages the newest of two
+  // valid slots, so a fallback always survives).
+  if (was_killed && killed_report->iterations > 0 && !resume_report->resumed) {
+    d.invariant = "status";
+    d.detail = "resume started fresh despite a checkpoint on disk";
+    return std::optional<Divergence>(d);
+  }
+
+  // Iteration totals replay exactly, except under auto + cross-iteration
+  // where the scheduler's model choice may legitimately regroup waves
+  // around the resume point.
+  if (!(config.model == "auto" && config.cross_iteration) &&
+      resume_report->iterations != base_report->iterations) {
+    d.invariant = "iterations";
+    d.detail = "kill/resume iteration total differs from uninterrupted run";
+    return std::optional<Divergence>(d);
+  }
+
+  const VertexState* state = resume_engine.state();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const double resumed_value = (*resume_program)->ValueOf(*state, v);
+    if (!BitwiseEqual(expect[v], resumed_value)) {
+      d.invariant = "value";
+      d.vertex = v;
+      d.iteration = resume_report->iterations;
+      d.oracle_value = expect[v];
+      d.engine_value = resumed_value;
+      d.detail = "kill/resume value differs from uninterrupted run";
+      return std::optional<Divergence>(d);
+    }
+  }
+  return std::optional<Divergence>();
+}
+
+Result<SweepSummary> RunKillResumeSweep(const KillResumeSweepOptions& options) {
+  auto scratch = ScratchDir::Create();
+  GRAPHSD_RETURN_IF_ERROR(scratch.status());
+
+  constexpr std::uint32_t kDepths[] = {0, 1, 4};
+  constexpr std::uint32_t kIntervals[] = {1, 2, 4, 8};
+  constexpr std::uint32_t kKills[] = {1, 2, 3, 5};
+  const char* kModels[] = {"on_demand", "full", "auto"};
+
+  SweepSummary summary;
+  std::uint64_t rotation = 0;  // spreads kill point/style, cross, corruption
+
+  for (std::uint32_t s = 0; s < options.num_seeds; ++s) {
+    const std::uint64_t seed = options.seed0 + s;
+    const GraphCase graph_case = GenerateGraphCase(seed);
+    ++summary.graphs;
+    if (options.progress) {
+      options.progress("kill-resume seed " + std::to_string(seed) + ": " +
+                       graph_case.family + " (" +
+                       std::to_string(graph_case.list.num_vertices()) + " v, " +
+                       std::to_string(graph_case.list.num_edges()) + " e)");
+    }
+
+    SplitMix64 pick(seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::string seed_dir =
+        scratch->path() + "/kr_seed_" + std::to_string(seed);
+    std::vector<BuiltDataset> datasets;
+    for (const char* codec : {"none", "varint-delta"}) {
+      const std::uint32_t p = kIntervals[pick.Next() % 4];
+      auto built = BuildCaseDataset(graph_case.list, codec, p,
+                                    seed_dir + "/" + codec);
+      GRAPHSD_RETURN_IF_ERROR(built.status());
+      datasets.push_back(std::move(built).value());
+      ++summary.datasets_built;
+    }
+
+    for (const AlgoSpec& algo : RegisteredAlgos()) {
+      for (const BuiltDataset& ds : datasets) {
+        for (const char* model : kModels) {
+          KillResumeConfig config;
+          config.algo = algo.name;
+          config.model = model;
+          config.kill_iteration = kKills[rotation % 4];
+          config.cross_iteration = ((rotation / 4) % 2) == 1;
+          config.prefetch_depth = kDepths[(rotation / 8) % 3];
+          config.midround_kill = algo.push && ((rotation / 2) % 2) == 1;
+          // Corruption needs an older slot to fall back to, which a kill at
+          // iteration >= 2 (checkpointing every iteration) guarantees.
+          config.corrupt_newest =
+              config.kill_iteration >= 2
+                  ? static_cast<int>((rotation / 5) % 3)
+                  : 0;
+          ++rotation;
+
+          auto divergence = RunKillResumeTrial(
+              graph_case.list, graph_case.root, *ds.dataset,
+              seed_dir + "/trial_" + std::to_string(rotation), config);
+          GRAPHSD_RETURN_IF_ERROR(divergence.status());
+          ++summary.combos_run;
+          if (!divergence->has_value()) continue;
+          summary.divergences.push_back(**divergence);
+          if (options.stop_on_divergence) return summary;
+        }
+      }
+    }
+  }
+  return summary;
 }
 
 Result<SweepSummary> RunSweep(const SweepOptions& options) {

@@ -119,6 +119,61 @@ struct SweepSummary {
 /// the return status is only non-OK when the harness itself fails.
 Result<SweepSummary> RunSweep(const SweepOptions& options);
 
+// --- Kill-and-resume axis (DESIGN.md §12) --------------------------------
+//
+// Crash-safety counterpart of the oracle sweep: instead of comparing the
+// engine against the BSP oracle, a kill-resume trial compares the engine
+// against *itself* — an uninterrupted run vs a run that is cooperatively
+// killed (checkpointing every iteration), optionally has its newest
+// checkpoint slot damaged, and then resumes from disk. All runs execute at
+// one thread with overlap-aware accounting off, so both segments are
+// bit-deterministic and the final values must match the uninterrupted run
+// bitwise for every algorithm class.
+
+struct KillResumeConfig {
+  std::string algo;
+  /// "on_demand" | "full" | "auto". "auto" stays deterministic here because
+  /// overlap accounting is off: the scheduler then sees only modeled costs.
+  std::string model = "on_demand";
+  bool cross_iteration = false;
+  std::uint32_t prefetch_depth = 0;
+  /// Where to kill, >= 1. Push algorithms kill at this committed iteration
+  /// boundary (the frontier probe trips the token); gather algorithms — and
+  /// push with `midround_kill` — trip the token from inside the program at
+  /// a call count derived from this knob, exercising the mid-round
+  /// rollback-to-boundary path.
+  std::uint32_t kill_iteration = 1;
+  /// Push only: kill mid-round via an Apply-counting wrapper instead of at
+  /// the iteration boundary.
+  bool midround_kill = false;
+  /// Damage the newest checkpoint slot before resuming: 0 = intact,
+  /// 1 = single bit flip, 2 = truncation. Applied only when both slots
+  /// decode valid, so the older slot always remains as the fallback.
+  int corrupt_newest = 0;
+};
+
+/// Runs one kill-resume trial under `scratch_dir` (which receives the
+/// checkpoint directory). Returns nullopt when the resumed run reproduces
+/// the uninterrupted run bitwise; the first divergence otherwise.
+Result<std::optional<Divergence>> RunKillResumeTrial(
+    const EdgeList& graph, VertexId root,
+    const partition::GridDataset& dataset, const std::string& scratch_dir,
+    const KillResumeConfig& config);
+
+struct KillResumeSweepOptions {
+  std::uint64_t seed0 = 1;
+  std::uint32_t num_seeds = 3;
+  bool stop_on_divergence = true;
+  /// Optional per-seed progress sink.
+  std::function<void(const std::string&)> progress;
+};
+
+/// Randomized kill/resume sweep: every registered algorithm x raw and
+/// varint-delta datasets x all three I/O models, with kill point, kill
+/// style, cross-iteration, prefetch depth and slot corruption rotating
+/// across combos. Three seeds already cover 126 combos.
+Result<SweepSummary> RunKillResumeSweep(const KillResumeSweepOptions& options);
+
 /// Shrinks `artifact`'s graph in place (edge ddmin, then vertex-range
 /// shrink) while its divergence persists. Uses at most `budget`
 /// build-and-run trials under `scratch_dir`.

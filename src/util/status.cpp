@@ -17,6 +17,8 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kCorruptData: return "CorruptData";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "UnknownCode";
 }
@@ -63,6 +65,12 @@ Status UnimplementedError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 Status ErrnoError(std::string_view context, int errno_value) {

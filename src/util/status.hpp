@@ -29,6 +29,8 @@ enum class StatusCode {
   kCorruptData,
   kUnimplemented,
   kInternal,
+  kFailedPrecondition,
+  kCancelled,
 };
 
 /// Human-readable name of a status code (e.g. "IoError").
@@ -71,6 +73,8 @@ Status IoError(std::string message);
 Status CorruptDataError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status CancelledError(std::string message);
 
 /// Builds an IoError from the current `errno` with context.
 Status ErrnoError(std::string_view context, int errno_value);

@@ -1,0 +1,318 @@
+// Tests for GSCK checkpoint frames and the two-slot store: field-exact
+// round trips, corruption detection (magic, version, truncation, bit flips,
+// trailing garbage), slot alternation, and LoadLatest's fallback semantics.
+#include "core/checkpoint.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "io/device.hpp"
+#include "io/file.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::core {
+namespace {
+
+using graphsd::testing::BuildTestGrid;
+using graphsd::testing::TempDir;
+using graphsd::testing::ValueOrDie;
+
+Checkpoint SampleCheckpoint(std::uint32_t iteration = 7) {
+  Checkpoint cp;
+  cp.fingerprint = 0xdeadbeef;
+  cp.algorithm = "sssp";
+  cp.gather = false;
+  cp.iteration = iteration;
+  cp.num_vertices = 5;
+  cp.arrays = {{1, 2, 3, 4, 5}, {10, 20, 30, 40, 50}};
+  cp.active = {0, 2, 4};
+  cp.preact = {1, 3};
+  cp.rounds = 9;
+  cp.degraded_rounds = 1;
+  cp.compute_seconds = 1.5;
+  cp.update_seconds = 0.75;
+  cp.io_seconds = 2.25;
+  cp.scheduler_seconds = 0.125;
+  cp.overlapped_seconds = 2.5;
+  cp.decode_seconds = 0.0625;
+  cp.io.seq_read_bytes = 1000;
+  cp.io.rand_read_bytes = 2000;
+  cp.io.seq_write_bytes = 3000;
+  cp.io.rand_write_bytes = 123;
+  cp.io.seq_read_ops = 11;
+  cp.io.seq_write_ops = 12;
+  cp.io.rand_read_ops = 13;
+  cp.io.rand_write_ops = 14;
+  cp.io.retries = 2;
+  cp.io.checksum_failures = 1;
+  cp.buffer_hits = 42;
+  cp.buffer_misses = 17;
+  cp.buffer_bytes_saved = 4096;
+  cp.buffer_disk_bytes_saved = 2048;
+  cp.frames_decoded = 5;
+  cp.compressed_bytes_read = 555;
+  cp.decoded_bytes = 777;
+  cp.checkpoints_written = 3;
+  cp.checkpoint_bytes = 999;
+  cp.checkpoint_seconds = 0.03125;
+  return cp;
+}
+
+void ExpectEqual(const Checkpoint& a, const Checkpoint& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.gather, b.gather);
+  EXPECT_EQ(a.iteration, b.iteration);
+  EXPECT_EQ(a.num_vertices, b.num_vertices);
+  EXPECT_EQ(a.arrays, b.arrays);
+  EXPECT_EQ(a.active, b.active);
+  EXPECT_EQ(a.preact, b.preact);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.degraded_rounds, b.degraded_rounds);
+  EXPECT_EQ(a.compute_seconds, b.compute_seconds);
+  EXPECT_EQ(a.update_seconds, b.update_seconds);
+  EXPECT_EQ(a.io_seconds, b.io_seconds);
+  EXPECT_EQ(a.scheduler_seconds, b.scheduler_seconds);
+  EXPECT_EQ(a.overlapped_seconds, b.overlapped_seconds);
+  EXPECT_EQ(a.decode_seconds, b.decode_seconds);
+  EXPECT_EQ(a.io.seq_read_bytes, b.io.seq_read_bytes);
+  EXPECT_EQ(a.io.rand_read_bytes, b.io.rand_read_bytes);
+  EXPECT_EQ(a.io.seq_write_bytes, b.io.seq_write_bytes);
+  EXPECT_EQ(a.io.rand_write_bytes, b.io.rand_write_bytes);
+  EXPECT_EQ(a.io.seq_read_ops, b.io.seq_read_ops);
+  EXPECT_EQ(a.io.seq_write_ops, b.io.seq_write_ops);
+  EXPECT_EQ(a.io.rand_read_ops, b.io.rand_read_ops);
+  EXPECT_EQ(a.io.rand_write_ops, b.io.rand_write_ops);
+  EXPECT_EQ(a.io.retries, b.io.retries);
+  EXPECT_EQ(a.io.checksum_failures, b.io.checksum_failures);
+  EXPECT_EQ(a.buffer_hits, b.buffer_hits);
+  EXPECT_EQ(a.buffer_misses, b.buffer_misses);
+  EXPECT_EQ(a.buffer_bytes_saved, b.buffer_bytes_saved);
+  EXPECT_EQ(a.buffer_disk_bytes_saved, b.buffer_disk_bytes_saved);
+  EXPECT_EQ(a.frames_decoded, b.frames_decoded);
+  EXPECT_EQ(a.compressed_bytes_read, b.compressed_bytes_read);
+  EXPECT_EQ(a.decoded_bytes, b.decoded_bytes);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes);
+  EXPECT_EQ(a.checkpoint_seconds, b.checkpoint_seconds);
+}
+
+TEST(CheckpointFrame, RoundTripsEveryField) {
+  const Checkpoint cp = SampleCheckpoint();
+  const std::vector<std::uint8_t> frame = EncodeCheckpoint(cp);
+  ASSERT_GE(frame.size(), kCheckpointHeaderBytes);
+  EXPECT_EQ(frame[0], 'G');
+  EXPECT_EQ(frame[1], 'S');
+  EXPECT_EQ(frame[2], 'C');
+  EXPECT_EQ(frame[3], 'K');
+  const Checkpoint decoded = ValueOrDie(DecodeCheckpoint(frame));
+  ExpectEqual(cp, decoded);
+}
+
+TEST(CheckpointFrame, RoundTripsGatherWithoutFrontiers) {
+  Checkpoint cp = SampleCheckpoint();
+  cp.gather = true;
+  cp.active.clear();
+  cp.preact.clear();
+  const Checkpoint decoded = ValueOrDie(DecodeCheckpoint(EncodeCheckpoint(cp)));
+  ExpectEqual(cp, decoded);
+}
+
+TEST(CheckpointFrame, RejectsBadMagic) {
+  std::vector<std::uint8_t> frame = EncodeCheckpoint(SampleCheckpoint());
+  frame[0] = 'X';
+  EXPECT_EQ(DecodeCheckpoint(frame).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFrame, RejectsNewerVersionAsUnimplemented) {
+  std::vector<std::uint8_t> frame = EncodeCheckpoint(SampleCheckpoint());
+  frame[4] = 0xff;  // version low byte
+  EXPECT_EQ(DecodeCheckpoint(frame).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(CheckpointFrame, RejectsEveryTruncation) {
+  const std::vector<std::uint8_t> frame = EncodeCheckpoint(SampleCheckpoint());
+  // Chop at a spread of prefix lengths including 0, mid-header, mid-payload
+  // and one-short: none may decode.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, kCheckpointHeaderBytes - 1,
+        kCheckpointHeaderBytes, frame.size() / 2, frame.size() - 1}) {
+    std::vector<std::uint8_t> torn(frame.begin(), frame.begin() + keep);
+    EXPECT_EQ(DecodeCheckpoint(torn).status().code(), StatusCode::kCorruptData)
+        << "prefix of " << keep << " bytes decoded";
+  }
+}
+
+TEST(CheckpointFrame, RejectsEveryPayloadBitFlip) {
+  const std::vector<std::uint8_t> frame = EncodeCheckpoint(SampleCheckpoint());
+  // Flipping any single payload bit must break the CRC. Sampling every
+  // seventh byte keeps the test fast while covering the whole payload.
+  for (std::size_t i = kCheckpointHeaderBytes; i < frame.size(); i += 7) {
+    std::vector<std::uint8_t> flipped = frame;
+    flipped[i] ^= 0x10;
+    EXPECT_FALSE(DecodeCheckpoint(flipped).ok()) << "byte " << i;
+  }
+}
+
+TEST(CheckpointFrame, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> frame = EncodeCheckpoint(SampleCheckpoint());
+  frame.push_back(0);
+  EXPECT_EQ(DecodeCheckpoint(frame).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFrame, RejectsUnsortedFrontier) {
+  // Hand-corrupt an id list by swapping two ids: the decoder must notice the
+  // ordering violation even though sizes and CRC are re-encoded consistently.
+  Checkpoint cp = SampleCheckpoint();
+  cp.active = {4, 2, 0};  // not ascending
+  const std::vector<std::uint8_t> frame = EncodeCheckpoint(cp);
+  EXPECT_EQ(DecodeCheckpoint(frame).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(DatasetFingerprintTest, DistinguishesRebuilds) {
+  TempDir dir;
+  auto device = io::MakeSimulatedDevice();
+  const EdgeList graph = GenerateGrid2D(4, 4, /*seed=*/1, /*max_weight=*/0);
+  const auto m2 = BuildTestGrid(graph, *device, dir.Sub("p2"), 2);
+  const auto m4 = BuildTestGrid(graph, *device, dir.Sub("p4"), 4);
+  EXPECT_EQ(DatasetFingerprint(m2), DatasetFingerprint(m2));
+  EXPECT_NE(DatasetFingerprint(m2), DatasetFingerprint(m4));
+}
+
+TEST(CheckpointStoreTest, EmptyDirectoryIsNotFound) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  EXPECT_FALSE(store.AnySlotExists());
+  EXPECT_EQ(store.LoadLatest().status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, WriteThenLoadLatestRoundTrips) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  const Checkpoint cp = SampleCheckpoint(3);
+  std::uint64_t bytes = 0;
+  ASSERT_OK(store.Write(cp, &bytes));
+  EXPECT_GT(bytes, kCheckpointHeaderBytes);
+  EXPECT_TRUE(store.AnySlotExists());
+  ExpectEqual(cp, ValueOrDie(store.LoadLatest()));
+}
+
+TEST(CheckpointStoreTest, AlternatesSlotsAndKeepsLatest) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  ASSERT_OK(store.Write(SampleCheckpoint(1)));
+  ASSERT_OK(store.Write(SampleCheckpoint(2)));
+  ASSERT_OK(store.Write(SampleCheckpoint(3)));
+  // Both slot files exist; the latest wins.
+  EXPECT_TRUE(io::PathExists(store.SlotPath(0)));
+  EXPECT_TRUE(io::PathExists(store.SlotPath(1)));
+  EXPECT_EQ(ValueOrDie(store.LoadLatest()).iteration, 3u);
+}
+
+TEST(CheckpointStoreTest, FallsBackWhenNewestSlotIsCorrupt) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  ASSERT_OK(store.Write(SampleCheckpoint(1)));
+  ASSERT_OK(store.Write(SampleCheckpoint(2)));
+  // Find and damage the slot holding iteration 2.
+  for (int slot = 0; slot < 2; ++slot) {
+    std::string data = ValueOrDie(io::ReadFileToString(store.SlotPath(slot)));
+    auto cp = DecodeCheckpoint(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+    ASSERT_TRUE(cp.ok());
+    if (cp->iteration == 2) {
+      data[data.size() / 2] ^= 0x01;
+      ASSERT_OK(io::WriteStringToFile(store.SlotPath(slot), data));
+    }
+  }
+  EXPECT_EQ(ValueOrDie(store.LoadLatest()).iteration, 1u);
+}
+
+TEST(CheckpointStoreTest, AllSlotsCorruptIsCorruptData) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  ASSERT_OK(store.Write(SampleCheckpoint(1)));
+  ASSERT_OK(store.Write(SampleCheckpoint(2)));
+  for (int slot = 0; slot < 2; ++slot) {
+    ASSERT_OK(io::WriteStringToFile(store.SlotPath(slot), "torn"));
+  }
+  EXPECT_EQ(store.LoadLatest().status().code(), StatusCode::kCorruptData);
+}
+
+TEST(CheckpointStoreTest, WriteNeverOverwritesTheLatestValidSlot) {
+  TempDir dir;
+  // A fresh store instance (as after a crash + restart) must rediscover
+  // which slot holds the newest checkpoint and overwrite the other.
+  {
+    CheckpointStore store(dir.Sub("ck"));
+    ASSERT_OK(store.Write(SampleCheckpoint(5)));
+  }
+  {
+    CheckpointStore store(dir.Sub("ck"));
+    ASSERT_OK(store.Write(SampleCheckpoint(6)));
+    EXPECT_EQ(ValueOrDie(store.LoadLatest()).iteration, 6u);
+  }
+  // Both checkpoints still on disk, in different slots.
+  CheckpointStore store(dir.Sub("ck"));
+  std::uint32_t seen[2] = {0, 0};
+  for (int slot = 0; slot < 2; ++slot) {
+    std::string data = ValueOrDie(io::ReadFileToString(store.SlotPath(slot)));
+    seen[slot] = ValueOrDie(DecodeCheckpoint(std::span<const std::uint8_t>(
+                                reinterpret_cast<const std::uint8_t*>(
+                                    data.data()),
+                                data.size())))
+                     .iteration;
+  }
+  EXPECT_EQ(seen[0] + seen[1], 11u);
+}
+
+TEST(AsyncCheckpointWriterTest, FlushMakesSubmittedFramesLoadable) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  AsyncCheckpointWriter writer(&store);
+  EXPECT_GT(ValueOrDie(writer.Submit(SampleCheckpoint(1))), 0u);
+  ASSERT_OK(writer.Flush());
+  EXPECT_GT(writer.bytes_written(), 0u);
+  EXPECT_EQ(ValueOrDie(store.LoadLatest()).iteration, 1u);
+}
+
+TEST(AsyncCheckpointWriterTest, LatestSubmissionWinsUnderBackpressure) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  AsyncCheckpointWriter writer(&store);
+  // Rapid-fire submissions: superseded frames may be dropped, but the
+  // newest must always survive to disk and the two-slot invariant holds.
+  for (std::uint32_t i = 1; i <= 20; ++i) {
+    ASSERT_OK(writer.Submit(SampleCheckpoint(i)).status());
+  }
+  ASSERT_OK(writer.Flush());
+  EXPECT_EQ(ValueOrDie(store.LoadLatest()).iteration, 20u);
+  EXPECT_LE(writer.frames_dropped(), 19u);
+}
+
+TEST(AsyncCheckpointWriterTest, FlushOnIdleWriterIsANoOp) {
+  TempDir dir;
+  CheckpointStore store(dir.Sub("ck"));
+  AsyncCheckpointWriter writer(&store);
+  ASSERT_OK(writer.Flush());
+  EXPECT_EQ(writer.bytes_written(), 0u);
+}
+
+TEST(AsyncCheckpointWriterTest, DestructorDrainsQueuedFrames) {
+  TempDir dir;
+  {
+    CheckpointStore store(dir.Sub("ck"));
+    AsyncCheckpointWriter writer(&store);
+    ASSERT_OK(writer.Submit(SampleCheckpoint(9)).status());
+    // No Flush: destruction must still finish the queued write.
+  }
+  CheckpointStore store(dir.Sub("ck"));
+  EXPECT_EQ(ValueOrDie(store.LoadLatest()).iteration, 9u);
+}
+
+}  // namespace
+}  // namespace graphsd::core

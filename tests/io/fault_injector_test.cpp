@@ -146,7 +146,7 @@ TEST_F(DeviceRetryTest, TransientReadFaultIsAbsorbedByRetry) {
 TEST_F(DeviceRetryTest, BackoffIsChargedToTheVirtualClock) {
   FaultInjector injector(3);
   FaultRule rule;
-  rule.kind = FaultKind::kEintr;
+  rule.kind = FaultKind::kEio;
   rule.op = FaultOp::kRead;
   rule.nth = 1;
   injector.AddRule(rule);
@@ -160,6 +160,48 @@ TEST_F(DeviceRetryTest, BackoffIsChargedToTheVirtualClock) {
   // nothing for bytes, so the delta is exactly the backoff.
   EXPECT_GE(device_->clock().Seconds() - before,
             device_->options().retry_backoff_seconds);
+}
+
+TEST_F(DeviceRetryTest, EintrIsAbsorbedWithoutConsumingRetryBudget) {
+  FaultInjector injector(3);
+  FaultRule rule;
+  rule.kind = FaultKind::kEintr;
+  rule.op = FaultOp::kRead;
+  rule.probability = 1.0;
+  rule.max_fires = 3;  // a short storm on the very first request
+  injector.AddRule(rule);
+  device_->set_fault_injector(&injector);
+
+  DeviceFile f = ValueOrDie(device_->Open(path_, OpenMode::kRead));
+  std::uint8_t buf[4];
+  const double before = device_->clock().Seconds();
+  ASSERT_OK(f.ReadAt(0, buf));
+  const auto s = device_->stats().Snapshot();
+  // All three interruptions were retried in place: no retry-budget slot
+  // consumed, no backoff charged, but each absorption is observable.
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.eintr_absorbed, 3u);
+  EXPECT_EQ(device_->clock().Seconds(), before);
+  EXPECT_EQ(injector.faults_injected(), 3u);
+}
+
+TEST_F(DeviceRetryTest, UnboundedEintrStormStillTerminates) {
+  FaultInjector injector(3);
+  FaultRule rule;
+  rule.kind = FaultKind::kEintr;
+  rule.op = FaultOp::kRead;
+  rule.probability = 1.0;  // no max_fires: fires forever
+  injector.AddRule(rule);
+  device_->set_fault_injector(&injector);
+
+  DeviceFile f = ValueOrDie(device_->Open(path_, OpenMode::kRead));
+  std::uint8_t buf[4];
+  // Past the spin cap the storm degrades to the normal transient-error
+  // path, which is bounded by max_io_attempts — the read fails instead of
+  // spinning forever.
+  const Status status = f.ReadAt(0, buf);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("attempts"), std::string::npos);
 }
 
 TEST_F(DeviceRetryTest, PersistentFaultExhaustsAttempts) {

@@ -1,0 +1,56 @@
+// Crash-safety differential smoke (DESIGN.md §12): kill checkpointed engine
+// runs at randomized points, damage checkpoint slots, resume from disk and
+// require bit-identical final values against the uninterrupted run.
+#include "testing/difftest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/graph_cases.hpp"
+#include "testing/temp_dir.hpp"
+#include "testing_util.hpp"
+
+namespace graphsd::testing {
+namespace {
+
+// The acceptance bar: >= 100 randomized (algorithm, model, codec, kill
+// point, kill style, corruption) combinations, all bit-identical. Three
+// seeds give 3 x 7 algos x 2 datasets x 3 models = 126 combos.
+TEST(KillResumeSweep, RandomizedSweepIsBitIdentical) {
+  KillResumeSweepOptions options;
+  options.seed0 = 1;
+  options.num_seeds = 3;
+  const SweepSummary summary = ValueOrDie(RunKillResumeSweep(options));
+  EXPECT_GE(summary.combos_run, 100u);
+  EXPECT_EQ(summary.graphs, 3u);
+  ASSERT_TRUE(summary.divergences.empty())
+      << DescribeDivergence(summary.divergences[0]);
+}
+
+// Targeted corruption-recovery trials: kill late enough that two valid
+// slots exist, then damage the newest (bit flip and truncation) and require
+// the resume to recover through the older slot on every algorithm class.
+TEST(KillResumeSweep, CorruptSlotRecoveryAcrossAlgoClasses) {
+  ScratchDir scratch = ValueOrDie(ScratchDir::Create());
+  const GraphCase graph_case = GenerateGraphCase(11);
+  const BuiltDataset built = ValueOrDie(BuildCaseDataset(
+      graph_case.list, "varint-delta", 4, scratch.path() + "/ds"));
+  int trial = 0;
+  for (const char* algo : {"bfs", "pagerank_delta", "pagerank"}) {
+    for (const int corrupt : {1, 2}) {
+      KillResumeConfig config;
+      config.algo = algo;
+      config.model = "full";
+      config.kill_iteration = 3;
+      config.corrupt_newest = corrupt;
+      const auto divergence = ValueOrDie(RunKillResumeTrial(
+          graph_case.list, graph_case.root, *built.dataset,
+          scratch.path() + "/t" + std::to_string(trial++), config));
+      EXPECT_FALSE(divergence.has_value())
+          << algo << " corrupt=" << corrupt << ": "
+          << DescribeDivergence(*divergence);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphsd::testing

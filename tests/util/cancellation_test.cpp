@@ -1,0 +1,90 @@
+// Tests for the cooperative-cancellation primitive (util/cancellation.hpp):
+// trip semantics, first-reason-wins, deadlines, parent chaining, and the
+// Check() poll idiom.
+#include "util/cancellation.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace graphsd {
+namespace {
+
+TEST(CancellationToken, StartsLive) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationToken, CancelTripsAndFirstReasonWins) {
+  CancellationToken token;
+  token.Cancel("first");
+  token.Cancel("second");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "first");
+}
+
+TEST(CancellationToken, DefaultReason) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_STREQ(token.reason(), "cancelled");
+}
+
+TEST(CancellationToken, CheckReturnsCancelledError) {
+  CancellationToken token;
+  token.Cancel("test stop");
+  const Status status = token.Check();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("test stop"), std::string::npos);
+}
+
+TEST(CancellationToken, DeadlineTripsAfterElapsing) {
+  CancellationToken token;
+  token.SetDeadline(0.005);
+  // Deadlines are lazy: nothing fires until a poll observes the clock.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!token.cancelled() && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "deadline exceeded");
+}
+
+TEST(CancellationToken, NonPositiveDeadlineDisarms) {
+  CancellationToken token;
+  token.SetDeadline(0.001);
+  token.SetDeadline(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationToken, ParentTripPropagates) {
+  CancellationToken parent;
+  CancellationToken child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel("parent stop");
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_STREQ(child.reason(), "parent stop");
+  // Propagation is one-way: the child never trips its parent.
+  CancellationToken parent2;
+  CancellationToken child2;
+  child2.set_parent(&parent2);
+  child2.Cancel("child stop");
+  EXPECT_FALSE(parent2.cancelled());
+  EXPECT_TRUE(child2.cancelled());
+}
+
+TEST(CancellationToken, ConcurrentCancelIsSafe) {
+  CancellationToken token;
+  std::thread other([&token] { token.Cancel("racer"); });
+  token.Cancel("racer");
+  other.join();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "racer");
+}
+
+}  // namespace
+}  // namespace graphsd

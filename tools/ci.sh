@@ -58,6 +58,41 @@ echo "== tier 1: differential harness smoke (graphsd difftest) =="
     > /dev/null
 echo "difftest smoke: OK"
 
+echo "== tier 1: run lifecycle smoke (checkpoint / resume / Ctrl-C) =="
+# Deadline-cancelled checkpointed run -> exit 130 -> --resume completes to
+# values bit-identical to an uninterrupted run (--threads 1 pins the float
+# accumulation order).
+"$CLI" run --dataset "$OBS_DIR/ds" --algo pr --iterations 200 --threads 1 \
+    --values-out "$OBS_DIR/pr_full.txt" > /dev/null
+RC=0
+"$CLI" run --dataset "$OBS_DIR/ds" --algo pr --iterations 200 --threads 1 \
+    --checkpoint-dir "$OBS_DIR/ck" --deadline-seconds 0.005 \
+    > /dev/null 2>&1 || RC=$?
+test "$RC" = "130"
+"$CLI" run --dataset "$OBS_DIR/ds" --algo pr --iterations 200 --threads 1 \
+    --checkpoint-dir "$OBS_DIR/ck" --resume true \
+    --values-out "$OBS_DIR/pr_resumed.txt" > /dev/null
+cmp "$OBS_DIR/pr_full.txt" "$OBS_DIR/pr_resumed.txt"
+# Ctrl-C: SIGINT trips the cooperative token; the run rolls back to the
+# last committed boundary, writes a final checkpoint and exits 130.
+"$CLI" run --dataset "$OBS_DIR/ds" --algo pr --iterations 100000 \
+    --threads 1 --checkpoint-dir "$OBS_DIR/ck_int" \
+    > "$OBS_DIR/run_int.log" 2>&1 &
+RUN_PID=$!
+sleep 1
+kill -INT "$RUN_PID"
+RC=0
+wait "$RUN_PID" || RC=$?
+test "$RC" = "130"
+grep -q "CANCELLED (interrupted (SIGINT))" "$OBS_DIR/run_int.log"
+test -f "$OBS_DIR/ck_int/checkpoint.0.gsck" \
+    || test -f "$OBS_DIR/ck_int/checkpoint.1.gsck"
+# Randomized kill-and-resume differential sweep: kill checkpointed runs,
+# damage slots, resume, require bit-identical final values.
+# (stderr silenced: every killed trial logs an expected "run cancelled".)
+"$CLI" difftest --kill-resume --seeds 2 --seed0 77 > /dev/null 2>&1
+echo "lifecycle smoke: OK"
+
 if [ "$1" = "--tier1-only" ]; then
   exit 0
 fi

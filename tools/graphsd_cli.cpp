@@ -6,9 +6,11 @@
 //   graphsd info       --dataset dataset_dir
 //   graphsd verify     --dataset dataset_dir
 //   graphsd run        --dataset dataset_dir --algo pr|prd|cc|sssp|bfs [...]
+//                      [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
+//                      [--deadline-seconds S]
 //   graphsd profile    --dir /path/on/target/disk
 //   graphsd difftest   [--seeds N] [--seed0 S] [--artifact-dir DIR]
-//                      [--replay artifact.txt]
+//                      [--replay artifact.txt] [--kill-resume]
 //
 // `run` prints the execution report and optionally dumps per-vertex values.
 #include <cstdio>
@@ -24,6 +26,7 @@
 #include "algos/widest_path.hpp"
 #include "baselines/hus_graph_engine.hpp"
 #include "baselines/lumos_engine.hpp"
+#include "core/cancellation.hpp"
 #include "core/engine.hpp"
 #include "graph/edge_io.hpp"
 #include "graph/generators.hpp"
@@ -283,6 +286,15 @@ int CmdRun(int argc, const char* const* argv) {
                "(graphsd engine only)");
   flags.Define("report-json", "",
                "write the machine-readable run report to this file");
+  flags.Define("checkpoint-dir", "",
+               "write crash-safe GSCK checkpoints into this directory "
+               "(graphsd engine only)");
+  flags.Define("checkpoint-every", "1",
+               "checkpoint every N committed iterations");
+  flags.Define("resume", "false",
+               "resume from the latest valid checkpoint in --checkpoint-dir");
+  flags.Define("deadline-seconds", "0",
+               "cancel the run after this many wall-clock seconds (0 = none)");
   DefineDeviceFlag(flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
@@ -333,6 +345,7 @@ int CmdRun(int argc, const char* const* argv) {
   std::unique_ptr<core::GraphSDEngine> gsd;
   std::unique_ptr<baselines::HusGraphEngine> hus;
   std::unique_ptr<baselines::LumosEngine> lumos;
+  core::CancellationToken interrupt_token;
   if (engine_kind == "graphsd") {
     core::EngineOptions options;
     options.num_threads = CheckedCast<std::size_t>(flags.GetInt("threads"));
@@ -344,8 +357,19 @@ int CmdRun(int argc, const char* const* argv) {
     options.overlap_io = !flags.GetBool("no-overlap-io");
     if (!trace_out.empty()) options.trace = &trace;
     if (want_obs) options.metrics = &metrics;
+    options.checkpoint_dir = flags.GetString("checkpoint-dir");
+    options.checkpoint_every =
+        CheckedCast<std::uint32_t>(flags.GetInt("checkpoint-every"));
+    options.resume = flags.GetBool("resume");
+    options.deadline_seconds = flags.GetDouble("deadline-seconds");
+    options.cancel = &interrupt_token;
     gsd = std::make_unique<core::GraphSDEngine>(*dataset, options);
     graphsd_engine = gsd.get();
+    // Ctrl-C / SIGTERM trips the token instead of killing the process: the
+    // engine rolls back to the last committed boundary, writes a final
+    // checkpoint (when --checkpoint-dir is set) and returns a partial
+    // report. A second signal force-exits.
+    core::SignalCancellationScope signal_scope(&interrupt_token);
     report = gsd->Run(*program);
     state = gsd->state();
   } else if (engine_kind == "hus") {
@@ -396,7 +420,10 @@ int CmdRun(int argc, const char* const* argv) {
     std::printf("wrote %u vertex values to %s\n", state->num_vertices(),
                 values_out.c_str());
   }
-  return 0;
+  // Shell convention for interrupted commands: 128 + SIGINT. The partial
+  // report, values and checkpoint above are still written, so a later
+  // `--resume` picks up exactly where this run stopped.
+  return report->cancelled ? 130 : 0;
 }
 
 int CmdProfile(int argc, const char* const* argv) {
@@ -434,6 +461,10 @@ int CmdDifftest(int argc, const char* const* argv) {
   flags.Define("inject-fault", "none",
                "deliberate engine fault for harness self-tests: "
                "none | drop_max_edge");
+  flags.Define("kill-resume", "false",
+               "run the crash-safety sweep instead: kill checkpointed runs "
+               "at randomized points, damage slots, resume, require "
+               "bit-identical results");
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
   const std::string replay = flags.GetString("replay");
@@ -459,6 +490,29 @@ int CmdDifftest(int argc, const char* const* argv) {
     std::fprintf(stderr, "DIVERGENCE %s\n",
                  testing::DescribeDivergence(**divergence).c_str());
     return 1;
+  }
+
+  if (flags.GetBool("kill-resume")) {
+    testing::KillResumeSweepOptions kr;
+    kr.num_seeds = CheckedCast<std::uint32_t>(flags.GetInt("seeds"));
+    kr.seed0 = CheckedCast<std::uint64_t>(flags.GetInt("seed0"));
+    kr.progress = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+    };
+    auto summary = testing::RunKillResumeSweep(kr);
+    if (!summary.ok()) return Fail(summary.status());
+    std::printf("difftest --kill-resume: %llu combos over %llu graphs "
+                "(%llu datasets), %zu divergence(s)\n",
+                static_cast<unsigned long long>(summary->combos_run),
+                static_cast<unsigned long long>(summary->graphs),
+                static_cast<unsigned long long>(summary->datasets_built),
+                summary->divergences.size());
+    if (!summary->divergences.empty()) {
+      std::fprintf(stderr, "DIVERGENCE %s\n",
+                   testing::DescribeDivergence(summary->divergences[0]).c_str());
+      return 1;
+    }
+    return 0;
   }
 
   testing::SweepOptions options;
