@@ -105,10 +105,12 @@ void PublishRunMetrics(obs::MetricsRegistry* metrics,
 
 /// Folds this run's decode-side deltas (the dataset's counters are
 /// cumulative across runs) and the buffer's on-disk byte view into the
-/// report.
+/// report. Buffer counters are deltas against `buf_before` for the same
+/// reason: a shared buffer outlives and spans runs.
 void FinishCompressionReport(const partition::GridDataset& dataset,
                              const partition::DecodeStats& before,
                              const SubBlockBuffer& buffer,
+                             const SubBlockBuffer::Counters& buf_before,
                              ExecutionReport& report) {
   report.codec = dataset.codec_name();
   const partition::DecodeStats after = dataset.decode_stats();
@@ -117,7 +119,8 @@ void FinishCompressionReport(const partition::GridDataset& dataset,
       after.compressed_bytes - before.compressed_bytes;
   report.decoded_bytes = after.decoded_bytes - before.decoded_bytes;
   report.decode_seconds = after.decode_seconds - before.decode_seconds;
-  report.buffer_disk_bytes_saved = buffer.disk_bytes_saved();
+  report.buffer_disk_bytes_saved =
+      buffer.counters().disk_bytes_saved - buf_before.disk_bytes_saved;
 }
 
 /// Snapshots the run's committed boundary into a Checkpoint. `base` carries
@@ -130,6 +133,7 @@ Checkpoint MakeCheckpoint(std::uint32_t fingerprint, const Program& program,
                           const Frontier* preact,
                           const ExecutionReport& report,
                           const Checkpoint& base, const SubBlockBuffer& buffer,
+                          const SubBlockBuffer::Counters& buf_before,
                           const partition::GridDataset& dataset,
                           const partition::DecodeStats& decode_before) {
   Checkpoint cp;
@@ -161,11 +165,14 @@ Checkpoint MakeCheckpoint(std::uint32_t fingerprint, const Program& program,
   cp.scheduler_seconds = report.scheduler_seconds;
   cp.overlapped_seconds = report.overlapped_seconds;
   cp.io = report.io;
-  cp.buffer_hits = base.buffer_hits + buffer.hits();
-  cp.buffer_misses = base.buffer_misses + buffer.misses();
-  cp.buffer_bytes_saved = base.buffer_bytes_saved + buffer.bytes_saved();
+  const SubBlockBuffer::Counters buf_now = buffer.counters();
+  cp.buffer_hits = base.buffer_hits + (buf_now.hits - buf_before.hits);
+  cp.buffer_misses = base.buffer_misses + (buf_now.misses - buf_before.misses);
+  cp.buffer_bytes_saved =
+      base.buffer_bytes_saved + (buf_now.bytes_saved - buf_before.bytes_saved);
   cp.buffer_disk_bytes_saved =
-      base.buffer_disk_bytes_saved + buffer.disk_bytes_saved();
+      base.buffer_disk_bytes_saved +
+      (buf_now.disk_bytes_saved - buf_before.disk_bytes_saved);
   const partition::DecodeStats now = dataset.decode_stats();
   cp.frames_decoded =
       base.frames_decoded + (now.frames_decoded - decode_before.frames_decoded);
@@ -277,7 +284,7 @@ Result<ExecutionReport> GraphSDEngine::Run(Program& program) {
   program.Bind(dataset_->out_degrees());
   state_ = std::make_unique<VertexState>(
       dataset_->num_vertices(), program.num_value_arrays(),
-      program.kind() == ProgramKind::kGather);
+      program.kind() == ProgramKind::kGather, program.contrib_width());
   if (program.kind() == ProgramKind::kPush) {
     return RunPush(static_cast<PushProgram&>(program));
   }
@@ -292,20 +299,36 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       std::max<std::uint64_t>(1, manifest.TotalEdgeBytes() / 20);
 
   ThreadPool pool(options_.num_threads);
-  SubBlockBuffer buffer(options_.enable_buffering
-                            ? (options_.buffer_capacity_bytes != 0
-                                   ? options_.buffer_capacity_bytes
-                                   : default_budget)
-                            : 0);
+  // Resource sharing (DESIGN.md §13): a caller-provided buffer/pipeline
+  // (the `graphsd serve` shared tier) replaces the private per-run ones.
+  // Counter reporting switches to deltas against the entry snapshot so
+  // the report still describes this run, not the buffer's whole life.
+  std::unique_ptr<SubBlockBuffer> local_buffer;
+  SubBlockBuffer* buffer = options_.shared_buffer;
+  if (buffer == nullptr) {
+    local_buffer = std::make_unique<SubBlockBuffer>(
+        options_.enable_buffering ? (options_.buffer_capacity_bytes != 0
+                                         ? options_.buffer_capacity_bytes
+                                         : default_budget)
+                                  : 0);
+    buffer = local_buffer.get();
+  }
+  const SubBlockBuffer::Counters buf_before = buffer->counters();
   ExecContext ctx;
   ctx.dataset = dataset_;
   ctx.pool = &pool;
-  ctx.buffer = &buffer;
+  ctx.buffer = buffer;
   ctx.memory_budget_bytes = options_.memory_budget_bytes != 0
                                 ? options_.memory_budget_bytes
                                 : default_budget;
-  io::PrefetchPipeline prefetch(options_.prefetch_depth);
-  ctx.prefetch = &prefetch;
+  std::unique_ptr<io::PrefetchPipeline> local_prefetch;
+  io::PrefetchPipeline* prefetch = options_.shared_prefetch;
+  if (prefetch == nullptr) {
+    local_prefetch =
+        std::make_unique<io::PrefetchPipeline>(options_.prefetch_depth);
+    prefetch = local_prefetch.get();
+  }
+  ctx.prefetch = prefetch;
   ctx.trace = options_.trace;
   // Run-local cancellation: chains the caller's token (signal handlers trip
   // that one) and arms the optional deadline. Executors poll it at fetch
@@ -316,7 +339,9 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     run_token.SetDeadline(options_.deadline_seconds);
   }
   ctx.cancel = &run_token;
-  prefetch.set_cancellation(&run_token);
+  // A shared pipeline's token belongs to its owner: pointing it at this
+  // stack-local token would dangle (and clobber concurrent runs).
+  if (local_prefetch != nullptr) local_prefetch->set_cancellation(&run_token);
   SciuExecutor sciu(ctx);
   FciuExecutor fciu(ctx);
   StateAwareScheduler scheduler(*dataset_, device.options().cost_model);
@@ -332,7 +357,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       checkpointing ? DatasetFingerprint(manifest) : 0;
 
   // Overlap charging is only honest when the pipeline actually overlaps.
-  const bool overlap = options_.overlap_io && prefetch.enabled();
+  const bool overlap = options_.overlap_io && prefetch->enabled();
 
   ExecutionReport report;
   report.engine = options_.engine_name;
@@ -392,7 +417,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     WallTimer timer;
     const Checkpoint cp = MakeCheckpoint(
         fingerprint, program, /*gather=*/false, boundary, state, &active,
-        &preact, report, base, buffer, *dataset_, decode_before);
+        &preact, report, base, *buffer, buf_before, *dataset_, decode_before);
     GRAPHSD_RETURN_IF_ERROR(checkpoint_writer.Submit(cp).status());
     ++report.checkpoints_written;
     report.checkpoint_seconds += timer.Seconds();
@@ -583,16 +608,20 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   }
 
   report.iterations = iterations;
-  report.buffer_hits = base.buffer_hits + buffer.hits();
-  report.buffer_misses = base.buffer_misses + buffer.misses();
-  report.buffer_bytes_saved = base.buffer_bytes_saved + buffer.bytes_saved();
-  FinishCompressionReport(*dataset_, decode_before, buffer, report);
+  const SubBlockBuffer::Counters buf_now = buffer->counters();
+  report.buffer_hits = base.buffer_hits + (buf_now.hits - buf_before.hits);
+  report.buffer_misses =
+      base.buffer_misses + (buf_now.misses - buf_before.misses);
+  report.buffer_bytes_saved =
+      base.buffer_bytes_saved + (buf_now.bytes_saved - buf_before.bytes_saved);
+  FinishCompressionReport(*dataset_, decode_before, *buffer, buf_before,
+                          report);
   report.frames_decoded += base.frames_decoded;
   report.compressed_bytes_read += base.compressed_bytes_read;
   report.decoded_bytes += base.decoded_bytes;
   report.decode_seconds += base.decode_seconds;
   report.buffer_disk_bytes_saved += base.buffer_disk_bytes_saved;
-  PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
+  PublishRunMetrics(options_.metrics, report, device, *buffer, *prefetch);
   PublishLifecycleMetrics(options_.metrics, report, base);
   return report;
 }
@@ -604,17 +633,29 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
       std::max<std::uint64_t>(1, manifest.TotalEdgeBytes() / 20);
 
   ThreadPool pool(options_.num_threads);
-  SubBlockBuffer buffer(options_.enable_buffering
-                            ? (options_.buffer_capacity_bytes != 0
-                                   ? options_.buffer_capacity_bytes
-                                   : default_budget)
-                            : 0);
+  std::unique_ptr<SubBlockBuffer> local_buffer;
+  SubBlockBuffer* buffer = options_.shared_buffer;
+  if (buffer == nullptr) {
+    local_buffer = std::make_unique<SubBlockBuffer>(
+        options_.enable_buffering ? (options_.buffer_capacity_bytes != 0
+                                         ? options_.buffer_capacity_bytes
+                                         : default_budget)
+                                  : 0);
+    buffer = local_buffer.get();
+  }
+  const SubBlockBuffer::Counters buf_before = buffer->counters();
   ExecContext ctx;
   ctx.dataset = dataset_;
   ctx.pool = &pool;
-  ctx.buffer = &buffer;
-  io::PrefetchPipeline prefetch(options_.prefetch_depth);
-  ctx.prefetch = &prefetch;
+  ctx.buffer = buffer;
+  std::unique_ptr<io::PrefetchPipeline> local_prefetch;
+  io::PrefetchPipeline* prefetch = options_.shared_prefetch;
+  if (prefetch == nullptr) {
+    local_prefetch =
+        std::make_unique<io::PrefetchPipeline>(options_.prefetch_depth);
+    prefetch = local_prefetch.get();
+  }
+  ctx.prefetch = prefetch;
   ctx.trace = options_.trace;
   CancellationToken run_token;
   run_token.set_parent(options_.cancel);
@@ -622,7 +663,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
     run_token.SetDeadline(options_.deadline_seconds);
   }
   ctx.cancel = &run_token;
-  prefetch.set_cancellation(&run_token);
+  if (local_prefetch != nullptr) local_prefetch->set_cancellation(&run_token);
   FciuExecutor fciu(ctx);
 
   const bool checkpointing = !options_.checkpoint_dir.empty();
@@ -635,7 +676,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   const std::uint32_t fingerprint =
       checkpointing ? DatasetFingerprint(manifest) : 0;
 
-  const bool overlap = options_.overlap_io && prefetch.enabled();
+  const bool overlap = options_.overlap_io && prefetch->enabled();
 
   ExecutionReport report;
   report.engine = options_.engine_name;
@@ -678,8 +719,8 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
     WallTimer timer;
     const Checkpoint cp = MakeCheckpoint(
         fingerprint, program, /*gather=*/true, boundary, state,
-        /*active=*/nullptr, /*preact=*/nullptr, report, base, buffer,
-        *dataset_, decode_before);
+        /*active=*/nullptr, /*preact=*/nullptr, report, base, *buffer,
+        buf_before, *dataset_, decode_before);
     GRAPHSD_RETURN_IF_ERROR(checkpoint_writer.Submit(cp).status());
     ++report.checkpoints_written;
     report.checkpoint_seconds += timer.Seconds();
@@ -752,16 +793,20 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   }
 
   report.iterations = iterations;
-  report.buffer_hits = base.buffer_hits + buffer.hits();
-  report.buffer_misses = base.buffer_misses + buffer.misses();
-  report.buffer_bytes_saved = base.buffer_bytes_saved + buffer.bytes_saved();
-  FinishCompressionReport(*dataset_, decode_before, buffer, report);
+  const SubBlockBuffer::Counters buf_now = buffer->counters();
+  report.buffer_hits = base.buffer_hits + (buf_now.hits - buf_before.hits);
+  report.buffer_misses =
+      base.buffer_misses + (buf_now.misses - buf_before.misses);
+  report.buffer_bytes_saved =
+      base.buffer_bytes_saved + (buf_now.bytes_saved - buf_before.bytes_saved);
+  FinishCompressionReport(*dataset_, decode_before, *buffer, buf_before,
+                          report);
   report.frames_decoded += base.frames_decoded;
   report.compressed_bytes_read += base.compressed_bytes_read;
   report.decoded_bytes += base.decoded_bytes;
   report.decode_seconds += base.decode_seconds;
   report.buffer_disk_bytes_saved += base.buffer_disk_bytes_saved;
-  PublishRunMetrics(options_.metrics, report, device, buffer, prefetch);
+  PublishRunMetrics(options_.metrics, report, device, *buffer, *prefetch);
   PublishLifecycleMetrics(options_.metrics, report, base);
   return report;
 }

@@ -26,7 +26,13 @@ class MetricsRegistry;
 class TraceBuffer;
 }  // namespace graphsd::obs
 
+namespace graphsd::io {
+class PrefetchPipeline;
+}  // namespace graphsd::io
+
 namespace graphsd::core {
+
+class SubBlockBuffer;
 
 /// Per-round I/O-model directive for EngineOptions::model_override.
 /// kAuto defers to the state-aware scheduler (or the force_on_demand /
@@ -130,6 +136,25 @@ struct EngineOptions {
   /// Cancel the run this many wall-clock seconds after it starts
   /// (0 = no deadline). Cancels through the same mechanism as `cancel`.
   double deadline_seconds = 0;
+
+  // --- Engine re-entry / resource sharing (DESIGN.md §13) -----------------
+  /// Shared sub-block buffer (non-owning; must outlive the run). When set,
+  /// the run consumes and donates blocks through it instead of building a
+  /// private buffer, so one physical sub-block load can feed many logical
+  /// runs (`graphsd serve`). Entries a run is reading are pinned and cannot
+  /// be evicted by concurrent runs. `enable_buffering` and
+  /// `buffer_capacity_bytes` are ignored. The report's buffer counters
+  /// become this run's delta of the shared counters — exact when runs are
+  /// serial, fleet-approximate under true concurrency (the counters are
+  /// buffer-global).
+  SubBlockBuffer* shared_buffer = nullptr;
+  /// Shared prefetch pipeline (non-owning; must outlive the run). When
+  /// set, the run's read plan is submitted through it instead of a private
+  /// per-run pipeline, serializing disk access across concurrent runs on
+  /// one loader thread. The pipeline's cancellation token belongs to its
+  /// owner (the service installs its shutdown token); this run's own
+  /// cancel/deadline still stops the run at fetch boundaries.
+  io::PrefetchPipeline* shared_prefetch = nullptr;
 };
 
 class GraphSDEngine {

@@ -25,7 +25,7 @@ void ParallelApply(ThreadPool& pool, std::size_t grain,
 FciuExecutor::SubBlockStream::Unit FciuExecutor::FetchUnit(
     std::uint32_t i, std::uint32_t j, bool need_weights) const {
   const partition::GridDataset* dataset = ctx_.dataset;
-  const SubBlockBuffer* buffer = ctx_.buffer;
+  SubBlockBuffer* buffer = ctx_.buffer;
   SubBlockStream::Unit unit;
   unit.skip = [buffer, i, j] { return buffer->Contains(i, j); };
   unit.fetch = [dataset, i, j, need_weights, trace = ctx_.trace,
@@ -46,7 +46,7 @@ FciuExecutor::SubBlockStream FciuExecutor::MakeStream(
   return SubBlockStream(ctx_.prefetch, std::move(units));
 }
 
-Result<const partition::SubBlock*> FciuExecutor::Fetch(
+Result<FciuExecutor::FetchedBlock> FciuExecutor::Fetch(
     SubBlockStream& stream, std::uint32_t i, std::uint32_t j,
     bool need_weights, partition::SubBlock& local) {
   // Cooperative-cancellation poll point: every sub-block fetch (both round
@@ -57,14 +57,18 @@ Result<const partition::SubBlock*> FciuExecutor::Fetch(
     GRAPHSD_RETURN_IF_ERROR(ctx_.cancel->Check());
   }
   SubBlockStream::Item item = stream.Take();
-  if (const partition::SubBlock* cached =
-          ctx_.buffer->Get(i, j, need_weights);
-      cached != nullptr) {
-    // Blocks only ever enter the buffer when they themselves are consumed,
-    // so a block absent at issue time cannot be resident at consume time —
-    // a fetched payload never shadows a cached copy (no double read).
-    GRAPHSD_CHECK(!item.fetched);
-    return cached;
+  if (SubBlockBuffer::Pin cached = ctx_.buffer->Get(i, j, need_weights);
+      cached) {
+    // With a private per-run buffer, blocks only ever enter it when they
+    // themselves are consumed, so a block absent at issue time cannot be
+    // resident at consume time — a fetched payload never shadows a cached
+    // copy (no double read). Under a shared buffer another run may have
+    // inserted the block between issue and consume; the fetched payload is
+    // then simply dropped and the cached copy (pinned, so stable) wins.
+    FetchedBlock fetched;
+    fetched.block = cached.get();
+    fetched.pin = std::move(cached);
+    return fetched;
   }
   if (item.fetched) {
     GRAPHSD_RETURN_IF_ERROR(item.status);
@@ -74,14 +78,14 @@ Result<const partition::SubBlock*> FciuExecutor::Fetch(
       GRAPHSD_RETURN_IF_ERROR(ctx_.dataset->DecodeSubBlock(i, j, item.payload));
     }
     local = std::move(item.payload.block);
-    return static_cast<const partition::SubBlock*>(&local);
+    return FetchedBlock{&local, SubBlockBuffer::Pin()};
   }
   // Resident at issue time but evicted before consumption: fall back to a
   // synchronous load, exactly what the synchronous path would have done.
   obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
   GRAPHSD_ASSIGN_OR_RETURN(local,
                            ctx_.dataset->LoadSubBlock(i, j, need_weights));
-  return static_cast<const partition::SubBlock*>(&local);
+  return FetchedBlock{&local, SubBlockBuffer::Pin()};
 }
 
 Status FciuExecutor::RunPushRound(const PushProgram& program,
@@ -119,9 +123,10 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
     for (std::uint32_t i = 0; i < p; ++i) {
       if (manifest.EdgesIn(i, j) == 0) continue;
       partition::SubBlock local;
-      GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+      GRAPHSD_ASSIGN_OR_RETURN(FetchedBlock fetched,
                                Fetch(stream, i, j, need_weights, local));
-      const bool from_buffer = (block != &local);
+      const partition::SubBlock* block = fetched.block;
+      const bool from_buffer = fetched.from_buffer();
 
       // UserFunction pass (iteration t), guarded by the active frontier.
       std::atomic<std::uint64_t> provisional_priority{0};
@@ -204,14 +209,14 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
 
   // Re-score buffer priorities now that `out` (the t+1 frontier) is final:
   // a cached secondary block is worth keeping in proportion to the edges it
-  // will serve in the second half.
-  ctx_.buffer->ForEachEntry([&](std::uint32_t i, std::uint32_t j,
-                                const partition::SubBlock& block) {
+  // will serve in the second half. One atomic sweep under the buffer lock.
+  ctx_.buffer->Rescore([&](std::uint32_t, std::uint32_t,
+                           const partition::SubBlock& block) {
     std::uint64_t priority = 0;
     for (const Edge& edge : block.edges) {
       if (out.IsActive(edge.src)) ++priority;
     }
-    ctx_.buffer->UpdatePriority(i, j, priority);
+    return priority;
   });
 
   // --- second half: iteration t+1 over the secondary sub-blocks (i > j) ---
@@ -237,8 +242,9 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
       for (std::uint32_t j = 0; j < i; ++j) {
         if (manifest.EdgesIn(i, j) == 0) continue;
         partition::SubBlock local;
-        GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+        GRAPHSD_ASSIGN_OR_RETURN(FetchedBlock fetched,
                                  Fetch(second, i, j, need_weights, local));
+        const partition::SubBlock* block = fetched.block;
         obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
         ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
@@ -294,9 +300,10 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
     for (std::uint32_t i = 0; i < p; ++i) {
       if (manifest.EdgesIn(i, j) == 0) continue;
       partition::SubBlock local;
-      GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+      GRAPHSD_ASSIGN_OR_RETURN(FetchedBlock fetched,
                                Fetch(stream, i, j, need_weights, local));
-      const bool from_buffer = (block != &local);
+      const partition::SubBlock* block = fetched.block;
+      const bool from_buffer = fetched.from_buffer();
 
       {
         obs::TraceSpan span(ctx_.trace, "compute", trace_iteration_);
@@ -369,8 +376,9 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
     for (std::uint32_t j = 0; j < i; ++j) {
       if (manifest.EdgesIn(i, j) == 0) continue;
       partition::SubBlock local;
-      GRAPHSD_ASSIGN_OR_RETURN(const partition::SubBlock* block,
+      GRAPHSD_ASSIGN_OR_RETURN(FetchedBlock fetched,
                                Fetch(second, i, j, need_weights, local));
+      const partition::SubBlock* block = fetched.block;
       obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
       ScopedWallAccumulator acc(update_seconds);
       ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,

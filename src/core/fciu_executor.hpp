@@ -72,13 +72,22 @@ class FciuExecutor {
       const std::vector<std::pair<std::uint32_t, std::uint32_t>>& plan,
       bool need_weights) const;
 
+  /// A consumed sub-block: `block` points either into the shared buffer
+  /// (then `pin` keeps the entry alive for the lifetime of this struct,
+  /// even under concurrent Puts from other runs) or at the caller's local
+  /// copy.
+  struct FetchedBlock {
+    const partition::SubBlock* block = nullptr;
+    SubBlockBuffer::Pin pin;
+    bool from_buffer() const noexcept { return static_cast<bool>(pin); }
+  };
+
   /// Consumes the next planned sub-block — which must be (i, j) — through
   /// the buffer; `local` receives the block when it was not buffered (and
   /// may then be donated to the buffer).
-  Result<const partition::SubBlock*> Fetch(SubBlockStream& stream,
-                                           std::uint32_t i, std::uint32_t j,
-                                           bool need_weights,
-                                           partition::SubBlock& local);
+  Result<FetchedBlock> Fetch(SubBlockStream& stream, std::uint32_t i,
+                             std::uint32_t j, bool need_weights,
+                             partition::SubBlock& local);
 
   ExecContext ctx_;
   /// Iteration label for trace spans recorded by fetch closures. Set at

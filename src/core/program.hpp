@@ -47,6 +47,12 @@ class Program {
   /// How many per-vertex arrays the program keeps (PR-Delta: rank+residual).
   virtual std::uint32_t num_value_arrays() const = 0;
 
+  /// Slots per vertex in the engine-managed contribution arrays. Single-
+  /// source programs use 1 (the default); multi-source batched programs
+  /// (the `graphsd serve` query coalescer) use one lane per source, laid
+  /// out lane-major as contrib[v * width + lane].
+  virtual std::uint32_t contrib_width() const { return 1; }
+
   /// Supplies dataset context before Init. Default keeps the degree vector
   /// (PageRank-family needs out-degrees to split contributions).
   virtual void Bind(const std::vector<std::uint32_t>& out_degrees) {

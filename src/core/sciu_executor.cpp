@@ -161,14 +161,15 @@ Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
     active_edges += run_end - run_begin;
   }
 
-  const partition::SubBlock* cached = nullptr;
+  SubBlockBuffer::Pin cached;
   partition::SubBlockPayload decoded;
   if (payload.frame.empty()) {
     // Resident at issue time: consume through the buffer. A miss means the
     // entry was evicted between issue and consume — fall back to the same
-    // accounted frame read the loader would have performed.
+    // accounted frame read the loader would have performed. The pin keeps
+    // the entry stable while the runs are copied out below.
     cached = ctx_.buffer->Get(i, j);
-    if (cached == nullptr) {
+    if (!cached) {
       obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
       GRAPHSD_ASSIGN_OR_RETURN(decoded,
                                dataset.FetchSubBlock(i, j, /*load_weights=*/false));
@@ -179,7 +180,7 @@ Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
     decoded.frame = std::move(payload.frame);
     decoded.block.disk_bytes = decoded.frame.size();
   }
-  if (cached == nullptr) {
+  if (!cached) {
     obs::TraceSpan span(ctx_.trace, "decode", trace_iteration_);
     GRAPHSD_RETURN_IF_ERROR(dataset.DecodeSubBlock(i, j, decoded));
   }
@@ -188,7 +189,7 @@ Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
   // payload-local coordinates. The weights were read run-aligned by the
   // loader, so edges[k] and weights[k] line up as in the raw path.
   const std::vector<Edge>& source =
-      cached != nullptr ? cached->edges : decoded.block.edges;
+      cached ? cached->edges : decoded.block.edges;
   payload.edges.reserve(active_edges);
   for (auto& run : payload.runs) {
     const std::size_t base = payload.edges.size();
@@ -197,7 +198,7 @@ Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
                          source.begin() + static_cast<std::ptrdiff_t>(run.second));
     run = {base, payload.edges.size()};
   }
-  if (cached == nullptr) {
+  if (!cached) {
     ctx_.buffer->Put(i, j, std::move(decoded.block), active_edges);
   }
   return Status::Ok();

@@ -4,21 +4,56 @@
 
 namespace graphsd::core {
 
-const partition::SubBlock* SubBlockBuffer::Get(std::uint32_t i,
-                                               std::uint32_t j,
-                                               bool require_weights) {
-  if (!enabled()) return nullptr;
+// unordered_map never invalidates references to mapped values on insert or
+// rehash, so a Pin's block pointer stays valid for exactly as long as its
+// entry stays in the map — which the pin count guarantees.
+
+std::uint64_t SubBlockBuffer::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::size_t SubBlockBuffer::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t SubBlockBuffer::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t pinned = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.pins > 0) ++pinned;
+  }
+  return pinned;
+}
+
+bool SubBlockBuffer::Contains(std::uint32_t i, std::uint32_t j) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(Key(i, j)) != entries_.end();
+}
+
+SubBlockBuffer::Pin SubBlockBuffer::Get(std::uint32_t i, std::uint32_t j,
+                                        bool require_weights) {
+  if (!enabled()) return Pin();
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(Key(i, j));
   if (it == entries_.end() ||
       (require_weights && !it->second.block.edges.empty() &&
        it->second.block.weights.empty())) {
     ++misses_;
-    return nullptr;
+    return Pin();
   }
   ++hits_;
   bytes_saved_ += it->second.block.SizeBytes();
   disk_bytes_saved_ += it->second.block.disk_bytes;
-  return &it->second.block;
+  ++it->second.pins;
+  return Pin(this, it->first, &it->second.block);
+}
+
+void SubBlockBuffer::Unpin(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.pins > 0) --it->second.pins;
 }
 
 bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
@@ -26,20 +61,30 @@ bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
   if (!enabled()) return false;
   const std::uint64_t bytes = block.SizeBytes();
   const std::uint64_t key = Key(i, j);
+  std::lock_guard<std::mutex> lock(mutex_);
   if (bytes > capacity_) {
     // A block that can never fit is rejected before any eviction: flushing
     // the cache for an insert that must fail would only destroy hits.
     ++rejected_;
     return false;
   }
+  // A pinned same-key entry cannot be replaced — another caller still reads
+  // through its pointer. Reject; the caller keeps its locally-loaded copy.
+  if (const auto it = entries_.find(key);
+      it != entries_.end() && it->second.pins > 0) {
+    ++rejected_;
+    ++pinned_rejected_;
+    return false;
+  }
   // Feasibility first: only the same-key entry (it is being replaced) and
-  // strictly-lower-priority entries may be evicted for this insert. If that
-  // budget cannot make room, reject without touching the cache — the old
-  // code evicted cold entries one by one and could flush several of them
-  // before discovering the insert was doomed.
+  // strictly-lower-priority *unpinned* entries may be evicted for this
+  // insert. If that budget cannot make room, reject without touching the
+  // cache — the old code evicted cold entries one by one and could flush
+  // several of them before discovering the insert was doomed.
   std::uint64_t evictable = 0;
   for (const auto& [entry_key, entry] : entries_) {
-    if (entry_key == key || entry.priority < priority) {
+    if (entry_key == key ||
+        (entry.pins == 0 && entry.priority < priority)) {
       evictable += entry.block.SizeBytes();
     }
   }
@@ -54,10 +99,12 @@ bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
   }
   // Evict coldest-first until the block fits. Equal priorities tie-break on
   // the smaller key so the victim sequence is independent of hash-map
-  // iteration order — runs must be reproducible.
+  // iteration order — runs must be reproducible. Pinned entries are never
+  // victims.
   while (used_ + bytes > capacity_) {
     auto victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins > 0) continue;
       if (victim == entries_.end() ||
           it->second.priority < victim->second.priority ||
           (it->second.priority == victim->second.priority &&
@@ -70,39 +117,67 @@ bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
     ++evictions_;
   }
   used_ += bytes;
-  entries_.emplace(key, Entry{std::move(block), priority});
+  entries_.emplace(key, Entry{std::move(block), priority, 0});
   return true;
 }
 
 void SubBlockBuffer::UpdatePriority(std::uint32_t i, std::uint32_t j,
                                     std::uint64_t priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = entries_.find(Key(i, j)); it != entries_.end()) {
     it->second.priority = priority;
   }
 }
 
 void SubBlockBuffer::Erase(std::uint32_t i, std::uint32_t j) {
-  if (const auto it = entries_.find(Key(i, j)); it != entries_.end()) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = entries_.find(Key(i, j));
+      it != entries_.end() && it->second.pins == 0) {
     used_ -= it->second.block.SizeBytes();
     entries_.erase(it);
   }
 }
 
 void SubBlockBuffer::Clear() {
-  entries_.clear();
-  used_ = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.pins == 0) {
+      used_ -= it->second.block.SizeBytes();
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SubBlockBuffer::Counters SubBlockBuffer::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.bytes_saved = bytes_saved_;
+  c.disk_bytes_saved = disk_bytes_saved_;
+  c.evictions = evictions_;
+  c.rejected_puts = rejected_;
+  c.pinned_rejected_puts = pinned_rejected_;
+  return c;
 }
 
 void SubBlockBuffer::PublishMetrics(obs::MetricsRegistry& metrics) const {
+  const Counters c = counters();
   metrics.GetGauge("buffer.capacity_bytes").Set(static_cast<double>(capacity_));
-  metrics.GetGauge("buffer.used_bytes").Set(static_cast<double>(used_));
-  metrics.GetGauge("buffer.hits").Set(static_cast<double>(hits_));
-  metrics.GetGauge("buffer.misses").Set(static_cast<double>(misses_));
-  metrics.GetGauge("buffer.bytes_saved").Set(static_cast<double>(bytes_saved_));
+  metrics.GetGauge("buffer.used_bytes").Set(static_cast<double>(size_bytes()));
+  metrics.GetGauge("buffer.hits").Set(static_cast<double>(c.hits));
+  metrics.GetGauge("buffer.misses").Set(static_cast<double>(c.misses));
+  metrics.GetGauge("buffer.bytes_saved")
+      .Set(static_cast<double>(c.bytes_saved));
   metrics.GetGauge("buffer.disk_bytes_saved")
-      .Set(static_cast<double>(disk_bytes_saved_));
-  metrics.GetGauge("buffer.evictions").Set(static_cast<double>(evictions_));
-  metrics.GetGauge("buffer.rejected_puts").Set(static_cast<double>(rejected_));
+      .Set(static_cast<double>(c.disk_bytes_saved));
+  metrics.GetGauge("buffer.evictions").Set(static_cast<double>(c.evictions));
+  metrics.GetGauge("buffer.rejected_puts")
+      .Set(static_cast<double>(c.rejected_puts));
+  metrics.GetGauge("buffer.pinned_rejected_puts")
+      .Set(static_cast<double>(c.pinned_rejected_puts));
 }
 
 }  // namespace graphsd::core

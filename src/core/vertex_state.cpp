@@ -3,13 +3,16 @@
 namespace graphsd::core {
 
 VertexState::VertexState(VertexId num_vertices,
-                         std::uint32_t num_program_arrays, bool gather)
-    : num_vertices_(num_vertices) {
+                         std::uint32_t num_program_arrays, bool gather,
+                         std::uint32_t contrib_width)
+    : num_vertices_(num_vertices), contrib_width_(contrib_width) {
   GRAPHSD_CHECK(num_program_arrays >= 1);
+  GRAPHSD_CHECK(contrib_width >= 1);
   program_arrays_.resize(num_program_arrays);
   for (auto& a : program_arrays_) a.assign(num_vertices, 0);
   for (int s = 0; s < 2; ++s) {
-    contrib_storage_[s].assign(num_vertices, 0);
+    contrib_storage_[s].assign(
+        static_cast<std::size_t>(num_vertices) * contrib_width, 0);
     contrib_[s] = contrib_storage_[s];
   }
   if (gather) {

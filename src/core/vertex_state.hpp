@@ -32,8 +32,13 @@ enum class AccumSlot : std::uint8_t { kA = 0, kB = 1 };
 class VertexState {
  public:
   /// `gather` additionally allocates the two accumulator arrays.
+  /// `contrib_width` sizes the contribution arrays at num_vertices * width
+  /// slots (multi-source batched programs keep one lane per source; see
+  /// Program::contrib_width()).
   VertexState(VertexId num_vertices, std::uint32_t num_program_arrays,
-              bool gather);
+              bool gather, std::uint32_t contrib_width = 1);
+
+  std::uint32_t contrib_width() const noexcept { return contrib_width_; }
 
   VertexId num_vertices() const noexcept { return num_vertices_; }
   std::uint32_t num_program_arrays() const noexcept {
@@ -75,6 +80,7 @@ class VertexState {
 
  private:
   VertexId num_vertices_;
+  std::uint32_t contrib_width_ = 1;
   std::vector<std::vector<Slot>> program_arrays_;
   std::vector<Slot> contrib_storage_[2];
   std::span<Slot> contrib_[2];

@@ -142,6 +142,12 @@ void JsonWriter::Null() {
   Raw("null");
 }
 
+void JsonWriter::RawValue(std::string_view json) {
+  GRAPHSD_CHECK(!json.empty());
+  BeforeValue();
+  Raw(json);
+}
+
 void JsonWriter::Field(std::string_view name, std::string_view value) {
   Key(name);
   String(value);

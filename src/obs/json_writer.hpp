@@ -34,6 +34,12 @@ class JsonWriter {
   void Double(double value);
   void Null();
 
+  /// Splices pre-rendered JSON in as the next value. `json` must itself be
+  /// a complete, valid JSON value (the service embeds run-report documents
+  /// produced by another JsonWriter); the writer only handles the
+  /// surrounding comma/key state.
+  void RawValue(std::string_view json);
+
   /// Convenience: Key + scalar.
   void Field(std::string_view name, std::string_view value);
   void Field(std::string_view name, const char* value);

@@ -1,0 +1,106 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace graphsd::service {
+
+namespace {
+
+/// Program arrays per lane for each algorithm (rank+residual pairs count 2).
+std::uint32_t ArraysPerLane(const std::string& algo) {
+  if (algo == "prd" || algo == "ppr") return 2;
+  return 1;
+}
+
+}  // namespace
+
+std::uint64_t EstimateStateBytes(const QueryRequest& request,
+                                 std::uint64_t num_vertices,
+                                 std::uint32_t lanes) {
+  const std::uint64_t width = std::max<std::uint32_t>(lanes, 1);
+  // Program arrays (per lane) + the two engine contribution snapshots
+  // (lane-major, also per lane), 8 bytes per slot.
+  const std::uint64_t slots_per_vertex =
+      width * (ArraysPerLane(request.algo) + 2);
+  return num_vertices * slots_per_vertex * 8;
+}
+
+Status AdmissionController::Admit(const QueryRequest& request,
+                                  std::uint64_t num_vertices) {
+  const std::uint64_t estimate = EstimateStateBytes(request, num_vertices, 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (request.iterations > limits_.max_iterations) {
+    ++rejected_;
+    return InvalidArgumentError(
+        "iterations " + std::to_string(request.iterations) +
+        " exceeds the service cap " + std::to_string(limits_.max_iterations));
+  }
+  if (limits_.max_deadline_seconds > 0 &&
+      request.deadline_seconds > limits_.max_deadline_seconds) {
+    ++rejected_;
+    return InvalidArgumentError(
+        "deadline_seconds exceeds the service cap " +
+        std::to_string(limits_.max_deadline_seconds));
+  }
+  if (estimate > limits_.max_request_state_bytes) {
+    ++rejected_;
+    return InvalidArgumentError(
+        "estimated vertex state " + std::to_string(estimate) +
+        " bytes exceeds the per-request cap " +
+        std::to_string(limits_.max_request_state_bytes));
+  }
+  if (in_flight_ >= limits_.max_queue) {
+    ++rejected_;
+    return ResourceExhaustedError(
+        "queue full (" + std::to_string(limits_.max_queue) + " in flight)");
+  }
+  if (reserved_bytes_ + estimate > limits_.max_total_state_bytes) {
+    ++rejected_;
+    return ResourceExhaustedError(
+        "admitting would exceed the service memory budget (" +
+        std::to_string(reserved_bytes_) + " + " + std::to_string(estimate) +
+        " > " + std::to_string(limits_.max_total_state_bytes) + " bytes)");
+  }
+  ++in_flight_;
+  reserved_bytes_ += estimate;
+  return Status::Ok();
+}
+
+void AdmissionController::Release(std::uint64_t state_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GRAPHSD_CHECK(in_flight_ > 0);
+  GRAPHSD_CHECK(reserved_bytes_ >= state_bytes);
+  --in_flight_;
+  reserved_bytes_ -= state_bytes;
+}
+
+double AdmissionController::EffectiveDeadline(
+    const QueryRequest& request) const {
+  if (limits_.max_deadline_seconds <= 0) return request.deadline_seconds;
+  if (request.deadline_seconds <= 0) return limits_.max_deadline_seconds;
+  return std::min(request.deadline_seconds, limits_.max_deadline_seconds);
+}
+
+std::uint32_t AdmissionController::EffectiveIterationCap(
+    const QueryRequest& request) const {
+  if (request.iterations == 0) return limits_.max_iterations;
+  return std::min(request.iterations, limits_.max_iterations);
+}
+
+std::size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+std::uint64_t AdmissionController::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_bytes_;
+}
+
+std::uint64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace graphsd::service

@@ -1,0 +1,80 @@
+// Admission control: the service's per-request budget gate.
+//
+// Every `run` request passes through Admit() before it may queue. The
+// controller enforces
+//   * a queue-depth cap (backpressure: reject instead of buffering
+//     unboundedly),
+//   * a per-request vertex-state memory estimate against an in-flight
+//     total (the dominating resident cost of a run is its |V|-sized value
+//     + contribution arrays; a batch widens those arrays, so lanes are
+//     charged at plan time too),
+//   * an iteration cap and a deadline cap (a request may ask for less than
+//     the service maximum, never more; requests with no deadline inherit
+//     the service default so no query can wedge a worker forever).
+// Rejections are kResourceExhausted (load) or kInvalidArgument (budget
+// violations a retry will not fix), mapped onto the wire error envelope.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "service/protocol.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::service {
+
+struct AdmissionLimits {
+  /// Maximum queued-but-not-finished run requests.
+  std::size_t max_queue = 64;
+  /// Per-request cap on the estimated vertex-state bytes.
+  std::uint64_t max_request_state_bytes = 1ull << 31;
+  /// Cap on the sum of admitted requests' state estimates.
+  std::uint64_t max_total_state_bytes = 1ull << 32;
+  /// Hard per-request iteration cap (also applied as the engine's
+  /// max_iterations when the request asks for nothing tighter).
+  std::uint32_t max_iterations = 10000;
+  /// Maximum — and, for requests that specify none, default — deadline.
+  /// 0 disables deadline enforcement entirely.
+  double max_deadline_seconds = 300;
+};
+
+/// Estimated resident bytes of one run's vertex state: the program arrays
+/// plus the two engine contribution arrays, `lanes` wide.
+std::uint64_t EstimateStateBytes(const QueryRequest& request,
+                                 std::uint64_t num_vertices,
+                                 std::uint32_t lanes);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits) : limits_(limits) {}
+
+  /// Gates one run request of known dataset size. On success the request's
+  /// budget is reserved; the caller must Release() the same estimate when
+  /// the run finishes (or fails). On rejection nothing is reserved.
+  Status Admit(const QueryRequest& request, std::uint64_t num_vertices);
+
+  void Release(std::uint64_t state_bytes);
+
+  /// The deadline the engine should enforce for `request`: its own ask,
+  /// clamped to the service maximum (or the maximum itself when the
+  /// request specified none).
+  double EffectiveDeadline(const QueryRequest& request) const;
+
+  /// The engine iteration cap for `request`.
+  std::uint32_t EffectiveIterationCap(const QueryRequest& request) const;
+
+  std::size_t in_flight() const;
+  std::uint64_t reserved_bytes() const;
+  std::uint64_t rejected() const;
+
+  const AdmissionLimits& limits() const noexcept { return limits_; }
+
+ private:
+  AdmissionLimits limits_;
+  mutable std::mutex mutex_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t reserved_bytes_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace graphsd::service

@@ -1,0 +1,49 @@
+#include "service/batch_planner.hpp"
+
+#include <algorithm>
+
+namespace graphsd::service {
+
+bool IsBatchableRequest(const QueryRequest& request) {
+  return request.op == "run" &&
+         (request.algo == "bfs" || request.algo == "sssp" ||
+          request.algo == "widest_path" || request.algo == "ppr");
+}
+
+bool Compatible(const QueryRequest& a, const QueryRequest& b) {
+  return IsBatchableRequest(a) && IsBatchableRequest(b) &&
+         a.dataset == b.dataset && a.algo == b.algo &&
+         a.epsilon == b.epsilon && a.iterations == b.iterations &&
+         a.deadline_seconds == b.deadline_seconds;
+}
+
+BatchPlan PlanBatch(const QueryRequest& leader,
+                    std::span<const QueryRequest> queued,
+                    std::uint32_t max_lanes) {
+  BatchPlan plan;
+  plan.roots.push_back(leader.root);
+  plan.lanes.push_back(0);
+  if (!IsBatchableRequest(leader) || max_lanes <= 1) return plan;
+
+  for (std::size_t i = 0; i < queued.size(); ++i) {
+    const QueryRequest& candidate = queued[i];
+    if (!Compatible(leader, candidate)) continue;
+    const auto it =
+        std::find(plan.roots.begin(), plan.roots.end(), candidate.root);
+    if (it != plan.roots.end()) {
+      // Identical request: share the existing lane, no extra width.
+      plan.member_indices.push_back(i);
+      plan.lanes.push_back(
+          static_cast<std::uint32_t>(it - plan.roots.begin()));
+      ++plan.deduped;
+      continue;
+    }
+    if (plan.width() >= max_lanes) continue;
+    plan.member_indices.push_back(i);
+    plan.lanes.push_back(plan.width());
+    plan.roots.push_back(candidate.root);
+  }
+  return plan;
+}
+
+}  // namespace graphsd::service

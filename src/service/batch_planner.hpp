@@ -1,0 +1,54 @@
+// Batch planning: which queued queries may share one engine run.
+//
+// A worker that dequeues a single-source request scans the rest of the
+// queue for compatible requests and coalesces them into one multi-source
+// batched program (algos/multi_source.hpp): each distinct root gets a value
+// lane, identical roots share one (dedup), and a single edge pass feeds
+// every lane. Compatibility is strict equality of everything that shapes
+// the execution — dataset, algorithm, epsilon, iteration cap, deadline —
+// so a batch member's response is indistinguishable from what its solo run
+// would have produced (bit-identical for the monotone algorithms; within
+// the sum-threshold tolerance for PPR, see DESIGN.md §13).
+//
+// Pure functions over request lists: no locking, no I/O — unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace graphsd::service {
+
+/// True when `request` names an algorithm the coalescer can batch
+/// (single-source push programs with a multi-source counterpart).
+bool IsBatchableRequest(const QueryRequest& request);
+
+/// True when `a` and `b` may execute as lanes of one batched run.
+bool Compatible(const QueryRequest& a, const QueryRequest& b);
+
+struct BatchPlan {
+  /// Queue positions (into the `queued` span) joining the leader's run.
+  std::vector<std::size_t> member_indices;
+  /// Distinct roots in lane order; lane 0 is the leader's root.
+  std::vector<VertexId> roots;
+  /// Lane of the leader, then of each member, in member_indices order.
+  std::vector<std::uint32_t> lanes;
+  /// Requests that shared a lane with an earlier identical request.
+  std::uint32_t deduped = 0;
+
+  std::uint32_t width() const noexcept {
+    return static_cast<std::uint32_t>(roots.size());
+  }
+};
+
+/// Plans a batch led by `leader` over the currently queued requests. At
+/// most `max_lanes` distinct roots join (identical roots dedup for free and
+/// do not consume extra lanes). A non-batchable leader yields a solo plan
+/// (one lane, no members).
+BatchPlan PlanBatch(const QueryRequest& leader,
+                    std::span<const QueryRequest> queued,
+                    std::uint32_t max_lanes);
+
+}  // namespace graphsd::service

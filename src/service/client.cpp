@@ -1,0 +1,106 @@
+#include "service/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace graphsd::service {
+
+ServiceClient::~ServiceClient() { Close(); }
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status ServiceClient::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("bad socket path: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return ErrnoError("socket", errno);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = ErrnoError("connect " + socket_path, errno);
+    Close();
+    return s;
+  }
+  return Status::Ok();
+}
+
+Status ServiceClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("send", errno);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ServiceClient::RecvLine(double timeout_seconds) {
+  if (fd_ < 0) return FailedPreconditionError("client not connected");
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  char chunk[16384];
+  for (;;) {
+    const std::size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    int wait_ms = -1;
+    if (timeout_seconds > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        return IoError("timed out waiting for a service response");
+      }
+      wait_ms = static_cast<int>(std::min<long long>(left.count(), 60'000));
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("poll", errno);
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return IoError("service closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("recv", errno);
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::string> ServiceClient::RoundTrip(const std::string& line,
+                                             double timeout_seconds) {
+  GRAPHSD_RETURN_IF_ERROR(SendLine(line));
+  return RecvLine(timeout_seconds);
+}
+
+}  // namespace graphsd::service

@@ -1,0 +1,47 @@
+// Thin blocking client for the query service: connects to the daemon's
+// unix-domain socket, sends newline-delimited JSON request lines, and reads
+// newline-delimited responses. Used by `graphsd query`, the service tests,
+// and the bench harness; it does no JSON interpretation of its own beyond
+// what callers ask ParseJson for.
+#pragma once
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace graphsd::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects to the daemon at `socket_path`.
+  Status Connect(const std::string& socket_path);
+
+  /// True after a successful Connect() (until Close()).
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  void Close();
+
+  /// Sends one request line (the trailing newline is appended here).
+  Status SendLine(const std::string& line);
+
+  /// Blocks until one full response line arrives (newline stripped).
+  /// `timeout_seconds` <= 0 waits indefinitely; expiry yields an IoError.
+  Result<std::string> RecvLine(double timeout_seconds = 0);
+
+  /// SendLine + RecvLine. Correct only for single-response requests on a
+  /// connection with no other requests in flight.
+  Result<std::string> RoundTrip(const std::string& line,
+                                double timeout_seconds = 0);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned line
+};
+
+}  // namespace graphsd::service

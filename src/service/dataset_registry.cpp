@@ -1,0 +1,85 @@
+#include "service/dataset_registry.hpp"
+
+#include <algorithm>
+
+#include "partition/dataset_verify.hpp"
+
+namespace graphsd::service {
+
+namespace {
+
+std::unique_ptr<io::Device> MakeDevice(const std::string& kind) {
+  if (kind == "posix") return io::MakePosixDevice();
+  if (kind == "hdd") return io::MakeSimulatedDevice(io::IoCostModel::Hdd());
+  if (kind == "ssd") return io::MakeSimulatedDevice(io::IoCostModel::Ssd());
+  return io::MakeSimulatedDevice(io::IoCostModel::ScaledHdd());
+}
+
+}  // namespace
+
+DatasetRegistry::DatasetRegistry(RegistryOptions options)
+    : options_(std::move(options)) {}
+
+Result<DatasetEntry*> DatasetRegistry::GetOrOpen(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dir);
+  if (it != entries_.end()) return it->second.get();
+
+  if (options_.verify_on_open) {
+    GRAPHSD_ASSIGN_OR_RETURN(partition::DatasetVerifyReport verify,
+                             partition::VerifyDataset(dir));
+    if (!verify.ok()) {
+      return CorruptDataError("dataset " + dir +
+                              " failed verification: " + verify.Summary());
+    }
+  }
+
+  auto entry = std::make_unique<DatasetEntry>();
+  entry->dir = dir;
+  entry->device = MakeDevice(options_.device);
+  GRAPHSD_ASSIGN_OR_RETURN(partition::GridDataset opened,
+                           partition::GridDataset::Open(*entry->device, dir));
+  entry->dataset =
+      std::make_unique<partition::GridDataset>(std::move(opened));
+
+  // One shared buffer + loader per dataset. Capacity defaults to the
+  // engine's own 5 % budget so shared and private runs see the same tier
+  // size; the pipeline carries the daemon's shutdown token, not any single
+  // run's (a run's own deadline still stops it at fetch boundaries).
+  const std::uint64_t capacity =
+      options_.buffer_capacity_bytes != 0
+          ? options_.buffer_capacity_bytes
+          : std::max<std::uint64_t>(
+                1, entry->dataset->manifest().TotalEdgeBytes() / 20);
+  entry->buffer = std::make_unique<core::SubBlockBuffer>(capacity);
+  entry->prefetch =
+      std::make_unique<io::PrefetchPipeline>(options_.prefetch_depth);
+  entry->prefetch->set_cancellation(options_.cancel);
+
+  DatasetEntry* raw = entry.get();
+  entries_.emplace(dir, std::move(entry));
+  return raw;
+}
+
+std::size_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+core::SubBlockBuffer::Counters DatasetRegistry::TotalBufferCounters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  core::SubBlockBuffer::Counters total;
+  for (const auto& [dir, entry] : entries_) {
+    const core::SubBlockBuffer::Counters c = entry->buffer->counters();
+    total.hits += c.hits;
+    total.misses += c.misses;
+    total.bytes_saved += c.bytes_saved;
+    total.disk_bytes_saved += c.disk_bytes_saved;
+    total.evictions += c.evictions;
+    total.rejected_puts += c.rejected_puts;
+    total.pinned_rejected_puts += c.pinned_rejected_puts;
+  }
+  return total;
+}
+
+}  // namespace graphsd::service

@@ -1,0 +1,79 @@
+// Minimal recursive-descent JSON parser for the query-service protocol.
+//
+// The repo's obs::JsonWriter produces JSON; the service is the first
+// component that must also *consume* it (newline-delimited request lines
+// from `graphsd query`). This parser covers RFC 8259 minus two conveniences
+// we do not need on the wire: surrogate-pair \u escapes decode to '?', and
+// numbers are kept as doubles (the protocol's integers — ids, roots,
+// iteration caps — all fit a double's 53-bit mantissa).
+//
+// Depth is bounded and inputs are size-checked up front, so a hostile
+// client can neither stack-overflow the daemon nor balloon its memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace graphsd::service {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool bool_value() const noexcept { return bool_; }
+  double number() const noexcept { return number_; }
+  const std::string& string_value() const noexcept { return string_; }
+  const std::vector<JsonValue>& elements() const noexcept { return elements_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Member lookup on an object; null on a non-object or a missing key.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member accessors with defaults (missing or wrong-typed members
+  /// yield the default — the protocol treats both as "not supplied").
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = "") const;
+  double GetNumber(std::string_view key, double fallback = 0) const;
+  std::uint64_t GetUint(std::string_view key, std::uint64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Inputs over `max_bytes` or nested deeper than 32
+/// levels are rejected with kInvalidArgument.
+Result<JsonValue> ParseJson(std::string_view text,
+                            std::size_t max_bytes = 1 << 20);
+
+}  // namespace graphsd::service

@@ -1,0 +1,114 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json_writer.hpp"
+#include "service/json.hpp"
+
+namespace graphsd::service {
+
+namespace {
+
+bool KnownOp(const std::string& op) {
+  return op == "ping" || op == "info" || op == "verify" || op == "stats" ||
+         op == "run" || op == "shutdown";
+}
+
+bool KnownAlgo(const std::string& algo) {
+  return algo == "pr" || algo == "prd" || algo == "cc" || algo == "bfs" ||
+         algo == "sssp" || algo == "widest_path" || algo == "ppr";
+}
+
+}  // namespace
+
+Result<QueryRequest> ParseRequest(std::string_view line) {
+  GRAPHSD_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return InvalidArgumentError("request must be a JSON object");
+  }
+  QueryRequest req;
+  req.id = doc.GetUint("id", 0);
+  req.op = doc.GetString("op");
+  if (!KnownOp(req.op)) {
+    return InvalidArgumentError("unknown op '" + req.op + "'");
+  }
+  req.dataset = doc.GetString("dataset");
+  req.algo = doc.GetString("algo");
+  req.root = static_cast<VertexId>(doc.GetUint("root", 0));
+  req.iterations = static_cast<std::uint32_t>(doc.GetUint("iterations", 0));
+  req.epsilon = doc.GetNumber("epsilon", 1e-10);
+  req.deadline_seconds = doc.GetNumber("deadline_seconds", 0);
+  req.values = doc.GetBool("values", false);
+  if (const JsonValue* verts = doc.Find("vertices");
+      verts != nullptr && verts->is_array()) {
+    for (const JsonValue& v : verts->elements()) {
+      if (!v.is_number()) {
+        return InvalidArgumentError("'vertices' entries must be numbers");
+      }
+      req.vertices.push_back(static_cast<VertexId>(v.number()));
+    }
+  }
+  if (req.op == "run") {
+    if (req.dataset.empty()) {
+      return InvalidArgumentError("run requires 'dataset'");
+    }
+    if (!KnownAlgo(req.algo)) {
+      return InvalidArgumentError("run: unknown algo '" + req.algo + "'");
+    }
+    if (!(req.epsilon > 0) || !std::isfinite(req.epsilon)) {
+      return InvalidArgumentError("run: epsilon must be finite and > 0");
+    }
+    if (req.deadline_seconds < 0 || !std::isfinite(req.deadline_seconds)) {
+      return InvalidArgumentError("run: bad deadline_seconds");
+    }
+  }
+  if ((req.op == "info" || req.op == "verify") && req.dataset.empty()) {
+    return InvalidArgumentError(req.op + " requires 'dataset'");
+  }
+  return req;
+}
+
+std::string BuildErrorResponse(std::uint64_t id, const Status& status) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Field("id", id);
+  json.Field("ok", false);
+  json.Key("error");
+  json.BeginObject();
+  json.Field("code", StatusCodeName(status.code()));
+  json.Field("message", status.message());
+  json.EndObject();
+  json.EndObject();
+  return json.Finish();
+}
+
+std::string BuildAckResponse(std::uint64_t id, std::string_view op) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Field("id", id);
+  json.Field("ok", true);
+  json.Field("op", op);
+  json.Field("protocol", kProtocolVersion);
+  json.EndObject();
+  return json.Finish();
+}
+
+std::string HexDouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+Result<double> ParseHexDouble(const std::string& text) {
+  if (text.empty()) return InvalidArgumentError("empty hex-float");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return InvalidArgumentError("malformed hex-float '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace graphsd::service

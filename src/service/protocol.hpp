@@ -1,0 +1,62 @@
+// Wire protocol of the query service: newline-delimited JSON over a
+// unix-domain socket.
+//
+// Requests are single-line JSON objects:
+//   {"id":1,"op":"run","dataset":"/data/tw","algo":"bfs","root":42,
+//    "deadline_seconds":5,"values":true,"vertices":[0,1,2]}
+// Ops: ping | info | verify | stats | run | shutdown. `run` executes an
+// algorithm (pr | prd | cc | bfs | sssp | widest_path | ppr) and returns
+// the run report; single-source ops on the same dataset may be coalesced
+// into one multi-source batched execution (see batch_planner.hpp).
+//
+// Responses are single-line JSON objects carrying the request id, an
+// ok/error envelope, and op-specific payload. Per-vertex values travel as
+// C99 hex-float strings ("0x1.8p+1"): exact bit round-trip, which is what
+// lets the service differential test demand bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::service {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+struct QueryRequest {
+  std::uint64_t id = 0;
+  std::string op;       // ping | info | verify | stats | run | shutdown
+  std::string dataset;  // dataset directory (info/verify/run)
+  std::string algo;     // run: pr | prd | cc | bfs | sssp | widest_path | ppr
+  VertexId root = 0;
+  /// Iteration cap; 0 = the algorithm's default budget.
+  std::uint32_t iterations = 0;
+  double epsilon = 1e-10;  // prd / ppr threshold
+  /// Per-request deadline; 0 = none (the admission controller may still
+  /// impose the service-wide maximum).
+  double deadline_seconds = 0;
+  /// Return per-vertex values (all vertices when `vertices` is empty).
+  bool values = false;
+  std::vector<VertexId> vertices;
+};
+
+/// Parses one request line. Unknown ops or malformed JSON yield
+/// kInvalidArgument; the caller still gets the id when one was readable so
+/// the error response can be correlated.
+Result<QueryRequest> ParseRequest(std::string_view line);
+
+/// `{"id":N,"ok":false,"error":{"code":"...","message":"..."}}`.
+std::string BuildErrorResponse(std::uint64_t id, const Status& status);
+
+/// `{"id":N,"ok":true,"op":"...", ...extra fields caller appends}` — the
+/// trivial acks (ping/shutdown) that carry no payload.
+std::string BuildAckResponse(std::uint64_t id, std::string_view op);
+
+/// Bit-exact double <-> string round-trip for response values.
+std::string HexDouble(double value);
+Result<double> ParseHexDouble(const std::string& text);
+
+}  // namespace graphsd::service

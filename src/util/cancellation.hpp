@@ -85,8 +85,13 @@ class CancellationToken {
     if (const char* r = reason_.load(std::memory_order_acquire); r != nullptr) {
       return r;
     }
-    if (deadline_ns_.load(std::memory_order_acquire) != 0 && cancelled()) {
-      return "deadline exceeded";
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != 0) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      if (std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+          deadline) {
+        return "deadline exceeded";
+      }
     }
     if (parent_ != nullptr && parent_->cancelled()) return parent_->reason();
     return "cancelled";

@@ -1,0 +1,90 @@
+#include "service/batch_planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd::service {
+namespace {
+
+QueryRequest MakeRun(const std::string& algo, VertexId root,
+                 const std::string& dataset = "/d") {
+  QueryRequest r;
+  r.op = "run";
+  r.dataset = dataset;
+  r.algo = algo;
+  r.root = root;
+  return r;
+}
+
+TEST(BatchPlanner, OnlySingleSourceAlgosAreBatchable) {
+  EXPECT_TRUE(IsBatchableRequest(MakeRun("bfs", 0)));
+  EXPECT_TRUE(IsBatchableRequest(MakeRun("sssp", 0)));
+  EXPECT_TRUE(IsBatchableRequest(MakeRun("widest_path", 0)));
+  EXPECT_TRUE(IsBatchableRequest(MakeRun("ppr", 0)));
+  EXPECT_FALSE(IsBatchableRequest(MakeRun("pr", 0)));
+  EXPECT_FALSE(IsBatchableRequest(MakeRun("prd", 0)));
+  EXPECT_FALSE(IsBatchableRequest(MakeRun("cc", 0)));
+}
+
+TEST(BatchPlanner, CompatibilityRequiresIdenticalExecutionShape) {
+  EXPECT_TRUE(Compatible(MakeRun("bfs", 1), MakeRun("bfs", 2)));
+  EXPECT_FALSE(Compatible(MakeRun("bfs", 1), MakeRun("sssp", 2)));
+  EXPECT_FALSE(Compatible(MakeRun("bfs", 1), MakeRun("bfs", 2, "/other")));
+  QueryRequest eps = MakeRun("ppr", 1);
+  eps.epsilon = 1e-6;
+  EXPECT_FALSE(Compatible(MakeRun("ppr", 1), eps));
+  QueryRequest iter = MakeRun("bfs", 1);
+  iter.iterations = 3;
+  EXPECT_FALSE(Compatible(MakeRun("bfs", 1), iter));
+  QueryRequest dl = MakeRun("bfs", 1);
+  dl.deadline_seconds = 1;
+  EXPECT_FALSE(Compatible(MakeRun("bfs", 1), dl));
+}
+
+TEST(BatchPlanner, CoalescesCompatibleRootsAndSkipsOthers) {
+  const QueryRequest leader = MakeRun("bfs", 10);
+  const std::vector<QueryRequest> queued = {
+      MakeRun("bfs", 11), MakeRun("sssp", 12), MakeRun("bfs", 13), MakeRun("cc", 0),
+  };
+  const BatchPlan plan = PlanBatch(leader, queued, /*max_lanes=*/8);
+  EXPECT_EQ(plan.width(), 3u);
+  EXPECT_EQ(plan.roots, (std::vector<VertexId>{10, 11, 13}));
+  EXPECT_EQ(plan.member_indices, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(plan.lanes, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(plan.deduped, 0u);
+}
+
+TEST(BatchPlanner, IdenticalRootsShareALane) {
+  const QueryRequest leader = MakeRun("bfs", 5);
+  const std::vector<QueryRequest> queued = {MakeRun("bfs", 5), MakeRun("bfs", 6),
+                                            MakeRun("bfs", 6)};
+  const BatchPlan plan = PlanBatch(leader, queued, /*max_lanes=*/8);
+  EXPECT_EQ(plan.width(), 2u);  // two distinct roots
+  EXPECT_EQ(plan.member_indices.size(), 3u);
+  EXPECT_EQ(plan.lanes, (std::vector<std::uint32_t>{0, 0, 1, 1}));
+  EXPECT_EQ(plan.deduped, 2u);
+}
+
+TEST(BatchPlanner, RespectsMaxLanesButStillDedups) {
+  const QueryRequest leader = MakeRun("bfs", 0);
+  std::vector<QueryRequest> queued;
+  for (VertexId r = 1; r < 10; ++r) queued.push_back(MakeRun("bfs", r));
+  queued.push_back(MakeRun("bfs", 0));  // dedups onto the leader's lane
+  const BatchPlan plan = PlanBatch(leader, queued, /*max_lanes=*/4);
+  EXPECT_EQ(plan.width(), 4u);
+  EXPECT_EQ(plan.member_indices.size(), 4u);  // 3 new lanes + 1 dedup
+  EXPECT_EQ(plan.deduped, 1u);
+  EXPECT_EQ(plan.lanes.back(), 0u);
+}
+
+TEST(BatchPlanner, NonBatchableLeaderYieldsSoloPlan) {
+  const std::vector<QueryRequest> queued = {MakeRun("pr", 0), MakeRun("pr", 0)};
+  const BatchPlan plan = PlanBatch(MakeRun("pr", 0), queued, /*max_lanes=*/8);
+  EXPECT_EQ(plan.width(), 1u);
+  EXPECT_TRUE(plan.member_indices.empty());
+  const BatchPlan solo = PlanBatch(MakeRun("bfs", 1), queued, /*max_lanes=*/1);
+  EXPECT_EQ(solo.width(), 1u);
+  EXPECT_TRUE(solo.member_indices.empty());
+}
+
+}  // namespace
+}  // namespace graphsd::service

@@ -1,0 +1,76 @@
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace graphsd::service {
+namespace {
+
+TEST(ServiceJson, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e3")->number(), -1500.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(ServiceJson, ParsesNestedContainers) {
+  auto v = ParseJson(R"({"a":[1,2,{"b":true}],"c":{"d":null}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->elements().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->elements()[0].number(), 1.0);
+  EXPECT_TRUE(a->elements()[2].Find("b")->bool_value());
+  EXPECT_TRUE(v->Find("c")->Find("d")->is_null());
+}
+
+TEST(ServiceJson, DecodesStringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\nd\tA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "a\"b\\c\nd\tA");
+}
+
+TEST(ServiceJson, RoundTripsUnicodeEscapeToUtf8) {
+  auto v = ParseJson("\"\\u00e9\"");  // é as a BMP escape
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "\xc3\xa9");
+}
+
+TEST(ServiceJson, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+}
+
+TEST(ServiceJson, RejectsOversizeAndOverdeepInput) {
+  EXPECT_FALSE(ParseJson("\"aaaaaaaaaa\"", /*max_bytes=*/4).ok());
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += '[';
+  for (int i = 0; i < 64; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(ServiceJson, TypedAccessorsFallBackOnMissingOrWrongType) {
+  auto v = ParseJson(R"({"s":"x","n":7,"b":true,"neg":-1,"frac":1.5})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetString("s"), "x");
+  EXPECT_EQ(v->GetString("missing", "fb"), "fb");
+  EXPECT_EQ(v->GetString("n", "fb"), "fb");  // wrong type
+  EXPECT_DOUBLE_EQ(v->GetNumber("n"), 7.0);
+  EXPECT_DOUBLE_EQ(v->GetNumber("s", 3.0), 3.0);
+  EXPECT_TRUE(v->GetBool("b"));
+  EXPECT_EQ(v->GetUint("n"), 7u);
+  // Negative / fractional numbers are not valid uints.
+  EXPECT_EQ(v->GetUint("neg", 9), 9u);
+  EXPECT_EQ(v->GetUint("frac", 9), 9u);
+}
+
+}  // namespace
+}  // namespace graphsd::service

@@ -1,0 +1,99 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "service/json.hpp"
+
+namespace graphsd::service {
+namespace {
+
+TEST(Protocol, ParsesRunRequest) {
+  auto r = ParseRequest(
+      R"({"id":7,"op":"run","dataset":"/d","algo":"sssp","root":42,)"
+      R"("iterations":50,"epsilon":1e-8,"deadline_seconds":2.5,)"
+      R"("values":true,"vertices":[1,2,3]})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->id, 7u);
+  EXPECT_EQ(r->op, "run");
+  EXPECT_EQ(r->dataset, "/d");
+  EXPECT_EQ(r->algo, "sssp");
+  EXPECT_EQ(r->root, 42u);
+  EXPECT_EQ(r->iterations, 50u);
+  EXPECT_DOUBLE_EQ(r->epsilon, 1e-8);
+  EXPECT_DOUBLE_EQ(r->deadline_seconds, 2.5);
+  EXPECT_TRUE(r->values);
+  ASSERT_EQ(r->vertices.size(), 3u);
+  EXPECT_EQ(r->vertices[1], 2u);
+}
+
+TEST(Protocol, ParsesBareOps) {
+  EXPECT_TRUE(ParseRequest(R"({"op":"ping"})").ok());
+  EXPECT_TRUE(ParseRequest(R"({"op":"stats"})").ok());
+  EXPECT_TRUE(ParseRequest(R"({"op":"shutdown"})").ok());
+}
+
+TEST(Protocol, RejectsBadRequests) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());                  // not an object
+  EXPECT_FALSE(ParseRequest(R"({"op":"fly"})").ok());        // unknown op
+  EXPECT_FALSE(ParseRequest(R"({"op":"run"})").ok());        // no dataset
+  EXPECT_FALSE(ParseRequest(R"({"op":"info"})").ok());       // no dataset
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"run","dataset":"/d","algo":"nope"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"run","dataset":"/d","algo":"bfs","epsilon":0})")
+          .ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"run","dataset":"/d","algo":"bfs",)"
+                            R"("deadline_seconds":-1})")
+                   .ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"run","dataset":"/d","algo":"bfs",)"
+                            R"("vertices":["a"]})")
+                   .ok());
+}
+
+TEST(Protocol, ErrorAndAckEnvelopesAreValidJson) {
+  const std::string err =
+      BuildErrorResponse(9, InvalidArgumentError("bad \"thing\""));
+  auto parsed = ParseJson(err);
+  ASSERT_TRUE(parsed.ok()) << err;
+  EXPECT_EQ(parsed->GetUint("id"), 9u);
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+  ASSERT_NE(parsed->Find("error"), nullptr);
+  EXPECT_EQ(parsed->Find("error")->GetString("code"), "InvalidArgument");
+
+  auto ack = ParseJson(BuildAckResponse(3, "ping"));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_TRUE(ack->GetBool("ok"));
+  EXPECT_EQ(ack->GetString("op"), "ping");
+  EXPECT_EQ(ack->GetUint("protocol"), kProtocolVersion);
+}
+
+TEST(Protocol, HexDoubleRoundTripsExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          1.0 / 3.0,
+                          -6.02e23,
+                          5e-324,  // smallest denormal
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()};
+  for (const double value : cases) {
+    auto back = ParseHexDouble(HexDouble(value));
+    ASSERT_TRUE(back.ok()) << HexDouble(value);
+    // Bit-identical, including the sign of zero.
+    EXPECT_EQ(std::signbit(*back), std::signbit(value));
+    EXPECT_TRUE(*back == value || (std::isnan(*back) && std::isnan(value)))
+        << HexDouble(value);
+  }
+  auto nan = ParseHexDouble(HexDouble(std::nan("")));
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(std::isnan(*nan));
+  EXPECT_FALSE(ParseHexDouble("zebra").ok());
+}
+
+}  // namespace
+}  // namespace graphsd::service

@@ -93,6 +93,38 @@ test -f "$OBS_DIR/ck_int/checkpoint.0.gsck" \
 "$CLI" difftest --kill-resume --seeds 2 --seed0 77 > /dev/null 2>&1
 echo "lifecycle smoke: OK"
 
+echo "== tier 1: query service smoke (graphsd serve / graphsd query) =="
+# Resident daemon on a temp socket: open-once dataset registry, shared
+# buffer tier, batched multi-source runs. Exercises the wire protocol end
+# to end (verify / run / values / stats / shutdown) with the real CLI
+# client and checks every response parses as JSON.
+SOCK="$OBS_DIR/svc.sock"
+"$CLI" serve --socket "$SOCK" --workers 2 --no-verify-on-open \
+    > "$OBS_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do
+  test -S "$SOCK" && break
+  sleep 0.1
+done
+test -S "$SOCK"
+"$CLI" query --socket "$SOCK" --op verify --dataset "$OBS_DIR/ds" \
+    > "$OBS_DIR/q_verify.json"
+"$CLI" query --socket "$SOCK" --dataset "$OBS_DIR/ds" --algo pr \
+    --iterations 10 > "$OBS_DIR/q_pr.json"
+"$CLI" query --socket "$SOCK" --dataset "$OBS_DIR/ds" --algo bfs --root 0 \
+    --values --vertices 0,1,2 > "$OBS_DIR/q_bfs.json"
+"$CLI" query --socket "$SOCK" --op stats > "$OBS_DIR/q_stats.json"
+python3 -m json.tool "$OBS_DIR/q_verify.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/q_pr.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/q_bfs.json" > /dev/null
+python3 -m json.tool "$OBS_DIR/q_stats.json" > /dev/null
+"$CLI" query --socket "$SOCK" --op shutdown > /dev/null
+RC=0
+wait "$SERVE_PID" || RC=$?
+test "$RC" = "0"
+test ! -S "$SOCK"
+echo "service smoke: OK"
+
 if [ "$1" = "--tier1-only" ]; then
   exit 0
 fi

@@ -8,12 +8,17 @@
 //   graphsd run        --dataset dataset_dir --algo pr|prd|cc|sssp|bfs [...]
 //                      [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
 //                      [--deadline-seconds S]
+//   graphsd serve      --socket /tmp/graphsd.sock [--workers N]
+//                      [--no-share-buffer] [--no-batching] [...]
+//   graphsd query      --socket /tmp/graphsd.sock --op run --dataset DIR
+//                      --algo bfs --root R [--values] [...]
 //   graphsd profile    --dir /path/on/target/disk
 //   graphsd difftest   [--seeds N] [--seed0 S] [--artifact-dir DIR]
 //                      [--replay artifact.txt] [--kill-resume]
 //
 // `run` prints the execution report and optionally dumps per-vertex values.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -32,6 +37,7 @@
 #include "graph/generators.hpp"
 #include "graph/reference_algorithms.hpp"
 #include "io/profiler.hpp"
+#include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +45,9 @@
 #include "partition/dataset_verify.hpp"
 #include "partition/external_builder.hpp"
 #include "partition/grid_dataset.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
 #include "testing/artifact.hpp"
 #include "testing/difftest.hpp"
 #include "testing/temp_dir.hpp"
@@ -545,11 +554,178 @@ int CmdDifftest(int argc, const char* const* argv) {
   return 0;
 }
 
+// Resident query daemon (DESIGN.md §13). Blocks until a `shutdown` request
+// or SIGINT/SIGTERM drains the service; a second signal force-exits.
+int CmdServe(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("socket", "/tmp/graphsd.sock", "unix socket path to listen on");
+  flags.Define("workers", "2", "concurrent engine runs");
+  flags.Define("engine-threads", "0",
+               "threads inside each engine run (0 = hardware)");
+  flags.Define("buffer-mb", "0",
+               "shared sub-block buffer per dataset in MiB (0 = 5% of edges)");
+  flags.Define("prefetch-depth", "1",
+               "async read look-ahead in fetch units (0 = synchronous I/O)");
+  flags.Define("no-share-buffer", "false",
+               "give every run a private buffer + prefetch tier instead of "
+               "the dataset-shared one");
+  flags.Define("no-batching", "false",
+               "disable multi-source coalescing of compatible queries");
+  flags.Define("max-batch", "8", "max value lanes per batched run");
+  flags.Define("batch-linger-ms", "2",
+               "how long a worker waits for extra batch members");
+  flags.Define("max-queue", "64", "admission: max in-flight run requests");
+  flags.Define("max-iterations", "10000",
+               "admission: iteration cap per query");
+  flags.Define("max-deadline-seconds", "300",
+               "admission: per-query deadline cap (also the default)");
+  flags.Define("no-verify-on-open", "false",
+               "skip dataset checksum verification at first open");
+  flags.Define("scratch-dir", "",
+               "per-run scratch root (default: <socket>.scratch)");
+  DefineDeviceFlag(flags);
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  service::ServerOptions options;
+  options.socket_path = flags.GetString("socket");
+  options.registry.device = flags.GetString("device");
+  options.registry.buffer_capacity_bytes =
+      CheckedCast<std::uint64_t>(flags.GetInt("buffer-mb")) * 1024 * 1024;
+  options.registry.prefetch_depth =
+      CheckedCast<std::size_t>(flags.GetInt("prefetch-depth"));
+  options.registry.verify_on_open = !flags.GetBool("no-verify-on-open");
+  options.limits.max_queue = CheckedCast<std::size_t>(flags.GetInt("max-queue"));
+  options.limits.max_iterations =
+      CheckedCast<std::uint32_t>(flags.GetInt("max-iterations"));
+  options.limits.max_deadline_seconds =
+      flags.GetDouble("max-deadline-seconds");
+  options.workers = CheckedCast<std::size_t>(flags.GetInt("workers"));
+  options.engine_threads =
+      CheckedCast<std::size_t>(flags.GetInt("engine-threads"));
+  options.share_buffer = !flags.GetBool("no-share-buffer");
+  options.enable_batching = !flags.GetBool("no-batching");
+  options.max_batch = CheckedCast<std::uint32_t>(flags.GetInt("max-batch"));
+  options.batch_linger_ms = flags.GetDouble("batch-linger-ms");
+  options.scratch_dir = flags.GetString("scratch-dir");
+
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  core::CancellationToken interrupt_token;
+  options.external_cancel = &interrupt_token;
+
+  service::QueryServer server(std::move(options));
+  // First signal trips the token: the daemon stops accepting work, drains
+  // queued queries as cancelled partial reports, and exits cleanly. A
+  // second signal force-exits.
+  core::SignalCancellationScope signal_scope(&interrupt_token);
+  if (Status s = server.Start(); !s.ok()) return Fail(s);
+  std::printf("graphsd serve: listening on %s (workers=%zu, sharing=%s, "
+              "batching=%s)\n",
+              server.socket_path().c_str(),
+              CheckedCast<std::size_t>(flags.GetInt("workers")),
+              flags.GetBool("no-share-buffer") ? "off" : "on",
+              flags.GetBool("no-batching") ? "off" : "on");
+  std::fflush(stdout);
+  server.Wait();
+  const service::ServiceStats stats = server.stats();
+  std::printf("graphsd serve: exiting after %llu requests (%llu runs, "
+              "%llu batches, %llu errors)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.runs),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.errors));
+  return 0;
+}
+
+// One-shot client: builds a request line, prints the response JSON.
+int CmdQuery(int argc, const char* const* argv) {
+  CliFlags flags;
+  flags.Define("socket", "/tmp/graphsd.sock", "daemon socket path");
+  flags.Define("op", "run", "ping | info | verify | stats | run | shutdown");
+  flags.Define("dataset", "", "dataset directory (a server-side path)");
+  flags.Define("algo", "bfs",
+               "pr | prd | cc | bfs | sssp | widest_path | ppr");
+  flags.Define("root", "0", "source vertex for single-source algorithms");
+  flags.Define("iterations", "0", "iteration cap (0 = service default)");
+  flags.Define("epsilon", "1e-10", "residual threshold (prd/ppr)");
+  flags.Define("deadline-seconds", "0",
+               "per-query deadline (0 = the service cap)");
+  flags.Define("values", "false", "request per-vertex values (hex doubles)");
+  flags.Define("vertices", "",
+               "comma-separated vertex ids for --values (empty = all)");
+  flags.Define("id", "1", "request id echoed back in the response");
+  flags.Define("timeout-seconds", "300", "client receive timeout");
+  flags.Define("line", "", "send this raw JSON line instead of building one");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
+
+  std::string line = flags.GetString("line");
+  if (line.empty()) {
+    obs::JsonWriter json;
+    json.BeginObject();
+    json.Field("id", CheckedCast<std::uint64_t>(flags.GetInt("id")));
+    json.Field("op", flags.GetString("op"));
+    if (!flags.GetString("dataset").empty()) {
+      json.Field("dataset", flags.GetString("dataset"));
+    }
+    if (flags.GetString("op") == "run") {
+      json.Field("algo", flags.GetString("algo"));
+      json.Field("root", CheckedCast<std::uint64_t>(flags.GetInt("root")));
+      if (flags.GetInt("iterations") > 0) {
+        json.Field("iterations",
+                   CheckedCast<std::uint64_t>(flags.GetInt("iterations")));
+      }
+      json.Field("epsilon", flags.GetDouble("epsilon"));
+      if (flags.GetDouble("deadline-seconds") > 0) {
+        json.Field("deadline_seconds", flags.GetDouble("deadline-seconds"));
+      }
+      if (flags.GetBool("values")) {
+        json.Field("values", true);
+        const std::string list = flags.GetString("vertices");
+        if (!list.empty()) {
+          json.Key("vertices");
+          json.BeginArray();
+          std::size_t start = 0;
+          while (start < list.size()) {
+            std::size_t comma = list.find(',', start);
+            if (comma == std::string::npos) comma = list.size();
+            json.Uint(std::strtoull(
+                list.substr(start, comma - start).c_str(), nullptr, 10));
+            start = comma + 1;
+          }
+          json.EndArray();
+        }
+      }
+    }
+    json.EndObject();
+    line = json.Finish();
+  }
+
+  service::ServiceClient client;
+  if (Status s = client.Connect(flags.GetString("socket")); !s.ok()) {
+    return Fail(s);
+  }
+  auto response =
+      client.RoundTrip(line, flags.GetDouble("timeout-seconds"));
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%s\n", response->c_str());
+
+  // Exit-code mirrors the one-shot CLI: 0 ok, 130 cancelled partial
+  // result, 1 service-side error (the response line still prints).
+  auto parsed = service::ParseJson(*response);
+  if (!parsed.ok()) return Fail(parsed.status());
+  if (!parsed->GetBool("ok", false)) return 1;
+  const service::JsonValue* exit_code = parsed->Find("exit_code");
+  if (exit_code != nullptr && exit_code->is_number()) {
+    return static_cast<int>(exit_code->number());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: graphsd <command> [flags]\n"
                "commands: generate convert preprocess info verify run "
-               "profile difftest\n"
+               "serve query profile difftest\n"
                "run `graphsd <command> --help=true` is not supported; see\n"
                "tools/graphsd_cli.cpp for every flag.\n");
   return 1;
@@ -572,6 +748,8 @@ int main(int argc, char** argv) {
   if (command == "info") return graphsd::CmdInfo(sub_argc, sub_argv);
   if (command == "verify") return graphsd::CmdVerify(sub_argc, sub_argv);
   if (command == "run") return graphsd::CmdRun(sub_argc, sub_argv);
+  if (command == "serve") return graphsd::CmdServe(sub_argc, sub_argv);
+  if (command == "query") return graphsd::CmdQuery(sub_argc, sub_argv);
   if (command == "profile") return graphsd::CmdProfile(sub_argc, sub_argv);
   if (command == "difftest") return graphsd::CmdDifftest(sub_argc, sub_argv);
   return graphsd::Usage();
