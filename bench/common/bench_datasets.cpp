@@ -1,5 +1,6 @@
 #include "common/bench_datasets.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "algos/connected_components.hpp"
@@ -277,8 +278,16 @@ core::ExecutionReport RunGraphSD(io::Device& device,
 std::unique_ptr<io::Device> MakeBenchDevice() {
   // Positioning costs scaled to the proxy-dataset size (see
   // IoCostModel::ScaledHdd) so the scheduler crossover matches the paper's
-  // testbed economics.
-  return io::MakeSimulatedDevice(io::IoCostModel::ScaledHdd());
+  // testbed economics. GRAPHSD_BENCH_DEVICE overrides the kind (same
+  // spellings as the CLI --device flag); an unknown kind is a hard error so
+  // a typo cannot silently bench the wrong profile.
+  const char* kind = std::getenv("GRAPHSD_BENCH_DEVICE");
+  auto device = io::MakeDeviceForKind(kind != nullptr ? kind : "scaled-hdd");
+  if (!device.ok()) {
+    std::fprintf(stderr, "bench: %s\n", device.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(device).value();
 }
 
 }  // namespace graphsd::bench

@@ -6,6 +6,8 @@
 #include "core/fciu_executor.hpp"
 #include "core/scheduler.hpp"
 #include "core/sciu_executor.hpp"
+#include "core/semi_executor.hpp"
+#include "core/skip_summary.hpp"
 #include "core/sub_block_buffer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -91,12 +93,20 @@ void PublishRunMetrics(obs::MetricsRegistry* metrics,
       case RoundModel::kPlainFull:
         metrics->GetCounter("engine.rounds_plain_full").Add(1);
         break;
+      case RoundModel::kSemi:
+        metrics->GetCounter("engine.rounds_semi").Add(1);
+        break;
       case RoundModel::kSkipped:
         metrics->GetCounter("engine.rounds_skipped").Add(1);
         break;
     }
     reads.Record(stat.read_bytes);
     writes.Record(stat.write_bytes);
+  }
+  if (report.blocks_skipped != 0) {
+    metrics->GetCounter("engine.blocks_skipped").Add(report.blocks_skipped);
+    metrics->GetCounter("engine.blocks_skipped_bytes")
+        .Add(report.blocks_skipped_bytes);
   }
   device.PublishMetrics(*metrics);
   buffer.PublishMetrics(*metrics);
@@ -330,6 +340,17 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   }
   ctx.prefetch = prefetch;
   ctx.trace = options_.trace;
+  // Skip summaries (DESIGN.md §14): shared store when the caller provides
+  // one (the serve registry's per-dataset tier), private when running
+  // semi-external solo, absent otherwise (zero overhead on classic runs).
+  std::unique_ptr<SkipSummaryStore> local_summaries;
+  SkipSummaryStore* summaries = options_.shared_summaries;
+  if (summaries == nullptr && options_.semi_external) {
+    local_summaries = std::make_unique<SkipSummaryStore>(manifest);
+    summaries = local_summaries.get();
+  }
+  ctx.summaries = summaries;
+  ctx.cache_compressed = options_.cache_compressed && dataset_->compressed();
   // Run-local cancellation: chains the caller's token (signal handlers trip
   // that one) and arms the optional deadline. Executors poll it at fetch
   // boundaries; the prefetch loader drains queued reads when it trips.
@@ -344,7 +365,10 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   if (local_prefetch != nullptr) local_prefetch->set_cancellation(&run_token);
   SciuExecutor sciu(ctx);
   FciuExecutor fciu(ctx);
+  SemiExecutor semi(ctx);
   StateAwareScheduler scheduler(*dataset_, device.options().cost_model);
+  const bool semi_mode = options_.semi_external;
+  const SemiCostInputs semi_inputs{summaries, buffer};
 
   const bool checkpointing = !options_.checkpoint_dir.empty();
   CheckpointStore store(options_.checkpoint_dir);
@@ -452,6 +476,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     RoundStat stat;
     stat.first_iteration = iterations;
     bool on_demand = false;
+    bool semi_round = false;
     const RoundModelChoice choice = options_.model_override
                                         ? options_.model_override(iterations)
                                         : RoundModelChoice::kAuto;
@@ -460,9 +485,11 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       // on-demand directive still requires a usable selective path.
       on_demand = choice == RoundModelChoice::kOnDemand && selective_healthy &&
                   options_.enable_selective;
+      semi_round = choice == RoundModelChoice::kSemi;
       stat.active_vertices = active.Count();
-    } else if (selective_healthy &&
-               (options_.force_on_demand || options_.enable_selective)) {
+    } else if ((selective_healthy &&
+                (options_.force_on_demand || options_.enable_selective)) ||
+               semi_mode) {
       // Under overlap charging the scheduler floors both model costs at the
       // run's observed per-round compute (0 before the first round commits,
       // i.e. the first evaluation is effectively serial).
@@ -471,30 +498,56 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
               ? report.compute_seconds / report.rounds
               : (overlap ? 0.0 : -1.0);
       obs::TraceSpan span(options_.trace, "schedule-decision", iterations);
+      // Semi mode keeps the state RAM-resident, so the per-round |V|·N
+      // values terms drop out of every model's formula (record bytes = 0).
       const SchedulerDecision decision = scheduler.Evaluate(
-          active, state.BytesPerVertex(),
+          active, semi_mode ? 0 : state.BytesPerVertex(),
           program.needs_weights() && manifest.weighted,
           /*fciu_round=*/options_.enable_cross_iteration &&
               iterations + 2 <= max_iterations,
-          overlap_compute);
+          overlap_compute, semi_mode ? &semi_inputs : nullptr);
       stat.scheduler_seconds = decision.eval_seconds;
       // Record the raw model estimates: the charged (compute-floored)
       // values only break ties for the decision and would obscure the
       // cost-model shapes Figure 10 plots.
       stat.cost_on_demand = decision.serial_cost_on_demand;
       stat.cost_full = decision.serial_cost_full;
+      stat.cost_semi = decision.serial_cost_semi;
       stat.active_vertices = decision.active_vertices;
       stat.active_edges = decision.active_edges;
       stat.seq_bytes = decision.seq_bytes;
       stat.rand_bytes = decision.rand_bytes;
       stat.random_requests = decision.random_requests;
-      on_demand = options_.force_on_demand || decision.on_demand;
+      const bool sciu_usable =
+          selective_healthy &&
+          (options_.force_on_demand || options_.enable_selective);
+      on_demand =
+          sciu_usable && (options_.force_on_demand || decision.on_demand);
+      semi_round = !options_.force_on_demand && decision.semi;
     } else {
       stat.active_vertices = active.Count();
     }
 
     RoundAccounting accounting(device, stat, report, overlap);
-    {
+    // Semi-external: the state is RAM-resident — no per-round reload.
+    // Instead the program arrays are snapshotted in memory so the rollback
+    // paths below (mid-round cancel, on-demand degradation) can restore the
+    // committed boundary without touching the stale values file.
+    std::vector<std::vector<Slot>> state_snapshot;
+    auto restore_state = [&] {
+      for (std::uint32_t a = 0; a < state.num_program_arrays(); ++a) {
+        const auto dst = state.array(a);
+        std::copy(state_snapshot[a].begin(), state_snapshot[a].end(),
+                  dst.begin());
+      }
+    };
+    if (semi_mode) {
+      state_snapshot.resize(state.num_program_arrays());
+      for (std::uint32_t a = 0; a < state.num_program_arrays(); ++a) {
+        const auto src = state.array(a);
+        state_snapshot[a].assign(src.begin(), src.end());
+      }
+    } else {
       obs::TraceSpan span(options_.trace, "state-load", iterations);
       GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
     }
@@ -504,7 +557,18 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     out_ni.Clear();
 
     bool cancelled_mid_round = false;
-    if (on_demand) {
+    if (semi_round) {
+      Status status = semi.RunIteration(program, state, active, out, stat,
+                                        &report.update_seconds);
+      if (status.code() == StatusCode::kCancelled) {
+        cancelled_mid_round = true;
+      } else {
+        GRAPHSD_RETURN_IF_ERROR(status);
+        iterations += stat.iterations_covered;
+        preact.Clear();
+        active.Swap(out);
+      }
+    } else if (on_demand) {
       Status status = sciu.RunIteration(program, state, active, out, out_ni,
                                         options_.enable_cross_iteration, stat,
                                         &report.update_seconds);
@@ -519,9 +583,14 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
         selective_healthy = false;
         ++report.degraded_rounds;
         // Discard the partial iteration and redo it under the full model:
-        // reload persisted values and reseed the output frontiers.
-        obs::TraceSpan span(options_.trace, "state-load", iterations);
-        GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+        // restore committed values (in-memory snapshot in semi mode, the
+        // persisted file otherwise) and reseed the output frontiers.
+        if (semi_mode) {
+          restore_state();
+        } else {
+          obs::TraceSpan span(options_.trace, "state-load", iterations);
+          GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+        }
         out.CopyFrom(preact);
         out_ni.Clear();
         on_demand = false;
@@ -539,7 +608,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
         preact.Swap(out_ni);
       }
     }
-    if (!on_demand && !cancelled_mid_round) {
+    if (!semi_round && !on_demand && !cancelled_mid_round) {
       const bool two = options_.enable_cross_iteration &&
                        iterations + 2 <= max_iterations;
       Status status = fciu.RunPushRound(program, state, active, out, out_ni,
@@ -567,16 +636,25 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     if (cancelled_mid_round) {
       // The round never committed: frontier swaps only happen after
       // executor success, so `active`/`preact` still describe the last
-      // committed boundary — reload its values and stop there. The partial
+      // committed boundary — restore its values and stop there. The partial
       // round's accounting is deliberately dropped (never Commit()ed).
-      obs::TraceSpan span(options_.trace, "state-load", iterations);
-      GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+      if (semi_mode) {
+        restore_state();
+      } else {
+        obs::TraceSpan span(options_.trace, "state-load", iterations);
+        GRAPHSD_RETURN_IF_ERROR(state.Load(device, values_path));
+      }
       report.cancelled = true;
       report.cancel_reason = run_token.reason();
       break;
     }
 
-    {
+    if (stat.model == RoundModel::kSemi) {
+      ++report.semi_rounds;
+      report.blocks_skipped += stat.blocks_skipped;
+      report.blocks_skipped_bytes += stat.blocks_skipped_bytes;
+    }
+    if (!semi_mode) {
       obs::TraceSpan span(options_.trace, "write-back", stat.first_iteration);
       GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
     }
@@ -588,6 +666,17 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
     }
   }
 
+  if (semi_mode) {
+    // Semi mode's replacement for the per-round write-back: one |V|·N
+    // accounted write for the whole run. Folded into the report manually —
+    // it commits outside any round's accounting window.
+    obs::TraceSpan span(options_.trace, "write-back", iterations);
+    const auto io_before = device.stats().Snapshot();
+    const double clock_before = device.clock().Seconds();
+    GRAPHSD_RETURN_IF_ERROR(state.Persist(device, values_path));
+    report.io += device.stats().Snapshot() - io_before;
+    report.io_seconds += device.clock().Seconds() - clock_before;
+  }
   if (report.cancelled) {
     GRAPHSD_LOG_INFO("run cancelled at iteration %u (%s); partial report",
                      iterations, report.cancel_reason.c_str());
@@ -614,6 +703,8 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
       base.buffer_misses + (buf_now.misses - buf_before.misses);
   report.buffer_bytes_saved =
       base.buffer_bytes_saved + (buf_now.bytes_saved - buf_before.bytes_saved);
+  report.buffer_frame_hits = buf_now.frame_hits - buf_before.frame_hits;
+  report.buffer_frame_puts = buf_now.frame_puts - buf_before.frame_puts;
   FinishCompressionReport(*dataset_, decode_before, *buffer, buf_before,
                           report);
   report.frames_decoded += base.frames_decoded;
@@ -648,6 +739,10 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   ctx.dataset = dataset_;
   ctx.pool = &pool;
   ctx.buffer = buffer;
+  // Gather runs never choose the semi model (push-only), but they still
+  // record summaries into a shared store and honor frame caching.
+  ctx.summaries = options_.shared_summaries;
+  ctx.cache_compressed = options_.cache_compressed && dataset_->compressed();
   std::unique_ptr<io::PrefetchPipeline> local_prefetch;
   io::PrefetchPipeline* prefetch = options_.shared_prefetch;
   if (prefetch == nullptr) {
@@ -799,6 +894,8 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
       base.buffer_misses + (buf_now.misses - buf_before.misses);
   report.buffer_bytes_saved =
       base.buffer_bytes_saved + (buf_now.bytes_saved - buf_before.bytes_saved);
+  report.buffer_frame_hits = buf_now.frame_hits - buf_before.frame_hits;
+  report.buffer_frame_puts = buf_now.frame_puts - buf_before.frame_puts;
   FinishCompressionReport(*dataset_, decode_before, *buffer, buf_before,
                           report);
   report.frames_decoded += base.frames_decoded;

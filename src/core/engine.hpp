@@ -33,13 +33,14 @@ class PrefetchPipeline;
 namespace graphsd::core {
 
 class SubBlockBuffer;
+class SkipSummaryStore;
 
 /// Per-round I/O-model directive for EngineOptions::model_override.
 /// kAuto defers to the state-aware scheduler (or the force_on_demand /
-/// enable_selective switches); kOnDemand and kFull pin the round to the
-/// SCIU and full-streaming models respectively, skipping the cost
-/// evaluation entirely.
-enum class RoundModelChoice : std::uint8_t { kAuto, kOnDemand, kFull };
+/// enable_selective switches); kOnDemand, kFull and kSemi pin the round to
+/// the SCIU, full-streaming and semi-external models respectively, skipping
+/// the cost evaluation entirely.
+enum class RoundModelChoice : std::uint8_t { kAuto, kOnDemand, kFull, kSemi };
 
 struct EngineOptions {
   /// Worker threads (0 = hardware concurrency).
@@ -50,6 +51,18 @@ struct EngineOptions {
   bool enable_selective = true;
   /// Force the on-demand model every iteration (ablation b4).
   bool force_on_demand = false;
+  /// Semi-external-memory mode (DESIGN.md §14): the vertex state stays
+  /// RAM-resident across rounds — no per-round |V|·N state read/write, one
+  /// final persist at run end — and the semi-external update model (skip
+  /// sub-blocks whose active-source summary proves them idle, before any
+  /// edge I/O) joins SCIU and full streaming as a third costed scheduler
+  /// choice. Push programs only; gather runs ignore it.
+  bool semi_external = false;
+  /// Cache compressed GSDF frames in the sub-block buffer instead of
+  /// decoded edges (decode-on-hit): ~codec-ratio more sub-blocks per byte
+  /// of budget, one decode per hit charged to compute. No effect on raw
+  /// datasets.
+  bool cache_compressed = false;
   /// The §4.3 priority buffer for secondary sub-blocks.
   bool enable_buffering = true;
   /// Buffer capacity; 0 = 5 % of the dataset's edge payload (the paper's
@@ -155,6 +168,12 @@ struct EngineOptions {
   /// owner (the service installs its shutdown token); this run's own
   /// cancel/deadline still stops the run at fetch boundaries.
   io::PrefetchPipeline* shared_prefetch = nullptr;
+  /// Shared active-source summary store (non-owning; must outlive the run).
+  /// Summaries are dataset-static, so the `graphsd serve` registry keeps
+  /// one per dataset: every run records what it decodes and skips what any
+  /// run has learned. Null: the engine builds a private store when
+  /// semi_external is set (and records nothing otherwise).
+  SkipSummaryStore* shared_summaries = nullptr;
 };
 
 class GraphSDEngine {

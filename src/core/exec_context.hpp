@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/skip_summary.hpp"
 #include "core/sub_block_buffer.hpp"
 #include "io/prefetch.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +37,16 @@ struct ExecContext {
   /// the round; the engine then rolls back to the last committed iteration
   /// boundary.
   const CancellationToken* cancel = nullptr;
+  /// Active-source skip summaries (DESIGN.md §14). Null disables both
+  /// recording and skipping. Executors record a sub-block's summary
+  /// whenever its decoded edges are in hand; the semi-external executor
+  /// additionally consults it to skip sub-blocks before any edge I/O.
+  SkipSummaryStore* summaries = nullptr;
+  /// Cache compressed GSDF frames in the sub-block buffer instead of
+  /// decoded edges (decode-on-hit): ~codec-ratio more sub-blocks fit the
+  /// same byte budget, at one decode per hit charged to compute. No effect
+  /// on raw datasets.
+  bool cache_compressed = false;
 };
 
 }  // namespace graphsd::core

@@ -65,6 +65,25 @@ Result<FciuExecutor::FetchedBlock> FciuExecutor::Fetch(
     // copy (no double read). Under a shared buffer another run may have
     // inserted the block between issue and consume; the fetched payload is
     // then simply dropped and the cached copy (pinned, so stable) wins.
+    if (cached.compressed()) {
+      // Compressed entry: copy the frame (and raw weights) out of the
+      // pinned entry, then decode on this thread — decode-on-hit lands on
+      // the compute floor exactly like a fresh fetch's decode would.
+      partition::SubBlockPayload payload;
+      payload.frame = cached.frame();
+      payload.block.weights = cached->weights;
+      payload.block.disk_bytes = cached->disk_bytes;
+      cached.Release();
+      obs::TraceSpan span(ctx_.trace, "decode", trace_iteration_);
+      GRAPHSD_RETURN_IF_ERROR(ctx_.dataset->DecodeSubBlock(i, j, payload));
+      local = std::move(payload.block);
+      RecordSummary(i, j, local);
+      FetchedBlock fetched;
+      fetched.block = &local;
+      fetched.resident = true;
+      return fetched;
+    }
+    RecordSummary(i, j, *cached);
     FetchedBlock fetched;
     fetched.block = cached.get();
     fetched.pin = std::move(cached);
@@ -72,20 +91,36 @@ Result<FciuExecutor::FetchedBlock> FciuExecutor::Fetch(
   }
   if (item.fetched) {
     GRAPHSD_RETURN_IF_ERROR(item.status);
+    FetchedBlock fetched;
     // Decode on the consuming thread: the loader stays an I/O-only stage.
     if (ctx_.dataset->compressed()) {
+      // Secondary sub-blocks may be offered back as undecoded frames
+      // (cache-compressed mode); keep a copy before decode releases it.
+      if (ctx_.cache_compressed && i > j && !item.payload.frame.empty()) {
+        fetched.frame_copy = item.payload.frame;
+      }
       obs::TraceSpan span(ctx_.trace, "decode", trace_iteration_);
       GRAPHSD_RETURN_IF_ERROR(ctx_.dataset->DecodeSubBlock(i, j, item.payload));
     }
     local = std::move(item.payload.block);
-    return FetchedBlock{&local, SubBlockBuffer::Pin()};
+    RecordSummary(i, j, local);
+    fetched.block = &local;
+    return fetched;
   }
   // Resident at issue time but evicted before consumption: fall back to a
   // synchronous load, exactly what the synchronous path would have done.
   obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
   GRAPHSD_ASSIGN_OR_RETURN(local,
                            ctx_.dataset->LoadSubBlock(i, j, need_weights));
+  RecordSummary(i, j, local);
   return FetchedBlock{&local, SubBlockBuffer::Pin()};
+}
+
+void FciuExecutor::RecordSummary(std::uint32_t i, std::uint32_t j,
+                                 const partition::SubBlock& block) const {
+  if (ctx_.summaries == nullptr) return;
+  ctx_.summaries->RecordFromEdges(i, j, block.edges,
+                                  ctx_.dataset->manifest().boundaries[i]);
 }
 
 Status FciuExecutor::RunPushRound(const PushProgram& program,
@@ -167,11 +202,23 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
           diagonal = std::move(local);
         }
         have_diagonal = true;
-      } else if (i > j && !from_buffer) {
+      } else if (i > j && !from_buffer && !fetched.resident) {
         // Secondary sub-block: offer it to the priority buffer for the
-        // second half of the round (and future rounds).
-        ctx_.buffer->Put(i, j, std::move(local),
-                         provisional_priority.load(std::memory_order_relaxed));
+        // second half of the round (and future rounds). In cache-compressed
+        // mode the undecoded frame is offered instead of the decoded edges
+        // — the same budget then holds ~codec-ratio more sub-blocks.
+        const std::uint64_t priority =
+            provisional_priority.load(std::memory_order_relaxed);
+        if (!fetched.frame_copy.empty()) {
+          const std::uint64_t served = local.SizeBytes();
+          partition::SubBlockPayload entry;
+          entry.frame = std::move(fetched.frame_copy);
+          entry.block.weights = std::move(local.weights);
+          entry.block.disk_bytes = local.disk_bytes;
+          ctx_.buffer->PutFrame(i, j, std::move(entry), served, priority);
+        } else {
+          ctx_.buffer->Put(i, j, std::move(local), priority);
+        }
       }
     }
 
@@ -331,10 +378,19 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
           diagonal = std::move(local);
         }
         have_diagonal = true;
-      } else if (i > j && !from_buffer) {
+      } else if (i > j && !from_buffer && !fetched.resident) {
         // All edges are live in gather mode: priority = edge count.
         const std::uint64_t priority = local.edges.size();
-        ctx_.buffer->Put(i, j, std::move(local), priority);
+        if (!fetched.frame_copy.empty()) {
+          const std::uint64_t served = local.SizeBytes();
+          partition::SubBlockPayload entry;
+          entry.frame = std::move(fetched.frame_copy);
+          entry.block.weights = std::move(local.weights);
+          entry.block.disk_bytes = local.disk_bytes;
+          ctx_.buffer->PutFrame(i, j, std::move(entry), served, priority);
+        } else {
+          ctx_.buffer->Put(i, j, std::move(local), priority);
+        }
       }
     }
 

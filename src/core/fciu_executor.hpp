@@ -79,6 +79,13 @@ class FciuExecutor {
   struct FetchedBlock {
     const partition::SubBlock* block = nullptr;
     SubBlockBuffer::Pin pin;
+    /// The buffer already holds this sub-block even though `block` points
+    /// at the caller's local copy (a compressed entry decoded on hit) —
+    /// the caller must not offer the block back.
+    bool resident = false;
+    /// Undecoded frame retained for a PutFrame offer after processing
+    /// (cache-compressed mode, secondary sub-blocks only).
+    std::vector<std::uint8_t> frame_copy;
     bool from_buffer() const noexcept { return static_cast<bool>(pin); }
   };
 
@@ -88,6 +95,11 @@ class FciuExecutor {
   Result<FetchedBlock> Fetch(SubBlockStream& stream, std::uint32_t i,
                              std::uint32_t j, bool need_weights,
                              partition::SubBlock& local);
+
+  /// Publishes (i, j)'s active-source skip summary from its decoded edges
+  /// (no-op without a summary store, or once recorded).
+  void RecordSummary(std::uint32_t i, std::uint32_t j,
+                     const partition::SubBlock& block) const;
 
   ExecContext ctx_;
   /// Iteration label for trace spans recorded by fetch closures. Set at

@@ -15,6 +15,7 @@ enum class RoundModel : char {
   kSciu = 'S',       // selective cross-iteration update (1 iteration)
   kFciu = 'F',       // full cross-iteration update (2 iterations)
   kPlainFull = 'P',  // full I/O, no cross-iteration (1 iteration)
+  kSemi = 'M',       // semi-external: RAM state + skip-summary streaming
   kSkipped = '-',    // empty-frontier iteration consumed without I/O
 };
 
@@ -33,6 +34,12 @@ struct RoundStat {
   double scheduler_seconds = 0;        // benefit-evaluation overhead
   double cost_on_demand = 0;           // scheduler estimate C_r
   double cost_full = 0;                // scheduler estimate C_s
+  double cost_semi = 0;                // scheduler estimate C_m (0 = not costed)
+  // Semi-external selective streaming: sub-blocks proven source-inactive by
+  // their skip summary and elided before any edge I/O, and the on-disk
+  // bytes those elisions avoided.
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t blocks_skipped_bytes = 0;
   // The cost-model inputs behind C_r, recorded so run reports can replay
   // the schedule decision: bytes the on-demand estimate would read
   // sequentially (S_seq) vs randomly (S_ran), and the request count.
@@ -64,6 +71,17 @@ struct ExecutionReport {
   // On-disk bytes buffer hits avoided re-reading (differs from
   // buffer_bytes_saved exactly by the compression ratio of cached frames).
   std::uint64_t buffer_disk_bytes_saved = 0;
+  // Compressed-frame caching (DESIGN.md §14): hits served as an undecoded
+  // frame (decoded on the consumer's thread) and frame entries inserted.
+  std::uint64_t buffer_frame_hits = 0;
+  std::uint64_t buffer_frame_puts = 0;
+
+  // Semi-external rounds (DESIGN.md §14): totals of the per-round skip
+  // counters — sub-blocks elided by their active-source summary before any
+  // edge I/O, and the on-disk bytes those elisions avoided.
+  std::uint32_t semi_rounds = 0;
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t blocks_skipped_bytes = 0;
 
   // Edge-payload compression (codec negotiated from the dataset manifest;
   // "none" = raw layout). The counters are this run's decode-side deltas:

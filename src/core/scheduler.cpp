@@ -26,8 +26,8 @@ double InterpolateExpectedColumns(std::span<const std::uint64_t> anchors,
 
 SchedulerDecision StateAwareScheduler::Evaluate(
     const Frontier& active, std::uint64_t vertex_record_bytes,
-    bool with_weights, bool fciu_round,
-    double overlap_compute_seconds) const {
+    bool with_weights, bool fciu_round, double overlap_compute_seconds,
+    const SemiCostInputs* semi) const {
   WallTimer timer;
   SchedulerDecision d;
 
@@ -155,6 +155,11 @@ SchedulerDecision StateAwareScheduler::Evaluate(
     run_segments.clear();
   };
 
+  // Per-row active locals, collected only when the semi-external model is
+  // being costed (its skip tests are per-row bitset probes).
+  std::vector<std::vector<VertexId>> row_locals(semi != nullptr ? manifest.p
+                                                                : 0);
+
   active.ForEachActive([&](std::size_t idx) {
     const auto v = static_cast<VertexId>(idx);
     ++d.active_vertices;
@@ -174,6 +179,9 @@ SchedulerDecision StateAwareScheduler::Evaluate(
     while (cursor_row + 1 < manifest.p &&
            v >= manifest.boundaries[cursor_row + 1]) {
       ++cursor_row;
+    }
+    if (semi != nullptr) {
+      row_locals[cursor_row].push_back(v - manifest.boundaries[cursor_row]);
     }
     if (run_segments.empty() || run_segments.back().row != cursor_row) {
       run_segments.push_back({cursor_row, 0, 0});
@@ -255,12 +263,57 @@ SchedulerDecision StateAwareScheduler::Evaluate(
                      model_.SeqWriteSeconds(values_bytes);
   d.decode_seconds_on_demand = model_.DecodeSeconds(decoded_bytes_on_demand);
 
+  // --- semi-external cost C_m (DESIGN.md §14) ------------------------------
+  // One plain iteration: stream the on-disk bytes of every non-empty
+  // sub-block that survives the skip tests, plus the index-probe bytes of
+  // unknown summaries (the executor pays that probe to learn them). No
+  // vertex-values terms at all — semi mode keeps the state RAM-resident.
+  // Buffer-resident sub-blocks charge decode only (compressed datasets).
+  double cost_semi_io = 0;
+  if (semi != nullptr) {
+    std::uint64_t semi_read_bytes = 0;
+    std::uint64_t semi_probe_bytes = 0;
+    std::uint64_t semi_decoded_bytes = 0;
+    for (std::uint32_t i = 0; i < manifest.p; ++i) {
+      const bool row_has_actives = !row_locals[i].empty();
+      for (std::uint32_t j = 0; j < manifest.p; ++j) {
+        const std::uint64_t edges = manifest.EdgesIn(i, j);
+        if (edges == 0) continue;
+        if (!row_has_actives ||
+            (semi->summaries != nullptr &&
+             semi->summaries->CanSkip(i, j, row_locals[i]))) {
+          ++d.semi_skipped_blocks;
+          d.semi_skipped_bytes +=
+              manifest.EdgeFileBytes(i, j) + edges * weight_bytes_per_edge;
+          continue;
+        }
+        if (semi->summaries != nullptr && !semi->summaries->Known(i, j) &&
+            manifest.has_index) {
+          semi_probe_bytes +=
+              (static_cast<std::uint64_t>(manifest.IntervalSize(i)) + 1) *
+              sizeof(std::uint32_t);
+        }
+        if (semi->buffer != nullptr && semi->buffer->Contains(i, j)) {
+          if (compressed) semi_decoded_bytes += edges * kEdgeBytes;
+          continue;
+        }
+        semi_read_bytes +=
+            manifest.EdgeFileBytes(i, j) + edges * weight_bytes_per_edge;
+        if (compressed) semi_decoded_bytes += edges * kEdgeBytes;
+      }
+    }
+    cost_semi_io = model_.SeqReadSeconds(semi_read_bytes + semi_probe_bytes);
+    d.decode_seconds_semi = model_.DecodeSeconds(semi_decoded_bytes);
+  }
+
   // Decode runs on the compute side: serially it adds to the model's cost,
   // pipelined it raises the model's compute floor.
   d.serial_cost_on_demand = d.cost_on_demand + d.decode_seconds_on_demand;
   d.serial_cost_full = d.cost_full + d.decode_seconds_full;
+  d.serial_cost_semi = cost_semi_io + d.decode_seconds_semi;
   d.cost_on_demand = d.serial_cost_on_demand;
   d.cost_full = d.serial_cost_full;
+  d.cost_semi = d.serial_cost_semi;
   if (overlap_compute_seconds >= 0) {
     // Overlap-aware charging: the pipeline hides disk time behind the
     // round's compute, so each model costs its critical path. The compute
@@ -274,10 +327,25 @@ SchedulerDecision StateAwareScheduler::Evaluate(
     d.cost_full = io::IoCostModel::OverlapSeconds(
         d.serial_cost_full - d.decode_seconds_full,
         overlap_compute_seconds + d.decode_seconds_full);
+    if (semi != nullptr) {
+      d.cost_semi = io::IoCostModel::OverlapSeconds(
+          cost_semi_io, overlap_compute_seconds + d.decode_seconds_semi);
+    }
   }
   d.on_demand = d.cost_on_demand != d.cost_full
                     ? d.cost_on_demand < d.cost_full
                     : d.serial_cost_on_demand <= d.serial_cost_full;
+  if (semi != nullptr) {
+    // Three-way: the semi model must beat the incumbent STRICTLY (charged
+    // first, serial tie-break) — on a tie the two-way winner stands, so the
+    // paper's SCIU/FCIU schedule is never perturbed by an equal-cost third
+    // option.
+    const double winner_cost = d.on_demand ? d.cost_on_demand : d.cost_full;
+    const double winner_serial =
+        d.on_demand ? d.serial_cost_on_demand : d.serial_cost_full;
+    d.semi = d.cost_semi != winner_cost ? d.cost_semi < winner_cost
+                                        : d.serial_cost_semi < winner_serial;
+  }
   d.eval_seconds = timer.Seconds();
   return d;
 }

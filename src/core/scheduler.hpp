@@ -27,6 +27,8 @@
 #include <span>
 
 #include "core/frontier.hpp"
+#include "core/skip_summary.hpp"
+#include "core/sub_block_buffer.hpp"
 #include "io/cost_model.hpp"
 #include "partition/grid_dataset.hpp"
 
@@ -42,14 +44,36 @@ double InterpolateExpectedColumns(std::span<const std::uint64_t> anchors,
                                   std::span<const double> expected,
                                   std::uint64_t edges);
 
+/// Optional inputs that make the semi-external model (DESIGN.md §14) a
+/// third costed choice in Evaluate. `summaries` drives the skip estimate
+/// (an unknown summary is conservatively costed as a full fetch plus its
+/// index probe); `buffer` credits resident sub-blocks with a decode-only
+/// charge. Either pointer may be null — the corresponding credit is then
+/// simply not taken.
+struct SemiCostInputs {
+  const SkipSummaryStore* summaries = nullptr;
+  const SubBlockBuffer* buffer = nullptr;
+};
+
 struct SchedulerDecision {
   bool on_demand = false;
+  /// Semi-external chosen (wins only when STRICTLY cheaper than the better
+  /// of the two paper models, so adding the third choice can never flip a
+  /// two-way decision that still stands). When set, `on_demand` still
+  /// records the two-way winner the semi model beat.
+  bool semi = false;
   double cost_on_demand = 0;  // C_r, seconds (pipelined charge when overlapped)
   double cost_full = 0;       // C_s, seconds (pipelined charge when overlapped)
+  double cost_semi = 0;       // C_m, seconds (0 = semi not costed)
   // The raw serial formulas, before any overlap charging. Equal to the
   // charged costs when the evaluation was not overlapped.
   double serial_cost_on_demand = 0;
   double serial_cost_full = 0;
+  double serial_cost_semi = 0;
+  // Semi-model estimate detail: sub-blocks its skip summaries elide and the
+  // on-disk bytes those elisions avoid reading.
+  std::uint64_t semi_skipped_blocks = 0;
+  std::uint64_t semi_skipped_bytes = 0;
   bool overlapped = false;  // costs were charged max(C_x, compute estimate)
   std::uint64_t active_vertices = 0;
   std::uint64_t active_edges = 0;
@@ -70,6 +94,7 @@ struct SchedulerDecision {
   // (zero for raw datasets).
   double decode_seconds_on_demand = 0;
   double decode_seconds_full = 0;
+  double decode_seconds_semi = 0;
   double eval_seconds = 0;  // wall time of the evaluation itself (Fig 11)
 };
 
@@ -95,10 +120,18 @@ class StateAwareScheduler {
   /// broken by the raw costs, so the decision (and with it the I/O byte
   /// stream) is provably identical to serial charging, preserving the
   /// paper's cost-model shapes.
+  ///
+  /// Passing `semi` makes the semi-external model a third choice: C_m sums
+  /// the on-disk bytes of the non-skippable sub-blocks (plus index-probe
+  /// bytes for unknown summaries) with NO vertex-values terms — the state
+  /// is RAM-resident in semi mode. Semi wins only when strictly cheaper
+  /// than the two-way winner (charged, then serial tie-break), so a null
+  /// `semi` — and every existing call site — behaves exactly as before.
   SchedulerDecision Evaluate(const Frontier& active,
                              std::uint64_t vertex_record_bytes,
                              bool with_weights, bool fciu_round = false,
-                             double overlap_compute_seconds = -1.0) const;
+                             double overlap_compute_seconds = -1.0,
+                             const SemiCostInputs* semi = nullptr) const;
 
   const io::IoCostModel& model() const noexcept { return model_; }
 

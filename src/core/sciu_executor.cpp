@@ -163,6 +163,7 @@ Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
 
   SubBlockBuffer::Pin cached;
   partition::SubBlockPayload decoded;
+  bool resident = false;  // the buffer already holds this sub-block
   if (payload.frame.empty()) {
     // Resident at issue time: consume through the buffer. A miss means the
     // entry was evicted between issue and consume — fall back to the same
@@ -175,14 +176,34 @@ Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
                                dataset.FetchSubBlock(i, j, /*load_weights=*/false));
     } else {
       ctx_.buffer->UpdatePriority(i, j, active_edges);
+      resident = true;
+      if (cached.compressed()) {
+        // Compressed entry: copy the frame out and decode on this thread
+        // (decode-on-hit). The entry stays cached, so nothing is re-Put.
+        decoded.frame = cached.frame();
+        decoded.block.disk_bytes = cached->disk_bytes;
+        cached.Release();
+      }
     }
   } else {
     decoded.frame = std::move(payload.frame);
     decoded.block.disk_bytes = decoded.frame.size();
   }
+  std::vector<std::uint8_t> frame_copy;
   if (!cached) {
+    // In cache-compressed mode a freshly fetched frame is offered back
+    // undecoded below; keep a copy before decode releases it.
+    if (ctx_.cache_compressed && !resident && !decoded.frame.empty()) {
+      frame_copy = decoded.frame;
+    }
     obs::TraceSpan span(ctx_.trace, "decode", trace_iteration_);
     GRAPHSD_RETURN_IF_ERROR(dataset.DecodeSubBlock(i, j, decoded));
+  }
+
+  if (ctx_.summaries != nullptr) {
+    ctx_.summaries->RecordFromEdges(i, j,
+                                    cached ? cached->edges : decoded.block.edges,
+                                    dataset.manifest().boundaries[i]);
   }
 
   // Copy the active runs out of the decoded block, rebasing `runs` into
@@ -198,8 +219,16 @@ Status SciuExecutor::MaterializeCompressedPass(std::uint32_t i, std::uint32_t j,
                          source.begin() + static_cast<std::ptrdiff_t>(run.second));
     run = {base, payload.edges.size()};
   }
-  if (!cached) {
-    ctx_.buffer->Put(i, j, std::move(decoded.block), active_edges);
+  if (!cached && !resident) {
+    if (!frame_copy.empty()) {
+      const std::uint64_t served = decoded.block.SizeBytes();
+      partition::SubBlockPayload entry;
+      entry.frame = std::move(frame_copy);
+      entry.block.disk_bytes = decoded.block.disk_bytes;
+      ctx_.buffer->PutFrame(i, j, std::move(entry), served, active_edges);
+    } else {
+      ctx_.buffer->Put(i, j, std::move(decoded.block), active_edges);
+    }
   }
   return Status::Ok();
 }

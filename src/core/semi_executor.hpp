@@ -1,0 +1,58 @@
+// Semi-external-memory update model (DESIGN.md §14, GraphMP direction).
+//
+// The engine keeps the whole vertex state RAM-resident in semi mode, so a
+// round pays no per-round |V|·N state read/write. Edges still stream from
+// disk — but selectively: before any edge I/O, each sub-block (i, j) is
+// tested against its active-source summary (an exact bitset over interval
+// i's source vertices, SkipSummaryStore). A sub-block none of whose sources
+// are active is elided entirely; the round counts it (and the on-disk bytes
+// it would have read) in RoundStat::blocks_skipped[_bytes].
+//
+// Rounds execute exactly ONE plain BSP iteration, column-major like the
+// FCIU first half, with every apply guarded by frontier membership — so a
+// semi round is bitwise-equivalent to a plain full round over the same
+// frontier (the difftest `semi` axis asserts this).
+//
+// Summaries are learned, not precomputed: a sub-block whose summary is
+// unknown is probed through its CSR source index (one small accounted read,
+// RecordFromOffsets) when the dataset has one, and otherwise fetched and
+// recorded from its decoded edges. Summaries are dataset-static, so a
+// shared store (the `graphsd serve` registry tier) lets every run skip what
+// any run has learned.
+//
+// Fetched sub-blocks flow through the same priority buffer and prefetch
+// pipeline as FCIU, including compressed-frame caching with decode-on-hit.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/exec_context.hpp"
+#include "core/frontier.hpp"
+#include "core/program.hpp"
+#include "core/report.hpp"
+#include "io/prefetch.hpp"
+#include "util/status.hpp"
+
+namespace graphsd::core {
+
+class SemiExecutor {
+ public:
+  explicit SemiExecutor(const ExecContext& ctx) : ctx_(ctx) {}
+
+  /// Runs one plain BSP iteration over the sub-blocks that survive the
+  /// skip tests. `stat` receives model = kSemi, iterations_covered = 1 and
+  /// the skip counters.
+  Status RunIteration(const PushProgram& program, VertexState& state,
+                      const Frontier& active, Frontier& out, RoundStat& stat,
+                      double* update_seconds);
+
+ private:
+  using SubBlockStream = io::PrefetchStream<partition::SubBlockPayload>;
+
+  ExecContext ctx_;
+  std::uint32_t trace_iteration_ = 0;
+};
+
+}  // namespace graphsd::core

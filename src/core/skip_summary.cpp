@@ -1,0 +1,72 @@
+#include "core/skip_summary.hpp"
+
+namespace graphsd::core {
+
+SkipSummaryStore::SkipSummaryStore(const partition::GridManifest& manifest)
+    : p_(manifest.p) {
+  interval_sizes_.reserve(p_);
+  for (std::uint32_t i = 0; i < p_; ++i) {
+    interval_sizes_.push_back(manifest.IntervalSize(i));
+  }
+  summaries_.resize(static_cast<std::size_t>(p_) * p_);
+  for (auto& cell : summaries_) cell = std::make_unique<Summary>();
+}
+
+bool SkipSummaryStore::Known(std::uint32_t i, std::uint32_t j) const {
+  return At(i, j).known.load(std::memory_order_acquire);
+}
+
+void SkipSummaryStore::RecordFromEdges(std::uint32_t i, std::uint32_t j,
+                                       std::span<const Edge> edges,
+                                       VertexId interval_first) {
+  Summary& summary = At(i, j);
+  if (summary.known.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(summary.write_mutex);
+  if (summary.known.load(std::memory_order_relaxed)) return;
+  summary.words.assign((interval_sizes_[i] + 63) / 64, 0);
+  for (const Edge& edge : edges) {
+    const VertexId local = edge.src - interval_first;
+    summary.words[local >> 6] |= std::uint64_t{1} << (local & 63);
+  }
+  // The words are complete; the release pairs with the acquire in readers,
+  // so no reader ever sees a partially-built summary.
+  summary.known.store(true, std::memory_order_release);
+}
+
+void SkipSummaryStore::RecordFromOffsets(std::uint32_t i, std::uint32_t j,
+                                         std::span<const std::uint32_t> offsets) {
+  Summary& summary = At(i, j);
+  if (summary.known.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(summary.write_mutex);
+  if (summary.known.load(std::memory_order_relaxed)) return;
+  const VertexId n = interval_sizes_[i];
+  summary.words.assign((n + 63) / 64, 0);
+  for (VertexId v = 0; v < n && v + 1 < offsets.size(); ++v) {
+    if (offsets[v + 1] > offsets[v]) {
+      summary.words[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
+  }
+  summary.known.store(true, std::memory_order_release);
+}
+
+bool SkipSummaryStore::CanSkip(std::uint32_t i, std::uint32_t j,
+                               std::span<const VertexId> active_locals) const {
+  const Summary& summary = At(i, j);
+  if (!summary.known.load(std::memory_order_acquire)) return false;
+  for (const VertexId local : active_locals) {
+    if (summary.words[local >> 6] & (std::uint64_t{1} << (local & 63))) {
+      return false;  // an active source has edges here: must load
+    }
+  }
+  return true;
+}
+
+std::size_t SkipSummaryStore::known_count() const {
+  std::size_t known = 0;
+  for (const auto& cell : summaries_) {
+    if (cell->known.load(std::memory_order_acquire)) ++known;
+  }
+  return known;
+}
+
+}  // namespace graphsd::core

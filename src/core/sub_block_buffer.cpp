@@ -5,8 +5,8 @@
 namespace graphsd::core {
 
 // unordered_map never invalidates references to mapped values on insert or
-// rehash, so a Pin's block pointer stays valid for exactly as long as its
-// entry stays in the map — which the pin count guarantees.
+// rehash, so a Pin's block/frame pointers stay valid for exactly as long as
+// their entry stays in the map — which the pin count guarantees.
 
 std::uint64_t SubBlockBuffer::size_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -27,6 +27,13 @@ std::size_t SubBlockBuffer::pinned_count() const {
   return pinned;
 }
 
+std::uint64_t SubBlockBuffer::AuditUsedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, entry] : entries_) total += entry.stored_bytes;
+  return total;
+}
+
 bool SubBlockBuffer::Contains(std::uint32_t i, std::uint32_t j) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.find(Key(i, j)) != entries_.end();
@@ -37,17 +44,24 @@ SubBlockBuffer::Pin SubBlockBuffer::Get(std::uint32_t i, std::uint32_t j,
   if (!enabled()) return Pin();
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(Key(i, j));
-  if (it == entries_.end() ||
-      (require_weights && !it->second.block.edges.empty() &&
-       it->second.block.weights.empty())) {
+  if (it == entries_.end()) {
+    ++misses_;
+    return Pin();
+  }
+  Entry& entry = it->second;
+  // Edge-bearing entries (decoded edges, or a frame that decodes into them)
+  // cached without their weights miss a weighted consumer.
+  const bool has_edges = !entry.block.edges.empty() || !entry.frame.empty();
+  if (require_weights && has_edges && entry.block.weights.empty()) {
     ++misses_;
     return Pin();
   }
   ++hits_;
-  bytes_saved_ += it->second.block.SizeBytes();
-  disk_bytes_saved_ += it->second.block.disk_bytes;
-  ++it->second.pins;
-  return Pin(this, it->first, &it->second.block);
+  if (!entry.frame.empty()) ++frame_hits_;
+  bytes_saved_ += entry.served_bytes;
+  disk_bytes_saved_ += entry.block.disk_bytes;
+  ++entry.pins;
+  return Pin(this, it->first, &entry.block, &entry.frame);
 }
 
 void SubBlockBuffer::Unpin(std::uint64_t key) {
@@ -58,18 +72,42 @@ void SubBlockBuffer::Unpin(std::uint64_t key) {
 
 bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
                          partition::SubBlock block, std::uint64_t priority) {
+  Entry entry;
+  entry.stored_bytes = block.SizeBytes();
+  entry.served_bytes = entry.stored_bytes;
+  entry.block = std::move(block);
+  entry.priority = priority;
+  return PutEntry(Key(i, j), std::move(entry));
+}
+
+bool SubBlockBuffer::PutFrame(std::uint32_t i, std::uint32_t j,
+                              partition::SubBlockPayload payload,
+                              std::uint64_t served_bytes,
+                              std::uint64_t priority) {
+  if (payload.frame.empty()) {
+    return Put(i, j, std::move(payload.block), priority);
+  }
+  Entry entry;
+  entry.stored_bytes = payload.frame.size() + payload.block.SizeBytes();
+  entry.served_bytes = served_bytes;
+  entry.block = std::move(payload.block);
+  entry.frame = std::move(payload.frame);
+  entry.priority = priority;
+  return PutEntry(Key(i, j), std::move(entry));
+}
+
+bool SubBlockBuffer::PutEntry(std::uint64_t key, Entry entry) {
   if (!enabled()) return false;
-  const std::uint64_t bytes = block.SizeBytes();
-  const std::uint64_t key = Key(i, j);
+  const std::uint64_t bytes = entry.stored_bytes;
   std::lock_guard<std::mutex> lock(mutex_);
   if (bytes > capacity_) {
-    // A block that can never fit is rejected before any eviction: flushing
+    // An entry that can never fit is rejected before any eviction: flushing
     // the cache for an insert that must fail would only destroy hits.
     ++rejected_;
     return false;
   }
   // A pinned same-key entry cannot be replaced — another caller still reads
-  // through its pointer. Reject; the caller keeps its locally-loaded copy.
+  // through its pointers. Reject; the caller keeps its locally-loaded copy.
   if (const auto it = entries_.find(key);
       it != entries_.end() && it->second.pins > 0) {
     ++rejected_;
@@ -82,10 +120,10 @@ bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
   // cache — the old code evicted cold entries one by one and could flush
   // several of them before discovering the insert was doomed.
   std::uint64_t evictable = 0;
-  for (const auto& [entry_key, entry] : entries_) {
+  for (const auto& [entry_key, resident] : entries_) {
     if (entry_key == key ||
-        (entry.pins == 0 && entry.priority < priority)) {
-      evictable += entry.block.SizeBytes();
+        (resident.pins == 0 && resident.priority < entry.priority)) {
+      evictable += resident.stored_bytes;
     }
   }
   if (used_ - evictable + bytes > capacity_) {
@@ -94,10 +132,10 @@ bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
   }
   // Replacing an existing entry: release its bytes first (not an eviction).
   if (const auto it = entries_.find(key); it != entries_.end()) {
-    used_ -= it->second.block.SizeBytes();
+    used_ -= it->second.stored_bytes;
     entries_.erase(it);
   }
-  // Evict coldest-first until the block fits. Equal priorities tie-break on
+  // Evict coldest-first until the entry fits. Equal priorities tie-break on
   // the smaller key so the victim sequence is independent of hash-map
   // iteration order — runs must be reproducible. Pinned entries are never
   // victims.
@@ -112,12 +150,13 @@ bool SubBlockBuffer::Put(std::uint32_t i, std::uint32_t j,
         victim = it;
       }
     }
-    used_ -= victim->second.block.SizeBytes();
+    used_ -= victim->second.stored_bytes;
     entries_.erase(victim);
     ++evictions_;
   }
   used_ += bytes;
-  entries_.emplace(key, Entry{std::move(block), priority, 0});
+  if (!entry.frame.empty()) ++frame_puts_;
+  entries_.emplace(key, std::move(entry));
   return true;
 }
 
@@ -133,7 +172,7 @@ void SubBlockBuffer::Erase(std::uint32_t i, std::uint32_t j) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = entries_.find(Key(i, j));
       it != entries_.end() && it->second.pins == 0) {
-    used_ -= it->second.block.SizeBytes();
+    used_ -= it->second.stored_bytes;
     entries_.erase(it);
   }
 }
@@ -142,7 +181,7 @@ void SubBlockBuffer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.pins == 0) {
-      used_ -= it->second.block.SizeBytes();
+      used_ -= it->second.stored_bytes;
       it = entries_.erase(it);
     } else {
       ++it;
@@ -160,6 +199,8 @@ SubBlockBuffer::Counters SubBlockBuffer::counters() const {
   c.evictions = evictions_;
   c.rejected_puts = rejected_;
   c.pinned_rejected_puts = pinned_rejected_;
+  c.frame_hits = frame_hits_;
+  c.frame_puts = frame_puts_;
   return c;
 }
 
@@ -178,6 +219,8 @@ void SubBlockBuffer::PublishMetrics(obs::MetricsRegistry& metrics) const {
       .Set(static_cast<double>(c.rejected_puts));
   metrics.GetGauge("buffer.pinned_rejected_puts")
       .Set(static_cast<double>(c.pinned_rejected_puts));
+  metrics.GetGauge("buffer.frame_hits").Set(static_cast<double>(c.frame_hits));
+  metrics.GetGauge("buffer.frame_puts").Set(static_cast<double>(c.frame_puts));
 }
 
 }  // namespace graphsd::core

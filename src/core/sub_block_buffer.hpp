@@ -6,6 +6,20 @@
 // evicted when space is needed. Priorities are updated after the block is
 // processed in the first half of the round, as the paper describes.
 //
+// Entries come in two shapes (DESIGN.md §14):
+//   * decoded: `block` holds the edges (and weights when loaded) ready to
+//     consume — a hit costs nothing beyond the pointer;
+//   * compressed: `frame` holds the undecoded GSDF frame and `block` only
+//     the raw weights (they are stored uncompressed on disk). A hit hands
+//     the frame back to the consumer, which decodes it on its own thread —
+//     decode time lands on the compute side of the overlap accounting, and
+//     the cache holds ~the codec ratio more sub-blocks per byte.
+// Capacity is charged at each entry's *stored* footprint (frame + block
+// bytes); the bytes-saved counters credit hits with the entry's *served*
+// bytes (the decoded view a hit avoids re-reading). Every accounting site
+// uses the same stored_bytes figure, so `size_bytes()` always equals the
+// sum over residents (see AuditUsedBytes).
+//
 // Thread safety: every method is safe to call from any thread — one
 // internal mutex guards the map, the byte budget and all counters, so
 // hit/miss/eviction accounting stays exact under concurrent Get/Put
@@ -18,6 +32,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "partition/grid_dataset.hpp"
 
@@ -37,8 +52,8 @@ class SubBlockBuffer {
   SubBlockBuffer& operator=(const SubBlockBuffer&) = delete;
 
   /// Movable handle to a cached block. While live, the entry is pinned:
-  /// eviction, replacement and Erase/Clear all skip it, so the pointer
-  /// stays valid even when other threads Put into the same buffer.
+  /// eviction, replacement and Erase/Clear all skip it, so the pointers
+  /// stay valid even when other threads Put into the same buffer.
   class Pin {
    public:
     Pin() = default;
@@ -49,8 +64,10 @@ class SubBlockBuffer {
         buffer_ = other.buffer_;
         key_ = other.key_;
         block_ = other.block_;
+        frame_ = other.frame_;
         other.buffer_ = nullptr;
         other.block_ = nullptr;
+        other.frame_ = nullptr;
       }
       return *this;
     }
@@ -63,22 +80,34 @@ class SubBlockBuffer {
     const partition::SubBlock* operator->() const noexcept { return block_; }
     explicit operator bool() const noexcept { return block_ != nullptr; }
 
+    /// True when the pinned entry stores an undecoded frame: the edges live
+    /// in frame() and the block holds only the weights. The consumer copies
+    /// the frame out and decodes it on its own thread (decode-on-hit).
+    bool compressed() const noexcept {
+      return frame_ != nullptr && !frame_->empty();
+    }
+    /// The entry's undecoded GSDF frame (empty for decoded entries).
+    const std::vector<std::uint8_t>& frame() const noexcept { return *frame_; }
+
     /// Drops the pin early (before scope exit). Safe on an empty pin.
     void Release() noexcept {
       if (buffer_ != nullptr && block_ != nullptr) buffer_->Unpin(key_);
       buffer_ = nullptr;
       block_ = nullptr;
+      frame_ = nullptr;
     }
 
    private:
     friend class SubBlockBuffer;
     Pin(SubBlockBuffer* buffer, std::uint64_t key,
-        const partition::SubBlock* block)
-        : buffer_(buffer), key_(key), block_(block) {}
+        const partition::SubBlock* block,
+        const std::vector<std::uint8_t>* frame)
+        : buffer_(buffer), key_(key), block_(block), frame_(frame) {}
 
     SubBlockBuffer* buffer_ = nullptr;
     std::uint64_t key_ = 0;
     const partition::SubBlock* block_ = nullptr;
+    const std::vector<std::uint8_t>* frame_ = nullptr;
   };
 
   bool enabled() const noexcept { return capacity_ > 0; }
@@ -87,6 +116,12 @@ class SubBlockBuffer {
   std::size_t entry_count() const;
   /// Number of entries currently held by at least one live Pin.
   std::size_t pinned_count() const;
+
+  /// Recomputes the byte budget from the resident entries under the lock.
+  /// Invariant check for tests: must equal size_bytes() at every quiescent
+  /// point — a divergence means some accounting site charged stored bytes
+  /// it never released (the satellite-3 audit).
+  std::uint64_t AuditUsedBytes() const;
 
   /// Pinned handle to cached block (i, j), or an empty pin. Bumps the
   /// hit/miss counters. With `require_weights`, an entry whose edges were
@@ -101,16 +136,27 @@ class SubBlockBuffer {
   /// path.
   bool Contains(std::uint32_t i, std::uint32_t j) const;
 
-  /// Inserts block (i,j) with `priority` (active-edge count). The insert is
-  /// feasibility-checked first: if the block cannot fit even after evicting
-  /// every strictly-lower-priority unpinned entry (plus the same-key entry
-  /// being replaced), it is rejected with the cache untouched. Otherwise
-  /// evicts coldest-first, tie-breaking equal priorities on the smaller
-  /// (i,j) key so the victim sequence is deterministic. Pinned entries are
-  /// never evicted; replacing a same-key entry that is pinned is rejected
-  /// (another caller still holds its pointer). Returns true if cached.
+  /// Inserts decoded block (i,j) with `priority` (active-edge count). The
+  /// insert is feasibility-checked first: if the entry cannot fit even
+  /// after evicting every strictly-lower-priority unpinned entry (plus the
+  /// same-key entry being replaced), it is rejected with the cache
+  /// untouched. Otherwise evicts coldest-first, tie-breaking equal
+  /// priorities on the smaller (i,j) key so the victim sequence is
+  /// deterministic. Pinned entries are never evicted; replacing a same-key
+  /// entry that is pinned is rejected (another caller still holds its
+  /// pointer). Returns true if cached.
   bool Put(std::uint32_t i, std::uint32_t j, partition::SubBlock block,
            std::uint64_t priority);
+
+  /// Inserts a compressed entry: the undecoded frame plus the raw weights
+  /// already in `payload.block` (edges stay in the frame). Capacity is
+  /// charged at the stored size (frame + weights); `served_bytes` is the
+  /// decoded-view size credited to bytes_saved on each hit. Falls back to
+  /// a decoded Put when the payload carries no frame (raw datasets). Same
+  /// feasibility and eviction rules as Put.
+  bool PutFrame(std::uint32_t i, std::uint32_t j,
+                partition::SubBlockPayload payload, std::uint64_t served_bytes,
+                std::uint64_t priority);
 
   /// Re-scores an existing entry (no-op when absent).
   void UpdatePriority(std::uint32_t i, std::uint32_t j, std::uint64_t priority);
@@ -122,6 +168,7 @@ class SubBlockBuffer {
   void Clear();
 
   /// Visits every cached entry as fn(i, j, block) under the buffer lock.
+  /// Compressed entries pass their weights-only block (edges undecoded).
   /// `fn` must not call back into the buffer (single non-recursive mutex).
   template <typename Fn>
   void ForEachEntry(Fn&& fn) const {
@@ -136,10 +183,13 @@ class SubBlockBuffer {
   /// lock acquisition for the whole sweep — the FCIU round's post-first-half
   /// rescoring path (ForEachEntry + per-entry UpdatePriority would deadlock
   /// on the non-recursive mutex and interleave with concurrent Puts).
+  /// Compressed entries keep their existing priority: their edges are
+  /// undecoded, so an edge-inspecting callback has nothing to score.
   template <typename Fn>
   void Rescore(Fn&& fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [key, entry] : entries_) {
+      if (!entry.frame.empty()) continue;
       entry.priority = fn(static_cast<std::uint32_t>(key >> 32),
                           static_cast<std::uint32_t>(key & 0xffffffffu),
                           entry.block);
@@ -157,6 +207,10 @@ class SubBlockBuffer {
     std::uint64_t evictions = 0;
     std::uint64_t rejected_puts = 0;
     std::uint64_t pinned_rejected_puts = 0;
+    // Compressed-entry traffic (subsets of hits / accepted puts): hits
+    // served as an undecoded frame, and frame entries inserted.
+    std::uint64_t frame_hits = 0;
+    std::uint64_t frame_puts = 0;
   };
   Counters counters() const;
 
@@ -164,9 +218,9 @@ class SubBlockBuffer {
   std::uint64_t misses() const { return counters().misses; }
   std::uint64_t bytes_saved() const { return counters().bytes_saved; }
   /// On-disk bytes a hit avoided re-reading (frame + weight files for
-  /// compressed blocks; equals bytes_saved for raw datasets). The buffer
-  /// caches *decoded* blocks, so the two views differ exactly by the
-  /// compression savings.
+  /// compressed blocks; equals bytes_saved for raw datasets). Decoded
+  /// entries differ from bytes_saved exactly by the compression savings;
+  /// frame entries serve the on-disk shape directly.
   std::uint64_t disk_bytes_saved() const { return counters().disk_bytes_saved; }
   std::uint64_t evictions() const { return counters().evictions; }
   std::uint64_t rejected_puts() const { return counters().rejected_puts; }
@@ -175,6 +229,8 @@ class SubBlockBuffer {
   std::uint64_t pinned_rejected_puts() const {
     return counters().pinned_rejected_puts;
   }
+  std::uint64_t frame_hits() const { return counters().frame_hits; }
+  std::uint64_t frame_puts() const { return counters().frame_puts; }
 
   /// Publishes the current counters as `buffer.*` gauges (snapshot
   /// semantics: safe to call repeatedly, last write wins).
@@ -182,7 +238,10 @@ class SubBlockBuffer {
 
  private:
   struct Entry {
-    partition::SubBlock block;
+    partition::SubBlock block;        // decoded; weights-only when framed
+    std::vector<std::uint8_t> frame;  // non-empty = compressed entry
+    std::uint64_t stored_bytes = 0;   // capacity charge (frame + block)
+    std::uint64_t served_bytes = 0;   // decoded-view bytes one hit saves
     std::uint64_t priority = 0;
     std::uint32_t pins = 0;
   };
@@ -190,6 +249,7 @@ class SubBlockBuffer {
     return (static_cast<std::uint64_t>(i) << 32) | j;
   }
 
+  bool PutEntry(std::uint64_t key, Entry entry);
   void Unpin(std::uint64_t key);
 
   mutable std::mutex mutex_;
@@ -202,6 +262,8 @@ class SubBlockBuffer {
   std::uint64_t evictions_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t pinned_rejected_ = 0;
+  std::uint64_t frame_hits_ = 0;
+  std::uint64_t frame_puts_ = 0;
   std::unordered_map<std::uint64_t, Entry> entries_;
 };
 

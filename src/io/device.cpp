@@ -170,4 +170,13 @@ std::unique_ptr<Device> MakeSimulatedDevice(IoCostModel model, bool direct_io) {
   return std::make_unique<Device>(opts);
 }
 
+Result<std::unique_ptr<Device>> MakeDeviceForKind(const std::string& kind) {
+  if (kind == "posix") return MakePosixDevice();
+  if (kind == "hdd") return MakeSimulatedDevice(IoCostModel::Hdd());
+  if (kind == "ssd") return MakeSimulatedDevice(IoCostModel::Ssd());
+  if (kind == "scaled-hdd") return MakeSimulatedDevice(IoCostModel::ScaledHdd());
+  return InvalidArgumentError("unknown device kind '" + kind +
+                              "' (expected scaled-hdd | hdd | ssd | posix)");
+}
+
 }  // namespace graphsd::io

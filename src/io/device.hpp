@@ -139,4 +139,11 @@ std::unique_ptr<Device> MakePosixDevice(bool direct_io = false);
 std::unique_ptr<Device> MakeSimulatedDevice(
     IoCostModel model = IoCostModel::Hdd(), bool direct_io = false);
 
+/// The one place a user-facing device-kind string becomes a Device:
+/// "scaled-hdd" (default bench profile), "hdd", "ssd" or "posix". Unknown
+/// kinds return kInvalidArgument instead of silently defaulting — the CLI,
+/// the query service and the benches all parse through here so the accepted
+/// spellings cannot drift apart.
+Result<std::unique_ptr<Device>> MakeDeviceForKind(const std::string& kind);
+
 }  // namespace graphsd::io

@@ -14,6 +14,8 @@ const char* ModelName(core::RoundModel model) {
       return "F";
     case core::RoundModel::kPlainFull:
       return "P";
+    case core::RoundModel::kSemi:
+      return "M";
     case core::RoundModel::kSkipped:
       return "-";
   }
@@ -88,6 +90,15 @@ std::string ToRunReportJson(const core::ExecutionReport& report,
                                 static_cast<double>(lookups));
   json.Field("bytes_saved", report.buffer_bytes_saved);
   json.Field("disk_bytes_saved", report.buffer_disk_bytes_saved);
+  json.Field("frame_hits", report.buffer_frame_hits);
+  json.Field("frame_puts", report.buffer_frame_puts);
+  json.EndObject();
+
+  json.Key("semi_external");
+  json.BeginObject();
+  json.Field("rounds", report.semi_rounds);
+  json.Field("blocks_skipped", report.blocks_skipped);
+  json.Field("blocks_skipped_bytes", report.blocks_skipped_bytes);
   json.EndObject();
 
   json.Key("compression");
@@ -121,6 +132,9 @@ std::string ToRunReportJson(const core::ExecutionReport& report,
     json.Field("active_edges", stat.active_edges);
     json.Field("cost_on_demand", stat.cost_on_demand);
     json.Field("cost_full", stat.cost_full);
+    json.Field("cost_semi", stat.cost_semi);
+    json.Field("blocks_skipped", stat.blocks_skipped);
+    json.Field("blocks_skipped_bytes", stat.blocks_skipped_bytes);
     json.Field("seq_bytes", stat.seq_bytes);
     json.Field("rand_bytes", stat.rand_bytes);
     json.Field("random_requests", stat.random_requests);

@@ -6,17 +6,6 @@
 
 namespace graphsd::service {
 
-namespace {
-
-std::unique_ptr<io::Device> MakeDevice(const std::string& kind) {
-  if (kind == "posix") return io::MakePosixDevice();
-  if (kind == "hdd") return io::MakeSimulatedDevice(io::IoCostModel::Hdd());
-  if (kind == "ssd") return io::MakeSimulatedDevice(io::IoCostModel::Ssd());
-  return io::MakeSimulatedDevice(io::IoCostModel::ScaledHdd());
-}
-
-}  // namespace
-
 DatasetRegistry::DatasetRegistry(RegistryOptions options)
     : options_(std::move(options)) {}
 
@@ -36,7 +25,8 @@ Result<DatasetEntry*> DatasetRegistry::GetOrOpen(const std::string& dir) {
 
   auto entry = std::make_unique<DatasetEntry>();
   entry->dir = dir;
-  entry->device = MakeDevice(options_.device);
+  GRAPHSD_ASSIGN_OR_RETURN(entry->device,
+                           io::MakeDeviceForKind(options_.device));
   GRAPHSD_ASSIGN_OR_RETURN(partition::GridDataset opened,
                            partition::GridDataset::Open(*entry->device, dir));
   entry->dataset =
@@ -55,6 +45,11 @@ Result<DatasetEntry*> DatasetRegistry::GetOrOpen(const std::string& dir) {
   entry->prefetch =
       std::make_unique<io::PrefetchPipeline>(options_.prefetch_depth);
   entry->prefetch->set_cancellation(options_.cancel);
+  // Skip summaries are dataset-static, so one store serves every query on
+  // the entry: the first run to touch a sub-block publishes its summary and
+  // all later runs skip I/O against it (DESIGN.md §14).
+  entry->summaries = std::make_unique<core::SkipSummaryStore>(
+      entry->dataset->manifest());
 
   DatasetEntry* raw = entry.get();
   entries_.emplace(dir, std::move(entry));
@@ -78,6 +73,8 @@ core::SubBlockBuffer::Counters DatasetRegistry::TotalBufferCounters() const {
     total.evictions += c.evictions;
     total.rejected_puts += c.rejected_puts;
     total.pinned_rejected_puts += c.pinned_rejected_puts;
+    total.frame_hits += c.frame_hits;
+    total.frame_puts += c.frame_puts;
   }
   return total;
 }

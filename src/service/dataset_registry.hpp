@@ -23,6 +23,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/skip_summary.hpp"
 #include "core/sub_block_buffer.hpp"
 #include "io/device.hpp"
 #include "io/prefetch.hpp"
@@ -45,6 +46,10 @@ struct RegistryOptions {
   bool verify_on_open = true;
   /// Cancellation for the shared pipelines (the daemon's shutdown token).
   const CancellationToken* cancel = nullptr;
+  /// Cache compressed sub-blocks as raw GSDF frames in the shared buffer
+  /// (decode-on-hit); only meaningful for compressed datasets, a no-op
+  /// otherwise. See DESIGN.md §14.
+  bool cache_compressed = false;
 };
 
 struct DatasetEntry {
@@ -53,6 +58,9 @@ struct DatasetEntry {
   std::unique_ptr<partition::GridDataset> dataset;
   std::unique_ptr<core::SubBlockBuffer> buffer;
   std::unique_ptr<io::PrefetchPipeline> prefetch;
+  /// Dataset-static active-source skip summaries, learned once by any query
+  /// and consulted by every later one (semi-external mode; DESIGN.md §14).
+  std::unique_ptr<core::SkipSummaryStore> summaries;
   /// Monotone per-run sequence for scratch-directory names (each engine run
   /// needs a private values file; see QueryServer).
   std::atomic<std::uint64_t> run_seq{0};

@@ -541,7 +541,11 @@ void QueryServer::ExecuteBatch(PendingRun leader,
   if (options_.share_buffer) {
     options.shared_buffer = entry->buffer.get();
     options.shared_prefetch = entry->prefetch.get();
+    // Summaries are dataset-static, so sharing them is always safe; they
+    // only pay off in semi-external rounds but recording them is cheap.
+    options.shared_summaries = entry->summaries.get();
   }
+  options.cache_compressed = options_.registry.cache_compressed;
   options.max_iterations = admission_.EffectiveIterationCap(req);
   options.deadline_seconds = admission_.EffectiveDeadline(req);
   options.cancel = &shutdown_;

@@ -179,7 +179,7 @@ Result<std::optional<Divergence>> RunTrial(
   auto spec = AlgoSpecFor(config.algo);
   GRAPHSD_RETURN_IF_ERROR(spec.status());
   if (config.model != "auto" && config.model != "on_demand" &&
-      config.model != "full") {
+      config.model != "full" && config.model != "semi") {
     return InvalidArgumentError("bad trial model: " + config.model);
   }
   if (config.threads == 0) {
@@ -211,11 +211,22 @@ Result<std::optional<Divergence>> RunTrial(
         MaxEdge(graph));
   }
 
+  // Semi-external rounds are always one plain BSP iteration, so a semi
+  // trial follows the cross=false invariant semantics regardless of the
+  // requested cross_iteration bit.
+  const bool semi = config.model == "semi";
+  const bool cross = config.cross_iteration && !semi;
+
   EngineOptions options;
   options.num_threads = config.threads;
-  options.enable_cross_iteration = config.cross_iteration;
+  options.enable_cross_iteration = cross;
   options.prefetch_depth = config.prefetch_depth;
   options.record_per_round = false;
+  options.semi_external = semi;
+  // Semantics-neutral cache shape change: compressed datasets keep raw
+  // frames in the buffer and decode on hit. Always on so every trial also
+  // differentially covers the decode-on-hit path.
+  options.cache_compressed = true;
   // Bound a diverging engine instead of letting a convergence bug spin: a
   // correct engine needs at most 2*oracle+1 waves (cross-iteration
   // activation stealing; see the iteration invariant below) plus slack for
@@ -224,15 +235,16 @@ Result<std::optional<Divergence>> RunTrial(
   if (config.model != "auto") {
     const RoundModelChoice forced = config.model == "on_demand"
                                         ? RoundModelChoice::kOnDemand
-                                        : RoundModelChoice::kFull;
+                                    : semi ? RoundModelChoice::kSemi
+                                           : RoundModelChoice::kFull;
     options.model_override = [forced](std::uint32_t) { return forced; };
   }
 
   // Frontier probe: only meaningful at plain-BSP boundaries.
   const AlgoSpec& algo = *spec;
   const bool compare_frontiers =
-      push && !config.cross_iteration &&
-      (algo.cls == AlgoClass::kMonotone || config.threads == 1);
+      push && !cross && (algo.cls == AlgoClass::kMonotone ||
+                         config.threads == 1);
   std::map<std::uint32_t, std::vector<VertexId>> engine_frontiers;
   if (compare_frontiers) {
     options.frontier_probe = [&engine_frontiers](std::uint32_t next_iteration,
@@ -256,11 +268,11 @@ Result<std::optional<Divergence>> RunTrial(
   bool iterations_bounded = false;
   switch (algo.cls) {
     case AlgoClass::kMonotone:
-      iterations_equal = !config.cross_iteration;
-      iterations_bounded = config.cross_iteration;
+      iterations_equal = !cross;
+      iterations_bounded = cross;
       break;
     case AlgoClass::kSumThreshold:
-      iterations_equal = config.threads == 1 && !config.cross_iteration;
+      iterations_equal = config.threads == 1 && !cross;
       break;
     case AlgoClass::kFixedIteration:
       iterations_equal = true;
@@ -292,7 +304,7 @@ Result<std::optional<Divergence>> RunTrial(
   const bool bitwise =
       algo.cls == AlgoClass::kMonotone ||
       (algo.cls == AlgoClass::kSumThreshold && config.threads == 1 &&
-       !config.cross_iteration) ||
+       !cross) ||
       (algo.cls == AlgoClass::kFixedIteration && config.threads == 1);
   const double rel_tol =
       algo.cls == AlgoClass::kSumThreshold ? kRelTolThreshold : kRelTol;
@@ -597,7 +609,7 @@ Result<std::optional<Divergence>> RunKillResumeTrial(
   auto spec = AlgoSpecFor(config.algo);
   GRAPHSD_RETURN_IF_ERROR(spec.status());
   if (config.model != "auto" && config.model != "on_demand" &&
-      config.model != "full") {
+      config.model != "full" && config.model != "semi") {
     return InvalidArgumentError("bad trial model: " + config.model);
   }
   if (config.kill_iteration == 0) {
@@ -611,17 +623,24 @@ Result<std::optional<Divergence>> RunKillResumeTrial(
   // costs, so the killed and resumed segments replay the uninterrupted run
   // exactly and every algorithm class is bitwise-comparable.
   const auto make_options = [&config]() {
+    const bool semi = config.model == "semi";
     EngineOptions options;
     options.num_threads = 1;
-    options.enable_cross_iteration = config.cross_iteration;
+    // Semi rounds are plain BSP; forcing cross off keeps the killed and
+    // resumed segments on identical wave boundaries (gather runs, which
+    // ignore the semi override, keep the requested bit).
+    options.enable_cross_iteration = config.cross_iteration && !semi;
     options.prefetch_depth = config.prefetch_depth;
     options.record_per_round = false;
     options.overlap_io = false;
     options.max_iterations = 1000;
+    options.semi_external = semi;
+    options.cache_compressed = true;
     if (config.model != "auto") {
       const RoundModelChoice forced = config.model == "on_demand"
                                           ? RoundModelChoice::kOnDemand
-                                          : RoundModelChoice::kFull;
+                                      : semi ? RoundModelChoice::kSemi
+                                             : RoundModelChoice::kFull;
       options.model_override = [forced](std::uint32_t) { return forced; };
     }
     return options;
@@ -750,7 +769,7 @@ Result<SweepSummary> RunKillResumeSweep(const KillResumeSweepOptions& options) {
   constexpr std::uint32_t kDepths[] = {0, 1, 4};
   constexpr std::uint32_t kIntervals[] = {1, 2, 4, 8};
   constexpr std::uint32_t kKills[] = {1, 2, 3, 5};
-  const char* kModels[] = {"on_demand", "full", "auto"};
+  const char* kModels[] = {"on_demand", "full", "semi", "auto"};
 
   SweepSummary summary;
   std::uint64_t rotation = 0;  // spreads kill point/style, cross, corruption
@@ -828,7 +847,7 @@ Result<SweepSummary> RunSweep(const SweepOptions& options) {
   constexpr std::uint32_t kDepths[] = {0, 1, 4};
   constexpr std::uint32_t kThreads[] = {1, 4};
   constexpr std::uint32_t kIntervals[] = {1, 2, 4, 8};
-  const char* kModels[] = {"on_demand", "full", "auto"};
+  const char* kModels[] = {"on_demand", "full", "semi", "auto"};
 
   SweepSummary summary;
   std::uint64_t rotation = 0;  // spreads depth/threads/cross across combos

@@ -46,7 +46,9 @@ namespace graphsd::testing {
 struct TrialConfig {
   std::string algo;
   /// Per-round I/O model: "auto" (scheduler decides), "on_demand"
-  /// (SCIU-forced), "full" (FCIU-forced).
+  /// (SCIU-forced), "full" (FCIU-forced), "semi" (semi-external-forced:
+  /// RAM-resident state + skip summaries; follows cross=false invariant
+  /// semantics because semi rounds are always one plain BSP iteration).
   std::string model = "auto";
   bool cross_iteration = false;
   std::uint32_t prefetch_depth = 0;
@@ -132,8 +134,9 @@ Result<SweepSummary> RunSweep(const SweepOptions& options);
 
 struct KillResumeConfig {
   std::string algo;
-  /// "on_demand" | "full" | "auto". "auto" stays deterministic here because
-  /// overlap accounting is off: the scheduler then sees only modeled costs.
+  /// "on_demand" | "full" | "semi" | "auto". "auto" stays deterministic here
+  /// because overlap accounting is off: the scheduler then sees only modeled
+  /// costs.
   std::string model = "on_demand";
   bool cross_iteration = false;
   std::uint32_t prefetch_depth = 0;
@@ -169,7 +172,7 @@ struct KillResumeSweepOptions {
 };
 
 /// Randomized kill/resume sweep: every registered algorithm x raw and
-/// varint-delta datasets x all three I/O models, with kill point, kill
+/// varint-delta datasets x all four I/O models, with kill point, kill
 /// style, cross-iteration, prefetch depth and slot corruption rotating
 /// across combos. Three seeds already cover 126 combos.
 Result<SweepSummary> RunKillResumeSweep(const KillResumeSweepOptions& options);

@@ -57,40 +57,70 @@ void ThreadPool::ParallelFor(
     return;
   }
   // Completion and exception delivery are scoped to this call's chunks via
-  // a per-call latch: waiting on the pool-wide Wait() here would drain
+  // a per-call batch: waiting on the pool-wide Wait() here would drain
   // unrelated previously-submitted tasks and could steal (or receive) their
-  // first-exception slot.
+  // first-exception slot. The batch is a chunk-claiming latch: helpers and
+  // the *caller itself* pull chunks from a shared cursor, so a ParallelFor
+  // issued from inside a pool task cannot deadlock behind workers that are
+  // themselves blocked in ParallelFor — the caller simply runs the chunks
+  // queued helpers never reached.
   struct Batch {
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    std::size_t end;
+    std::size_t grain;
+    std::atomic<std::size_t> next;
     std::mutex mutex;
     std::condition_variable done;
     std::size_t remaining;
     std::exception_ptr first_exception;
   };
-  Batch batch;
-  batch.remaining = (total + grain - 1) / grain;
-  for (std::size_t chunk = begin; chunk < end; chunk += grain) {
-    const std::size_t chunk_end = std::min(end, chunk + grain);
-    Submit([&fn, &batch, chunk, chunk_end] {
+  const std::size_t num_chunks = (total + grain - 1) / grain;
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->end = end;
+  batch->grain = grain;
+  batch->next.store(begin, std::memory_order_relaxed);
+  batch->remaining = num_chunks;
+
+  // Dereferencing `*b.fn` is safe exactly when a claim succeeds: an
+  // unfinished chunk keeps `remaining` above zero, which keeps the caller
+  // (and the caller-owned `fn`) alive. A helper that wakes after the cursor
+  // is exhausted touches only the shared_ptr-owned batch.
+  const auto run_chunks = [](Batch& b) {
+    for (;;) {
+      const std::size_t chunk =
+          b.next.fetch_add(b.grain, std::memory_order_relaxed);
+      if (chunk >= b.end) return;
+      const std::size_t chunk_end = std::min(b.end, chunk + b.grain);
       std::exception_ptr thrown;
       try {
-        fn(chunk, chunk_end);
+        (*b.fn)(chunk, chunk_end);
       } catch (...) {
         thrown = std::current_exception();
       }
-      // Notify under the lock: once the waiter observes remaining == 0 and
-      // reacquires the mutex, `batch` may leave scope, so the notifier must
-      // be done with it by the time the lock releases.
-      std::lock_guard<std::mutex> lock(batch.mutex);
-      if (thrown != nullptr && batch.first_exception == nullptr) {
-        batch.first_exception = thrown;
+      // Record and notify under the lock: once the waiter observes
+      // remaining == 0 and reacquires the mutex it may rethrow and return,
+      // so the notifier must be done with the exception slot by the time
+      // the lock releases.
+      std::lock_guard<std::mutex> lock(b.mutex);
+      if (thrown != nullptr && b.first_exception == nullptr) {
+        b.first_exception = thrown;
       }
-      if (--batch.remaining == 0) batch.done.notify_one();
-    });
+      if (--b.remaining == 0) b.done.notify_all();
+    }
+  };
+
+  // The caller counts as one runner; extra helpers beyond the chunk count
+  // would only wake, find the cursor exhausted and exit.
+  const std::size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    Submit([batch, run_chunks] { run_chunks(*batch); });
   }
-  std::unique_lock<std::mutex> lock(batch.mutex);
-  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
-  if (batch.first_exception != nullptr) {
-    std::rethrow_exception(batch.first_exception);
+  run_chunks(*batch);
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&batch] { return batch->remaining == 0; });
+  if (batch->first_exception != nullptr) {
+    std::rethrow_exception(batch->first_exception);
   }
 }
 

@@ -56,6 +56,9 @@ class ThreadPool {
   /// running). With a single worker (or a tiny range) runs inline — zero
   /// overhead. Rethrows the first exception thrown by any of its own
   /// chunks; exceptions from unrelated Submit() tasks stay with Wait().
+  /// Safe to call from inside a pool task (nested parallelism): the waiting
+  /// caller claims and executes its own batch's chunks inline, so it never
+  /// deadlocks behind workers that are themselves blocked in ParallelFor.
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -129,5 +129,29 @@ TEST(Device, IndependentFilesTrackIndependentCursors) {
   EXPECT_EQ(s.seq_read_ops, 2u);
 }
 
+TEST(Device, MakeDeviceForKindRecognizesEveryCliSpelling) {
+  for (const char* kind : {"scaled-hdd", "hdd", "ssd", "posix"}) {
+    auto device = MakeDeviceForKind(kind);
+    ASSERT_OK(device.status());
+    ASSERT_NE(*device, nullptr);
+  }
+  // The posix kind measures real time only; the simulated kinds charge the
+  // virtual clock.
+  EXPECT_FALSE(
+      ValueOrDie(MakeDeviceForKind("posix"))->options().charge_virtual_time);
+  EXPECT_TRUE(
+      ValueOrDie(MakeDeviceForKind("hdd"))->options().charge_virtual_time);
+}
+
+TEST(Device, MakeDeviceForKindRejectsUnknownKind) {
+  // Regression: the CLI and the service each had their own parser and both
+  // silently defaulted unknown kinds to scaled-hdd, so a typo like
+  // "--device sdd" benched the wrong profile without a word.
+  auto device = MakeDeviceForKind("sdd");
+  EXPECT_EQ(device.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeDeviceForKind("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace graphsd::io

@@ -215,6 +215,54 @@ TEST(ThreadPool, InterleavedParallelForsKeepExceptionsSeparate) {
   }
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: a ParallelFor issued from inside a pool worker used to
+  // block on chunks queued behind workers that were themselves blocked in
+  // ParallelFor — at pool size 2 the inner calls starved each other. The
+  // caller now claims and runs its own batch's chunks while waiting.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(0, 8, 1, [&](std::size_t, std::size_t) {
+    pool.ParallelFor(0, 8, 1, [&](std::size_t b, std::size_t e) {
+      inner_total.fetch_add(static_cast<int>(e - b));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 8);
+}
+
+TEST(ThreadPool, ParallelForFromSubmittedTaskDoesNotDeadlock) {
+  // Every worker occupied by a Submit task that itself calls ParallelFor:
+  // no free worker ever picks the nested chunks up, so the nested callers
+  // must drain them inline.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      pool.ParallelFor(0, 32, 1, [&](std::size_t b, std::size_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+      });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), 4 * 32);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_failures{0};
+  pool.ParallelFor(0, 4, 1, [&](std::size_t, std::size_t) {
+    try {
+      pool.ParallelFor(0, 4, 1, [](std::size_t b, std::size_t) {
+        if (b == 2) throw std::runtime_error("inner chunk failed");
+      });
+    } catch (const std::runtime_error&) {
+      outer_failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_failures.load(), 4);
+  pool.Wait();  // nested exceptions were all consumed by their own batches
+}
+
 TEST(ThreadPool, SingleWorkerParallelForPropagatesInlineException) {
   // With one worker ParallelFor runs inline; the exception must surface the
   // same way it does on the threaded path.

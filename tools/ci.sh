@@ -93,6 +93,44 @@ test -f "$OBS_DIR/ck_int/checkpoint.0.gsck" \
 "$CLI" difftest --kill-resume --seeds 2 --seed0 77 > /dev/null 2>&1
 echo "lifecycle smoke: OK"
 
+echo "== tier 1: semi-external smoke (--mode semi / --cache-compressed) =="
+# Sparse-frontier workload (SSSP on a 64x64 grid: a long diagonal wavefront
+# touches few intervals per round, so the scheduler's third cost C_m wins
+# naturally): semi mode must actually elide sub-block I/O via the skip
+# summaries, report semi rounds, and agree bit-exactly with the default
+# engine (--threads 1 pins the apply order).
+"$CLI" generate --type grid --rows 64 --cols 64 --max-weight 9 \
+    --out "$OBS_DIR/grid.bin" > /dev/null
+"$CLI" preprocess --input "$OBS_DIR/grid.bin" --out "$OBS_DIR/ds_grid" \
+    --p 4 > /dev/null
+"$CLI" run --dataset "$OBS_DIR/ds_grid" --algo sssp --root 0 --threads 1 \
+    --values-out "$OBS_DIR/sssp_default.txt" > /dev/null
+"$CLI" run --dataset "$OBS_DIR/ds_grid" --algo sssp --root 0 --threads 1 \
+    --mode semi --values-out "$OBS_DIR/sssp_semi.txt" \
+    --report-json "$OBS_DIR/report_semi.json" > /dev/null
+cmp "$OBS_DIR/sssp_default.txt" "$OBS_DIR/sssp_semi.txt"
+python3 - "$OBS_DIR/report_semi.json" <<'PYEOF'
+import json, sys
+semi = json.load(open(sys.argv[1]))["semi_external"]
+assert semi["rounds"] > 0, semi
+assert semi["blocks_skipped"] > 0, semi
+assert semi["blocks_skipped_bytes"] > 0, semi
+PYEOF
+# Compressed dataset + frame cache: decode-on-hit entries must appear and
+# the answers must still match the default engine bit for bit.
+"$CLI" preprocess --input "$OBS_DIR/grid.bin" --out "$OBS_DIR/ds_grid_vd" \
+    --p 4 --codec varint-delta > /dev/null
+"$CLI" run --dataset "$OBS_DIR/ds_grid_vd" --algo sssp --root 0 --threads 1 \
+    --mode semi --cache-compressed --values-out "$OBS_DIR/sssp_semi_vd.txt" \
+    --report-json "$OBS_DIR/report_semi_vd.json" > /dev/null
+cmp "$OBS_DIR/sssp_default.txt" "$OBS_DIR/sssp_semi_vd.txt"
+python3 - "$OBS_DIR/report_semi_vd.json" <<'PYEOF'
+import json, sys
+buf = json.load(open(sys.argv[1]))["buffer"]
+assert buf["frame_puts"] > 0, buf
+PYEOF
+echo "semi-external smoke: OK"
+
 echo "== tier 1: query service smoke (graphsd serve / graphsd query) =="
 # Resident daemon on a temp socket: open-once dataset registry, shared
 # buffer tier, batched multi-source runs. Exercises the wire protocol end

@@ -62,12 +62,8 @@ int Fail(const Status& status) {
   return 1;
 }
 
-std::unique_ptr<io::Device> MakeDevice(const CliFlags& flags) {
-  const std::string kind = flags.GetString("device");
-  if (kind == "posix") return io::MakePosixDevice();
-  if (kind == "hdd") return io::MakeSimulatedDevice(io::IoCostModel::Hdd());
-  if (kind == "ssd") return io::MakeSimulatedDevice(io::IoCostModel::Ssd());
-  return io::MakeSimulatedDevice(io::IoCostModel::ScaledHdd());
+Result<std::unique_ptr<io::Device>> MakeDevice(const CliFlags& flags) {
+  return io::MakeDeviceForKind(flags.GetString("device"));
 }
 
 void DefineDeviceFlag(CliFlags& flags) {
@@ -183,7 +179,9 @@ int CmdPreprocess(int argc, const char* const* argv) {
   DefineDeviceFlag(flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
-  auto device = MakeDevice(flags);
+  auto device_or = MakeDevice(flags);
+  if (!device_or.ok()) return Fail(device_or.status());
+  std::unique_ptr<io::Device> device = std::move(device_or).value();
   partition::PreprocessOptions options;
   options.num_intervals = CheckedCast<std::uint32_t>(flags.GetInt("p"));
   options.memory_budget_bytes =
@@ -285,6 +283,12 @@ int CmdRun(int argc, const char* const* argv) {
   flags.Define("no-cross-iteration", "false", "disable cross-iteration (b1)");
   flags.Define("no-selective", "false", "disable the on-demand model (b2)");
   flags.Define("no-buffer", "false", "disable the sub-block buffer");
+  flags.Define("mode", "auto",
+               "auto | semi: semi keeps vertex state RAM-resident and adds "
+               "skip-summary selective streaming as a third scheduler choice");
+  flags.Define("cache-compressed", "false",
+               "cache compressed GSDF frames in the sub-block buffer "
+               "(decode-on-hit; no effect on raw datasets)");
   flags.Define("prefetch-depth", "1",
                "async read look-ahead in fetch units (0 = synchronous I/O)");
   flags.Define("no-overlap-io", "false",
@@ -307,7 +311,9 @@ int CmdRun(int argc, const char* const* argv) {
   DefineDeviceFlag(flags);
   if (Status s = flags.Parse(argc, argv); !s.ok()) return Fail(s);
 
-  auto device = MakeDevice(flags);
+  auto device_or = MakeDevice(flags);
+  if (!device_or.ok()) return Fail(device_or.status());
+  std::unique_ptr<io::Device> device = std::move(device_or).value();
   auto dataset =
       partition::GridDataset::Open(*device, flags.GetString("dataset"));
   if (!dataset.ok()) return Fail(dataset.status());
@@ -361,6 +367,14 @@ int CmdRun(int argc, const char* const* argv) {
     options.enable_cross_iteration = !flags.GetBool("no-cross-iteration");
     options.enable_selective = !flags.GetBool("no-selective");
     options.enable_buffering = !flags.GetBool("no-buffer");
+    const std::string mode = flags.GetString("mode");
+    if (mode == "semi") {
+      options.semi_external = true;
+    } else if (mode != "auto") {
+      std::fprintf(stderr, "unknown --mode %s (auto | semi)\n", mode.c_str());
+      return 1;
+    }
+    options.cache_compressed = flags.GetBool("cache-compressed");
     options.prefetch_depth =
         CheckedCast<std::size_t>(flags.GetInt("prefetch-depth"));
     options.overlap_io = !flags.GetBool("no-overlap-io");
@@ -581,6 +595,9 @@ int CmdServe(int argc, const char* const* argv) {
                "admission: per-query deadline cap (also the default)");
   flags.Define("no-verify-on-open", "false",
                "skip dataset checksum verification at first open");
+  flags.Define("cache-compressed", "false",
+               "cache compressed GSDF frames in the shared buffer "
+               "(decode-on-hit; no effect on raw datasets)");
   flags.Define("scratch-dir", "",
                "per-run scratch root (default: <socket>.scratch)");
   DefineDeviceFlag(flags);
@@ -594,6 +611,7 @@ int CmdServe(int argc, const char* const* argv) {
   options.registry.prefetch_depth =
       CheckedCast<std::size_t>(flags.GetInt("prefetch-depth"));
   options.registry.verify_on_open = !flags.GetBool("no-verify-on-open");
+  options.registry.cache_compressed = flags.GetBool("cache-compressed");
   options.limits.max_queue = CheckedCast<std::size_t>(flags.GetInt("max-queue"));
   options.limits.max_iterations =
       CheckedCast<std::uint32_t>(flags.GetInt("max-iterations"));
