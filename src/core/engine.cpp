@@ -351,6 +351,16 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   }
   ctx.summaries = summaries;
   ctx.cache_compressed = options_.cache_compressed && dataset_->compressed();
+  // Destination-range compute sharding (core/sharded_apply.hpp): 0 follows
+  // the pool size, 1 is the bit-exact serial reference. Results are
+  // bit-identical either way; only wall time changes.
+  ctx.compute_shards = options_.compute_threads == 0 ? pool.size()
+                                                     : options_.compute_threads;
+  // Critical-path measurement for the sharded applies (the executors copy
+  // ctx, so the accumulator must outlive them; folded into the report at
+  // the end). Passive: never read during the run.
+  double apply_excess = 0;
+  ctx.apply_excess = &apply_excess;
   // Run-local cancellation: chains the caller's token (signal handlers trip
   // that one) and arms the optional deadline. Executors poll it at fetch
   // boundaries; the prefetch loader drains queued reads when it trips.
@@ -388,6 +398,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   report.algorithm = program.name();
   report.dataset = manifest.name;
   report.overlap_io = overlap;
+  report.compute_shards = ctx.compute_shards;
   const partition::DecodeStats decode_before = dataset_->decode_stats();
 
   VertexState& state = *state_;
@@ -697,6 +708,7 @@ Result<ExecutionReport> GraphSDEngine::RunPush(PushProgram& program) {
   }
 
   report.iterations = iterations;
+  report.apply_serialization_seconds = apply_excess;
   const SubBlockBuffer::Counters buf_now = buffer->counters();
   report.buffer_hits = base.buffer_hits + (buf_now.hits - buf_before.hits);
   report.buffer_misses =
@@ -743,6 +755,11 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   // record summaries into a shared store and honor frame caching.
   ctx.summaries = options_.shared_summaries;
   ctx.cache_compressed = options_.cache_compressed && dataset_->compressed();
+  ctx.compute_shards = options_.compute_threads == 0 ? pool.size()
+                                                     : options_.compute_threads;
+  // See RunPush: passive critical-path accumulator for the sharded applies.
+  double apply_excess = 0;
+  ctx.apply_excess = &apply_excess;
   std::unique_ptr<io::PrefetchPipeline> local_prefetch;
   io::PrefetchPipeline* prefetch = options_.shared_prefetch;
   if (prefetch == nullptr) {
@@ -778,6 +795,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   report.algorithm = program.name();
   report.dataset = manifest.name;
   report.overlap_io = overlap;
+  report.compute_shards = ctx.compute_shards;
   const partition::DecodeStats decode_before = dataset_->decode_stats();
 
   VertexState& state = *state_;
@@ -888,6 +906,7 @@ Result<ExecutionReport> GraphSDEngine::RunGather(GatherProgram& program) {
   }
 
   report.iterations = iterations;
+  report.apply_serialization_seconds = apply_excess;
   const SubBlockBuffer::Counters buf_now = buffer->counters();
   report.buffer_hits = base.buffer_hits + (buf_now.hits - buf_before.hits);
   report.buffer_misses =

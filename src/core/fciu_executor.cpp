@@ -1,37 +1,34 @@
 #include "core/fciu_executor.hpp"
 
+#include "core/sharded_apply.hpp"
 #include "util/clock.hpp"
 
 namespace graphsd::core {
-namespace {
-
-/// Applies `fn(edge, weight)` to every edge of `block` across the pool.
-template <typename Fn>
-void ParallelApply(ThreadPool& pool, std::size_t grain,
-                   const partition::SubBlock& block, bool need_weights,
-                   Fn&& fn) {
-  pool.ParallelFor(0, block.edges.size(), grain,
-                   [&](std::size_t b, std::size_t e) {
-                     for (std::size_t k = b; k < e; ++k) {
-                       const Weight w =
-                           need_weights ? block.weights[k] : Weight{1};
-                       fn(block.edges[k], w);
-                     }
-                   });
-}
-
-}  // namespace
 
 FciuExecutor::SubBlockStream::Unit FciuExecutor::FetchUnit(
     std::uint32_t i, std::uint32_t j, bool need_weights) const {
   const partition::GridDataset* dataset = ctx_.dataset;
   SubBlockBuffer* buffer = ctx_.buffer;
+  // With parallel compute enabled, frame decode moves into the fetch
+  // closure: it then runs on the prefetch loader thread (or inline in sync
+  // mode), off the consumer's critical path. Cache-compressed mode keeps
+  // the consumer-side decode — the consumer needs the undecoded frame for
+  // its buffer offer.
+  const bool decode_in_fetch =
+      ctx_.compute_shards > 1 && dataset->compressed() && !ctx_.cache_compressed;
   SubBlockStream::Unit unit;
   unit.skip = [buffer, i, j] { return buffer->Contains(i, j); };
-  unit.fetch = [dataset, i, j, need_weights, trace = ctx_.trace,
+  unit.fetch = [dataset, i, j, need_weights, decode_in_fetch,
+                trace = ctx_.trace,
                 iteration = trace_iteration_](partition::SubBlockPayload& out) {
-    obs::TraceSpan span(trace, "edge-read", iteration);
-    GRAPHSD_ASSIGN_OR_RETURN(out, dataset->FetchSubBlock(i, j, need_weights));
+    {
+      obs::TraceSpan span(trace, "edge-read", iteration);
+      GRAPHSD_ASSIGN_OR_RETURN(out, dataset->FetchSubBlock(i, j, need_weights));
+    }
+    if (decode_in_fetch) {
+      obs::TraceSpan span(trace, "decode", iteration);
+      GRAPHSD_RETURN_IF_ERROR(dataset->DecodeSubBlock(i, j, out));
+    }
     return Status::Ok();
   };
   return unit;
@@ -92,8 +89,10 @@ Result<FciuExecutor::FetchedBlock> FciuExecutor::Fetch(
   if (item.fetched) {
     GRAPHSD_RETURN_IF_ERROR(item.status);
     FetchedBlock fetched;
-    // Decode on the consuming thread: the loader stays an I/O-only stage.
-    if (ctx_.dataset->compressed()) {
+    // Decode on the consuming thread — unless the fetch closure already
+    // decoded it (parallel compute offloads decode to the loader stage; the
+    // frame is then gone).
+    if (ctx_.dataset->compressed() && !item.payload.frame.empty()) {
       // Secondary sub-blocks may be offered back as undecoded frames
       // (cache-compressed mode); keep a copy before decode releases it.
       if (ctx_.cache_compressed && i > j && !item.payload.frame.empty()) {
@@ -168,16 +167,17 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
       {
         obs::TraceSpan span(ctx_.trace, "compute", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
-        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
-                      [&](const Edge& edge, Weight w) {
-                        if (!active.IsActive(edge.src)) return;
-                        provisional_priority.fetch_add(
-                            1, std::memory_order_relaxed);
-                        if (program.Apply(state, edge.src, edge.dst, w,
-                                          ContribSlot::kPrimary)) {
-                          out.Activate(edge.dst);
-                        }
-                      });
+        ShardedDstApply(ctx_, *block, need_weights, manifest.boundaries[j],
+                        manifest.boundaries[j + 1],
+                        [&](const Edge& edge, Weight w) {
+                          if (!active.IsActive(edge.src)) return;
+                          provisional_priority.fetch_add(
+                              1, std::memory_order_relaxed);
+                          if (program.Apply(state, edge.src, edge.dst, w,
+                                            ContribSlot::kPrimary)) {
+                            out.Activate(edge.dst);
+                          }
+                        });
       }
 
       if (two_iterations && i < j) {
@@ -185,14 +185,15 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
         // these edges produce iteration t+1 values from the same copy.
         obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
-        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
-                      [&](const Edge& edge, Weight w) {
-                        if (!out.IsActive(edge.src)) return;
-                        if (program.Apply(state, edge.src, edge.dst, w,
-                                          ContribSlot::kSecondary)) {
-                          out_ni.Activate(edge.dst);
-                        }
-                      });
+        ShardedDstApply(ctx_, *block, need_weights, manifest.boundaries[j],
+                        manifest.boundaries[j + 1],
+                        [&](const Edge& edge, Weight w) {
+                          if (!out.IsActive(edge.src)) return;
+                          if (program.Apply(state, edge.src, edge.dst, w,
+                                            ContribSlot::kSecondary)) {
+                            out_ni.Activate(edge.dst);
+                          }
+                        });
       }
 
       if (i == j && two_iterations) {
@@ -236,14 +237,15 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
       }
       if (have_diagonal) {
         ScopedWallAccumulator acc(update_seconds);
-        ParallelApply(*ctx_.pool, ctx_.parallel_grain, diagonal, need_weights,
-                      [&](const Edge& edge, Weight w) {
-                        if (!out.IsActive(edge.src)) return;
-                        if (program.Apply(state, edge.src, edge.dst, w,
-                                          ContribSlot::kSecondary)) {
-                          out_ni.Activate(edge.dst);
-                        }
-                      });
+        ShardedDstApply(ctx_, diagonal, need_weights, manifest.boundaries[j],
+                        manifest.boundaries[j + 1],
+                        [&](const Edge& edge, Weight w) {
+                          if (!out.IsActive(edge.src)) return;
+                          if (program.Apply(state, edge.src, edge.dst, w,
+                                            ContribSlot::kSecondary)) {
+                            out_ni.Activate(edge.dst);
+                          }
+                        });
       }
     }
   }
@@ -294,14 +296,15 @@ Status FciuExecutor::RunPushRound(const PushProgram& program,
         const partition::SubBlock* block = fetched.block;
         obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
-        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
-                      [&](const Edge& edge, Weight w) {
-                        if (!out.IsActive(edge.src)) return;
-                        if (program.Apply(state, edge.src, edge.dst, w,
-                                          ContribSlot::kSecondary)) {
-                          out_ni.Activate(edge.dst);
-                        }
-                      });
+        ShardedDstApply(ctx_, *block, need_weights, manifest.boundaries[j],
+                        manifest.boundaries[j + 1],
+                        [&](const Edge& edge, Weight w) {
+                          if (!out.IsActive(edge.src)) return;
+                          if (program.Apply(state, edge.src, edge.dst, w,
+                                            ContribSlot::kSecondary)) {
+                            out_ni.Activate(edge.dst);
+                          }
+                        });
       }
     }
   }
@@ -355,19 +358,21 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
       {
         obs::TraceSpan span(ctx_.trace, "compute", trace_iteration_);
         ScopedWallAccumulator acc(update_seconds);
-        ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
-                      [&](const Edge& edge, Weight w) {
-                        program.Accumulate(state, edge.src, edge.dst, w,
-                                           ContribSlot::kPrimary,
-                                           AccumSlot::kA);
-                      });
-        if (two_iterations && i < j) {
-          ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
+        ShardedDstApply(ctx_, *block, need_weights, manifest.boundaries[j],
+                        manifest.boundaries[j + 1],
                         [&](const Edge& edge, Weight w) {
                           program.Accumulate(state, edge.src, edge.dst, w,
-                                             ContribSlot::kSecondary,
-                                             AccumSlot::kB);
+                                             ContribSlot::kPrimary,
+                                             AccumSlot::kA);
                         });
+        if (two_iterations && i < j) {
+          ShardedDstApply(ctx_, *block, need_weights, manifest.boundaries[j],
+                          manifest.boundaries[j + 1],
+                          [&](const Edge& edge, Weight w) {
+                            program.Accumulate(state, edge.src, edge.dst, w,
+                                               ContribSlot::kSecondary,
+                                               AccumSlot::kB);
+                          });
         }
       }
 
@@ -404,12 +409,13 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
           program.MakeContribution(state, v, ContribSlot::kSecondary);
         }
         if (have_diagonal) {
-          ParallelApply(*ctx_.pool, ctx_.parallel_grain, diagonal, need_weights,
-                        [&](const Edge& edge, Weight w) {
-                          program.Accumulate(state, edge.src, edge.dst, w,
-                                             ContribSlot::kSecondary,
-                                             AccumSlot::kB);
-                        });
+          ShardedDstApply(ctx_, diagonal, need_weights, manifest.boundaries[j],
+                          manifest.boundaries[j + 1],
+                          [&](const Edge& edge, Weight w) {
+                            program.Accumulate(state, edge.src, edge.dst, w,
+                                               ContribSlot::kSecondary,
+                                               AccumSlot::kB);
+                          });
         }
       }
     }
@@ -437,11 +443,13 @@ Status FciuExecutor::RunGatherRound(const GatherProgram& program,
       const partition::SubBlock* block = fetched.block;
       obs::TraceSpan span(ctx_.trace, "cross-iter-update", trace_iteration_);
       ScopedWallAccumulator acc(update_seconds);
-      ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
-                    [&](const Edge& edge, Weight w) {
-                      program.Accumulate(state, edge.src, edge.dst, w,
-                                         ContribSlot::kSecondary, AccumSlot::kB);
-                    });
+      ShardedDstApply(ctx_, *block, need_weights, manifest.boundaries[j],
+                      manifest.boundaries[j + 1],
+                      [&](const Edge& edge, Weight w) {
+                        program.Accumulate(state, edge.src, edge.dst, w,
+                                           ContribSlot::kSecondary,
+                                           AccumSlot::kB);
+                      });
     }
   }
   {

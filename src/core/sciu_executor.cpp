@@ -1,7 +1,9 @@
 #include "core/sciu_executor.hpp"
 
 #include <memory>
+#include <utility>
 
+#include "core/sharded_apply.hpp"
 #include "partition/dataset_verify.hpp"
 #include "util/clock.hpp"
 
@@ -55,6 +57,31 @@ Status SciuExecutor::EnsureSubBlockVerified(std::uint32_t i, std::uint32_t j,
   return Status::Ok();
 }
 
+Status SciuExecutor::PreverifySubBlocks(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& coords,
+    bool need_weights) {
+  const auto& manifest = ctx_.dataset->manifest();
+  if (!manifest.has_checksums || coords.empty()) return Status::Ok();
+  if (verified_.empty()) {
+    // Size up front: the lazy assign inside EnsureSubBlockVerified must not
+    // race across pool workers.
+    verified_.assign(static_cast<std::size_t>(manifest.p) * manifest.p, 0);
+  }
+  std::vector<Status> results(coords.size());
+  ctx_.pool->ParallelFor(0, coords.size(), 1,
+                         [&](std::size_t b, std::size_t e) {
+                           for (std::size_t k = b; k < e; ++k) {
+                             results[k] = EnsureSubBlockVerified(
+                                 coords[k].first, coords[k].second,
+                                 need_weights);
+                           }
+                         });
+  for (Status& status : results) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::Ok();
+}
+
 Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
                                const IntervalActives& actives,
                                bool need_weights, bool resident,
@@ -81,34 +108,29 @@ Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
   }
 
   std::vector<std::uint32_t> offsets;  // scratch for ranged index reads
+  // Coalesced runs in sub-block edge coordinates. Raw datasets submit the
+  // whole script through ReadRuns after the index sweep (one vectored
+  // request per batch on devices that merge; a plain ReadRange loop
+  // otherwise); compressed datasets keep these coordinates for the consumer
+  // to copy out of the decoded frame.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> block_runs;
   std::uint64_t pending_begin = 0;
   std::uint64_t pending_end = 0;
 
   auto flush = [&]() -> Status {
     if (pending_end == pending_begin) return Status::Ok();
-    if (compressed) {
-      // Runs stay in decoded-block coordinates for the consumer to copy
-      // out after decode; weights read now, run-aligned, from the raw file.
-      out.runs.emplace_back(pending_begin, pending_end);
-      if (need_weights) {
-        obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
-        const std::size_t base = out.weights.size();
-        const std::uint64_t count = pending_end - pending_begin;
-        out.weights.resize(base + count);
-        GRAPHSD_RETURN_IF_ERROR(weights_file.ReadAt(
-            pending_begin * sizeof(Weight),
-            {reinterpret_cast<std::uint8_t*>(out.weights.data() + base),
-             count * sizeof(Weight)}));
-      }
-      pending_begin = pending_end = 0;
-      return Status::Ok();
+    block_runs.emplace_back(pending_begin, pending_end);
+    if (compressed && need_weights) {
+      // Weights read now, run-aligned, from the raw file.
+      obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
+      const std::size_t base = out.weights.size();
+      const std::uint64_t count = pending_end - pending_begin;
+      out.weights.resize(base + count);
+      GRAPHSD_RETURN_IF_ERROR(weights_file.ReadAt(
+          pending_begin * sizeof(Weight),
+          {reinterpret_cast<std::uint8_t*>(out.weights.data() + base),
+           count * sizeof(Weight)}));
     }
-    obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
-    const std::size_t base = out.edges.size();
-    GRAPHSD_RETURN_IF_ERROR(
-        reader.ReadRange(pending_begin, pending_end - pending_begin, out.edges,
-                         need_weights ? &out.weights : nullptr));
-    out.runs.emplace_back(base, out.edges.size());
     pending_begin = pending_end = 0;
     return Status::Ok();
   };
@@ -142,13 +164,30 @@ Status SciuExecutor::FetchPass(std::uint32_t i, std::uint32_t j,
     }
   }
   GRAPHSD_RETURN_IF_ERROR(flush());
-  if (compressed && !out.runs.empty() && !resident) {
-    // The whole frame streams sequentially; decode happens on the consumer
-    // thread so the loader stays an I/O-only stage.
+  if (compressed) {
+    for (const auto& [run_begin, run_end] : block_runs) {
+      out.runs.emplace_back(run_begin, run_end);
+    }
+    if (!out.runs.empty() && !resident) {
+      // The whole frame streams sequentially; decode happens on the
+      // consumer thread so the loader stays an I/O-only stage.
+      obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
+      GRAPHSD_ASSIGN_OR_RETURN(
+          partition::SubBlockPayload fetched,
+          dataset.FetchSubBlock(i, j, /*load_weights=*/false));
+      out.frame = std::move(fetched.frame);
+    }
+    return Status::Ok();
+  }
+  if (!block_runs.empty()) {
     obs::TraceSpan span(ctx_.trace, "edge-read", trace_iteration_);
-    GRAPHSD_ASSIGN_OR_RETURN(partition::SubBlockPayload fetched,
-                             dataset.FetchSubBlock(i, j, /*load_weights=*/false));
-    out.frame = std::move(fetched.frame);
+    std::size_t base = out.edges.size();
+    for (const auto& [run_begin, run_end] : block_runs) {
+      out.runs.emplace_back(base, base + (run_end - run_begin));
+      base += run_end - run_begin;
+    }
+    GRAPHSD_RETURN_IF_ERROR(reader.ReadRuns(
+        block_runs, out.edges, need_weights ? &out.weights : nullptr));
   }
   return Status::Ok();
 }
@@ -332,6 +371,15 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
     }
   }
 
+  // Parallel compute: hash every planned sub-block's checksums across the
+  // pool up front instead of serially inside the first FetchPass that
+  // touches it. Verification I/O is unaccounted, so bytes and scheduler
+  // decisions are untouched; under corruption the first plan-order error
+  // still wins.
+  if (ctx_.compute_shards > 1) {
+    GRAPHSD_RETURN_IF_ERROR(PreverifySubBlocks(plan_coords, need_weights));
+  }
+
   io::PrefetchStream<SciuPassPayload> stream(ctx_.prefetch, std::move(units));
   for (std::size_t pass = 0; pass < stream.planned(); ++pass) {
     if (ctx_.cancel != nullptr) {
@@ -345,18 +393,20 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
           plan_coords[pass].first, plan_coords[pass].second, payload));
     }
     obs::TraceSpan compute_span(ctx_.trace, "compute", trace_iteration_);
-    for (const auto& [run_begin, run_end] : payload.runs) {
+    {
+      // The runs tile [0, edges.size()) in read order (raw reads append;
+      // the compressed materialize rebases), so one destination-sharded
+      // apply over the whole payload visits every edge in exactly the
+      // serial per-run order.
+      const std::uint32_t j = plan_coords[pass].second;
       ScopedWallAccumulator acc(update_seconds);
-      ctx_.pool->ParallelFor(
-          run_begin, run_end, ctx_.parallel_grain,
-          [&](std::size_t b, std::size_t e) {
-            for (std::size_t k = b; k < e; ++k) {
-              const Edge& edge = payload.edges[k];
-              const Weight w = need_weights ? payload.weights[k] : Weight{1};
-              if (program.Apply(state, edge.src, edge.dst, w,
-                                ContribSlot::kPrimary)) {
-                out.Activate(edge.dst);
-              }
+      ShardedDstApplyRange(
+          ctx_, payload.edges.data(), payload.weights.data(), 0,
+          payload.edges.size(), need_weights, manifest.boundaries[j],
+          manifest.boundaries[j + 1], [&](const Edge& edge, Weight w) {
+            if (program.Apply(state, edge.src, edge.dst, w,
+                              ContribSlot::kPrimary)) {
+              out.Activate(edge.dst);
             }
           });
     }
@@ -391,17 +441,16 @@ Status SciuExecutor::RunIteration(const PushProgram& program,
         program.MakeContribution(state, static_cast<VertexId>(v),
                                  ContribSlot::kSecondary);
       });
-      ctx_.pool->ParallelFor(
-          0, arena_edges.size(), ctx_.parallel_grain,
-          [&](std::size_t b, std::size_t e) {
-            for (std::size_t k = b; k < e; ++k) {
-              const Edge& edge = arena_edges[k];
-              if (!qualifying.IsActive(edge.src)) continue;
-              const Weight w = need_weights ? arena_weights[k] : Weight{1};
-              if (program.Apply(state, edge.src, edge.dst, w,
-                                ContribSlot::kSecondary)) {
-                out_ni.Activate(edge.dst);
-              }
+      // Retained edges span every destination interval, so the shard range
+      // is the whole vertex space.
+      ShardedDstApplyRange(
+          ctx_, arena_edges.data(), arena_weights.data(), 0, arena_edges.size(),
+          need_weights, 0, manifest.num_vertices,
+          [&](const Edge& edge, Weight w) {
+            if (!qualifying.IsActive(edge.src)) return;
+            if (program.Apply(state, edge.src, edge.dst, w,
+                              ContribSlot::kSecondary)) {
+              out_ni.Activate(edge.dst);
             }
           });
       qualifying.ForEachActive(

@@ -2,26 +2,10 @@
 
 #include <atomic>
 
+#include "core/sharded_apply.hpp"
 #include "util/clock.hpp"
 
 namespace graphsd::core {
-namespace {
-
-template <typename Fn>
-void ParallelApply(ThreadPool& pool, std::size_t grain,
-                   const partition::SubBlock& block, bool need_weights,
-                   Fn&& fn) {
-  pool.ParallelFor(0, block.edges.size(), grain,
-                   [&](std::size_t b, std::size_t e) {
-                     for (std::size_t k = b; k < e; ++k) {
-                       const Weight w =
-                           need_weights ? block.weights[k] : Weight{1};
-                       fn(block.edges[k], w);
-                     }
-                   });
-}
-
-}  // namespace
 
 Status SemiExecutor::RunIteration(const PushProgram& program,
                                   VertexState& state, const Frontier& active,
@@ -91,12 +75,24 @@ Status SemiExecutor::RunIteration(const PushProgram& program,
     unit.skip = [buffer = ctx_.buffer, i = i, j = j] {
       return buffer->Contains(i, j);
     };
-    unit.fetch = [&dataset, i = i, j = j, need_weights, trace = ctx_.trace,
+    // Parallel compute moves frame decode into the fetch closure (loader
+    // thread, or inline in sync mode) — except in cache-compressed mode,
+    // where the consumer needs the undecoded frame for its buffer offer.
+    const bool decode_in_fetch = ctx_.compute_shards > 1 &&
+                                 dataset.compressed() && !ctx_.cache_compressed;
+    unit.fetch = [&dataset, i = i, j = j, need_weights, decode_in_fetch,
+                  trace = ctx_.trace,
                   iteration =
                       trace_iteration_](partition::SubBlockPayload& fetched) {
-      obs::TraceSpan span(trace, "edge-read", iteration);
-      GRAPHSD_ASSIGN_OR_RETURN(fetched,
-                               dataset.FetchSubBlock(i, j, need_weights));
+      {
+        obs::TraceSpan span(trace, "edge-read", iteration);
+        GRAPHSD_ASSIGN_OR_RETURN(fetched,
+                                 dataset.FetchSubBlock(i, j, need_weights));
+      }
+      if (decode_in_fetch) {
+        obs::TraceSpan span(trace, "decode", iteration);
+        GRAPHSD_RETURN_IF_ERROR(dataset.DecodeSubBlock(i, j, fetched));
+      }
       return Status::Ok();
     };
     units.push_back(std::move(unit));
@@ -136,7 +132,9 @@ Status SemiExecutor::RunIteration(const PushProgram& program,
       }
     } else if (item.fetched) {
       GRAPHSD_RETURN_IF_ERROR(item.status);
-      if (dataset.compressed()) {
+      // An empty frame means the fetch closure already decoded (or the
+      // dataset is raw) — nothing left for the consumer side.
+      if (dataset.compressed() && !item.payload.frame.empty()) {
         if (ctx_.cache_compressed && !item.payload.frame.empty()) {
           frame_copy = item.payload.frame;
         }
@@ -159,15 +157,16 @@ Status SemiExecutor::RunIteration(const PushProgram& program,
     {
       obs::TraceSpan span(ctx_.trace, "compute", trace_iteration_);
       ScopedWallAccumulator acc(update_seconds);
-      ParallelApply(*ctx_.pool, ctx_.parallel_grain, *block, need_weights,
-                    [&](const Edge& edge, Weight w) {
-                      if (!active.IsActive(edge.src)) return;
-                      applied.fetch_add(1, std::memory_order_relaxed);
-                      if (program.Apply(state, edge.src, edge.dst, w,
-                                        ContribSlot::kPrimary)) {
-                        out.Activate(edge.dst);
-                      }
-                    });
+      ShardedDstApply(ctx_, *block, need_weights, manifest.boundaries[j],
+                      manifest.boundaries[j + 1],
+                      [&](const Edge& edge, Weight w) {
+                        if (!active.IsActive(edge.src)) return;
+                        applied.fetch_add(1, std::memory_order_relaxed);
+                        if (program.Apply(state, edge.src, edge.dst, w,
+                                          ContribSlot::kPrimary)) {
+                          out.Activate(edge.dst);
+                        }
+                      });
     }
 
     // Offer the block for future rounds: in semi mode every sub-block is a

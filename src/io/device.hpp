@@ -22,6 +22,7 @@
 #include "io/fault_injector.hpp"
 #include "io/file.hpp"
 #include "io/io_stats.hpp"
+#include "util/aligned_buffer.hpp"
 #include "util/clock.hpp"
 
 namespace graphsd::obs {
@@ -31,10 +32,19 @@ class MetricsRegistry;
 namespace graphsd::io {
 
 struct DeviceOptions {
-  /// Open files with O_DIRECT when supported (paper §5.1 disables the page
-  /// cache; on filesystems without O_DIRECT the virtual clock still makes
-  /// every byte cost its modeled time).
+  /// Open read-only files with O_DIRECT when supported (paper §5.1 disables
+  /// the page cache; on filesystems without O_DIRECT the virtual clock
+  /// still makes every byte cost its modeled time). Writable opens stay
+  /// buffered — every durable writer already fsyncs, and O_DIRECT write
+  /// alignment would infect the dataset builders for no measurement gain.
   bool use_direct_io = false;
+  /// Batched selective reads: edge runs whose file gap is at most this many
+  /// bytes are fetched with one vectored request (the gap bytes land in
+  /// scratch and are discarded, but are accounted — they really crossed the
+  /// bus). 0 disables merging, which every simulated profile keeps so
+  /// modeled traffic stays bit-stable; the real SSD backend sets it to the
+  /// cost model's random-request granularity.
+  std::uint64_t read_batch_gap_bytes = 0;
   /// Accumulate modeled time on the virtual clock.
   bool charge_virtual_time = true;
   /// The disk profile used to charge requests.
@@ -58,8 +68,18 @@ class DeviceFile {
  public:
   DeviceFile() = default;
 
-  /// Reads `out.size()` bytes at `offset`, with accounting.
+  /// Reads `out.size()` bytes at `offset`, with accounting. On a direct-I/O
+  /// file an unaligned offset/size/pointer detours through an aligned
+  /// bounce buffer transparently.
   Status ReadAt(std::uint64_t offset, std::span<std::uint8_t> out);
+
+  /// Reads the contiguous range starting at `offset` scattered into `bufs`
+  /// in order, accounted as ONE request of the summed size (sequential iff
+  /// it starts where the previous read on this file ended). Buffered files
+  /// submit a single preadv batch; direct-I/O files read the aligned
+  /// covering range into the bounce buffer and scatter from there.
+  Status ReadVAt(std::uint64_t offset,
+                 std::span<const std::span<std::uint8_t>> bufs);
 
   /// Writes `data.size()` bytes at `offset`, with accounting.
   Status WriteAt(std::uint64_t offset, std::span<const std::uint8_t> data);
@@ -72,8 +92,20 @@ class DeviceFile {
 
  private:
   friend class Device;
+
+  /// One attempt of a (possibly scattered) read of `total` logical bytes at
+  /// `offset` through the aligned bounce buffer: reads the block-aligned
+  /// covering range, tolerating the EOF-short tail, then scatters the
+  /// requested window into `bufs`.
+  Status BouncedRead(std::uint64_t offset,
+                     std::span<const std::span<std::uint8_t>> bufs,
+                     std::uint64_t total);
+
   Device* device_ = nullptr;
   File file_;
+  // Scratch for direct-I/O alignment; grows to the largest covering range
+  // this file has needed and is reused across requests.
+  AlignedBuffer bounce_;
   // End offset of the last request, for sequential/random classification.
   std::uint64_t last_read_end_ = UINT64_MAX;
   std::uint64_t last_write_end_ = UINT64_MAX;
@@ -139,11 +171,19 @@ std::unique_ptr<Device> MakePosixDevice(bool direct_io = false);
 std::unique_ptr<Device> MakeSimulatedDevice(
     IoCostModel model = IoCostModel::Hdd(), bool direct_io = false);
 
+/// The real SSD backend: O_DIRECT reads (bounced through aligned buffers
+/// when needed), batched vectored selective reads, wall-clock timing only.
+/// The SSD cost model is still attached so the scheduler prices its
+/// C_r/C_s/C_m decisions with SSD economics, but no virtual time accrues.
+std::unique_ptr<Device> MakeRealSsdDevice();
+
 /// The one place a user-facing device-kind string becomes a Device:
-/// "scaled-hdd" (default bench profile), "hdd", "ssd" or "posix". Unknown
-/// kinds return kInvalidArgument instead of silently defaulting — the CLI,
-/// the query service and the benches all parse through here so the accepted
-/// spellings cannot drift apart.
+/// "scaled-hdd" (default bench profile, alias "sim:scaled-hdd"), "sim:hdd",
+/// "sim:ssd", "real:ssd" or "posix". Bare "hdd"/"ssd" are rejected as
+/// ambiguous — a benchmark must never run simulated I/O believing it is
+/// real — and unknown kinds return kInvalidArgument instead of silently
+/// defaulting. The CLI, the query service and the benches all parse through
+/// here so the accepted spellings cannot drift apart.
 Result<std::unique_ptr<Device>> MakeDeviceForKind(const std::string& kind);
 
 }  // namespace graphsd::io

@@ -1,13 +1,17 @@
 #include "io/file.hpp"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <filesystem>
 #include <system_error>
 #include <utility>
+#include <vector>
 
 namespace graphsd::io {
 namespace {
@@ -86,6 +90,70 @@ Status File::ReadAt(std::uint64_t offset, std::span<std::uint8_t> out) const {
                      " in " + path_);
     }
     done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> File::ReadAtMost(std::uint64_t offset,
+                                     std::span<std::uint8_t> out) const {
+  GRAPHSD_CHECK(is_open());
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("pread " + path_, errno);
+    }
+    if (n == 0) break;  // EOF: a legal short result for this entry point
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+Status File::ReadVAt(std::uint64_t offset,
+                     std::span<const std::span<std::uint8_t>> bufs) const {
+  GRAPHSD_CHECK(is_open());
+#ifdef IOV_MAX
+  constexpr std::size_t kIovMax = IOV_MAX;
+#else
+  constexpr std::size_t kIovMax = 1024;
+#endif
+  // Flatten once; the resume loop then walks `iov` forward as bytes land so
+  // a short preadv never re-reads what was already delivered.
+  std::vector<struct iovec> iov;
+  iov.reserve(bufs.size());
+  for (const std::span<std::uint8_t>& b : bufs) {
+    if (!b.empty()) iov.push_back({b.data(), b.size()});
+  }
+  std::size_t next = 0;
+  std::uint64_t pos = offset;
+  while (next < iov.size()) {
+    const int batch =
+        static_cast<int>(std::min(iov.size() - next, kIovMax));
+    const ssize_t n =
+        ::preadv(fd_, iov.data() + next, batch, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("preadv " + path_, errno);
+    }
+    if (n == 0) {
+      return IoError("short vectored read at offset " + std::to_string(pos) +
+                     " in " + path_);
+    }
+    pos += static_cast<std::uint64_t>(n);
+    std::size_t remaining = static_cast<std::size_t>(n);
+    while (remaining > 0) {
+      if (remaining >= iov[next].iov_len) {
+        remaining -= iov[next].iov_len;
+        ++next;
+      } else {
+        iov[next].iov_base =
+            static_cast<std::uint8_t*>(iov[next].iov_base) + remaining;
+        iov[next].iov_len -= remaining;
+        remaining = 0;
+      }
+    }
   }
   return Status::Ok();
 }

@@ -50,6 +50,21 @@ class File {
   /// Reads exactly `out.size()` bytes at `offset`.
   Status ReadAt(std::uint64_t offset, std::span<std::uint8_t> out) const;
 
+  /// Reads up to `out.size()` bytes at `offset`, stopping early only at
+  /// end-of-file, and returns the byte count delivered. The direct-I/O
+  /// bounce path needs this: an aligned read covering a file's final
+  /// partial block legitimately comes back short.
+  Result<std::size_t> ReadAtMost(std::uint64_t offset,
+                                 std::span<std::uint8_t> out) const;
+
+  /// Reads the contiguous file range starting at `offset` scattered into
+  /// `bufs` in order — one `preadv` per IOV_MAX-sized batch, resuming
+  /// through EINTR and short transfers without re-reading delivered bytes.
+  /// Exactly the sum of the buffer sizes is transferred; hitting EOF first
+  /// is an error, as in ReadAt.
+  Status ReadVAt(std::uint64_t offset,
+                 std::span<const std::span<std::uint8_t>> bufs) const;
+
   /// Writes exactly `data.size()` bytes at `offset`.
   Status WriteAt(std::uint64_t offset, std::span<const std::uint8_t> data) const;
 

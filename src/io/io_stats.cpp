@@ -18,6 +18,8 @@ IoStatsSnapshot IoStatsSnapshot::operator-(
   d.retries = retries - other.retries;
   d.checksum_failures = checksum_failures - other.checksum_failures;
   d.eintr_absorbed = eintr_absorbed - other.eintr_absorbed;
+  d.vectored_reads = vectored_reads - other.vectored_reads;
+  d.bounce_reads = bounce_reads - other.bounce_reads;
   return d;
 }
 
@@ -34,6 +36,8 @@ IoStatsSnapshot& IoStatsSnapshot::operator+=(
   retries += other.retries;
   checksum_failures += other.checksum_failures;
   eintr_absorbed += other.eintr_absorbed;
+  vectored_reads += other.vectored_reads;
+  bounce_reads += other.bounce_reads;
   return *this;
 }
 
@@ -87,6 +91,8 @@ IoStatsSnapshot IoStats::Snapshot() const noexcept {
   s.retries = retries_.load(std::memory_order_relaxed);
   s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
   s.eintr_absorbed = eintr_absorbed_.load(std::memory_order_relaxed);
+  s.vectored_reads = vectored_reads_.load(std::memory_order_relaxed);
+  s.bounce_reads = bounce_reads_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -102,6 +108,8 @@ void IoStats::Reset() noexcept {
   retries_.store(0, std::memory_order_relaxed);
   checksum_failures_.store(0, std::memory_order_relaxed);
   eintr_absorbed_.store(0, std::memory_order_relaxed);
+  vectored_reads_.store(0, std::memory_order_relaxed);
+  bounce_reads_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace graphsd::io

@@ -29,6 +29,12 @@ struct IoStatsSnapshot {
   std::uint64_t retries = 0;            // transient errors absorbed by retry
   std::uint64_t checksum_failures = 0;  // CRC mismatches surfaced on load
   std::uint64_t eintr_absorbed = 0;     // signal interruptions retried free
+  // Read-path mechanics (see DESIGN.md §15): scatter requests submitted as
+  // one vectored batch, and direct-I/O reads that detoured through an
+  // aligned bounce buffer because the caller's offset/size/pointer was not
+  // block-aligned.
+  std::uint64_t vectored_reads = 0;
+  std::uint64_t bounce_reads = 0;
 
   std::uint64_t TotalReadBytes() const noexcept {
     return seq_read_bytes + rand_read_bytes;
@@ -76,6 +82,16 @@ class IoStats {
     eintr_absorbed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Records one scatter request submitted as a vectored batch.
+  void RecordVectoredRead() noexcept {
+    vectored_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one direct-I/O read served through the aligned bounce buffer.
+  void RecordBounceRead() noexcept {
+    bounce_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Copies the current counters.
   IoStatsSnapshot Snapshot() const noexcept;
 
@@ -94,6 +110,8 @@ class IoStats {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> checksum_failures_{0};
   std::atomic<std::uint64_t> eintr_absorbed_{0};
+  std::atomic<std::uint64_t> vectored_reads_{0};
+  std::atomic<std::uint64_t> bounce_reads_{0};
 };
 
 }  // namespace graphsd::io

@@ -46,7 +46,12 @@ Result<ProfileResult> ProfileDevice(const std::string& directory,
       written += n;
     }
     GRAPHSD_RETURN_IF_ERROR(file.Sync());
-    result.seq_write_bw = static_cast<double>(written) / timer.Seconds();
+    // Floor the elapsed time like the random passes below: a small profile
+    // file on a fast filesystem can finish between clock ticks, and an
+    // infinite bandwidth here would flow into the cost model and from there
+    // into every --report-json document.
+    result.seq_write_bw =
+        static_cast<double>(written) / std::max(timer.Seconds(), 1e-9);
   }
 
   {
@@ -59,7 +64,8 @@ Result<ProfileResult> ProfileDevice(const std::string& directory,
       GRAPHSD_RETURN_IF_ERROR(file.ReadAt(read, std::span(buffer.data(), n)));
       read += n;
     }
-    result.seq_read_bw = static_cast<double>(read) / timer.Seconds();
+    result.seq_read_bw =
+        static_cast<double>(read) / std::max(timer.Seconds(), 1e-9);
   }
 
   {

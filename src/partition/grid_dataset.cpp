@@ -1,5 +1,7 @@
 #include "partition/grid_dataset.hpp"
 
+#include <algorithm>
+
 #include "compress/frame.hpp"
 #include "util/clock.hpp"
 #include "util/crc32c.hpp"
@@ -55,6 +57,102 @@ Status SubBlockReader::ReadRange(std::uint64_t first, std::uint64_t count,
         first * sizeof(Weight),
         {reinterpret_cast<std::uint8_t*>(weights_out->data() + weight_base),
          count * sizeof(Weight)}));
+  }
+  return Status::Ok();
+}
+
+Status SubBlockReader::ReadRuns(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> runs,
+    std::vector<Edge>& edges_out, std::vector<Weight>* weights_out) {
+  // Validate the whole script up front so the batched path cannot discover
+  // a corrupt run after earlier runs already landed in the output arrays.
+  std::uint64_t prev_end = 0;
+  for (const auto& [first, end] : runs) {
+    if (end < first || first < prev_end || end > num_edges_) {
+      return CorruptDataError(
+          edges_.path() + ": run read [" + std::to_string(first) + ", " +
+          std::to_string(end) + ") not ascending within sub-block of " +
+          std::to_string(num_edges_) + " edges (corrupt index?)");
+    }
+    prev_end = end;
+  }
+  if (batch_gap_bytes_ == 0) {
+    for (const auto& [first, end] : runs) {
+      GRAPHSD_RETURN_IF_ERROR(
+          ReadRange(first, end - first, edges_out, weights_out));
+    }
+    return Status::Ok();
+  }
+  const bool read_weights = has_weights_ && weights_out != nullptr;
+  std::vector<std::span<std::uint8_t>> bufs;  // reused per batch
+  std::size_t g = 0;
+  while (g < runs.size()) {
+    // Grow the batch while the file gap to the next run stays within the
+    // device's merge budget.
+    std::size_t h = g + 1;
+    std::uint64_t max_gap_edges = 0;
+    std::uint64_t batch_edges = runs[g].second - runs[g].first;
+    while (h < runs.size()) {
+      const std::uint64_t gap = runs[h].first - runs[h - 1].second;
+      if (gap * sizeof(Edge) > batch_gap_bytes_) break;
+      max_gap_edges = std::max(max_gap_edges, gap);
+      batch_edges += runs[h].second - runs[h].first;
+      ++h;
+    }
+    if (h == g + 1) {
+      GRAPHSD_RETURN_IF_ERROR(ReadRange(runs[g].first,
+                                        runs[g].second - runs[g].first,
+                                        edges_out, weights_out));
+      g = h;
+      continue;
+    }
+    // One vectored request per file: run destinations interleaved with a
+    // shared gap-scratch span (each gap is filled then overwritten — the
+    // bytes are discarded either way). Edge is the wider record, so one
+    // scratch sizing covers the weight file too.
+    gap_scratch_.resize(
+        static_cast<std::size_t>(max_gap_edges * sizeof(Edge)));
+    const std::size_t edge_base = edges_out.size();
+    edges_out.resize(edge_base + batch_edges);
+    bufs.clear();
+    std::size_t out_pos = edge_base;
+    for (std::size_t k = g; k < h; ++k) {
+      if (k > g) {
+        const std::uint64_t gap = runs[k].first - runs[k - 1].second;
+        if (gap > 0) {
+          bufs.emplace_back(gap_scratch_.data(), gap * sizeof(Edge));
+        }
+      }
+      const std::uint64_t count = runs[k].second - runs[k].first;
+      bufs.emplace_back(reinterpret_cast<std::uint8_t*>(edges_out.data() +
+                                                        out_pos),
+                        count * sizeof(Edge));
+      out_pos += count;
+    }
+    GRAPHSD_RETURN_IF_ERROR(
+        edges_.ReadVAt(runs[g].first * sizeof(Edge), bufs));
+    if (read_weights) {
+      const std::size_t weight_base = weights_out->size();
+      weights_out->resize(weight_base + batch_edges);
+      bufs.clear();
+      std::size_t w_pos = weight_base;
+      for (std::size_t k = g; k < h; ++k) {
+        if (k > g) {
+          const std::uint64_t gap = runs[k].first - runs[k - 1].second;
+          if (gap > 0) {
+            bufs.emplace_back(gap_scratch_.data(), gap * sizeof(Weight));
+          }
+        }
+        const std::uint64_t count = runs[k].second - runs[k].first;
+        bufs.emplace_back(
+            reinterpret_cast<std::uint8_t*>(weights_out->data() + w_pos),
+            count * sizeof(Weight));
+        w_pos += count;
+      }
+      GRAPHSD_RETURN_IF_ERROR(
+          weights_.ReadVAt(runs[g].first * sizeof(Weight), bufs));
+    }
+    g = h;
   }
   return Status::Ok();
 }
@@ -251,6 +349,7 @@ Result<SubBlockReader> GridDataset::OpenSubBlockReader(
   GRAPHSD_CHECK(i < p() && j < p());
   SubBlockReader reader;
   reader.num_edges_ = manifest_.EdgesIn(i, j);
+  reader.batch_gap_bytes_ = device_->options().read_batch_gap_bytes;
   GRAPHSD_ASSIGN_OR_RETURN(
       reader.edges_,
       device_->Open(SubBlockEdgesPath(dir_, i, j), io::OpenMode::kRead));

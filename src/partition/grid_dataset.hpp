@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compress/codec.hpp"
@@ -88,12 +90,26 @@ class SubBlockReader {
   Status ReadRange(std::uint64_t first, std::uint64_t count,
                    std::vector<Edge>& edges_out, std::vector<Weight>* weights_out);
 
+  /// Reads every `[first, end)` run (sub-block edge coordinates, ascending,
+  /// non-overlapping) appending to `edges_out`/`weights_out` in run order,
+  /// producing exactly what a ReadRange loop would. When the owning device
+  /// enables read batching (`read_batch_gap_bytes > 0`), runs separated by
+  /// at most that many edge-file bytes are fetched with one vectored
+  /// request — the gap bytes land in scratch (and are accounted, they
+  /// really crossed the bus); with batching off this IS the ReadRange loop,
+  /// bit-identical in accounting.
+  Status ReadRuns(std::span<const std::pair<std::uint64_t, std::uint64_t>> runs,
+                  std::vector<Edge>& edges_out,
+                  std::vector<Weight>* weights_out);
+
  private:
   friend class GridDataset;
   io::DeviceFile edges_;
   io::DeviceFile weights_;
   bool has_weights_ = false;
   std::uint64_t num_edges_ = 0;  // manifest EdgesIn(i, j), for bounds checks
+  std::uint64_t batch_gap_bytes_ = 0;  // device read_batch_gap_bytes
+  std::vector<std::uint8_t> gap_scratch_;  // discard target for merged gaps
 };
 
 class GridDataset {

@@ -33,7 +33,8 @@
 namespace graphsd::service {
 
 struct RegistryOptions {
-  /// Device kind every entry opens: "posix" | "scaled-hdd" | "hdd" | "ssd".
+  /// Device kind every entry opens: "posix" | "scaled-hdd" | "sim:hdd" |
+  /// "sim:ssd" | "real:ssd" (see io::MakeDeviceForKind).
   std::string device = "posix";
   /// Shared buffer capacity per dataset; 0 = 5 % of the edge payload (the
   /// engine's default budget).

@@ -66,32 +66,46 @@ void ThreadPool::ParallelFor(
   // queued helpers never reached.
   struct Batch {
     const std::function<void(std::size_t, std::size_t)>* fn;
+    std::size_t begin;
     std::size_t end;
     std::size_t grain;
+    std::size_t num_chunks;
     std::atomic<std::size_t> next;
     std::mutex mutex;
     std::condition_variable done;
     std::size_t remaining;
     std::exception_ptr first_exception;
   };
-  const std::size_t num_chunks = (total + grain - 1) / grain;
+  // `(total - 1) / grain + 1` never overflows, unlike the textbook
+  // `(total + grain - 1) / grain` (total is >= 1 here).
+  const std::size_t num_chunks = (total - 1) / grain + 1;
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
+  batch->begin = begin;
   batch->end = end;
   batch->grain = grain;
-  batch->next.store(begin, std::memory_order_relaxed);
+  batch->num_chunks = num_chunks;
+  batch->next.store(0, std::memory_order_relaxed);
   batch->remaining = num_chunks;
 
   // Dereferencing `*b.fn` is safe exactly when a claim succeeds: an
   // unfinished chunk keeps `remaining` above zero, which keeps the caller
   // (and the caller-owned `fn`) alive. A helper that wakes after the cursor
   // is exhausted touches only the shared_ptr-owned batch.
+  //
+  // The cursor claims chunk *indices*, not offsets: an offset cursor
+  // advanced by `grain` past a range ending near SIZE_MAX wraps around and
+  // re-claims (and re-executes) chunks. Index arithmetic stays in range:
+  // `idx * grain <= total - 1`, so `begin + idx * grain < end`, and the
+  // chunk end is formed by comparing the remaining span against the grain
+  // instead of computing `chunk + grain` (which can also wrap).
   const auto run_chunks = [](Batch& b) {
     for (;;) {
-      const std::size_t chunk =
-          b.next.fetch_add(b.grain, std::memory_order_relaxed);
-      if (chunk >= b.end) return;
-      const std::size_t chunk_end = std::min(b.end, chunk + b.grain);
+      const std::size_t idx = b.next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= b.num_chunks) return;
+      const std::size_t chunk = b.begin + idx * b.grain;
+      const std::size_t chunk_end =
+          b.end - chunk > b.grain ? chunk + b.grain : b.end;
       std::exception_ptr thrown;
       try {
         (*b.fn)(chunk, chunk_end);

@@ -155,5 +155,42 @@ TEST_F(SchedulerTest, SsdProfileShiftsCrossoverTowardOnDemand) {
   EXPECT_LT(ssd_ratio, hdd_ratio);
 }
 
+TEST_F(SchedulerTest, SsdProfileFlipsADecisionTheHddProfileRefuses) {
+  // The C_r <= C_s crossover re-examined under SSD economics: sweeping
+  // frontier density from sparse to dense, there must exist a density where
+  // the HDD profile still streams (C_r > C_s, its 8 ms seeks make scattered
+  // requests ruinous) but the SSD profile — seeks two orders of magnitude
+  // cheaper — already picks on-demand. (ScaledHdd would be the wrong
+  // baseline here: its proxy-rescaled seeks are already SSD-sized.) The
+  // fixture's dataset is too small for the flip to exist — its full scan
+  // costs less than one seek chain on either profile — so build one whose
+  // scan time lands between the two profiles' per-active seek costs.
+  TempDir dir2;
+  RmatOptions options;
+  options.scale = 13;
+  options.edge_factor = 16;
+  const EdgeList big = GenerateRmat(options);
+  BuildTestGrid(big, *device_, dir2.Sub("big"), 4);
+  const auto ds =
+      ValueOrDie(partition::GridDataset::Open(*device_, dir2.Sub("big")));
+  StateAwareScheduler hdd(ds, io::IoCostModel::Hdd());
+  StateAwareScheduler ssd(ds, io::IoCostModel::Ssd());
+  bool flipped = false;
+  for (VertexId stride :
+       {8192u, 4096u, 2048u, 1024u, 512u, 256u, 128u, 64u, 32u, 16u}) {
+    Frontier active(ds.num_vertices());
+    for (VertexId v = 0; v < ds.num_vertices(); v += stride) {
+      active.Activate(v);
+    }
+    const auto d_hdd = hdd.Evaluate(active, 8, false);
+    const auto d_ssd = ssd.Evaluate(active, 8, false);
+    // The SSD profile can never be the one still streaming when the HDD
+    // profile has switched to on-demand.
+    EXPECT_FALSE(!d_ssd.on_demand && d_hdd.on_demand) << "stride " << stride;
+    if (!d_hdd.on_demand && d_ssd.on_demand) flipped = true;
+  }
+  EXPECT_TRUE(flipped);
+}
+
 }  // namespace
 }  // namespace graphsd::core

@@ -33,12 +33,16 @@ struct PrefetchConfig {
   const char* name;
   std::size_t depth;
   bool overlap;
+  std::size_t threads;  // worker pool size == compute shard count
 };
 
+// Thread counts rotate {1, 2, 8} across the configurations so decode,
+// checksum offload and sharded compute all run under real parallelism
+// while every comparison stays bitwise against the serial reference.
 constexpr PrefetchConfig kConfigs[] = {
-    {"sync_serial", 0, false},   {"sync_overlap_flag", 0, true},
-    {"depth1_serial", 1, false}, {"depth1_overlap", 1, true},
-    {"depth4_serial", 4, false}, {"depth4_overlap", 4, true},
+    {"sync_serial", 0, false, 1},   {"sync_overlap_flag", 0, true, 8},
+    {"depth1_serial", 1, false, 2}, {"depth1_overlap", 1, true, 8},
+    {"depth4_serial", 4, false, 1}, {"depth4_overlap", 4, true, 2},
 };
 
 struct RunObservation {
@@ -51,7 +55,10 @@ struct RunObservation {
 
 core::EngineOptions WithConfig(core::EngineOptions options,
                                const PrefetchConfig& config) {
-  options.num_threads = 1;  // fixed reduction order for bitwise comparison
+  // Destination-interval sharding keeps the reduction order fixed at any
+  // shard count, so bitwise comparison holds under real parallelism too.
+  options.num_threads = config.threads;
+  options.compute_threads = config.threads;
   options.prefetch_depth = config.depth;
   options.overlap_io = config.overlap;
   return options;

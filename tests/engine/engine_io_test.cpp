@@ -1,4 +1,8 @@
 // I/O accounting invariants of the engine and its reports.
+#include <optional>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "engine_test_util.hpp"
@@ -153,6 +157,40 @@ TEST_F(EngineIoTest, IndexlessDatasetDegradesToFullModel) {
     const std::uint64_t want =
         reference[v] == kUnreachedLevel ? UINT64_MAX : reference[v];
     EXPECT_EQ(algos::Bfs::LevelOf(*engine.state(), v), want);
+  }
+}
+
+TEST_F(EngineIoTest, RealSsdBackendMatchesPosixBitwise) {
+  // The direct-I/O bounce path and gap-merged vectored reads are purely
+  // physical concerns: a run on the real:ssd backend must return exactly
+  // the values of a plain posix run, on both the streaming path and the
+  // on-demand (scattered-run ReadRuns) path, with parallel compute on.
+  for (const bool on_demand : {false, true}) {
+    std::optional<std::vector<double>> reference;
+    for (const char* kind : {"posix", "real:ssd"}) {
+      SCOPED_TRACE(std::string(kind) + (on_demand ? " on_demand" : " auto"));
+      auto device = ValueOrDie(io::MakeDeviceForKind(kind));
+      const auto ds =
+          ValueOrDie(partition::GridDataset::Open(*device, dir_.Sub("ds")));
+      TempDir scratch;
+      core::EngineOptions options;
+      options.force_on_demand = on_demand;
+      options.compute_threads = 4;
+      options.scratch_dir = scratch.path();
+      core::GraphSDEngine engine(ds, options);
+      algos::Sssp sssp(0);
+      (void)ValueOrDie(engine.Run(sssp));
+      const std::vector<double> values =
+          testing::Values(sssp, *engine.state());
+      if (!reference.has_value()) {
+        reference = values;
+        continue;
+      }
+      ASSERT_EQ(values.size(), reference->size());
+      for (std::size_t v = 0; v < values.size(); ++v) {
+        EXPECT_EQ(values[v], (*reference)[v]) << "vertex " << v;
+      }
+    }
   }
 }
 

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "testing_util.hpp"
 
 namespace graphsd::io {
@@ -130,7 +135,8 @@ TEST(Device, IndependentFilesTrackIndependentCursors) {
 }
 
 TEST(Device, MakeDeviceForKindRecognizesEveryCliSpelling) {
-  for (const char* kind : {"scaled-hdd", "hdd", "ssd", "posix"}) {
+  for (const char* kind : {"scaled-hdd", "sim:scaled-hdd", "sim:hdd",
+                           "sim:ssd", "real:ssd", "posix"}) {
     auto device = MakeDeviceForKind(kind);
     ASSERT_OK(device.status());
     ASSERT_NE(*device, nullptr);
@@ -140,7 +146,7 @@ TEST(Device, MakeDeviceForKindRecognizesEveryCliSpelling) {
   EXPECT_FALSE(
       ValueOrDie(MakeDeviceForKind("posix"))->options().charge_virtual_time);
   EXPECT_TRUE(
-      ValueOrDie(MakeDeviceForKind("hdd"))->options().charge_virtual_time);
+      ValueOrDie(MakeDeviceForKind("sim:hdd"))->options().charge_virtual_time);
 }
 
 TEST(Device, MakeDeviceForKindRejectsUnknownKind) {
@@ -151,6 +157,84 @@ TEST(Device, MakeDeviceForKindRejectsUnknownKind) {
   EXPECT_EQ(device.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(MakeDeviceForKind("").status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(Device, MakeDeviceForKindRejectsAmbiguousBareSpellings) {
+  // Regression: "ssd" used to silently return the *simulated* SSD profile.
+  // Once a real backend exists the bare word is ambiguous, and a benchmark
+  // must never run modeled I/O believing it measured hardware.
+  for (const char* kind : {"hdd", "ssd"}) {
+    auto device = MakeDeviceForKind(kind);
+    EXPECT_EQ(device.status().code(), StatusCode::kInvalidArgument) << kind;
+    EXPECT_NE(device.status().message().find("sim:"), std::string::npos)
+        << kind;
+  }
+}
+
+TEST(Device, RealSsdDeviceMeasuresRealTimeWithSsdSchedulerModel) {
+  auto device = ValueOrDie(MakeDeviceForKind("real:ssd"));
+  const DeviceOptions& opts = device->options();
+  EXPECT_FALSE(opts.charge_virtual_time);  // wall-clock measurements only
+  EXPECT_TRUE(opts.use_direct_io);
+  // The scheduler still prices C_r/C_s/C_m with SSD economics.
+  EXPECT_EQ(opts.cost_model.seek_seconds, IoCostModel::Ssd().seek_seconds);
+  EXPECT_EQ(opts.read_batch_gap_bytes, IoCostModel::Ssd().random_request_bytes);
+}
+
+TEST(Device, ReadVAtScattersOneAccountedRequest) {
+  TempDir dir;
+  auto device = MakeSimulatedDevice();
+  {
+    DeviceFile f = ValueOrDie(device->Open(dir.Sub("v"), OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, Pattern(8192)));
+  }
+  device->ResetAccounting();
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("v"), OpenMode::kRead));
+  const std::vector<std::uint8_t> expected = Pattern(8192);
+  std::vector<std::uint8_t> a(100), b(1), c(3000);
+  const std::span<std::uint8_t> bufs[] = {a, b, c};
+  ASSERT_OK(f.ReadVAt(37, bufs));
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), expected.begin() + 37));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), expected.begin() + 137));
+  EXPECT_TRUE(std::equal(c.begin(), c.end(), expected.begin() + 138));
+  const auto s = device->stats().Snapshot();
+  EXPECT_EQ(s.rand_read_ops, 1u);  // one request, not three
+  EXPECT_EQ(s.rand_read_bytes, 3101u);
+  EXPECT_EQ(s.vectored_reads, 1u);
+  // A follow-up starting where the scatter ended classifies sequential.
+  ASSERT_OK(f.ReadAt(37 + 3101, a));
+  EXPECT_EQ(device->stats().Snapshot().seq_read_ops, 1u);
+}
+
+TEST(Device, DirectIoReadsBounceWhenUnaligned) {
+  TempDir dir;
+  // 2.5 aligned blocks, so the tail read also exercises the EOF-short
+  // covering range.
+  const std::vector<std::uint8_t> expected = Pattern(10240);
+  auto writer = MakePosixDevice();
+  {
+    DeviceFile f = ValueOrDie(writer->Open(dir.Sub("d"), OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, expected));
+  }
+  auto device = ValueOrDie(MakeDeviceForKind("real:ssd"));
+  DeviceFile f = ValueOrDie(device->Open(dir.Sub("d"), OpenMode::kRead));
+  std::vector<std::uint8_t> buf(5000);
+  ASSERT_OK(f.ReadAt(4321, buf));  // unaligned offset and size
+  EXPECT_TRUE(std::equal(buf.begin(), buf.end(), expected.begin() + 4321));
+  std::vector<std::uint8_t> tail(100);
+  ASSERT_OK(f.ReadAt(10240 - 100, tail));  // window ends exactly at EOF
+  EXPECT_TRUE(
+      std::equal(tail.begin(), tail.end(), expected.begin() + 10240 - 100));
+  // Whether the filesystem honored O_DIRECT or fell back to buffered I/O,
+  // logical accounting is identical; the bounce counter only moves on a
+  // real direct descriptor.
+  const auto s = device->stats().Snapshot();
+  EXPECT_EQ(s.TotalReadBytes(), 5100u);
+  std::vector<std::uint8_t> a(64), b(256);
+  const std::span<std::uint8_t> bufs[] = {a, b};
+  ASSERT_OK(f.ReadVAt(1, bufs));
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), expected.begin() + 1));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), expected.begin() + 65));
 }
 
 }  // namespace

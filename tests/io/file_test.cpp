@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "testing_util.hpp"
 
 namespace graphsd::io {
@@ -148,6 +153,54 @@ TEST(FileHelpers, WriteStringCleansUpTempOnRenameFailure) {
   const Status status = WriteStringToFile(target, "payload");
   EXPECT_FALSE(status.ok());
   EXPECT_FALSE(PathExists(target + ".tmp"));
+}
+
+TEST(File, ReadVAtScattersContiguousRange) {
+  TempDir dir;
+  const std::string path = dir.Sub("v.bin");
+  std::vector<std::uint8_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  {
+    File f = ValueOrDie(File::Open(path, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, data));
+  }
+  File f = ValueOrDie(File::Open(path, OpenMode::kRead));
+  std::vector<std::uint8_t> a(11), b(0), c(301), d(1000);
+  const std::span<std::uint8_t> bufs[] = {a, b, c, d};
+  ASSERT_OK(f.ReadVAt(100, bufs));
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), data.begin() + 100));
+  EXPECT_TRUE(std::equal(c.begin(), c.end(), data.begin() + 111));
+  EXPECT_TRUE(std::equal(d.begin(), d.end(), data.begin() + 412));
+}
+
+TEST(File, ReadVAtPastEofIsShortRead) {
+  TempDir dir;
+  const std::string path = dir.Sub("v.bin");
+  {
+    File f = ValueOrDie(File::Open(path, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, std::vector<std::uint8_t>(64)));
+  }
+  File f = ValueOrDie(File::Open(path, OpenMode::kRead));
+  std::vector<std::uint8_t> a(32), b(64);
+  const std::span<std::uint8_t> bufs[] = {a, b};
+  EXPECT_EQ(f.ReadVAt(0, bufs).code(), StatusCode::kIoError);
+}
+
+TEST(File, ReadAtMostStopsAtEofWithoutError) {
+  TempDir dir;
+  const std::string path = dir.Sub("m.bin");
+  {
+    File f = ValueOrDie(File::Open(path, OpenMode::kWrite));
+    ASSERT_OK(f.WriteAt(0, std::vector<std::uint8_t>(100, 0xAB)));
+  }
+  File f = ValueOrDie(File::Open(path, OpenMode::kRead));
+  std::vector<std::uint8_t> buf(256);
+  EXPECT_EQ(ValueOrDie(f.ReadAtMost(0, buf)), 100u);
+  EXPECT_EQ(buf[99], 0xAB);
+  EXPECT_EQ(ValueOrDie(f.ReadAtMost(100, buf)), 0u);  // at EOF
+  EXPECT_EQ(ValueOrDie(f.ReadAtMost(40, buf)), 60u);  // partial tail
 }
 
 TEST(File, DirectIoOpenFallsBackOrWorks) {

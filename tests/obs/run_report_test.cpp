@@ -99,6 +99,23 @@ TEST(RunReport, EmptyReportStillRenders) {
   EXPECT_NE(json.find(R"("hit_rate":0)"), std::string::npos);
 }
 
+TEST(RunReport, ZeroBandwidthSentinelYieldsFiniteNumbersOnly) {
+  // IoCostModel::Free() sets every bandwidth to the 0.0 "free" sentinel.
+  // Every derived rate in the document must degrade to 0, never to a
+  // division-by-zero NaN/Inf (which JsonWriter would have to null out,
+  // breaking numeric consumers of --report-json).
+  for (const auto& model :
+       {io::IoCostModel::Free(), io::IoCostModel::Ssd()}) {
+    const std::string json = ToRunReportJson(MakeReport(), model);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("null"), std::string::npos);
+  }
+  const std::string free_json =
+      ToRunReportJson(MakeReport(), io::IoCostModel::Free());
+  EXPECT_NE(free_json.find(R"("random_read_bw":0)"), std::string::npos);
+}
+
 TEST(RunReport, WritesDocumentToDisk) {
   TempDir dir;
   const std::string path = dir.Sub("report.json");

@@ -1,9 +1,13 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <future>
+#include <limits>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -50,6 +54,125 @@ TEST(ThreadPool, ParallelForSingleThreadRunsInline) {
   pool.ParallelFor(0, 10, 100,
                    [&](std::size_t, std::size_t) { seen = std::this_thread::get_id(); });
   EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ParallelForGrainLargerThanRangeRunsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::size_t seen_begin = 99, seen_end = 0;
+  pool.ParallelFor(3, 10, 1000, [&](std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 3u);
+  EXPECT_EQ(seen_end, 10u);
+}
+
+TEST(ThreadPool, ParallelForZeroGrainTreatedAsOne) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(0, hits.size(), 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForInvertedRangeIsEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(10, 5, 4, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// Property sweep: every (range length, grain, offset) combination must
+// partition [begin, end) into contiguous, ordered, exactly-once chunks of
+// at most `grain` items each.
+TEST(ThreadPool, ParallelForPartitionProperty) {
+  ThreadPool pool(4);
+  for (std::size_t total : {1u, 2u, 3u, 7u, 8u, 63u, 64u, 65u, 1000u}) {
+    for (std::size_t grain : {1u, 2u, 3u, 5u, 8u, 63u, 64u, 65u, 4096u}) {
+      for (std::size_t begin : {0u, 1u, 17u}) {
+        const std::size_t end = begin + total;
+        std::mutex m;
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        pool.ParallelFor(begin, end, grain, [&](std::size_t b, std::size_t e) {
+          ASSERT_LT(b, e);
+          ASSERT_LE(e - b, std::max<std::size_t>(1, grain));
+          std::lock_guard<std::mutex> lock(m);
+          chunks.emplace_back(b, e);
+        });
+        std::sort(chunks.begin(), chunks.end());
+        ASSERT_FALSE(chunks.empty());
+        EXPECT_EQ(chunks.front().first, begin);
+        EXPECT_EQ(chunks.back().second, end);
+        for (std::size_t i = 1; i < chunks.size(); ++i) {
+          // Contiguous and non-overlapping: each chunk starts where the
+          // previous one ended.
+          EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+        }
+      }
+    }
+  }
+}
+
+// Regression: the chunk cursor used to advance by raw offsets, so a range
+// ending near SIZE_MAX wrapped the cursor around zero once helpers raced
+// past the end — re-claiming (and re-executing) chunks, some of them outside
+// the requested range entirely.
+TEST(ThreadPool, ParallelForRangeEndingAtSizeMax) {
+  ThreadPool pool(4);
+  const std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  const std::size_t begin = kMax - 1000;
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.ParallelFor(begin, kMax, 7, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, begin);
+  EXPECT_EQ(chunks.back().second, kMax);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+// Regression: `(total + grain - 1) / grain` overflowed for ranges spanning
+// nearly the whole size_t space, producing a zero chunk count.
+TEST(ThreadPool, ParallelForHugeRangeHugeGrain) {
+  ThreadPool pool(2);
+  const std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::atomic<int> calls{0};
+  std::size_t seen_begin = 1, seen_end = 0;
+  // total = kMax, grain = kMax / 2 + 1 -> two chunks on the threaded path
+  // would overflow the old rounding; with total <= grain it must still run
+  // the whole range in one inline call.
+  pool.ParallelFor(0, kMax, kMax, [&](std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    seen_begin = b;
+    seen_end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 0u);
+  EXPECT_EQ(seen_end, kMax);
+  // Threaded path: a grain of kMax/4 splits the same range into a handful
+  // of chunks whose count the old rounding computed as zero.
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.ParallelFor(0, kMax, kMax / 4, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 5u);
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, kMax);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
 }
 
 TEST(ThreadPool, ParallelForSumMatchesSequential) {

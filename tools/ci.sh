@@ -131,6 +131,37 @@ assert buf["frame_puts"] > 0, buf
 PYEOF
 echo "semi-external smoke: OK"
 
+echo "== tier 1: SSD scheduling smoke (--device sim:ssd / real:ssd) =="
+# The SSD cost preset moves the C_r <= C_s crossover toward on-demand: on a
+# sparse-wavefront workload large enough that a full stream outweighs a
+# handful of 60us seeks, the scheduler must flip at least one round to SCIU
+# and log the decision (model "S") with its cost inputs in the report. The
+# same workload then runs on the real:ssd backend (O_DIRECT + batched
+# preadv, SSD scheduler economics, wall-clock time) with parallel compute
+# and must produce bit-identical values.
+"$CLI" generate --type grid --rows 256 --cols 256 --max-weight 9 \
+    --out "$OBS_DIR/grid_ssd.bin" > /dev/null
+"$CLI" preprocess --input "$OBS_DIR/grid_ssd.bin" --out "$OBS_DIR/ds_ssd" \
+    --p 4 > /dev/null
+"$CLI" run --dataset "$OBS_DIR/ds_ssd" --algo sssp --root 0 --threads 1 \
+    --device sim:ssd --values-out "$OBS_DIR/sssp_ssd_sim.txt" \
+    --report-json "$OBS_DIR/report_ssd.json" > /dev/null
+python3 - "$OBS_DIR/report_ssd.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["cost_model"]["seek_seconds"] <= 1e-4, doc["cost_model"]
+models = [r["model"] for r in doc["per_round"]]
+assert "S" in models, models
+for r in doc["per_round"]:
+    if r["model"] in ("S", "F"):
+        assert r["cost_on_demand"] > 0 and r["cost_full"] > 0, r
+PYEOF
+"$CLI" run --dataset "$OBS_DIR/ds_ssd" --algo sssp --root 0 --threads 8 \
+    --compute-threads 8 --device real:ssd \
+    --values-out "$OBS_DIR/sssp_ssd_real.txt" > /dev/null
+cmp "$OBS_DIR/sssp_ssd_sim.txt" "$OBS_DIR/sssp_ssd_real.txt"
+echo "ssd scheduling smoke: OK"
+
 echo "== tier 1: query service smoke (graphsd serve / graphsd query) =="
 # Resident daemon on a temp socket: open-once dataset registry, shared
 # buffer tier, batched multi-source runs. Exercises the wire protocol end

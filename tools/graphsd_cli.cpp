@@ -68,7 +68,8 @@ Result<std::unique_ptr<io::Device>> MakeDevice(const CliFlags& flags) {
 
 void DefineDeviceFlag(CliFlags& flags) {
   flags.Define("device", "scaled-hdd",
-               "storage model: scaled-hdd | hdd | ssd | posix");
+               "storage backend: scaled-hdd | sim:hdd | sim:ssd (modeled "
+               "time) | real:ssd (O_DIRECT hardware reads) | posix");
 }
 
 int CmdGenerate(int argc, const char* const* argv) {
@@ -280,6 +281,10 @@ int CmdRun(int argc, const char* const* argv) {
   flags.Define("epsilon", "1e-9", "prd: residual activation threshold");
   flags.Define("root", "0", "sssp/bfs: source vertex");
   flags.Define("threads", "0", "worker threads (0 = hardware)");
+  flags.Define("compute-threads", "0",
+               "destination-range compute shards per apply pass "
+               "(0 = match --threads pool, 1 = serial reference; results "
+               "are bit-identical at any value)");
   flags.Define("no-cross-iteration", "false", "disable cross-iteration (b1)");
   flags.Define("no-selective", "false", "disable the on-demand model (b2)");
   flags.Define("no-buffer", "false", "disable the sub-block buffer");
@@ -364,6 +369,8 @@ int CmdRun(int argc, const char* const* argv) {
   if (engine_kind == "graphsd") {
     core::EngineOptions options;
     options.num_threads = CheckedCast<std::size_t>(flags.GetInt("threads"));
+    options.compute_threads =
+        CheckedCast<std::size_t>(flags.GetInt("compute-threads"));
     options.enable_cross_iteration = !flags.GetBool("no-cross-iteration");
     options.enable_selective = !flags.GetBool("no-selective");
     options.enable_buffering = !flags.GetBool("no-buffer");
